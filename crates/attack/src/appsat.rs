@@ -1,0 +1,292 @@
+//! AppSAT-style approximate attack (Shamsi et al., HOST'17).
+//!
+//! The exact SAT attack must exhaust *every* distinguishing input before it
+//! terminates, which is exactly what makes SAT-hard schemes expensive. An
+//! approximate attacker interleaves DIP constraints with random oracle
+//! queries and settles for a key that is correct on (nearly) all sampled
+//! inputs — usually recovering an exact key on traditionally locked
+//! circuits in a fraction of the work.
+//!
+//! This module reproduces that attacker as an extension over the paper's
+//! exact attack, useful for studying how runtime prediction transfers to a
+//! different attack algorithm (the paper's challenge #1: attackers are
+//! heterogeneous).
+
+use crate::error::AttackError;
+use crate::oracle::Oracle;
+use crate::runtime::AttackRuntime;
+use cnf::{encode_circuit_with, encode_miter, fix_vars, EncodeOptions};
+use netlist::Circuit;
+use obfuscate::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sat::{SolveResult, Solver, SolverStats};
+use std::time::Instant;
+
+/// Parameters of one AppSAT run.
+#[derive(Debug, Clone)]
+pub struct AppSatConfig {
+    /// DIP iterations between random-query rounds.
+    pub dips_per_round: usize,
+    /// Random oracle queries per reinforcement round.
+    pub random_queries_per_round: usize,
+    /// Consecutive all-correct rounds required to settle.
+    pub settle_rounds: usize,
+    /// Hard cap on rounds.
+    pub max_rounds: usize,
+    /// Total solver-work budget.
+    pub work_budget: Option<u64>,
+    /// Random-query seed.
+    pub seed: u64,
+}
+
+impl Default for AppSatConfig {
+    fn default() -> Self {
+        AppSatConfig {
+            dips_per_round: 4,
+            random_queries_per_round: 32,
+            settle_rounds: 2,
+            max_rounds: 100,
+            work_budget: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of an AppSAT run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSatResult {
+    /// The recovered (possibly approximate) key, or `None` on budget abort.
+    pub key: Option<Key>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// True when the miter became UNSAT (the key is exactly correct, as in
+    /// the exact attack); false when the attacker settled approximately.
+    pub exact: bool,
+    /// Fraction of the final round's random queries the key got wrong
+    /// (0.0 for an exact or fully settled key).
+    pub error_estimate: f64,
+    /// DIPs consumed in total.
+    pub dips: usize,
+    /// Solver work counters.
+    pub solver_stats: SolverStats,
+    /// Runtime under both measures.
+    pub runtime: AttackRuntime,
+}
+
+/// Runs the AppSAT loop on `locked` against `oracle`.
+///
+/// # Errors
+///
+/// Same conditions as [`attack`](crate::attack): circuits without keys or
+/// outputs are rejected, and an oracle inconsistent with the netlist
+/// surfaces as [`AttackError::OracleInconsistent`].
+pub fn appsat(
+    locked: &Circuit,
+    oracle: &mut dyn Oracle,
+    config: &AppSatConfig,
+) -> Result<AppSatResult, AttackError> {
+    if locked.keys().is_empty() {
+        return Err(AttackError::NothingToAttack);
+    }
+    if locked.outputs().is_empty() {
+        return Err(AttackError::NoOutputs);
+    }
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA995_A700);
+    let mut solver = Solver::new();
+    let miter = encode_miter(locked, &mut solver);
+    let num_inputs = locked.inputs().len();
+
+    let add_io_constraint = |solver: &mut Solver, inputs: &[bool], outputs: &[bool]| {
+        for key_vars in [&miter.key1, &miter.key2] {
+            let enc = encode_circuit_with(
+                locked,
+                solver,
+                EncodeOptions {
+                    input_vars: None,
+                    key_vars: Some(key_vars.clone()),
+                },
+            );
+            fix_vars(solver, &enc.input_vars(locked), inputs);
+            fix_vars(solver, &enc.output_vars(locked), outputs);
+        }
+    };
+
+    let mut dips = 0usize;
+    let mut settled = 0usize;
+    let mut error_estimate = 1.0;
+    let finish = |solver: &mut Solver,
+                  key: Option<Key>,
+                  rounds: usize,
+                  exact: bool,
+                  error_estimate: f64,
+                  dips: usize,
+                  start: Instant| {
+        let solver_stats = *solver.stats();
+        Ok(AppSatResult {
+            key,
+            rounds,
+            exact,
+            error_estimate,
+            dips,
+            solver_stats,
+            runtime: AttackRuntime::new(&solver_stats, start.elapsed()),
+        })
+    };
+
+    for round in 0..config.max_rounds {
+        if let Some(budget) = config.work_budget {
+            if solver.stats().work() >= budget {
+                return finish(&mut solver, None, round, false, error_estimate, dips, start);
+            }
+        }
+        // Phase 1: a few exact DIP iterations.
+        for _ in 0..config.dips_per_round {
+            match solver.solve_with_assumptions(&[miter.diff_lit()]) {
+                SolveResult::Unknown => {
+                    return finish(&mut solver, None, round, false, error_estimate, dips, start)
+                }
+                SolveResult::Unsat => {
+                    // Exact convergence — extract the key like the exact attack.
+                    return match solver.solve() {
+                        SolveResult::Sat(model) => {
+                            let key: Key = miter.key1.iter().map(|&v| model.value(v)).collect();
+                            finish(&mut solver, Some(key), round + 1, true, 0.0, dips, start)
+                        }
+                        SolveResult::Unsat => Err(AttackError::OracleInconsistent),
+                        SolveResult::Unknown => {
+                            finish(&mut solver, None, round, false, error_estimate, dips, start)
+                        }
+                    };
+                }
+                SolveResult::Sat(model) => {
+                    let dip: Vec<bool> = miter.inputs.iter().map(|&v| model.value(v)).collect();
+                    let response = oracle.query(&dip);
+                    add_io_constraint(&mut solver, &dip, &response);
+                    dips += 1;
+                }
+            }
+        }
+        // Phase 2: extract the current key candidate.
+        let candidate: Key = match solver.solve() {
+            SolveResult::Sat(model) => miter.key1.iter().map(|&v| model.value(v)).collect(),
+            SolveResult::Unsat => return Err(AttackError::OracleInconsistent),
+            SolveResult::Unknown => {
+                return finish(&mut solver, None, round, false, error_estimate, dips, start)
+            }
+        };
+        // Phase 3: random-query reinforcement.
+        let mut mismatches = 0usize;
+        for _ in 0..config.random_queries_per_round {
+            let inputs: Vec<bool> = (0..num_inputs).map(|_| rng.gen()).collect();
+            let truth = oracle.query(&inputs);
+            let predicted = locked
+                .simulate_bool(&inputs, candidate.bits())
+                .expect("candidate key has the right width");
+            if predicted != truth {
+                mismatches += 1;
+                add_io_constraint(&mut solver, &inputs, &truth);
+            }
+        }
+        error_estimate = mismatches as f64 / config.random_queries_per_round.max(1) as f64;
+        if mismatches == 0 {
+            settled += 1;
+            if settled >= config.settle_rounds {
+                return finish(
+                    &mut solver,
+                    Some(candidate),
+                    round + 1,
+                    false,
+                    0.0,
+                    dips,
+                    start,
+                );
+            }
+        } else {
+            settled = 0;
+        }
+    }
+    finish(
+        &mut solver,
+        None,
+        config.max_rounds,
+        false,
+        error_estimate,
+        dips,
+        start,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SimOracle;
+    use obfuscate::{lock_random, SchemeKind};
+    use synth::GeneratorConfig;
+
+    fn run(scheme: SchemeKind, gates: usize) -> (obfuscate::LockedCircuit, AppSatResult) {
+        let base = synth::generate(&GeneratorConfig::new("appsat", 12, 6, 120).with_seed(3));
+        let locked = lock_random(&base, scheme, gates, 7).expect("lockable");
+        let mut oracle = SimOracle::new(locked.original.clone());
+        let result =
+            appsat(&locked.locked, &mut oracle, &AppSatConfig::default()).expect("appsat runs");
+        (locked, result)
+    }
+
+    #[test]
+    fn appsat_recovers_functionally_correct_keys() {
+        for scheme in [SchemeKind::XorLock, SchemeKind::LutLock { lut_size: 3 }] {
+            let (locked, result) = run(scheme, 4);
+            let key = result.key.as_ref().expect("appsat settles");
+            assert!(
+                locked.verify_key(key).expect("verifies"),
+                "{scheme} exact={} err={}",
+                result.exact,
+                result.error_estimate
+            );
+        }
+    }
+
+    #[test]
+    fn appsat_uses_no_more_dips_than_exact_attack() {
+        let (locked, approx) = run(SchemeKind::LutLock { lut_size: 4 }, 6);
+        let exact = crate::attack_locked(&locked, &crate::AttackConfig::default())
+            .expect("exact attack runs");
+        assert!(
+            approx.dips <= exact.iterations + 8,
+            "appsat {} DIPs vs exact {}",
+            approx.dips,
+            exact.iterations
+        );
+    }
+
+    #[test]
+    fn budget_aborts_cleanly() {
+        let (_, result) = {
+            let base = synth::generate(&GeneratorConfig::new("appsat", 12, 6, 120).with_seed(3));
+            let locked =
+                lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 10, 7).expect("lockable");
+            let mut oracle = SimOracle::new(locked.original.clone());
+            let config = AppSatConfig {
+                work_budget: Some(1),
+                ..AppSatConfig::default()
+            };
+            (
+                locked.clone(),
+                appsat(&locked.locked, &mut oracle, &config).expect("appsat runs"),
+            )
+        };
+        assert!(result.key.is_none());
+        // The budget is only checked at round boundaries, so at most one
+        // round runs before the abort.
+        assert!(result.rounds <= 1);
+    }
+
+    #[test]
+    fn rejects_unkeyed_circuits() {
+        let mut oracle = SimOracle::new(netlist::c17());
+        let err = appsat(&netlist::c17(), &mut oracle, &AppSatConfig::default()).unwrap_err();
+        assert_eq!(err, AttackError::NothingToAttack);
+    }
+}

@@ -1,0 +1,312 @@
+//! The DIP (distinguishing input pattern) loop.
+
+use crate::error::AttackError;
+use crate::oracle::{Oracle, SimOracle};
+use crate::runtime::AttackRuntime;
+use cnf::{encode_circuit_with, encode_miter, fix_vars, EncodeOptions};
+use netlist::Circuit;
+use obfuscate::{Key, LockedCircuit};
+use sat::{SolveResult, Solver, SolverStats};
+use std::time::Instant;
+
+/// Resource limits and options for one attack run.
+#[derive(Debug, Clone, Default)]
+pub struct AttackConfig {
+    /// Abort once total solver work (see [`sat::SolverStats::work`]) exceeds
+    /// this bound. `None` = run to completion.
+    pub work_budget: Option<u64>,
+    /// Abort after this many DIP iterations. `None` = unlimited.
+    pub max_iterations: Option<usize>,
+    /// Conflict cap per individual solver call (guards against a single
+    /// pathological query). `None` = unlimited.
+    pub conflicts_per_solve: Option<u64>,
+    /// Record every DIP found (costs memory on long attacks).
+    pub record_dips: bool,
+}
+
+impl AttackConfig {
+    /// A config with a total work budget.
+    pub fn with_work_budget(budget: u64) -> Self {
+        AttackConfig {
+            work_budget: Some(budget),
+            ..AttackConfig::default()
+        }
+    }
+}
+
+/// How an attack run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The DIP loop converged and this key reproduces the oracle on all
+    /// inputs.
+    KeyRecovered(Key),
+    /// A resource limit from [`AttackConfig`] was hit first.
+    BudgetExceeded,
+}
+
+/// Everything measured during one attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackResult {
+    /// Terminal state of the run.
+    pub outcome: AttackOutcome,
+    /// Number of DIPs found (= SAT-attack iterations, the quantity the
+    /// paper's Section II-A ties to attack effort).
+    pub iterations: usize,
+    /// Oracle queries served.
+    pub oracle_queries: usize,
+    /// Work counters of the attack's solver.
+    pub solver_stats: SolverStats,
+    /// Deterministic + wall-clock runtime of the run.
+    pub runtime: AttackRuntime,
+    /// The DIPs, if [`AttackConfig::record_dips`] was set.
+    pub dips: Vec<Vec<bool>>,
+}
+
+impl AttackResult {
+    /// The recovered key, if the attack finished.
+    pub fn key(&self) -> Option<&Key> {
+        match &self.outcome {
+            AttackOutcome::KeyRecovered(k) => Some(k),
+            AttackOutcome::BudgetExceeded => None,
+        }
+    }
+}
+
+/// Runs the oracle-guided SAT attack on `locked` using `oracle` as the
+/// activated chip.
+///
+/// # Errors
+///
+/// Returns [`AttackError::NothingToAttack`] / [`AttackError::NoOutputs`] for
+/// circuits without keys or outputs, and
+/// [`AttackError::OracleInconsistent`] when the oracle's responses cannot be
+/// produced by any key of the locked netlist.
+pub fn attack(
+    locked: &Circuit,
+    oracle: &mut dyn Oracle,
+    config: &AttackConfig,
+) -> Result<AttackResult, AttackError> {
+    if locked.keys().is_empty() {
+        return Err(AttackError::NothingToAttack);
+    }
+    if locked.outputs().is_empty() {
+        return Err(AttackError::NoOutputs);
+    }
+    let start = Instant::now();
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(config.conflicts_per_solve);
+    let miter = encode_miter(locked, &mut solver);
+
+    let mut iterations = 0usize;
+    let mut dips = Vec::new();
+    let mut budget_hit = false;
+
+    loop {
+        if let Some(max) = config.max_iterations {
+            if iterations >= max {
+                budget_hit = true;
+                break;
+            }
+        }
+        if let Some(budget) = config.work_budget {
+            if solver.stats().work() >= budget {
+                budget_hit = true;
+                break;
+            }
+        }
+        match solver.solve_with_assumptions(&[miter.diff_lit()]) {
+            SolveResult::Unknown => {
+                budget_hit = true;
+                break;
+            }
+            SolveResult::Unsat => break, // no DIP remains
+            SolveResult::Sat(model) => {
+                let dip: Vec<bool> = miter.inputs.iter().map(|&v| model.value(v)).collect();
+                let response = oracle.query(&dip);
+                debug_assert_eq!(response.len(), locked.outputs().len());
+                // Constrain both key copies to reproduce the oracle on this DIP.
+                for key_vars in [&miter.key1, &miter.key2] {
+                    let enc = encode_circuit_with(
+                        locked,
+                        &mut solver,
+                        EncodeOptions {
+                            input_vars: None,
+                            key_vars: Some(key_vars.clone()),
+                        },
+                    );
+                    fix_vars(&mut solver, &enc.input_vars(locked), &dip);
+                    fix_vars(&mut solver, &enc.output_vars(locked), &response);
+                }
+                iterations += 1;
+                if config.record_dips {
+                    dips.push(dip);
+                }
+                // Each DIP fixes hundreds of copy inputs/outputs at the root
+                // level; periodically sweep the clauses those units satisfy.
+                if iterations.is_multiple_of(16) {
+                    solver.simplify();
+                }
+            }
+        }
+    }
+
+    let outcome = if budget_hit {
+        AttackOutcome::BudgetExceeded
+    } else {
+        // No DIP remains: any key satisfying the I/O constraints is correct.
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                let key: Key = miter.key1.iter().map(|&v| model.value(v)).collect();
+                AttackOutcome::KeyRecovered(key)
+            }
+            SolveResult::Unsat => return Err(AttackError::OracleInconsistent),
+            SolveResult::Unknown => AttackOutcome::BudgetExceeded,
+        }
+    };
+
+    let solver_stats = *solver.stats();
+    Ok(AttackResult {
+        outcome,
+        iterations,
+        oracle_queries: oracle.num_queries(),
+        solver_stats,
+        runtime: AttackRuntime::new(&solver_stats, start.elapsed()),
+        dips,
+    })
+}
+
+/// Convenience wrapper: attacks a [`LockedCircuit`] with a [`SimOracle`]
+/// built from its original netlist.
+///
+/// # Errors
+///
+/// Same conditions as [`attack`].
+pub fn attack_locked(
+    locked: &LockedCircuit,
+    config: &AttackConfig,
+) -> Result<AttackResult, AttackError> {
+    let mut oracle = SimOracle::new(locked.original.clone());
+    attack(&locked.locked, &mut oracle, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfuscate::{lock_random, SchemeKind};
+    use synth::GeneratorConfig;
+
+    fn run(scheme: SchemeKind, gates: usize, seed: u64) -> (LockedCircuit, AttackResult) {
+        let locked = lock_random(&netlist::c17(), scheme, gates, seed).unwrap();
+        let result = attack_locked(&locked, &AttackConfig::default()).unwrap();
+        (locked, result)
+    }
+
+    #[test]
+    fn recovers_functionally_correct_key_xor() {
+        for seed in 0..6 {
+            let (locked, result) = run(SchemeKind::XorLock, 3, seed);
+            let key = result.key().expect("attack finishes on c17");
+            assert!(locked.verify_key(key).unwrap(), "seed {seed}");
+            assert!(result.iterations <= 32, "c17 has only 32 input patterns");
+        }
+    }
+
+    #[test]
+    fn recovers_functionally_correct_key_mux() {
+        for seed in 0..4 {
+            let (locked, result) = run(SchemeKind::MuxLock, 3, seed);
+            let key = result.key().expect("attack finishes on c17");
+            assert!(locked.verify_key(key).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn recovers_functionally_correct_key_lut() {
+        for seed in 0..4 {
+            let (locked, result) = run(SchemeKind::LutLock { lut_size: 2 }, 2, seed);
+            let key = result.key().expect("attack finishes on c17");
+            assert!(locked.verify_key(key).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn recovered_key_may_differ_but_matches_oracle() {
+        // With LUT locking, many keys are functionally correct (pad inputs
+        // are don't-cares); the attack may return any of them.
+        let (locked, result) = run(SchemeKind::LutLock { lut_size: 3 }, 2, 9);
+        let key = result.key().unwrap();
+        assert!(locked.verify_key(key).unwrap());
+    }
+
+    #[test]
+    fn work_budget_aborts_attack() {
+        let base = synth::generate(&GeneratorConfig::new("mid", 16, 8, 150).with_seed(2));
+        let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 10, 3).unwrap();
+        let config = AttackConfig {
+            work_budget: Some(1),
+            ..AttackConfig::default()
+        };
+        let result = attack_locked(&locked, &config).unwrap();
+        assert_eq!(result.outcome, AttackOutcome::BudgetExceeded);
+        assert!(result.key().is_none());
+    }
+
+    #[test]
+    fn max_iterations_aborts_attack() {
+        let base = synth::generate(&GeneratorConfig::new("mid", 16, 8, 150).with_seed(2));
+        let locked = lock_random(&base, SchemeKind::XorLock, 20, 3).unwrap();
+        let config = AttackConfig {
+            max_iterations: Some(0),
+            ..AttackConfig::default()
+        };
+        let result = attack_locked(&locked, &config).unwrap();
+        assert_eq!(result.outcome, AttackOutcome::BudgetExceeded);
+        assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn dips_recorded_when_requested() {
+        let locked = lock_random(&netlist::c17(), SchemeKind::XorLock, 4, 11).unwrap();
+        let config = AttackConfig {
+            record_dips: true,
+            ..AttackConfig::default()
+        };
+        let result = attack_locked(&locked, &config).unwrap();
+        assert_eq!(result.dips.len(), result.iterations);
+        for dip in &result.dips {
+            assert_eq!(dip.len(), 5);
+        }
+    }
+
+    #[test]
+    fn attack_on_unkeyed_circuit_errors() {
+        let mut oracle = SimOracle::new(netlist::c17());
+        let err = attack(&netlist::c17(), &mut oracle, &AttackConfig::default()).unwrap_err();
+        assert_eq!(err, AttackError::NothingToAttack);
+    }
+
+    #[test]
+    fn attack_runtime_grows_with_key_count() {
+        // The paper's central premise: more obfuscated gates, more work.
+        let base = synth::generate(&GeneratorConfig::new("grow", 12, 6, 120).with_seed(7));
+        let mut works = Vec::new();
+        for n in [1usize, 8, 24] {
+            let locked = lock_random(&base, SchemeKind::XorLock, n, 5).unwrap();
+            let result = attack_locked(&locked, &AttackConfig::default()).unwrap();
+            assert!(result.key().is_some());
+            works.push(result.solver_stats.work());
+        }
+        assert!(
+            works[2] > works[0],
+            "24 key gates should cost more work than 1: {works:?}"
+        );
+    }
+
+    #[test]
+    fn solver_stats_and_oracle_queries_populated() {
+        let (_, result) = run(SchemeKind::XorLock, 3, 2);
+        assert!(result.solver_stats.solves >= 1);
+        assert_eq!(result.oracle_queries, result.iterations);
+        assert!(result.runtime.work > 0);
+    }
+}

@@ -1,0 +1,80 @@
+use netlist::Circuit;
+
+/// A black-box activated chip: apply an input pattern, observe the outputs.
+///
+/// The attack only ever sees input/output behaviour through this trait, so a
+/// hardware-in-the-loop oracle could be substituted for [`SimOracle`].
+pub trait Oracle {
+    /// Applies one input pattern and returns the output values.
+    fn query(&mut self, inputs: &[bool]) -> Vec<bool>;
+
+    /// Number of queries served so far.
+    fn num_queries(&self) -> usize;
+}
+
+/// Oracle backed by simulating the original (unlocked) circuit — the
+/// standard attack-evaluation setup, standing in for a real activated IC.
+#[derive(Debug, Clone)]
+pub struct SimOracle {
+    circuit: Circuit,
+    queries: usize,
+}
+
+impl SimOracle {
+    /// Wraps an unlocked circuit as an oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit still has key inputs (an oracle is an
+    /// *activated* chip).
+    pub fn new(circuit: Circuit) -> Self {
+        assert!(
+            circuit.keys().is_empty(),
+            "oracle circuits must be activated (no key inputs)"
+        );
+        SimOracle {
+            circuit,
+            queries: 0,
+        }
+    }
+
+    /// The wrapped circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+}
+
+impl Oracle for SimOracle {
+    fn query(&mut self, inputs: &[bool]) -> Vec<bool> {
+        self.queries += 1;
+        self.circuit
+            .simulate_bool(inputs, &[])
+            .expect("oracle query width matches circuit")
+    }
+
+    fn num_queries(&self) -> usize {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_oracle_counts_queries() {
+        let mut oracle = SimOracle::new(netlist::c17());
+        assert_eq!(oracle.num_queries(), 0);
+        let out = oracle.query(&[true, true, true, true, true]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(oracle.num_queries(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "activated")]
+    fn keyed_circuit_rejected() {
+        let locked =
+            obfuscate::lock_random(&netlist::c17(), obfuscate::SchemeKind::XorLock, 1, 0).unwrap();
+        let _ = SimOracle::new(locked.locked);
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the full SAT attack (the label generator),
+//! showing runtime growth with key-gate count — the phenomenon the paper
+//! predicts.
+
+use attack::{attack_locked, AttackConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obfuscate::{lock_random, SchemeKind};
+use synth::GeneratorConfig;
+
+fn bench_attack(c: &mut Criterion) {
+    let base = synth::generate(&GeneratorConfig::new("bench", 16, 8, 200).with_seed(11));
+    let mut group = c.benchmark_group("sat_attack");
+    group.sample_size(10);
+
+    for &keys in &[2usize, 8, 16] {
+        let locked = lock_random(&base, SchemeKind::XorLock, keys, 5).expect("lockable");
+        group.bench_with_input(
+            BenchmarkId::new("xor_lock_keys", keys),
+            &locked,
+            |b, locked| {
+                b.iter(|| {
+                    let result =
+                        attack_locked(locked, &AttackConfig::default()).expect("attack runs");
+                    assert!(result.key().is_some());
+                })
+            },
+        );
+    }
+
+    let locked_lut =
+        lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 4, 5).expect("lockable");
+    group.bench_function("lut4_lock_4_gates", |b| {
+        b.iter(|| {
+            let result = attack_locked(&locked_lut, &AttackConfig::default()).expect("attack runs");
+            assert!(result.key().is_some());
+        })
+    });
+
+    group.bench_function("tseitin_encode_c1529", |b| {
+        let circuit = synth::iscas::circuit("c1529", 0).expect("profile");
+        b.iter(|| {
+            let mut formula = cnf::CnfFormula::new();
+            let enc = cnf::encode_circuit(&circuit, &mut formula);
+            assert!(formula.num_clauses() > 0);
+            enc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the classical baseline fits on a
+//! circuit-encoding-sized design matrix.
+
+use bench::methods::BaselineKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use tensor::Matrix;
+
+fn synthetic_problem(rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
+    // Hash-based fill: full-rank design (a short modular pattern would give
+    // duplicate columns, which path algorithms like LARS rightly reject).
+    let x = Matrix::from_fn(rows, cols, |r, c| {
+        let mut h = (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (c as u64) << 17;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 29;
+        (h % 1000) as f64 / 1000.0 - 0.5
+    });
+    let y: Vec<f64> = (0..rows)
+        .map(|r| 2.0 * x.get(r, 0) - x.get(r, 1) + 0.1 * x.get(r, cols - 1))
+        .collect();
+    (x, y)
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let (x, y) = synthetic_problem(120, 200);
+    let mut group = c.benchmark_group("baseline_fit_120x200");
+    group.sample_size(10);
+    for kind in [
+        BaselineKind::Lr,
+        BaselineKind::Rr,
+        BaselineKind::Lasso,
+        BaselineKind::En,
+        BaselineKind::SvrRbf,
+        BaselineKind::Omp,
+        BaselineKind::Lars,
+        BaselineKind::Sgd,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut model = kind.build(&x);
+                model.fit(&x, &y).expect("fit succeeds");
+                model.predict(&x)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark behind the paper's Section IV-C claim: ICNet
+//! inference on the 1529-gate evaluation circuit is a single fast forward
+//! pass (paper: ~1.13 s in their Python stack; the Rust forward pass is
+//! measured here).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icnet::{encode_features, Aggregation, CircuitGraph, FeatureSet, GraphModel, ModelKind};
+use std::rc::Rc;
+
+fn bench_inference(c: &mut Criterion) {
+    let circuit = synth::iscas::circuit("c1529", 0).expect("profile");
+    let graph = CircuitGraph::from_circuit(&circuit);
+    let selected: Vec<netlist::GateId> = circuit
+        .iter()
+        .filter(|(_, g)| !g.kind().is_input())
+        .map(|(id, _)| id)
+        .take(100)
+        .collect();
+    let x = encode_features(&circuit, &selected, FeatureSet::All);
+
+    let mut group = c.benchmark_group("model_inference_c1529");
+    for kind in [
+        ModelKind::Gcn,
+        ModelKind::ChebNet { k: 3 },
+        ModelKind::ICNet,
+    ] {
+        let op = Rc::new(kind.operator(&graph));
+        let model = GraphModel::new(kind, Aggregation::Nn, 7, 16, 16, 1);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| model.predict(&op, &x));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

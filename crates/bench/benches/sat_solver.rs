@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the CDCL solver.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sat::{Lit, Solver};
+
+/// Pigeonhole principle: n pigeons into n-1 holes (UNSAT, exercises clause
+/// learning heavily).
+fn pigeonhole(n: i64) -> Solver {
+    let holes = n - 1;
+    let mut s = Solver::new();
+    s.new_vars((n * holes) as usize);
+    let p = |i: i64, j: i64| Lit::from_dimacs(i * holes + j + 1);
+    for i in 0..n {
+        let clause: Vec<Lit> = (0..holes).map(|j| p(i, j)).collect();
+        s.add_clause(clause);
+    }
+    for j in 0..holes {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause([!p(i1, j), !p(i2, j)]);
+            }
+        }
+    }
+    s
+}
+
+/// Deterministic random 3-SAT near the phase transition.
+fn random_3sat(num_vars: u64, num_clauses: u64, seed: u64) -> Solver {
+    let mut s = Solver::new();
+    s.new_vars(num_vars as usize);
+    let mut state = seed | 1;
+    let mut next = move |bound: u64| {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) % bound
+    };
+    for _ in 0..num_clauses {
+        let clause: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = next(num_vars) as i64 + 1;
+                Lit::from_dimacs(if next(2) == 0 { v } else { -v })
+            })
+            .collect();
+        s.add_clause(clause);
+    }
+    s
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solver");
+    group.sample_size(10);
+
+    group.bench_function("pigeonhole_7_unsat", |b| {
+        b.iter_batched(
+            || pigeonhole(7),
+            |mut s| assert!(s.solve().is_unsat()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("random_3sat_150v_600c", |b| {
+        b.iter_batched(
+            || random_3sat(150, 600, 0xBEEF),
+            |mut s| {
+                let _ = s.solve();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("incremental_assumptions", |b| {
+        b.iter_batched(
+            || random_3sat(100, 380, 0xACE),
+            |mut s| {
+                for i in 1..=8i64 {
+                    let _ = s.solve_with_assumptions(&[Lit::from_dimacs(i)]);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the numeric substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+use tensor::{CsrMatrix, Matrix, Tape};
+
+fn circuit_sized_sparse(n: usize) -> CsrMatrix {
+    // ~3 nonzeros per row, circuit-adjacency-like.
+    let triplets: Vec<(usize, usize, f64)> = (0..n)
+        .flat_map(|i| {
+            [
+                (i, (i * 7 + 1) % n, 1.0),
+                (i, (i * 13 + 5) % n, 1.0),
+                (i, i, 1.0),
+            ]
+        })
+        .collect();
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+
+    let a = Matrix::from_fn(128, 128, |r, c| ((r * 31 + c * 17) % 13) as f64 / 13.0);
+    let b = Matrix::from_fn(128, 128, |r, c| ((r * 19 + c * 29) % 11) as f64 / 11.0);
+    group.bench_function("matmul_128", |bencher| {
+        bencher.iter(|| a.matmul(&b));
+    });
+
+    let sparse = circuit_sized_sparse(1529);
+    let dense = Matrix::from_fn(1529, 16, |r, c| ((r + c) % 7) as f64 / 7.0);
+    group.bench_function("spmm_1529x16", |bencher| {
+        bencher.iter(|| sparse.spmm(&dense));
+    });
+
+    let op = Rc::new(circuit_sized_sparse(1529));
+    let x = Matrix::from_fn(1529, 7, |r, c| ((r * c) % 3) as f64);
+    let w1 = Matrix::from_fn(7, 16, |r, c| ((r + c) % 5) as f64 / 5.0 - 0.4);
+    let w2 = Matrix::from_fn(16, 16, |r, c| ((r * c) % 7) as f64 / 7.0 - 0.5);
+    group.bench_function("autodiff_two_conv_backward", |bencher| {
+        bencher.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let w1v = tape.leaf(w1.clone());
+            let w2v = tape.leaf(w2.clone());
+            let p1 = tape.spmm(Rc::clone(&op), xv);
+            let h1 = tape.matmul(p1, w1v);
+            let r1 = tape.relu(h1);
+            let p2 = tape.spmm(Rc::clone(&op), r1);
+            let h2 = tape.matmul(p2, w2v);
+            let r2 = tape.relu(h2);
+            let loss = tape.mean_all(r2);
+            tape.backward(loss);
+            tape.grad(w1v).get(0, 0)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tensor);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates **Table I**: regression MSE on Dataset 1 (1..=350 key gates).
+//!
+//! ```text
+//! cargo run -p bench --release --bin table1 [-- --quick | --profile cXXXX --instances N ...]
+//! ```
+
+use bench::cli::Options;
+use bench::harness::{format_table, results_to_csv, run_mse_suite};
+use bench::methods::BaselineKind;
+use dataset::DatasetConfig;
+use std::time::Instant;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut config = DatasetConfig::dataset1(&opts.profile, opts.instances);
+    config.attack.work_budget = Some(opts.budget);
+    config.attack.conflicts_per_solve = Some(200_000);
+    config.seed = opts.seed;
+    config.key_range = (1, opts.keys_max);
+    println!("# Table I — MSE on Dataset 1");
+    println!(
+        "# profile={} instances={} key_range={:?} scheme={} budget={} epochs={}",
+        opts.profile, opts.instances, config.key_range, config.scheme, opts.budget, opts.epochs
+    );
+
+    let t0 = Instant::now();
+    let data = bench::harness::load_or_generate(&config, &opts.out_dir);
+    println!(
+        "# generated {} instances in {:.1}s ({:.0}% censored)",
+        data.instances.len(),
+        t0.elapsed().as_secs_f64(),
+        data.censored_fraction() * 100.0
+    );
+
+    let t1 = Instant::now();
+    let results = run_mse_suite(&data, &BaselineKind::table1(), opts.epochs, opts.seed);
+    println!(
+        "# evaluated {} cells in {:.1}s\n",
+        results.len(),
+        t1.elapsed().as_secs_f64()
+    );
+    print!("{}", format_table(&results));
+
+    std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+    let path = format!("{}/table1.csv", opts.out_dir);
+    std::fs::write(&path, results_to_csv(&results)).expect("write csv");
+    println!("\n# wrote {path}");
+}

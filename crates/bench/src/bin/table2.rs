@@ -1,0 +1,48 @@
+//! Regenerates **Table II**: regression MSE on Dataset 2 (1..=3 key gates —
+//! the small-runtime regime where every method must be precise).
+//!
+//! ```text
+//! cargo run -p bench --release --bin table2 [-- --quick ...]
+//! ```
+
+use bench::cli::Options;
+use bench::harness::{format_table, results_to_csv, run_mse_suite};
+use bench::methods::BaselineKind;
+use dataset::DatasetConfig;
+use std::time::Instant;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut config = DatasetConfig::dataset2(&opts.profile, opts.instances);
+    config.attack.work_budget = Some(opts.budget);
+    config.attack.conflicts_per_solve = Some(200_000);
+    config.seed = opts.seed.wrapping_add(1);
+    println!("# Table II — MSE on Dataset 2");
+    println!(
+        "# profile={} instances={} key_range={:?} scheme={} budget={} epochs={}",
+        opts.profile, opts.instances, config.key_range, config.scheme, opts.budget, opts.epochs
+    );
+
+    let t0 = Instant::now();
+    let data = bench::harness::load_or_generate(&config, &opts.out_dir);
+    println!(
+        "# generated {} instances in {:.1}s ({:.0}% censored)",
+        data.instances.len(),
+        t0.elapsed().as_secs_f64(),
+        data.censored_fraction() * 100.0
+    );
+
+    let t1 = Instant::now();
+    let results = run_mse_suite(&data, &BaselineKind::table2(), opts.epochs, opts.seed);
+    println!(
+        "# evaluated {} cells in {:.1}s\n",
+        results.len(),
+        t1.elapsed().as_secs_f64()
+    );
+    print!("{}", format_table(&results));
+
+    std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+    let path = format!("{}/table2.csv", opts.out_dir);
+    std::fs::write(&path, results_to_csv(&results)).expect("write csv");
+    println!("\n# wrote {path}");
+}

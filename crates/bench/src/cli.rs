@@ -1,0 +1,130 @@
+//! Minimal flag parsing shared by the experiment binaries.
+
+/// Parsed command-line options common to the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Circuit profile to evaluate (default: the paper's `c1529`).
+    pub profile: String,
+    /// Number of labeled instances to generate.
+    pub instances: usize,
+    /// Per-attack solver work budget.
+    pub budget: u64,
+    /// GNN training epochs.
+    pub epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Largest per-instance key-gate count for Dataset-1-style sweeps.
+    ///
+    /// The paper sweeps 1..=350, but completing a 350-LUT attack is a
+    /// multi-hour solve; the default 40 keeps most attacks uncensored while
+    /// preserving the exponential-growth regime (see `DESIGN.md` §4).
+    pub keys_max: usize,
+    /// Quick mode: small circuit, few instances (sanity runs / CI).
+    pub quick: bool,
+    /// Output directory for CSV artifacts.
+    pub out_dir: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            profile: "c1529".to_owned(),
+            instances: 150,
+            budget: 200_000_000,
+            epochs: 300,
+            seed: 7,
+            keys_max: 40,
+            quick: false,
+            out_dir: "results".to_owned(),
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--flag value` style arguments; unknown flags abort with a
+    /// usage message. `--quick` rescales to a small, fast configuration.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Options {
+        let mut opts = Options::default();
+        let mut args = args.into_iter();
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("flag {name} requires a value"))
+            };
+            match flag.as_str() {
+                "--profile" => opts.profile = value("--profile"),
+                "--instances" => {
+                    opts.instances = value("--instances").parse().expect("usize instances")
+                }
+                "--budget" => opts.budget = value("--budget").parse().expect("u64 budget"),
+                "--epochs" => opts.epochs = value("--epochs").parse().expect("usize epochs"),
+                "--seed" => opts.seed = value("--seed").parse().expect("u64 seed"),
+                "--keys-max" => {
+                    opts.keys_max = value("--keys-max").parse().expect("usize keys-max")
+                }
+                "--out" => opts.out_dir = value("--out"),
+                "--quick" => opts.quick = true,
+                other => {
+                    eprintln!(
+                        "unknown flag `{other}`\nflags: --profile <name> --instances <n> \
+                         --budget <work> --epochs <n> --seed <n> --keys-max <n> \
+                         --out <dir> --quick"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        if opts.quick {
+            opts.profile = "c432".to_owned();
+            opts.instances = opts.instances.min(40);
+            opts.budget = opts.budget.min(3_000_000);
+            opts.epochs = opts.epochs.min(200);
+            opts.keys_max = opts.keys_max.min(30);
+        }
+        opts
+    }
+
+    /// Parses the process arguments (skipping the binary name).
+    pub fn from_env() -> Options {
+        Options::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let o = parse(&[]);
+        assert_eq!(o.profile, "c1529");
+        assert_eq!(o.keys_max, 40);
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn keys_max_flag_parses() {
+        let o = parse(&["--keys-max", "350"]);
+        assert_eq!(o.keys_max, 350);
+    }
+
+    #[test]
+    fn flags_override() {
+        let o = parse(&["--profile", "c499", "--instances", "10", "--seed", "3"]);
+        assert_eq!(o.profile, "c499");
+        assert_eq!(o.instances, 10);
+        assert_eq!(o.seed, 3);
+    }
+
+    #[test]
+    fn quick_rescales() {
+        let o = parse(&["--quick"]);
+        assert_eq!(o.profile, "c432");
+        assert!(o.instances <= 40);
+        assert!(o.budget <= 3_000_000);
+    }
+}

@@ -1,0 +1,411 @@
+//! Shared evaluation pipeline: encode → split → fit → test-set MSE.
+
+use crate::methods::BaselineKind;
+use dataset::{
+    flat_features, graph_features, train_test_split, Dataset, FlatAggregation, Split,
+    StructureEncoding,
+};
+use icnet::{Aggregation, FeatureSet, GraphModel, ModelKind, TrainConfig};
+use regress::metrics;
+use std::rc::Rc;
+use tensor::Matrix;
+
+/// Generates the dataset for `config`, or loads it from a CSV cache under
+/// `out_dir` when an identical configuration was generated before (the
+/// pipeline is deterministic, so the cache key is the configuration).
+///
+/// # Panics
+///
+/// Panics when generation fails (bad profile/range) or a cache file is
+/// corrupt — both are setup errors for an experiment binary.
+pub fn load_or_generate(config: &dataset::DatasetConfig, out_dir: &str) -> Dataset {
+    let key = format!(
+        "{}_{}_{}_{}_{}_{}_{}_{}",
+        config.profile,
+        config.circuit_seed,
+        config.scheme,
+        config.num_instances,
+        config.key_range.0,
+        config.key_range.1,
+        config.seed,
+        config.attack.work_budget.unwrap_or(0),
+    );
+    let path = format!("{out_dir}/dataset_{key}.csv");
+    let circuit =
+        synth::iscas::circuit(&config.profile, config.circuit_seed).expect("known circuit profile");
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        let instances = dataset::dataset_from_csv(&text).expect("valid dataset cache");
+        if instances.len() == config.num_instances {
+            eprintln!("# reusing cached dataset {path}");
+            return Dataset { circuit, instances };
+        }
+    }
+    let data = dataset::generate(config).expect("dataset generation");
+    let _ = std::fs::create_dir_all(out_dir);
+    let _ = std::fs::write(&path, dataset::dataset_to_csv(&data.instances));
+    data
+}
+
+/// One cell of a results table.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Method row label (e.g. `"SVR RBF"`, `"ICNet-NN"`).
+    pub method: String,
+    /// Feature-set column group.
+    pub feature_set: FeatureSet,
+    /// Aggregation column (`"Sum"`, `"Mean"`, or `"NN"`).
+    pub aggregation: String,
+    /// Test-set MSE on log-runtime, or `None` when the method was not
+    /// applicable (the paper's `N/A` cells).
+    pub mse: Option<f64>,
+    /// Why the method was N/A, when it was.
+    pub note: String,
+}
+
+/// Selects the rows of `x` indexed by `idx`.
+pub fn take_rows(x: &Matrix, idx: &[usize]) -> Matrix {
+    Matrix::from_fn(idx.len(), x.cols(), |r, c| x.get(idx[r], c))
+}
+
+/// Selects the entries of `y` indexed by `idx`.
+pub fn take(y: &[f64], idx: &[usize]) -> Vec<f64> {
+    idx.iter().map(|&i| y[i]).collect()
+}
+
+/// Evaluates every classical baseline on the flat encoding for one
+/// (feature set, aggregation) setting.
+pub fn evaluate_baselines(
+    data: &Dataset,
+    split: &Split,
+    roster: &[BaselineKind],
+    fs: FeatureSet,
+    agg: FlatAggregation,
+) -> Vec<EvalResult> {
+    let x = flat_features(
+        &data.circuit,
+        &data.instances,
+        fs,
+        StructureEncoding::Adjacency,
+        agg,
+    );
+    let y = data.labels();
+    let x_train = take_rows(&x, &split.train);
+    let y_train = take(&y, &split.train);
+    let x_test = take_rows(&x, &split.test);
+    let y_test = take(&y, &split.test);
+
+    roster
+        .iter()
+        .map(|kind| {
+            let mut model = kind.build(&x_train);
+            match model.fit(&x_train, &y_train) {
+                Ok(()) => {
+                    let pred = model.predict(&x_test);
+                    EvalResult {
+                        method: kind.label().to_owned(),
+                        feature_set: fs,
+                        aggregation: agg.label().to_owned(),
+                        mse: Some(metrics::mse(&pred, &y_test)),
+                        note: String::new(),
+                    }
+                }
+                Err(e) => EvalResult {
+                    method: kind.label().to_owned(),
+                    feature_set: fs,
+                    aggregation: agg.label().to_owned(),
+                    mse: None,
+                    note: e.to_string(),
+                },
+            }
+        })
+        .collect()
+}
+
+/// A trained GNN bundled with its graph operator and the label scaling used
+/// during training, predicting in original (log-seconds) units.
+#[derive(Debug, Clone)]
+pub struct TrainedGnn {
+    /// The fitted model.
+    pub model: GraphModel,
+    /// The graph operator it was trained with.
+    pub op: Rc<tensor::CsrMatrix>,
+    /// Feature set the model expects.
+    pub feature_set: FeatureSet,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl TrainedGnn {
+    /// Predicts the log-runtime of one instance (original label units).
+    pub fn predict(&self, x: &Matrix) -> f64 {
+        self.model.predict(&self.op, x) * self.y_std + self.y_mean
+    }
+
+    /// Learned feature-attention distribution (see
+    /// [`GraphModel::feature_attention`]).
+    pub fn feature_attention(&self) -> Option<Vec<f64>> {
+        self.model.feature_attention()
+    }
+}
+
+/// Trains and evaluates one GNN configuration; returns the result and the
+/// trained model (for attention introspection and Figure 3 series).
+///
+/// Labels are standardized (zero mean, unit variance on the training split)
+/// for the optimization and un-standardized for the reported MSE, which
+/// keeps every method's MSE on the same scale.
+pub fn evaluate_gnn(
+    data: &Dataset,
+    split: &Split,
+    kind: ModelKind,
+    agg: Aggregation,
+    fs: FeatureSet,
+    epochs: usize,
+    seed: u64,
+) -> (EvalResult, TrainedGnn) {
+    let graph = icnet::CircuitGraph::from_circuit(&data.circuit);
+    let op = Rc::new(kind.operator(&graph));
+    let xs = graph_features(&data.circuit, &data.instances, fs);
+    let y = data.labels();
+
+    let y_train_raw = take(&y, &split.train);
+    let y_mean = y_train_raw.iter().sum::<f64>() / y_train_raw.len() as f64;
+    let y_var = y_train_raw
+        .iter()
+        .map(|v| (v - y_mean) * (v - y_mean))
+        .sum::<f64>()
+        / y_train_raw.len() as f64;
+    let y_std = y_var.sqrt().max(1e-9);
+    let y_train: Vec<f64> = y_train_raw.iter().map(|v| (v - y_mean) / y_std).collect();
+
+    let hidden = 16;
+    let mut model = GraphModel::new(kind, agg, fs.width(), hidden, hidden, seed);
+    let config = TrainConfig {
+        max_epochs: epochs,
+        lr: 5e-3,
+        ..TrainConfig::default()
+    };
+    let xs_train: Vec<Matrix> = split.train.iter().map(|&i| xs[i].clone()).collect();
+    icnet::train(&mut model, &op, &xs_train, &y_train, &config);
+
+    let trained = TrainedGnn {
+        model,
+        op,
+        feature_set: fs,
+        y_mean,
+        y_std,
+    };
+    let pred: Vec<f64> = split
+        .test
+        .iter()
+        .map(|&i| trained.predict(&xs[i]))
+        .collect();
+    let y_test = take(&y, &split.test);
+    let suffix = if agg == Aggregation::Nn { "-NN" } else { "" };
+    (
+        EvalResult {
+            method: format!("{}{}", kind.label(), suffix),
+            feature_set: fs,
+            aggregation: agg.label().to_owned(),
+            mse: Some(metrics::mse(&pred, &y_test)),
+            note: String::new(),
+        },
+        trained,
+    )
+}
+
+/// The full Table I/II sweep: every baseline and every GNN under both
+/// feature sets and both fixed aggregations, plus the `-NN` variants.
+pub fn run_mse_suite(
+    data: &Dataset,
+    roster: &[BaselineKind],
+    epochs: usize,
+    seed: u64,
+) -> Vec<EvalResult> {
+    let split = train_test_split(data.instances.len(), 0.25, seed);
+    let mut results = Vec::new();
+    for fs in [FeatureSet::Location, FeatureSet::All] {
+        for agg in [FlatAggregation::Sum, FlatAggregation::Mean] {
+            eprintln!("#   baselines {} / {} ...", fs.label(), agg.label());
+            results.extend(evaluate_baselines(data, &split, roster, fs, agg));
+        }
+    }
+    for kind in [
+        ModelKind::ChebNet { k: 3 },
+        ModelKind::Gcn,
+        ModelKind::ICNet,
+    ] {
+        for fs in [FeatureSet::Location, FeatureSet::All] {
+            for agg in [Aggregation::Sum, Aggregation::Mean, Aggregation::Nn] {
+                eprintln!("#   {} {} / {} ...", kind.label(), fs.label(), agg.label());
+                let (result, _) = evaluate_gnn(data, &split, kind, agg, fs, epochs, seed);
+                results.push(result);
+            }
+        }
+    }
+    results
+}
+
+/// Formats an MSE value the way the paper's tables do.
+pub fn format_mse(v: Option<f64>) -> String {
+    match v {
+        None => "N/A".to_owned(),
+        Some(v) if !v.is_finite() => "inf".to_owned(),
+        Some(v) if v != 0.0 && (v.abs() >= 1e4 || v.abs() < 1e-3) => format!("{v:.4e}"),
+        Some(v) => format!("{v:.4}"),
+    }
+}
+
+/// Renders the Table I/II layout: one row per method, column groups
+/// `Location {Sum, Mean}` and `All feat {Sum, Mean}`; `-NN` rows carry one
+/// value per feature-set group.
+pub fn format_table(results: &[EvalResult]) -> String {
+    use std::fmt::Write as _;
+    let mut rows: Vec<String> = Vec::new();
+    for r in results {
+        if !rows.contains(&r.method) {
+            rows.push(r.method.clone());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "Method", "Loc/Sum", "Loc/Mean", "All/Sum", "All/Mean"
+    );
+    let cell = |method: &str, fs: FeatureSet, agg: &str| -> String {
+        results
+            .iter()
+            .find(|r| r.method == method && r.feature_set == fs && r.aggregation == agg)
+            .map(|r| format_mse(r.mse))
+            .unwrap_or_default()
+    };
+    for method in rows {
+        if method.ends_with("-NN") {
+            let loc = cell(&method, FeatureSet::Location, "NN");
+            let all = cell(&method, FeatureSet::All, "NN");
+            let _ = writeln!(out, "{method:<12} {loc:>25} {all:>25}");
+        } else {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>12} {:>12} {:>12} {:>12}",
+                method,
+                cell(&method, FeatureSet::Location, "Sum"),
+                cell(&method, FeatureSet::Location, "Mean"),
+                cell(&method, FeatureSet::All, "Sum"),
+                cell(&method, FeatureSet::All, "Mean"),
+            );
+        }
+    }
+    out
+}
+
+/// Serializes results as CSV (for EXPERIMENTS.md bookkeeping).
+pub fn results_to_csv(results: &[EvalResult]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("method,feature_set,aggregation,mse,note\n");
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.method,
+            r.feature_set.label(),
+            r.aggregation,
+            r.mse.map(|v| v.to_string()).unwrap_or_else(|| "NA".into()),
+            r.note.replace(',', ";")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{generate, DatasetConfig};
+
+    fn tiny_dataset() -> Dataset {
+        let mut config = DatasetConfig::quick_demo();
+        config.num_instances = 12;
+        generate(&config).expect("demo dataset generates")
+    }
+
+    #[test]
+    fn take_rows_selects() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let sub = take_rows(&x, &[2, 0]);
+        assert_eq!(sub, Matrix::from_rows(&[&[5.0, 6.0], &[1.0, 2.0]]));
+        assert_eq!(take(&[10.0, 20.0, 30.0], &[1]), vec![20.0]);
+    }
+
+    #[test]
+    fn baselines_evaluate_on_a_real_dataset() {
+        let data = tiny_dataset();
+        let split = train_test_split(data.instances.len(), 0.25, 1);
+        let results = evaluate_baselines(
+            &data,
+            &split,
+            &[BaselineKind::Lr, BaselineKind::Rr, BaselineKind::Theil],
+            FeatureSet::All,
+            FlatAggregation::Mean,
+        );
+        assert_eq!(results.len(), 3);
+        // LR and RR produce finite MSE; Theil is N/A here (too few samples
+        // for the ~200-dim flat encoding), matching the paper's N/A cells.
+        assert!(results[0].mse.is_some());
+        assert!(results[1].mse.is_some());
+        assert!(results[2].mse.is_none());
+        assert!(results[2].note.contains("degenerate"));
+    }
+
+    #[test]
+    fn gnn_evaluates_on_a_real_dataset() {
+        let data = tiny_dataset();
+        let split = train_test_split(data.instances.len(), 0.25, 1);
+        let (result, model) = evaluate_gnn(
+            &data,
+            &split,
+            ModelKind::ICNet,
+            Aggregation::Nn,
+            FeatureSet::All,
+            10,
+            1,
+        );
+        assert!(result.mse.expect("gnn always fits").is_finite());
+        assert_eq!(result.method, "ICNet-NN");
+        assert!(model.feature_attention().is_some());
+    }
+
+    #[test]
+    fn formatting_matches_paper_style() {
+        assert_eq!(format_mse(None), "N/A");
+        assert_eq!(format_mse(Some(0.0843)), "0.0843");
+        assert_eq!(format_mse(Some(2.145e25)), "2.1450e25");
+        assert_eq!(format_mse(Some(0.0)), "0.0000");
+    }
+
+    #[test]
+    fn table_renders_all_methods() {
+        let results = vec![
+            EvalResult {
+                method: "LR".into(),
+                feature_set: FeatureSet::Location,
+                aggregation: "Sum".into(),
+                mse: Some(0.28),
+                note: String::new(),
+            },
+            EvalResult {
+                method: "ICNet-NN".into(),
+                feature_set: FeatureSet::Location,
+                aggregation: "NN".into(),
+                mse: Some(0.0843),
+                note: String::new(),
+            },
+        ];
+        let table = format_table(&results);
+        assert!(table.contains("LR"));
+        assert!(table.contains("ICNet-NN"));
+        assert!(table.contains("0.0843"));
+        let csv = results_to_csv(&results);
+        assert!(csv.lines().count() == 3);
+    }
+}

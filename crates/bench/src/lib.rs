@@ -1,0 +1,17 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Binaries (run with `cargo run -p bench --release --bin <name>`):
+//!
+//! * `table1` — Table I: regression MSE on Dataset 1 (1..=350 key gates);
+//! * `table2` — Table II: regression MSE on Dataset 2 (1..=3 key gates);
+//! * `table3` — Table III: feature-attention case study over four circuits;
+//! * `figure3` — Figure 3: per-method predicted-vs-real series (CSV);
+//! * `timing` — Section IV-C: ICNet inference time vs actual solver time.
+//!
+//! Every binary accepts `--quick` (small circuit, fast sanity run) and
+//! prints the exact configuration it used; see `EXPERIMENTS.md` for the
+//! recorded paper-vs-measured comparison.
+
+pub mod cli;
+pub mod harness;
+pub mod methods;

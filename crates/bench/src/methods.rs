@@ -1,0 +1,140 @@
+//! The method roster of Tables I and II.
+
+use regress::{
+    ElasticNet, Kernel, Lars, Lasso, LinearRegression, OrthogonalMatchingPursuit,
+    PassiveAggressive, Regressor, Ridge, SgdRegressor, Svr, TheilSen,
+};
+use tensor::Matrix;
+
+/// The classical baselines, in the paper's table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// ε-SVR with an RBF kernel.
+    SvrRbf,
+    /// ε-SVR with a polynomial kernel.
+    SvrPoly,
+    /// SGD-fitted linear regression.
+    Sgd,
+    /// Ordinary least squares.
+    Lr,
+    /// Ridge regression.
+    Rr,
+    /// LASSO.
+    Lasso,
+    /// Elastic net.
+    En,
+    /// Orthogonal matching pursuit.
+    Omp,
+    /// Passive-aggressive regression (Table II only in the paper).
+    Par,
+    /// Least-angle regression.
+    Lars,
+    /// Theil-Sen.
+    Theil,
+}
+
+impl BaselineKind {
+    /// Table I's baseline roster.
+    pub fn table1() -> Vec<BaselineKind> {
+        use BaselineKind::*;
+        vec![SvrRbf, SvrPoly, Sgd, Lr, Rr, Lasso, En, Omp, Lars, Theil]
+    }
+
+    /// Table II's baseline roster (adds PAR).
+    pub fn table2() -> Vec<BaselineKind> {
+        use BaselineKind::*;
+        vec![
+            SvrRbf, SvrPoly, Sgd, Lr, Rr, Lasso, En, Omp, Par, Lars, Theil,
+        ]
+    }
+
+    /// The paper's row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineKind::SvrRbf => "SVR RBF",
+            BaselineKind::SvrPoly => "SVR Poly",
+            BaselineKind::Sgd => "SGD",
+            BaselineKind::Lr => "LR",
+            BaselineKind::Rr => "RR",
+            BaselineKind::Lasso => "LASSO",
+            BaselineKind::En => "EN",
+            BaselineKind::Omp => "OMP",
+            BaselineKind::Par => "PAR",
+            BaselineKind::Lars => "LARS",
+            BaselineKind::Theil => "Theil",
+        }
+    }
+
+    /// Instantiates the estimator with data-scaled hyper-parameters
+    /// (`x` is the training design matrix, used only to pick the RBF/poly
+    /// `gamma` the way scikit-learn's `gamma="scale"` does).
+    pub fn build(&self, x: &Matrix) -> Box<dyn Regressor> {
+        let gamma = gamma_scale(x);
+        match self {
+            BaselineKind::SvrRbf => Box::new(Svr::new(Kernel::Rbf { gamma }, 10.0, 0.1)),
+            BaselineKind::SvrPoly => Box::new(Svr::new(
+                Kernel::Poly {
+                    degree: 3,
+                    gamma,
+                    coef0: 1.0,
+                },
+                10.0,
+                0.1,
+            )),
+            BaselineKind::Sgd => Box::new(SgdRegressor::default()),
+            BaselineKind::Lr => Box::new(LinearRegression::new()),
+            BaselineKind::Rr => Box::new(Ridge::new(1.0)),
+            BaselineKind::Lasso => Box::new(Lasso::new(0.1)),
+            BaselineKind::En => Box::new(ElasticNet::new(0.1, 0.5)),
+            BaselineKind::Omp => Box::new(OrthogonalMatchingPursuit::new(None)),
+            BaselineKind::Par => Box::new(PassiveAggressive::default()),
+            // Full-path LARS on a ~1536-dim design is cubic per step; the
+            // informative feature count here is tiny, so cap the path.
+            BaselineKind::Lars => Box::new(Lars::new(Some(32))),
+            BaselineKind::Theil => Box::new(TheilSen::default()),
+        }
+    }
+}
+
+/// scikit-learn's `gamma="scale"`: `1 / (n_features * Var(X))`.
+fn gamma_scale(x: &Matrix) -> f64 {
+    let mean = x.mean();
+    let n = (x.rows() * x.cols()).max(1) as f64;
+    let var = x
+        .as_slice()
+        .iter()
+        .map(|&v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n;
+    1.0 / (x.cols().max(1) as f64 * var.max(1e-12))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rosters_match_paper_rows() {
+        assert_eq!(BaselineKind::table1().len(), 10);
+        assert_eq!(BaselineKind::table2().len(), 11);
+        assert!(BaselineKind::table2().contains(&BaselineKind::Par));
+        assert!(!BaselineKind::table1().contains(&BaselineKind::Par));
+    }
+
+    #[test]
+    fn every_baseline_builds() {
+        let x = Matrix::from_fn(10, 4, |r, c| (r * 3 + c) as f64 / 10.0);
+        for kind in BaselineKind::table2() {
+            let model = kind.build(&x);
+            assert!(!model.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn gamma_scale_positive_even_on_constant_data() {
+        let x = Matrix::ones(5, 3);
+        assert!(gamma_scale(&x).is_finite());
+        assert!(gamma_scale(&x) > 0.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Tseitin transformation of a [`netlist::Circuit`] into CNF.
+
+use crate::ClauseSink;
+use netlist::{Circuit, GateId, GateKind};
+use sat::{Lit, Var};
+
+/// Pre-assigned variables for circuit ports, enabling shared-variable
+/// encodings (e.g. two keyed copies of a circuit sharing the same inputs in
+/// the attack miter).
+#[derive(Debug, Clone, Default)]
+pub struct EncodeOptions {
+    /// Variables to reuse for the primary inputs (in `circuit.inputs()` order).
+    pub input_vars: Option<Vec<Var>>,
+    /// Variables to reuse for the key inputs (in `circuit.keys()` order).
+    pub key_vars: Option<Vec<Var>>,
+}
+
+/// The variable map produced by encoding one circuit copy.
+#[derive(Debug, Clone)]
+pub struct CircuitEncoding {
+    gate_vars: Vec<Var>,
+}
+
+impl CircuitEncoding {
+    /// The CNF variable carrying the value of `gate`.
+    pub fn var(&self, gate: GateId) -> Var {
+        self.gate_vars[gate.index()]
+    }
+
+    /// Variables of the primary inputs, in port order.
+    pub fn input_vars(&self, circuit: &Circuit) -> Vec<Var> {
+        circuit.inputs().iter().map(|&g| self.var(g)).collect()
+    }
+
+    /// Variables of the key inputs, in port order.
+    pub fn key_vars(&self, circuit: &Circuit) -> Vec<Var> {
+        circuit.keys().iter().map(|&g| self.var(g)).collect()
+    }
+
+    /// Variables of the primary outputs, in port order.
+    pub fn output_vars(&self, circuit: &Circuit) -> Vec<Var> {
+        circuit.outputs().iter().map(|&g| self.var(g)).collect()
+    }
+}
+
+/// Encodes `circuit` into `sink` with fresh variables for every port.
+pub fn encode_circuit(circuit: &Circuit, sink: &mut impl ClauseSink) -> CircuitEncoding {
+    encode_circuit_with(circuit, sink, EncodeOptions::default())
+}
+
+/// Encodes `circuit` into `sink`, optionally reusing caller-supplied
+/// variables for the input and key ports.
+///
+/// # Panics
+///
+/// Panics if a supplied variable list has the wrong length for the circuit.
+pub fn encode_circuit_with(
+    circuit: &Circuit,
+    sink: &mut impl ClauseSink,
+    opts: EncodeOptions,
+) -> CircuitEncoding {
+    if let Some(iv) = &opts.input_vars {
+        assert_eq!(
+            iv.len(),
+            circuit.inputs().len(),
+            "input_vars length mismatch"
+        );
+    }
+    if let Some(kv) = &opts.key_vars {
+        assert_eq!(kv.len(), circuit.keys().len(), "key_vars length mismatch");
+    }
+
+    // Dummy initial value; every slot is overwritten in topo order below.
+    let mut gate_vars: Vec<Option<Var>> = vec![None; circuit.num_gates()];
+
+    // Assign port variables first.
+    for (pos, &id) in circuit.inputs().iter().enumerate() {
+        let v = match &opts.input_vars {
+            Some(iv) => iv[pos],
+            None => sink.fresh_var(),
+        };
+        gate_vars[id.index()] = Some(v);
+    }
+    for (pos, &id) in circuit.keys().iter().enumerate() {
+        let v = match &opts.key_vars {
+            Some(kv) => kv[pos],
+            None => sink.fresh_var(),
+        };
+        gate_vars[id.index()] = Some(v);
+    }
+
+    for &id in circuit.topo_order() {
+        let gate = circuit.gate(id);
+        if gate.kind().is_input() {
+            continue;
+        }
+        let fanin_lits: Vec<Lit> = gate
+            .fanin()
+            .iter()
+            .map(|&f| Lit::positive(gate_vars[f.index()].expect("topo order")))
+            .collect();
+        let y = encode_gate(sink, gate.kind(), &fanin_lits);
+        gate_vars[id.index()] = Some(y);
+    }
+
+    CircuitEncoding {
+        gate_vars: gate_vars
+            .into_iter()
+            .map(|v| v.expect("every gate encoded"))
+            .collect(),
+    }
+}
+
+/// Encodes one gate's function over `fanin` literals, returning the output
+/// variable.
+///
+/// # Panics
+///
+/// Panics on [`GateKind::Input`] (inputs are ports, not functions) or on a
+/// fan-in count that is illegal for the kind.
+pub fn encode_gate(sink: &mut impl ClauseSink, kind: &GateKind, fanin: &[Lit]) -> Var {
+    match kind {
+        GateKind::Input(_) => panic!("inputs are not encoded as gates"),
+        GateKind::Buf => {
+            let y = sink.fresh_var();
+            let yl = Lit::positive(y);
+            sink.add_sink_clause(&[!yl, fanin[0]]);
+            sink.add_sink_clause(&[yl, !fanin[0]]);
+            y
+        }
+        GateKind::Not => {
+            let y = sink.fresh_var();
+            let yl = Lit::positive(y);
+            sink.add_sink_clause(&[!yl, !fanin[0]]);
+            sink.add_sink_clause(&[yl, fanin[0]]);
+            y
+        }
+        GateKind::And => encode_and_like(sink, fanin, false),
+        GateKind::Nand => encode_and_like(sink, fanin, true),
+        GateKind::Or => encode_or_like(sink, fanin, false),
+        GateKind::Nor => encode_or_like(sink, fanin, true),
+        GateKind::Xor => encode_parity(sink, fanin, false),
+        GateKind::Xnor => encode_parity(sink, fanin, true),
+        GateKind::Mux => {
+            let (s, a, b) = (fanin[0], fanin[1], fanin[2]);
+            let y = sink.fresh_var();
+            let yl = Lit::positive(y);
+            // s=1 -> y=b ; s=0 -> y=a ; plus redundancy for stronger propagation.
+            sink.add_sink_clause(&[!s, !b, yl]);
+            sink.add_sink_clause(&[!s, b, !yl]);
+            sink.add_sink_clause(&[s, !a, yl]);
+            sink.add_sink_clause(&[s, a, !yl]);
+            sink.add_sink_clause(&[!a, !b, yl]);
+            sink.add_sink_clause(&[a, b, !yl]);
+            y
+        }
+        GateKind::Lut(table) => {
+            let y = sink.fresh_var();
+            let yl = Lit::positive(y);
+            let k = table.num_inputs();
+            debug_assert_eq!(fanin.len(), k, "LUT fan-in arity mismatch");
+            for row in 0..table.num_rows() {
+                // "inputs match row" -> y = table[row]; the clause lists the
+                // negation of the row condition plus the forced output.
+                let mut clause: Vec<Lit> = (0..k)
+                    .map(|j| {
+                        if (row >> j) & 1 == 1 {
+                            !fanin[j]
+                        } else {
+                            fanin[j]
+                        }
+                    })
+                    .collect();
+                clause.push(if table.row(row) { yl } else { !yl });
+                sink.add_sink_clause(&clause);
+            }
+            y
+        }
+    }
+}
+
+fn encode_and_like(sink: &mut impl ClauseSink, fanin: &[Lit], invert: bool) -> Var {
+    let y = sink.fresh_var();
+    // t = AND(fanin); y = t (or !t for NAND).
+    let t = Lit::new(y, invert);
+    for &l in fanin {
+        sink.add_sink_clause(&[!t, l]);
+    }
+    let mut big: Vec<Lit> = vec![t];
+    big.extend(fanin.iter().map(|&l| !l));
+    sink.add_sink_clause(&big);
+    y
+}
+
+fn encode_or_like(sink: &mut impl ClauseSink, fanin: &[Lit], invert: bool) -> Var {
+    let y = sink.fresh_var();
+    let t = Lit::new(y, invert);
+    for &l in fanin {
+        sink.add_sink_clause(&[t, !l]);
+    }
+    let mut big: Vec<Lit> = vec![!t];
+    big.extend_from_slice(fanin);
+    sink.add_sink_clause(&big);
+    y
+}
+
+/// Encodes y = parity(fanin) (xnor when `invert`) by chaining binary XORs.
+fn encode_parity(sink: &mut impl ClauseSink, fanin: &[Lit], invert: bool) -> Var {
+    debug_assert!(fanin.len() >= 2);
+    let mut acc = fanin[0];
+    for (i, &l) in fanin.iter().enumerate().skip(1) {
+        let last = i == fanin.len() - 1;
+        let y = sink.fresh_var();
+        let yl = Lit::new(y, last && invert);
+        sink.add_sink_clause(&[!yl, acc, l]);
+        sink.add_sink_clause(&[!yl, !acc, !l]);
+        sink.add_sink_clause(&[yl, !acc, l]);
+        sink.add_sink_clause(&[yl, acc, !l]);
+        acc = Lit::positive(y);
+        if last {
+            return y;
+        }
+    }
+    unreachable!("loop returns on the last element")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fix_vars;
+    use netlist::{c17, CircuitBuilder, TruthTable};
+    use sat::{SolveResult, Solver};
+
+    /// Exhaustively checks that the CNF encoding of `circuit` agrees with
+    /// bit-parallel simulation on every input/key pattern.
+    fn check_encoding_exhaustive(circuit: &Circuit) {
+        let n_in = circuit.inputs().len();
+        let n_key = circuit.keys().len();
+        assert!(n_in + n_key <= 12, "exhaustive check limited to 12 ports");
+        for pattern in 0u32..(1 << (n_in + n_key)) {
+            let in_vals: Vec<bool> = (0..n_in).map(|i| (pattern >> i) & 1 == 1).collect();
+            let key_vals: Vec<bool> = (0..n_key)
+                .map(|i| (pattern >> (n_in + i)) & 1 == 1)
+                .collect();
+            let mut solver = Solver::new();
+            let enc = encode_circuit(circuit, &mut solver);
+            fix_vars(&mut solver, &enc.input_vars(circuit), &in_vals);
+            fix_vars(&mut solver, &enc.key_vars(circuit), &key_vals);
+            let model = match solver.solve() {
+                SolveResult::Sat(m) => m,
+                other => panic!("encoding must be SAT under full port fix, got {other:?}"),
+            };
+            let expect = circuit.simulate_bool(&in_vals, &key_vals).unwrap();
+            let got: Vec<bool> = enc
+                .output_vars(circuit)
+                .iter()
+                .map(|&v| model.value(v))
+                .collect();
+            assert_eq!(got, expect, "pattern {pattern:b} on {}", circuit.name());
+        }
+    }
+
+    #[test]
+    fn c17_encoding_matches_simulation() {
+        check_encoding_exhaustive(&c17());
+    }
+
+    #[test]
+    fn every_gate_kind_encoding_matches_simulation() {
+        let mut b = CircuitBuilder::new("all_kinds");
+        let a = b.add_input("a").unwrap();
+        let c = b.add_input("b").unwrap();
+        let d = b.add_input("c").unwrap();
+        let table = TruthTable::from_fn(3, |v| (v[0] & v[1]) | v[2]).unwrap();
+        let gates = [
+            ("g_and", GateKind::And, vec![a, c, d]),
+            ("g_nand", GateKind::Nand, vec![a, c]),
+            ("g_or", GateKind::Or, vec![a, c, d]),
+            ("g_nor", GateKind::Nor, vec![a, c]),
+            ("g_xor", GateKind::Xor, vec![a, c, d]),
+            ("g_xnor", GateKind::Xnor, vec![a, c, d]),
+            ("g_not", GateKind::Not, vec![a]),
+            ("g_buf", GateKind::Buf, vec![c]),
+            ("g_mux", GateKind::Mux, vec![a, c, d]),
+            ("g_lut", GateKind::Lut(table), vec![a, c, d]),
+        ];
+        for (name, kind, fanin) in gates {
+            let id = b.add_gate(name, kind, &fanin).unwrap();
+            b.mark_output(id);
+        }
+        let circuit = b.finish().unwrap();
+        check_encoding_exhaustive(&circuit);
+    }
+
+    #[test]
+    fn keyed_circuit_encoding() {
+        let mut b = CircuitBuilder::new("keyed");
+        let a = b.add_input("a").unwrap();
+        let k = b.add_key_input("keyinput0").unwrap();
+        let y = b.add_gate("y", GateKind::Xnor, &[a, k]).unwrap();
+        b.mark_output(y);
+        let circuit = b.finish().unwrap();
+        check_encoding_exhaustive(&circuit);
+    }
+
+    #[test]
+    fn shared_input_vars_tie_copies_together() {
+        let circuit = c17();
+        let mut solver = Solver::new();
+        let enc1 = encode_circuit(&circuit, &mut solver);
+        let shared = enc1.input_vars(&circuit);
+        let enc2 = encode_circuit_with(
+            &circuit,
+            &mut solver,
+            EncodeOptions {
+                input_vars: Some(shared.clone()),
+                key_vars: None,
+            },
+        );
+        // Outputs of the two copies can never differ: the miter is UNSAT.
+        let o1 = enc1.output_vars(&circuit);
+        let o2 = enc2.output_vars(&circuit);
+        let diffs: Vec<Lit> = o1
+            .iter()
+            .zip(&o2)
+            .map(|(&x, &y)| {
+                Lit::positive(crate::encode_xor(
+                    &mut solver,
+                    Lit::positive(x),
+                    Lit::positive(y),
+                ))
+            })
+            .collect();
+        let any = crate::encode_or(&mut solver, &diffs);
+        solver.add_clause([Lit::positive(any)]);
+        assert!(solver.solve().is_unsat());
+    }
+
+    #[test]
+    #[should_panic(expected = "input_vars length mismatch")]
+    fn wrong_shared_var_count_panics() {
+        let circuit = c17();
+        let mut solver = Solver::new();
+        let v = solver.new_var();
+        let _ = encode_circuit_with(
+            &circuit,
+            &mut solver,
+            EncodeOptions {
+                input_vars: Some(vec![v]),
+                key_vars: None,
+            },
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Attack-miter construction: two keyed copies of a locked circuit sharing
+//! their primary inputs, plus an output-difference indicator.
+
+use crate::{encode_circuit_with, encode_or, encode_xor, ClauseSink, EncodeOptions};
+use netlist::Circuit;
+use sat::{Lit, Var};
+
+/// The variable layout of a de-obfuscation miter (Subramanyan et al., HOST'15).
+///
+/// Two copies of the locked circuit `C(X, K)` share the input variables `X`
+/// but carry independent key variables `K1`, `K2`. [`diff`](MiterEncoding::diff)
+/// is true iff the copies disagree on at least one output, so a model of the
+/// miter with `diff` asserted yields a *distinguishing input pattern* (DIP).
+#[derive(Debug, Clone)]
+pub struct MiterEncoding {
+    /// Shared primary-input variables.
+    pub inputs: Vec<Var>,
+    /// Key variables of copy 1.
+    pub key1: Vec<Var>,
+    /// Key variables of copy 2.
+    pub key2: Vec<Var>,
+    /// Output variables of copy 1.
+    pub outputs1: Vec<Var>,
+    /// Output variables of copy 2.
+    pub outputs2: Vec<Var>,
+    /// Indicator variable: true iff some output pair differs.
+    pub diff: Var,
+}
+
+impl MiterEncoding {
+    /// The literal asserting "the two keyed copies disagree somewhere";
+    /// use it as a solve assumption when searching for DIPs.
+    pub fn diff_lit(&self) -> Lit {
+        Lit::positive(self.diff)
+    }
+}
+
+/// Encodes the double-keyed miter of `locked` into `sink`.
+///
+/// # Panics
+///
+/// Panics if the circuit has no outputs (a miter needs something to compare)
+/// or no key inputs (nothing to attack).
+pub fn encode_miter(locked: &Circuit, sink: &mut impl ClauseSink) -> MiterEncoding {
+    assert!(
+        !locked.outputs().is_empty(),
+        "miter construction requires at least one output"
+    );
+    assert!(
+        !locked.keys().is_empty(),
+        "miter construction requires key inputs"
+    );
+    let inputs: Vec<Var> = (0..locked.inputs().len())
+        .map(|_| sink.fresh_var())
+        .collect();
+    let key1: Vec<Var> = (0..locked.keys().len()).map(|_| sink.fresh_var()).collect();
+    let key2: Vec<Var> = (0..locked.keys().len()).map(|_| sink.fresh_var()).collect();
+
+    let enc1 = encode_circuit_with(
+        locked,
+        sink,
+        EncodeOptions {
+            input_vars: Some(inputs.clone()),
+            key_vars: Some(key1.clone()),
+        },
+    );
+    let enc2 = encode_circuit_with(
+        locked,
+        sink,
+        EncodeOptions {
+            input_vars: Some(inputs.clone()),
+            key_vars: Some(key2.clone()),
+        },
+    );
+    let outputs1 = enc1.output_vars(locked);
+    let outputs2 = enc2.output_vars(locked);
+    let diffs: Vec<Lit> = outputs1
+        .iter()
+        .zip(&outputs2)
+        .map(|(&a, &b)| Lit::positive(encode_xor(sink, Lit::positive(a), Lit::positive(b))))
+        .collect();
+    let diff = encode_or(sink, &diffs);
+
+    MiterEncoding {
+        inputs,
+        key1,
+        key2,
+        outputs1,
+        outputs2,
+        diff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fix_vars;
+    use netlist::{CircuitBuilder, GateKind};
+    use sat::{SolveResult, Solver};
+
+    /// y = a XOR k: distinct keys always disagree, so a DIP exists.
+    fn xor_locked() -> Circuit {
+        let mut b = CircuitBuilder::new("xor_locked");
+        let a = b.add_input("a").unwrap();
+        let k = b.add_key_input("keyinput0").unwrap();
+        let y = b.add_gate("y", GateKind::Xor, &[a, k]).unwrap();
+        b.mark_output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn miter_finds_dip_for_distinct_keys() {
+        let locked = xor_locked();
+        let mut solver = Solver::new();
+        let miter = encode_miter(&locked, &mut solver);
+        match solver.solve_with_assumptions(&[miter.diff_lit()]) {
+            SolveResult::Sat(m) => {
+                // Keys must differ for the outputs to differ under XOR locking.
+                assert_ne!(m.value(miter.key1[0]), m.value(miter.key2[0]));
+                assert_ne!(m.value(miter.outputs1[0]), m.value(miter.outputs2[0]));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn miter_unsat_when_keys_equal() {
+        let locked = xor_locked();
+        let mut solver = Solver::new();
+        let miter = encode_miter(&locked, &mut solver);
+        // Force both keys to the same value: the copies become identical.
+        fix_vars(&mut solver, &miter.key1, &[true]);
+        fix_vars(&mut solver, &miter.key2, &[true]);
+        assert!(solver
+            .solve_with_assumptions(&[miter.diff_lit()])
+            .is_unsat());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires key inputs")]
+    fn miter_requires_keys() {
+        let mut solver = Solver::new();
+        let _ = encode_miter(&netlist::c17(), &mut solver);
+    }
+}

@@ -1,0 +1,178 @@
+//! Hand-rolled CSV persistence for datasets (keeps the dependency surface
+//! at the sanctioned crates only).
+//!
+//! Format: a header line, then one line per instance:
+//! `selected;...,key_bits,iterations,work,seconds,log_seconds,censored`.
+//! The circuit itself is not serialized — it is regenerable from the
+//! profile name and seed (see [`synth::iscas::circuit`]).
+
+use crate::error::DatasetError;
+use crate::instance::Instance;
+use netlist::GateId;
+use std::fmt::Write as _;
+
+const HEADER: &str = "selected,key_bits,iterations,work,seconds,log_seconds,censored";
+
+/// Serializes instances to CSV text.
+pub fn dataset_to_csv(instances: &[Instance]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    for inst in instances {
+        let sel: Vec<String> = inst
+            .selected
+            .iter()
+            .map(|g| g.index().to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            sel.join(";"),
+            inst.key_bits,
+            inst.iterations,
+            inst.work,
+            inst.seconds,
+            inst.log_seconds,
+            inst.censored
+        );
+    }
+    out
+}
+
+/// Parses instances back from [`dataset_to_csv`] output.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::ParseCsv`] for missing fields or bad numbers.
+pub fn dataset_from_csv(text: &str) -> Result<Vec<Instance>, DatasetError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == HEADER => {}
+        _ => {
+            return Err(DatasetError::ParseCsv {
+                line: 1,
+                message: format!("expected header `{HEADER}`"),
+            })
+        }
+    }
+    let mut out = Vec::new();
+    for (lineno, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 7 {
+            return Err(DatasetError::ParseCsv {
+                line: lineno,
+                message: format!("expected 7 fields, found {}", fields.len()),
+            });
+        }
+        let bad = |message: String| DatasetError::ParseCsv {
+            line: lineno,
+            message,
+        };
+        let selected: Vec<GateId> = if fields[0].is_empty() {
+            Vec::new()
+        } else {
+            fields[0]
+                .split(';')
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map(GateId::from_index)
+                        .map_err(|_| bad(format!("bad gate index `{s}`")))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        out.push(Instance {
+            selected,
+            key_bits: fields[1]
+                .parse()
+                .map_err(|_| bad(format!("bad key_bits `{}`", fields[1])))?,
+            iterations: fields[2]
+                .parse()
+                .map_err(|_| bad(format!("bad iterations `{}`", fields[2])))?,
+            work: fields[3]
+                .parse()
+                .map_err(|_| bad(format!("bad work `{}`", fields[3])))?,
+            seconds: fields[4]
+                .parse()
+                .map_err(|_| bad(format!("bad seconds `{}`", fields[4])))?,
+            log_seconds: fields[5]
+                .parse()
+                .map_err(|_| bad(format!("bad log_seconds `{}`", fields[5])))?,
+            censored: fields[6]
+                .parse()
+                .map_err(|_| bad(format!("bad censored `{}`", fields[6])))?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Instance> {
+        vec![
+            Instance {
+                selected: vec![GateId::from_index(3), GateId::from_index(14)],
+                key_bits: 32,
+                iterations: 9,
+                work: 123456,
+                seconds: 0.0061728,
+                log_seconds: 0.0061728f64.ln(),
+                censored: false,
+            },
+            Instance {
+                selected: vec![],
+                key_bits: 0,
+                iterations: 0,
+                work: 10,
+                seconds: 5e-7,
+                log_seconds: (1e-6f64).ln(),
+                censored: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = sample();
+        let text = dataset_to_csv(&original);
+        let parsed = dataset_from_csv(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        assert!(matches!(
+            dataset_from_csv("1;2,3,4,5,6,7,true\n"),
+            Err(DatasetError::ParseCsv { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_field_count_is_error() {
+        let text = format!("{HEADER}\n1;2,3\n");
+        assert!(matches!(
+            dataset_from_csv(&text),
+            Err(DatasetError::ParseCsv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_number_is_error() {
+        let text = format!("{HEADER}\n1;x,3,4,5,6,7,false\n");
+        let err = dataset_from_csv(&text).unwrap_err();
+        assert!(err.to_string().contains("bad gate index"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("{HEADER}\n\n3,1,2,3,4.0,1.5,false\n\n");
+        let parsed = dataset_from_csv(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].selected, vec![GateId::from_index(3)]);
+    }
+}

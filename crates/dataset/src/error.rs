@@ -1,0 +1,85 @@
+use std::fmt;
+
+/// Errors produced by dataset generation or persistence.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// The requested circuit profile does not exist.
+    UnknownProfile(String),
+    /// The key-count range is empty or exceeds the circuit's eligible gates.
+    BadKeyRange {
+        /// Configured inclusive range.
+        range: (usize, usize),
+        /// Eligible gates available.
+        available: usize,
+    },
+    /// A locking operation failed.
+    Obfuscate(obfuscate::ObfuscateError),
+    /// An attack run failed.
+    Attack(attack::AttackError),
+    /// A CSV line could not be parsed.
+    ParseCsv {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::UnknownProfile(name) => write!(f, "unknown circuit profile `{name}`"),
+            DatasetError::BadKeyRange { range, available } => write!(
+                f,
+                "key-count range {}..={} invalid for {} eligible gates",
+                range.0, range.1, available
+            ),
+            DatasetError::Obfuscate(e) => write!(f, "obfuscation failed: {e}"),
+            DatasetError::Attack(e) => write!(f, "attack failed: {e}"),
+            DatasetError::ParseCsv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Obfuscate(e) => Some(e),
+            DatasetError::Attack(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<obfuscate::ObfuscateError> for DatasetError {
+    fn from(e: obfuscate::ObfuscateError) -> Self {
+        DatasetError::Obfuscate(e)
+    }
+}
+
+impl From<attack::AttackError> for DatasetError {
+    fn from(e: attack::AttackError) -> Self {
+        DatasetError::Attack(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DatasetError::UnknownProfile("cX".into())
+            .to_string()
+            .contains("cX"));
+        assert!(DatasetError::BadKeyRange {
+            range: (1, 400),
+            available: 100
+        }
+        .to_string()
+        .contains("400"));
+    }
+}

@@ -1,0 +1,223 @@
+use crate::error::DatasetError;
+use crate::instance::Instance;
+use attack::{attack_locked, AttackConfig, AttackOutcome, RuntimeMeasure};
+use netlist::Circuit;
+use obfuscate::{eligible_gates, lut_lock, select_gates, SchemeKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Full parameterization of one dataset sweep.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Circuit profile name (see [`synth::iscas`]); the paper uses one
+    /// 1529-gate circuit (`"c1529"`).
+    pub profile: String,
+    /// Seed of the synthetic circuit.
+    pub circuit_seed: u64,
+    /// Locking scheme (the paper: LUT locking with LUT size 4).
+    pub scheme: SchemeKind,
+    /// Number of labeled instances to generate.
+    pub num_instances: usize,
+    /// Inclusive range the per-instance key-gate count is drawn from
+    /// (Dataset 1: `(1, 350)`; Dataset 2: `(1, 3)`).
+    pub key_range: (usize, usize),
+    /// Master seed for gate selection and locking.
+    pub seed: u64,
+    /// Resource limits for each attack run.
+    pub attack: AttackConfig,
+    /// Which runtime measure becomes the label.
+    pub measure: RuntimeMeasure,
+}
+
+impl DatasetConfig {
+    /// The paper's Dataset 1 sweep (1..=350 key gates, LUT-4) on `profile`.
+    pub fn dataset1(profile: &str, num_instances: usize) -> Self {
+        DatasetConfig {
+            profile: profile.to_owned(),
+            circuit_seed: 0,
+            scheme: SchemeKind::LutLock { lut_size: 4 },
+            num_instances,
+            key_range: (1, 350),
+            seed: 1,
+            attack: AttackConfig::with_work_budget(50_000_000),
+            measure: RuntimeMeasure::SolverWork,
+        }
+    }
+
+    /// The paper's Dataset 2 sweep (1..=3 key gates, LUT-4) on `profile`.
+    pub fn dataset2(profile: &str, num_instances: usize) -> Self {
+        DatasetConfig {
+            key_range: (1, 3),
+            seed: 2,
+            ..DatasetConfig::dataset1(profile, num_instances)
+        }
+    }
+
+    /// A seconds-scale configuration for tests and doc examples: a small
+    /// circuit, few instances, XOR locking (cheapest to attack).
+    pub fn quick_demo() -> Self {
+        DatasetConfig {
+            profile: "c432".to_owned(),
+            circuit_seed: 0,
+            scheme: SchemeKind::XorLock,
+            num_instances: 8,
+            key_range: (1, 6),
+            seed: 3,
+            attack: AttackConfig::with_work_budget(5_000_000),
+            measure: RuntimeMeasure::SolverWork,
+        }
+    }
+}
+
+/// A generated dataset: the (shared) original circuit plus labeled
+/// instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// The unlocked base circuit every instance obfuscates.
+    pub circuit: Circuit,
+    /// Labeled obfuscation instances.
+    pub instances: Vec<Instance>,
+}
+
+impl Dataset {
+    /// The log-runtime labels, in instance order.
+    pub fn labels(&self) -> Vec<f64> {
+        self.instances.iter().map(|i| i.log_seconds).collect()
+    }
+
+    /// Fraction of instances whose attack hit the budget.
+    pub fn censored_fraction(&self) -> f64 {
+        if self.instances.is_empty() {
+            return 0.0;
+        }
+        self.instances.iter().filter(|i| i.censored).count() as f64 / self.instances.len() as f64
+    }
+}
+
+/// Runs the full pipeline described in the paper's Section IV-A.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::UnknownProfile`] for a bad profile name,
+/// [`DatasetError::BadKeyRange`] when the sweep asks for more locked gates
+/// than the circuit can supply, and wraps locking/attack failures.
+pub fn generate(config: &DatasetConfig) -> Result<Dataset, DatasetError> {
+    let circuit = synth::iscas::circuit(&config.profile, config.circuit_seed)
+        .ok_or_else(|| DatasetError::UnknownProfile(config.profile.clone()))?;
+    let available = eligible_gates(&circuit, config.scheme).len();
+    let (lo, hi) = config.key_range;
+    if lo == 0 || lo > hi || hi > available {
+        return Err(DatasetError::BadKeyRange {
+            range: config.key_range,
+            available,
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0DA7_A5E7);
+    let mut instances = Vec::with_capacity(config.num_instances);
+    for _ in 0..config.num_instances {
+        let count = rng.gen_range(lo..=hi);
+        let selected = select_gates(&circuit, config.scheme, count, &mut rng)?;
+        let locked = match config.scheme {
+            SchemeKind::LutLock { lut_size } => lut_lock(&circuit, &selected, lut_size, &mut rng)?,
+            SchemeKind::XorLock => obfuscate::xor_lock(&circuit, &selected, &mut rng)?,
+            SchemeKind::MuxLock => obfuscate::mux_lock(&circuit, &selected, &mut rng)?,
+        };
+        let result = attack_locked(&locked, &config.attack)?;
+        let seconds = result.runtime.seconds(config.measure);
+        instances.push(Instance {
+            selected,
+            key_bits: locked.key_len(),
+            iterations: result.iterations,
+            work: result.runtime.work,
+            seconds,
+            log_seconds: seconds.max(1e-6).ln(),
+            censored: matches!(result.outcome, AttackOutcome::BudgetExceeded),
+        });
+    }
+    Ok(Dataset { circuit, instances })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_demo_generates_labeled_instances() {
+        let config = DatasetConfig::quick_demo();
+        let data = generate(&config).unwrap();
+        assert_eq!(data.instances.len(), 8);
+        for inst in &data.instances {
+            assert!(inst.num_selected() >= 1 && inst.num_selected() <= 6);
+            assert!(inst.seconds > 0.0);
+            assert!(inst.log_seconds.is_finite());
+            assert_eq!(inst.key_bits, inst.num_selected()); // XOR lock: 1 bit/gate
+        }
+        assert_eq!(data.labels().len(), 8);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = DatasetConfig::quick_demo();
+        let a = generate(&config).unwrap();
+        let b = generate(&config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runtime_grows_with_key_count_on_average() {
+        // The premise of the whole paper, checked end to end.
+        let mut config = DatasetConfig::quick_demo();
+        config.num_instances = 10;
+        config.key_range = (1, 12);
+        let data = generate(&config).unwrap();
+        let counts: Vec<f64> = data
+            .instances
+            .iter()
+            .map(|i| i.num_selected() as f64)
+            .collect();
+        let corr = regress_corr(&counts, &data.labels());
+        assert!(corr > 0.3, "key-count/runtime correlation {corr}");
+    }
+
+    fn regress_corr(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(&x, &y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|&x| (x - ma) * (x - ma)).sum();
+        let vb: f64 = b.iter().map(|&y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+    }
+
+    #[test]
+    fn bad_profile_and_range_are_rejected() {
+        let mut config = DatasetConfig::quick_demo();
+        config.profile = "c9999".into();
+        assert!(matches!(
+            generate(&config),
+            Err(DatasetError::UnknownProfile(_))
+        ));
+        let mut config = DatasetConfig::quick_demo();
+        config.key_range = (1, 100_000);
+        assert!(matches!(
+            generate(&config),
+            Err(DatasetError::BadKeyRange { .. })
+        ));
+        let mut config = DatasetConfig::quick_demo();
+        config.key_range = (0, 3);
+        assert!(matches!(
+            generate(&config),
+            Err(DatasetError::BadKeyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dataset_presets_have_paper_ranges() {
+        let d1 = DatasetConfig::dataset1("c1529", 100);
+        assert_eq!(d1.key_range, (1, 350));
+        assert_eq!(d1.scheme, SchemeKind::LutLock { lut_size: 4 });
+        let d2 = DatasetConfig::dataset2("c1529", 100);
+        assert_eq!(d2.key_range, (1, 3));
+    }
+}

@@ -1,0 +1,44 @@
+//! Dataset pipeline: obfuscate → attack → label → encode → split.
+//!
+//! Reproduces the paper's data generation (Section IV-A): take one circuit,
+//! repeatedly pick random gates to obfuscate (LUT size 4 in the paper), run
+//! the SAT attack, and record the de-obfuscation runtime. Two sweeps are
+//! predefined:
+//!
+//! * **Dataset 1** — encryption locations drawn from 1..=350 (tests
+//!   sensitivity to the *quantity* of locked gates);
+//! * **Dataset 2** — encryption locations drawn from 1..=3 (tests precision
+//!   on very small runtimes).
+//!
+//! The runtime label defaults to the deterministic solver-work measure (see
+//! [`attack::RuntimeMeasure`]); instances whose attack exceeded the work
+//! budget carry a lower-bound label and are flagged
+//! [`Instance::censored`].
+//!
+//! # Example
+//!
+//! ```
+//! use dataset::{generate, DatasetConfig};
+//!
+//! # fn main() -> Result<(), dataset::DatasetError> {
+//! let config = DatasetConfig::quick_demo();
+//! let data = generate(&config)?;
+//! assert_eq!(data.instances.len(), config.num_instances);
+//! assert!(data.instances.iter().all(|i| i.log_seconds.is_finite()));
+//! # Ok(())
+//! # }
+//! ```
+
+mod csv;
+mod encode;
+mod error;
+mod generate;
+mod instance;
+mod split;
+
+pub use csv::{dataset_from_csv, dataset_to_csv};
+pub use encode::{flat_features, graph_features, FlatAggregation, StructureEncoding};
+pub use error::DatasetError;
+pub use generate::{generate, Dataset, DatasetConfig};
+pub use instance::Instance;
+pub use split::{kfold, train_test_split, Split};

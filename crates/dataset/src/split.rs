@@ -1,0 +1,133 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index sets of one train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of training instances.
+    pub train: Vec<usize>,
+    /// Indices of held-out test instances.
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Selects the elements of `items` indexed by `indices`.
+    pub fn take<'a, T>(items: &'a [T], indices: &[usize]) -> Vec<&'a T> {
+        indices.iter().map(|&i| &items[i]).collect()
+    }
+}
+
+/// Shuffled train/test split (Algorithm 1 line 3).
+///
+/// `test_fraction` of the `n` instances (rounded down, at least 1 when
+/// `n >= 2`) go to the test set.
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1` and `n >= 2`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Split {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0, 1)"
+    );
+    assert!(n >= 2, "need at least 2 instances to split");
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x5917));
+    let test_len = ((n as f64 * test_fraction) as usize).clamp(1, n - 1);
+    let test = indices.split_off(n - test_len);
+    Split {
+        train: indices,
+        test,
+    }
+}
+
+/// K-fold cross-validation splits: `k` disjoint folds, each serving once
+/// as the test set (an extension over the paper's single split, useful for
+/// variance estimates on small datasets).
+///
+/// # Panics
+///
+/// Panics unless `2 <= k <= n`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Split> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(k <= n, "more folds than instances");
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x000F_01D5));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, &idx) in indices.iter().enumerate() {
+        folds[pos % k].push(idx);
+    }
+    (0..k)
+        .map(|test_fold| {
+            let test = folds[test_fold].clone();
+            let train = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != test_fold)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            Split { train, test }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_a_partition() {
+        let split = train_test_split(50, 0.2, 7);
+        assert_eq!(split.test.len(), 10);
+        assert_eq!(split.train.len(), 40);
+        let mut all: Vec<usize> = split.train.iter().chain(&split.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        assert_eq!(train_test_split(20, 0.25, 1), train_test_split(20, 0.25, 1));
+        assert_ne!(train_test_split(20, 0.25, 1), train_test_split(20, 0.25, 2));
+    }
+
+    #[test]
+    fn tiny_sets_keep_one_test_sample() {
+        let split = train_test_split(2, 0.1, 0);
+        assert_eq!(split.test.len(), 1);
+        assert_eq!(split.train.len(), 1);
+    }
+
+    #[test]
+    fn kfold_covers_every_instance_exactly_once() {
+        let folds = kfold(23, 4, 9);
+        assert_eq!(folds.len(), 4);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|s| s.test.iter().copied()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        for split in &folds {
+            assert_eq!(split.train.len() + split.test.len(), 23);
+            assert!(split.test.iter().all(|t| !split.train.contains(t)));
+        }
+    }
+
+    #[test]
+    fn kfold_is_deterministic() {
+        assert_eq!(kfold(10, 5, 1), kfold(10, 5, 1));
+        assert_ne!(kfold(10, 5, 1), kfold(10, 5, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than instances")]
+    fn kfold_rejects_too_many_folds() {
+        let _ = kfold(3, 5, 0);
+    }
+
+    #[test]
+    fn take_selects_by_index() {
+        let items = ["a", "b", "c"];
+        let picked = Split::take(&items, &[2, 0]);
+        assert_eq!(picked, vec![&"c", &"a"]);
+    }
+}

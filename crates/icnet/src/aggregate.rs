@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// How gate representations collapse into one graph-level vector
+/// (the paper's Θgate / Θfeat stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Aggregation {
+    /// Unweighted sum over gates.
+    Sum,
+    /// Mean over gates.
+    Mean,
+    /// Learned soft attention over both features (Θfeat) and gates (Θgate)
+    /// — the "-NN" rows of Tables I/II.
+    #[default]
+    Nn,
+}
+
+impl Aggregation {
+    /// Table label used by the experiment harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Aggregation::Sum => "Sum",
+            Aggregation::Mean => "Mean",
+            Aggregation::Nn => "NN",
+        }
+    }
+}
+
+impl fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Aggregation::Sum.label(), "Sum");
+        assert_eq!(Aggregation::Mean.to_string(), "Mean");
+        assert_eq!(Aggregation::default(), Aggregation::Nn);
+    }
+}

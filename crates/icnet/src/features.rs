@@ -1,0 +1,111 @@
+//! The paper's gate-feature encoding (Section IV-B).
+
+use netlist::stats::paper_type_index;
+use netlist::{Circuit, GateId};
+use tensor::Matrix;
+
+/// Feature width of [`FeatureSet::Location`].
+pub const NUM_FEATURES_LOCATION: usize = 1;
+/// Feature width of [`FeatureSet::All`] (gate mask + 6 one-hot gate types).
+pub const NUM_FEATURES_ALL: usize = 7;
+
+/// Which per-gate features to encode — the two settings of Tables I/II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FeatureSet {
+    /// Only the gate mask ("Location" columns): 1 iff the gate is selected
+    /// for obfuscation.
+    Location,
+    /// Gate mask plus the one-hot gate type over
+    /// {AND, NOR, NOT, NAND, OR, XOR} ("All feat" columns).
+    #[default]
+    All,
+}
+
+impl FeatureSet {
+    /// Number of feature columns this setting produces.
+    pub fn width(&self) -> usize {
+        match self {
+            FeatureSet::Location => NUM_FEATURES_LOCATION,
+            FeatureSet::All => NUM_FEATURES_ALL,
+        }
+    }
+
+    /// Table label used by the experiment harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FeatureSet::Location => "Location",
+            FeatureSet::All => "All feat",
+        }
+    }
+}
+
+/// Encodes the `n x F` gate-feature matrix for one obfuscation instance:
+/// the circuit is the (fixed) original netlist and `selected` lists the
+/// gates chosen for obfuscation (the encryption locations).
+///
+/// Gate kinds outside the paper's six types (buffers, MUXes, LUTs) encode
+/// as all-zero type columns.
+///
+/// # Panics
+///
+/// Panics if a selected id is out of range for the circuit.
+pub fn encode_features(circuit: &Circuit, selected: &[GateId], fs: FeatureSet) -> Matrix {
+    let n = circuit.num_gates();
+    let mut mask = vec![false; n];
+    for &id in selected {
+        mask[id.index()] = true;
+    }
+    let mut x = Matrix::zeros(n, fs.width());
+    for (i, gate) in circuit.gates().enumerate() {
+        if mask[i] {
+            x.set(i, 0, 1.0);
+        }
+        if fs == FeatureSet::All {
+            if let Some(t) = paper_type_index(gate.kind()) {
+                x.set(i, 1 + t, 1.0);
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_encoding_is_a_mask() {
+        let c = netlist::c17();
+        let sel = vec![c.find("n10").unwrap(), c.find("n23").unwrap()];
+        let x = encode_features(&c, &sel, FeatureSet::Location);
+        assert_eq!(x.shape(), (11, 1));
+        assert_eq!(x.sum(), 2.0);
+        assert_eq!(x.get(c.find("n10").unwrap().index(), 0), 1.0);
+        assert_eq!(x.get(c.find("n22").unwrap().index(), 0), 0.0);
+    }
+
+    #[test]
+    fn all_features_one_hot_types() {
+        let c = netlist::c17();
+        let x = encode_features(&c, &[], FeatureSet::All);
+        assert_eq!(x.shape(), (11, 7));
+        // Inputs have no type bits; NANDs set index 1 + 3.
+        for (i, gate) in c.gates().enumerate() {
+            let type_sum: f64 = (1..7).map(|j| x.get(i, j)).sum();
+            if gate.kind().is_input() {
+                assert_eq!(type_sum, 0.0);
+            } else {
+                assert_eq!(type_sum, 1.0);
+                assert_eq!(x.get(i, 4), 1.0, "NAND one-hot at paper index 3");
+            }
+        }
+    }
+
+    #[test]
+    fn widths_and_labels() {
+        assert_eq!(FeatureSet::Location.width(), 1);
+        assert_eq!(FeatureSet::All.width(), 7);
+        assert_eq!(FeatureSet::All.label(), "All feat");
+        assert_eq!(FeatureSet::default(), FeatureSet::All);
+    }
+}

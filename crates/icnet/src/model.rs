@@ -1,0 +1,564 @@
+//! The graph regressor family: GCN, ChebNet, and ICNet.
+
+use crate::aggregate::Aggregation;
+use crate::graph::CircuitGraph;
+use std::fmt;
+use std::rc::Rc;
+use tensor::{init, CsrMatrix, Matrix, Tape, VarId};
+
+/// Which graph operator (and hence which model of the paper) to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Kipf-Welling GCN on `D̂^-1/2 (A+I) D̂^-1/2`.
+    Gcn,
+    /// Chebyshev filters of order `k` on the scaled Laplacian.
+    ChebNet {
+        /// Polynomial order (number of hops per layer).
+        k: usize,
+    },
+    /// The paper's model: raw adjacency (plus self-loops) instead of the
+    /// Laplacian, avoiding the smoothness assumption.
+    ICNet,
+}
+
+impl ModelKind {
+    /// Precomputes this model's graph operator for a circuit graph.
+    ///
+    /// The ICNet operator is the raw self-looped adjacency scaled by the
+    /// constant `1 / (avg_degree + 1)`. A uniform scalar rescale changes
+    /// nothing the model can express (it is absorbed by the layer weights)
+    /// but keeps two stacked convolutions numerically conditioned like the
+    /// normalized operators of the baselines.
+    pub fn operator(&self, graph: &CircuitGraph) -> CsrMatrix {
+        match self {
+            ModelKind::Gcn => graph.gcn_norm(),
+            ModelKind::ChebNet { .. } => graph.scaled_laplacian(),
+            ModelKind::ICNet => {
+                let a = graph.adjacency(true);
+                let n = a.rows().max(1);
+                let scale = 1.0 / (a.nnz() as f64 / n as f64);
+                let uniform = vec![scale; n];
+                a.scale_rows(&uniform)
+            }
+        }
+    }
+
+    /// Table label used by the experiment harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "GCN",
+            ModelKind::ChebNet { .. } => "ChebNet",
+            ModelKind::ICNet => "ICNet",
+        }
+    }
+
+    fn cheb_order(&self) -> usize {
+        match self {
+            ModelKind::ChebNet { k } => *k,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelKind::ChebNet { k } => write!(f, "ChebNet(k={k})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// The output nonlinearity of the regressor head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OutputHead {
+    /// Linear output; pair with log-scale labels (numerically robust, the
+    /// library default).
+    #[default]
+    Identity,
+    /// Exponential output, the paper's Eq. 3 (`Y = exp(...)`), modelling
+    /// the exponential growth of runtime with key-gate count directly.
+    Exp,
+}
+
+/// A trainable graph regressor (two graph convolutions → aggregation →
+/// scalar head). See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct GraphModel {
+    /// Operator family.
+    pub kind: ModelKind,
+    /// Aggregation stage.
+    pub aggregation: Aggregation,
+    /// Output head.
+    pub output: OutputHead,
+    num_features: usize,
+    hidden: usize,
+    conv_layers: usize,
+    params: Vec<Matrix>,
+}
+
+impl GraphModel {
+    /// Creates a model with Xavier-initialized parameters and the paper's
+    /// two graph-convolution layers.
+    ///
+    /// `num_features` must match the encoding width
+    /// ([`FeatureSet::width`](crate::FeatureSet::width)); `hidden1`/`hidden2`
+    /// are the widths of the two graph convolutions (this reproduction keeps
+    /// them equal internally; `hidden2` is the effective width).
+    pub fn new(
+        kind: ModelKind,
+        aggregation: Aggregation,
+        num_features: usize,
+        hidden1: usize,
+        hidden2: usize,
+        seed: u64,
+    ) -> Self {
+        let _ = hidden1;
+        GraphModel::with_conv_layers(kind, aggregation, num_features, hidden2, 2, seed)
+    }
+
+    /// Creates a model with `conv_layers` stacked graph convolutions of
+    /// width `hidden` (the layer-count ablation of `DESIGN.md` §7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conv_layers == 0`.
+    pub fn with_conv_layers(
+        kind: ModelKind,
+        aggregation: Aggregation,
+        num_features: usize,
+        hidden: usize,
+        conv_layers: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(conv_layers >= 1, "at least one graph convolution required");
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1C4E_7000);
+        let k = kind.cheb_order();
+        let mut params = Vec::new();
+        for layer in 0..conv_layers {
+            let in_dim = if layer == 0 { num_features } else { hidden };
+            for _ in 0..k {
+                params.push(init::xavier_uniform(in_dim, hidden, &mut rng));
+            }
+        }
+        if aggregation == Aggregation::Nn {
+            params.push(init::gaussian(num_features, 1, 0.1, &mut rng)); // Θfeat logits
+            params.push(init::gaussian(hidden, 1, 0.1, &mut rng)); // Θgate
+        }
+        // Near-zero head: initial predictions start at the label mean
+        // regardless of the pooled magnitude (sum pooling over thousands of
+        // gates on the raw adjacency can be large), which keeps the first
+        // optimization steps stable for every operator/aggregation combo.
+        params.push(init::gaussian(hidden, 1, 1e-3, &mut rng)); // w_out
+        params.push(Matrix::zeros(1, 1)); // bias
+        GraphModel {
+            kind,
+            aggregation,
+            output: OutputHead::Identity,
+            num_features,
+            hidden,
+            conv_layers,
+            params,
+        }
+    }
+
+    /// Reassembles a model from serialized parts (see the `persist`
+    /// module). Validates that the parameter shapes are consistent with the
+    /// declared architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub(crate) fn from_parts(
+        kind: ModelKind,
+        aggregation: Aggregation,
+        output: OutputHead,
+        num_features: usize,
+        params: Vec<Matrix>,
+    ) -> Result<GraphModel, String> {
+        let k = kind.cheb_order();
+        let extra = if aggregation == Aggregation::Nn { 4 } else { 2 };
+        if params.len() < k + extra {
+            return Err("too few parameter matrices".into());
+        }
+        let conv_weights = params.len() - extra;
+        if !conv_weights.is_multiple_of(k) {
+            return Err("conv weight count not divisible by the Chebyshev order".into());
+        }
+        let conv_layers = conv_weights / k;
+        if conv_layers == 0 {
+            return Err("no convolution layers".into());
+        }
+        if params[0].rows() != num_features {
+            return Err("first conv weight does not match the feature count".into());
+        }
+        let hidden = params[0].cols();
+        for (i, p) in params[..conv_weights].iter().enumerate() {
+            let expect_in = if i / k == 0 { num_features } else { hidden };
+            if p.shape() != (expect_in, hidden) {
+                return Err(format!("conv weight {i} has shape {:?}", p.shape()));
+            }
+        }
+        let mut idx = conv_weights;
+        if aggregation == Aggregation::Nn {
+            if params[idx].shape() != (num_features, 1) {
+                return Err("Θfeat shape mismatch".into());
+            }
+            if params[idx + 1].shape() != (hidden, 1) {
+                return Err("Θgate shape mismatch".into());
+            }
+            idx += 2;
+        }
+        if params[idx].shape() != (hidden, 1) {
+            return Err("output weight shape mismatch".into());
+        }
+        if params[idx + 1].shape() != (1, 1) {
+            return Err("bias shape mismatch".into());
+        }
+        Ok(GraphModel {
+            kind,
+            aggregation,
+            output,
+            num_features,
+            hidden,
+            conv_layers,
+            params,
+        })
+    }
+
+    /// Switches the output head (builder style).
+    pub fn with_output(mut self, output: OutputHead) -> Self {
+        self.output = output;
+        self
+    }
+
+    /// The model's parameter matrices (conv weights, attention, head).
+    pub fn params(&self) -> &[Matrix] {
+        &self.params
+    }
+
+    /// Mutable access for optimizers.
+    pub fn params_mut(&mut self) -> &mut [Matrix] {
+        &mut self.params
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.params.iter().map(|p| p.as_slice().len()).sum()
+    }
+
+    /// Feature width this model expects.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// The learned feature-attention distribution (softmax of the Θfeat
+    /// logits), or `None` for sum/mean aggregation. Index 0 is the gate
+    /// mask; indices 1.. are the one-hot gate types — the quantities of the
+    /// paper's Table III case study.
+    pub fn feature_attention(&self) -> Option<Vec<f64>> {
+        if self.aggregation != Aggregation::Nn {
+            return None;
+        }
+        let theta = &self.params[self.kind.cheb_order() * self.conv_layers];
+        let max = theta
+            .as_slice()
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f64> = theta.as_slice().iter().map(|&v| (v - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        Some(exps.iter().map(|&e| e / total).collect())
+    }
+
+    /// One graph-convolution layer: `relu(op-filter(input) @ w)`.
+    fn conv(&self, tape: &mut Tape, op: &Rc<CsrMatrix>, input: VarId, weights: &[VarId]) -> VarId {
+        let mixed = match self.kind {
+            ModelKind::Gcn | ModelKind::ICNet => {
+                let propagated = tape.spmm(Rc::clone(op), input);
+                tape.matmul(propagated, weights[0])
+            }
+            ModelKind::ChebNet { k } => {
+                // Chebyshev recurrence: T0 = X, T1 = L̃X, Tj = 2 L̃ T(j-1) - T(j-2).
+                let mut terms: Vec<VarId> = Vec::with_capacity(k);
+                terms.push(input);
+                if k > 1 {
+                    terms.push(tape.spmm(Rc::clone(op), input));
+                }
+                for j in 2..k {
+                    let prop = tape.spmm(Rc::clone(op), terms[j - 1]);
+                    let doubled = tape.scale(prop, 2.0);
+                    let t = tape.sub(doubled, terms[j - 2]);
+                    terms.push(t);
+                }
+                let mut acc = tape.matmul(terms[0], weights[0]);
+                for (j, &t) in terms.iter().enumerate().skip(1) {
+                    let contrib = tape.matmul(t, weights[j]);
+                    acc = tape.add(acc, contrib);
+                }
+                acc
+            }
+        };
+        tape.relu(mixed)
+    }
+
+    /// Builds the forward graph on `tape`; `param_ids` must be leaves of the
+    /// model's parameters in order. Returns the scalar prediction node.
+    pub(crate) fn forward(
+        &self,
+        tape: &mut Tape,
+        param_ids: &[VarId],
+        op: &Rc<CsrMatrix>,
+        x: &Matrix,
+    ) -> VarId {
+        self.forward_with_attention(tape, param_ids, op, x).0
+    }
+
+    /// Like [`forward`](Self::forward), additionally returning the
+    /// gate-attention node when the model aggregates with Θgate.
+    pub(crate) fn forward_with_attention(
+        &self,
+        tape: &mut Tape,
+        param_ids: &[VarId],
+        op: &Rc<CsrMatrix>,
+        x: &Matrix,
+    ) -> (VarId, Option<VarId>) {
+        assert_eq!(
+            x.cols(),
+            self.num_features,
+            "feature width mismatch: model expects {}",
+            self.num_features
+        );
+        let n = x.rows();
+        let k = self.kind.cheb_order();
+        let mut x_node = tape.constant(x.clone());
+
+        let mut idx = self.conv_layers * k;
+        let (theta_f, theta_g) = if self.aggregation == Aggregation::Nn {
+            let tf = param_ids[idx];
+            let tg = param_ids[idx + 1];
+            idx += 2;
+            (Some(tf), Some(tg))
+        } else {
+            (None, None)
+        };
+        let w_out = param_ids[idx];
+        let bias = param_ids[idx + 1];
+
+        // Θfeat: learned feature attention rescales the input columns.
+        if let Some(tf) = theta_f {
+            let attn = tape.softmax_col(tf); // F x 1
+            let attn_row = tape.transpose(attn); // 1 x F
+            let ones = tape.constant(Matrix::ones(n, 1));
+            let spread = tape.matmul(ones, attn_row); // n x F
+            x_node = tape.hadamard(x_node, spread);
+        }
+
+        let mut h2 = x_node;
+        for layer in 0..self.conv_layers {
+            h2 = self.conv(tape, op, h2, &param_ids[layer * k..(layer + 1) * k]);
+        }
+
+        // Θgate: pool gates into one h2-dimensional vector.
+        let mut attn_node = None;
+        let pooled = match self.aggregation {
+            Aggregation::Sum | Aggregation::Mean => {
+                let ones = tape.constant(Matrix::ones(n, 1));
+                let ht = tape.transpose(h2);
+                let summed = tape.matmul(ht, ones); // h2 x 1
+                if self.aggregation == Aggregation::Mean {
+                    tape.scale(summed, 1.0 / n as f64)
+                } else {
+                    summed
+                }
+            }
+            Aggregation::Nn => {
+                let tg = theta_g.expect("Nn aggregation carries Θgate");
+                let scores = tape.matmul(h2, tg); // n x 1
+                let attn = tape.softmax_col(scores);
+                attn_node = Some(attn);
+                let ht = tape.transpose(h2);
+                tape.matmul(ht, attn) // h2 x 1
+            }
+        };
+
+        let wt = tape.transpose(w_out); // 1 x h2
+        let lin = tape.matmul(wt, pooled); // 1 x 1
+        let out = tape.add(lin, bias);
+        let out = match self.output {
+            OutputHead::Identity => out,
+            OutputHead::Exp => tape.exp(out),
+        };
+        (out, attn_node)
+    }
+
+    /// The gate-attention distribution Θgate produces for one instance: one
+    /// weight per gate, summing to 1. Returns `None` for sum/mean
+    /// aggregation. High-attention gates are the ones the model considers
+    /// decisive for this placement's runtime.
+    pub fn gate_attention(&self, op: &Rc<CsrMatrix>, x: &Matrix) -> Option<Vec<f64>> {
+        if self.aggregation != Aggregation::Nn {
+            return None;
+        }
+        let mut tape = Tape::new();
+        let ids = self.insert_params(&mut tape);
+        let (_, attn) = self.forward_with_attention(&mut tape, &ids, op, x);
+        attn.map(|a| tape.value(a).as_slice().to_vec())
+    }
+
+    /// Inserts the parameters as trainable leaves on `tape`.
+    pub(crate) fn insert_params(&self, tape: &mut Tape) -> Vec<VarId> {
+        self.params.iter().map(|p| tape.leaf(p.clone())).collect()
+    }
+
+    /// Predicts the (log-)runtime of one instance.
+    pub fn predict(&self, op: &Rc<CsrMatrix>, x: &Matrix) -> f64 {
+        let mut tape = Tape::new();
+        let ids = self.insert_params(&mut tape);
+        let out = self.forward(&mut tape, &ids, op, x);
+        tape.value(out).get(0, 0)
+    }
+
+    /// Predicts a batch of instances.
+    pub fn predict_batch(&self, op: &Rc<CsrMatrix>, xs: &[Matrix]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(op, x)).collect()
+    }
+}
+
+impl fmt::Display for GraphModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-{} ({} features, {} x {}-wide convs, {} params)",
+            self.kind,
+            self.aggregation,
+            self.num_features,
+            self.conv_layers,
+            self.hidden,
+            self.num_params()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{encode_features, FeatureSet};
+
+    fn setup(kind: ModelKind, agg: Aggregation) -> (Rc<CsrMatrix>, Matrix, GraphModel) {
+        let circuit = netlist::c17();
+        let graph = CircuitGraph::from_circuit(&circuit);
+        let op = Rc::new(kind.operator(&graph));
+        let sel = vec![circuit.find("n10").unwrap()];
+        let x = encode_features(&circuit, &sel, FeatureSet::All);
+        let model = GraphModel::new(kind, agg, 7, 8, 6, 42);
+        (op, x, model)
+    }
+
+    #[test]
+    fn forward_produces_finite_scalar_for_all_kinds() {
+        for kind in [
+            ModelKind::Gcn,
+            ModelKind::ChebNet { k: 3 },
+            ModelKind::ICNet,
+        ] {
+            for agg in [Aggregation::Sum, Aggregation::Mean, Aggregation::Nn] {
+                let (op, x, model) = setup(kind, agg);
+                let y = model.predict(&op, &x);
+                assert!(y.is_finite(), "{kind} {agg}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_head_is_positive() {
+        let (op, x, model) = setup(ModelKind::ICNet, Aggregation::Nn);
+        let model = model.with_output(OutputHead::Exp);
+        assert!(model.predict(&op, &x) > 0.0);
+    }
+
+    #[test]
+    fn predictions_depend_on_the_mask() {
+        let circuit = netlist::c17();
+        let graph = CircuitGraph::from_circuit(&circuit);
+        let op = Rc::new(ModelKind::ICNet.operator(&graph));
+        let model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 8, 6, 1);
+        let a = encode_features(&circuit, &[circuit.find("n10").unwrap()], FeatureSet::All);
+        let all: Vec<netlist::GateId> = circuit
+            .iter()
+            .filter(|(_, g)| !g.kind().is_input())
+            .map(|(id, _)| id)
+            .collect();
+        let b = encode_features(&circuit, &all, FeatureSet::All);
+        assert_ne!(model.predict(&op, &a), model.predict(&op, &b));
+    }
+
+    #[test]
+    fn feature_attention_only_for_nn() {
+        let (_, _, nn) = setup(ModelKind::ICNet, Aggregation::Nn);
+        let attn = nn.feature_attention().expect("NN model has Θfeat");
+        assert_eq!(attn.len(), 7);
+        assert!((attn.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let (_, _, sum) = setup(ModelKind::ICNet, Aggregation::Sum);
+        assert!(sum.feature_attention().is_none());
+    }
+
+    #[test]
+    fn param_counts_differ_by_kind() {
+        let (_, _, gcn) = setup(ModelKind::Gcn, Aggregation::Sum);
+        let (_, _, cheb) = setup(ModelKind::ChebNet { k: 3 }, Aggregation::Sum);
+        assert!(cheb.num_params() > gcn.num_params());
+        assert!(gcn.to_string().contains("GCN"));
+    }
+
+    #[test]
+    fn batch_predict_matches_single() {
+        let (op, x, model) = setup(ModelKind::ICNet, Aggregation::Nn);
+        let batch = model.predict_batch(&op, std::slice::from_ref(&x));
+        assert_eq!(batch[0], model.predict(&op, &x));
+    }
+
+    #[test]
+    fn gate_attention_is_a_distribution_over_gates() {
+        let (op, x, model) = setup(ModelKind::ICNet, Aggregation::Nn);
+        let attn = model.gate_attention(&op, &x).expect("NN aggregation");
+        assert_eq!(attn.len(), 11, "one weight per c17 gate");
+        assert!((attn.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(attn.iter().all(|&a| a >= 0.0));
+        let (op, x, sum_model) = setup(ModelKind::ICNet, Aggregation::Sum);
+        assert!(sum_model.gate_attention(&op, &x).is_none());
+    }
+
+    #[test]
+    fn conv_depth_is_configurable() {
+        let circuit = netlist::c17();
+        let graph = CircuitGraph::from_circuit(&circuit);
+        let op = Rc::new(ModelKind::ICNet.operator(&graph));
+        let x = encode_features(&circuit, &[], FeatureSet::All);
+        for layers in [1usize, 2, 3] {
+            let model =
+                GraphModel::with_conv_layers(ModelKind::ICNet, Aggregation::Nn, 7, 8, layers, 3);
+            assert!(model.predict(&op, &x).is_finite(), "{layers} layers");
+            assert!(model.feature_attention().is_some(), "{layers} layers");
+            assert!(model.to_string().contains(&format!("{layers} x")));
+        }
+        // Deeper models carry more parameters.
+        let shallow = GraphModel::with_conv_layers(ModelKind::ICNet, Aggregation::Sum, 7, 8, 1, 0);
+        let deep = GraphModel::with_conv_layers(ModelKind::ICNet, Aggregation::Sum, 7, 8, 3, 0);
+        assert!(deep.num_params() > shallow.num_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one graph convolution")]
+    fn zero_conv_layers_panics() {
+        let _ = GraphModel::with_conv_layers(ModelKind::Gcn, Aggregation::Sum, 7, 8, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn wrong_feature_width_panics() {
+        let (op, _, model) = setup(ModelKind::ICNet, Aggregation::Nn);
+        let bad = Matrix::zeros(11, 3);
+        let _ = model.predict(&op, &bad);
+    }
+}

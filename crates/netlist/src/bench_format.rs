@@ -1,0 +1,466 @@
+//! Reader and writer for the ISCAS-85 `.bench` netlist format.
+//!
+//! The dialect understood here is the classic one used by the ISCAS-85/89
+//! benchmark suites plus two extensions common in logic-locking research:
+//!
+//! * inputs whose names start with [`KEY_INPUT_PREFIX`] are treated as key
+//!   inputs (the convention used by published locked benchmarks);
+//! * `name = LUT 0x<hex> (a, b, ...)` defines a lookup-table gate, matching
+//!   the ABC tool's bench extension.
+//!
+//! Definitions may appear in any order; the parser resolves forward
+//! references and rejects cyclic netlists.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::error::NetlistError;
+use crate::gate::{GateKind, TruthTable};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Inputs whose name starts with this prefix are parsed as key inputs.
+pub const KEY_INPUT_PREFIX: &str = "keyinput";
+
+#[derive(Debug)]
+enum RawDef {
+    Input { key: bool },
+    Gate { kind: GateKind, fanin: Vec<String> },
+}
+
+/// Parses a `.bench` netlist.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseBench`] for syntax errors,
+/// [`NetlistError::UndefinedSignal`] / [`NetlistError::UnknownOutput`] for
+/// dangling references, [`NetlistError::DuplicateSignal`] for redefinitions,
+/// and [`NetlistError::CombinationalCycle`] for cyclic netlists.
+pub fn parse_bench(name: impl Into<String>, text: &str) -> Result<Circuit, NetlistError> {
+    let mut defs: Vec<(String, RawDef)> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            let signal = parse_single_arg(rest, lineno)?;
+            let key = signal.starts_with(KEY_INPUT_PREFIX);
+            insert_def(&mut defs, &mut index, signal, RawDef::Input { key })?;
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            outputs.push(parse_single_arg(rest, lineno)?);
+        } else if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim().to_owned();
+            if target.is_empty() {
+                return Err(parse_err(lineno, "missing signal name before `=`"));
+            }
+            let rhs = line[eq + 1..].trim();
+            let (kind, fanin) = parse_rhs(rhs, lineno)?;
+            insert_def(&mut defs, &mut index, target, RawDef::Gate { kind, fanin })?;
+        } else {
+            return Err(parse_err(lineno, &format!("unrecognized line `{line}`")));
+        }
+    }
+
+    build_from_defs(name.into(), defs, index, outputs)
+}
+
+fn insert_def(
+    defs: &mut Vec<(String, RawDef)>,
+    index: &mut HashMap<String, usize>,
+    name: String,
+    def: RawDef,
+) -> Result<(), NetlistError> {
+    if index.contains_key(&name) {
+        return Err(NetlistError::DuplicateSignal(name));
+    }
+    index.insert(name.clone(), defs.len());
+    defs.push((name, def));
+    Ok(())
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let upper_len = keyword.len();
+    if line.len() > upper_len && line[..upper_len].eq_ignore_ascii_case(keyword) {
+        let rest = line[upper_len..].trim_start();
+        if rest.starts_with('(') {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+fn parse_single_arg(rest: &str, lineno: usize) -> Result<String, NetlistError> {
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|s| s.trim_end().strip_suffix(')'))
+        .ok_or_else(|| parse_err(lineno, "expected `(signal)`"))?
+        .trim();
+    if inner.is_empty() || inner.contains(',') {
+        return Err(parse_err(lineno, "expected a single signal name"));
+    }
+    Ok(inner.to_owned())
+}
+
+fn parse_rhs(rhs: &str, lineno: usize) -> Result<(GateKind, Vec<String>), NetlistError> {
+    let open = rhs
+        .find('(')
+        .ok_or_else(|| parse_err(lineno, "expected `KIND(args)` after `=`"))?;
+    let close = rhs
+        .rfind(')')
+        .ok_or_else(|| parse_err(lineno, "missing `)`"))?;
+    if close < open {
+        return Err(parse_err(lineno, "mismatched parentheses"));
+    }
+    let head = rhs[..open].trim();
+    let args: Vec<String> = rhs[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+
+    let mut head_parts = head.split_whitespace();
+    let kind_word = head_parts
+        .next()
+        .ok_or_else(|| parse_err(lineno, "missing gate kind"))?;
+    let kind = match kind_word.to_ascii_uppercase().as_str() {
+        "AND" => GateKind::And,
+        "NAND" => GateKind::Nand,
+        "OR" => GateKind::Or,
+        "NOR" => GateKind::Nor,
+        "XOR" => GateKind::Xor,
+        "XNOR" => GateKind::Xnor,
+        "NOT" | "INV" => GateKind::Not,
+        "BUF" | "BUFF" => GateKind::Buf,
+        "MUX" => GateKind::Mux,
+        "LUT" => {
+            let bits_word = head_parts
+                .next()
+                .ok_or_else(|| parse_err(lineno, "LUT requires hex truth table, e.g. `LUT 0x8`"))?;
+            let bits_str = bits_word
+                .strip_prefix("0x")
+                .or_else(|| bits_word.strip_prefix("0X"))
+                .ok_or_else(|| parse_err(lineno, "LUT truth table must start with 0x"))?;
+            let bits = u64::from_str_radix(bits_str, 16)
+                .map_err(|_| parse_err(lineno, "invalid LUT truth table hex"))?;
+            let table = TruthTable::new(args.len(), bits)
+                .map_err(|_| parse_err(lineno, "LUT supports at most 6 inputs"))?;
+            GateKind::Lut(table)
+        }
+        other => return Err(parse_err(lineno, &format!("unknown gate kind `{other}`"))),
+    };
+    if head_parts.next().is_some() && !matches!(kind, GateKind::Lut(_)) {
+        return Err(parse_err(lineno, "unexpected tokens after gate kind"));
+    }
+    Ok((kind, args))
+}
+
+fn parse_err(line: usize, message: &str) -> NetlistError {
+    NetlistError::ParseBench {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+fn build_from_defs(
+    name: String,
+    defs: Vec<(String, RawDef)>,
+    index: HashMap<String, usize>,
+    outputs: Vec<String>,
+) -> Result<Circuit, NetlistError> {
+    // Topologically order definitions by name so the builder (which requires
+    // fan-ins to exist) can ingest them.
+    let n = defs.len();
+    let mut indegree = vec![0usize; n];
+    let mut fanouts: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, (gate_name, def)) in defs.iter().enumerate() {
+        if let RawDef::Gate { fanin, .. } = def {
+            indegree[i] = fanin.len();
+            for f in fanin {
+                let &src = index.get(f).ok_or_else(|| NetlistError::UndefinedSignal {
+                    gate: gate_name.clone(),
+                    signal: f.clone(),
+                })?;
+                fanouts[src].push(i as u32);
+            }
+        }
+    }
+    // Smallest-definition-index-first Kahn: when the file is already in a
+    // valid topological order (as `write_bench` emits), gate ids round-trip
+    // unchanged.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut queue: BinaryHeap<Reverse<u32>> = (0..n as u32)
+        .filter(|&i| indegree[i as usize] == 0)
+        .map(Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(v)) = queue.pop() {
+        order.push(v as usize);
+        for &w in &fanouts[v as usize] {
+            indegree[w as usize] -= 1;
+            if indegree[w as usize] == 0 {
+                queue.push(Reverse(w));
+            }
+        }
+    }
+    if order.len() != n {
+        let cyclic = (0..n).find(|&i| indegree[i] > 0).unwrap_or(0);
+        return Err(NetlistError::CombinationalCycle {
+            gate: defs[cyclic].0.clone(),
+        });
+    }
+
+    let mut builder = CircuitBuilder::new(name);
+    let mut ids: Vec<Option<GateId>> = vec![None; n];
+    for def_idx in order {
+        let (gate_name, def) = &defs[def_idx];
+        let id = match def {
+            RawDef::Input { key: true } => builder.add_key_input(gate_name.clone())?,
+            RawDef::Input { key: false } => builder.add_input(gate_name.clone())?,
+            RawDef::Gate { kind, fanin } => {
+                let fanin_ids: Vec<GateId> = fanin
+                    .iter()
+                    .map(|f| ids[index[f]].expect("topological order violated"))
+                    .collect();
+                builder.add_gate(gate_name.clone(), kind.clone(), &fanin_ids)?
+            }
+        };
+        ids[def_idx] = Some(id);
+    }
+    for out in outputs {
+        let id = *index
+            .get(&out)
+            .ok_or_else(|| NetlistError::UnknownOutput(out.clone()))?;
+        builder.mark_output(ids[id].expect("all defs inserted"));
+    }
+    builder.finish()
+}
+
+/// Serializes a circuit to `.bench` text.
+///
+/// The output round-trips through [`parse_bench`]: key inputs are emitted as
+/// `INPUT(...)` whose names keep their `keyinput` prefix, LUT gates use the
+/// `LUT 0x..` extension, and gate definitions appear in topological order.
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} keys, {} outputs, {} logic gates",
+        circuit.inputs().len(),
+        circuit.keys().len(),
+        circuit.outputs().len(),
+        circuit.num_logic_gates()
+    );
+    for &id in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.gate(id).name());
+    }
+    for &id in circuit.keys() {
+        let _ = writeln!(out, "INPUT({})", circuit.gate(id).name());
+    }
+    for &id in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.gate(id).name());
+    }
+    // Id order is a valid topological order for every builder-made circuit
+    // (fan-ins must exist before use), and emitting it keeps gate ids stable
+    // across a write/parse round trip.
+    for (_, gate) in circuit.iter() {
+        if gate.kind().is_input() {
+            continue;
+        }
+        let fanin_names: Vec<&str> = gate
+            .fanin()
+            .iter()
+            .map(|&f| circuit.gate(f).name())
+            .collect();
+        match gate.kind() {
+            GateKind::Lut(table) => {
+                let _ = writeln!(
+                    out,
+                    "{} = LUT 0x{:x} ({})",
+                    gate.name(),
+                    table.bits(),
+                    fanin_names.join(", ")
+                );
+            }
+            kind => {
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    gate.name(),
+                    kind.mnemonic().to_ascii_uppercase(),
+                    fanin_names.join(", ")
+                );
+            }
+        }
+    }
+    out
+}
+
+impl Circuit {
+    /// Parses a circuit from `.bench` text. See [`parse_bench`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`parse_bench`].
+    pub fn from_bench(name: impl Into<String>, text: &str) -> Result<Self, NetlistError> {
+        parse_bench(name, text)
+    }
+
+    /// Serializes this circuit to `.bench` text. See [`write_bench`].
+    pub fn to_bench(&self) -> String {
+        write_bench(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c17;
+
+    #[test]
+    fn parses_c17_text() {
+        let text = "\
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+        let c = parse_bench("c17", text).unwrap();
+        assert_eq!(c.num_gates(), 11);
+        assert_eq!(c.outputs().len(), 2);
+    }
+
+    #[test]
+    fn handles_forward_references() {
+        let text = "\
+OUTPUT(y)
+y = AND(a, b)
+INPUT(a)
+INPUT(b)
+";
+        let c = parse_bench("fwd", text).unwrap();
+        assert_eq!(c.num_logic_gates(), 1);
+    }
+
+    #[test]
+    fn keyinput_prefix_becomes_key_role() {
+        let text = "\
+INPUT(a)
+INPUT(keyinput0)
+OUTPUT(y)
+y = XOR(a, keyinput0)
+";
+        let c = parse_bench("locked", text).unwrap();
+        assert_eq!(c.inputs().len(), 1);
+        assert_eq!(c.keys().len(), 1);
+    }
+
+    #[test]
+    fn lut_extension_round_trips() {
+        let text = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = LUT 0x8 (a, b)
+";
+        let c = parse_bench("lut", text).unwrap();
+        let reparsed = parse_bench("lut", &c.to_bench()).unwrap();
+        assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn c17_round_trips() {
+        let c = c17();
+        let text = c.to_bench();
+        let reparsed = parse_bench("c17", &text).unwrap();
+        assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let text = "\
+INPUT(a)
+OUTPUT(x)
+x = AND(a, y)
+y = AND(a, x)
+";
+        assert!(matches!(
+            parse_bench("cyc", text),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_undefined_fanin() {
+        let text = "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n";
+        assert!(matches!(
+            parse_bench("bad", text),
+            Err(NetlistError::UndefinedSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_output() {
+        let text = "INPUT(a)\nOUTPUT(ghost)\n";
+        assert!(matches!(
+            parse_bench("bad", text),
+            Err(NetlistError::UnknownOutput(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        let err = parse_bench("bad", "INPUT(a)\nthis is not bench\n").unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBench { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let text = "INPUT(a)\nINPUT(a)\n";
+        assert!(matches!(
+            parse_bench("bad", text),
+            Err(NetlistError::DuplicateSignal(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hello\nINPUT(a)  # trailing comment\nOUTPUT(a)\n";
+        let c = parse_bench("c", text).unwrap();
+        assert_eq!(c.num_gates(), 1);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn mux_gate_parses() {
+        let text = "\
+INPUT(s)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = MUX(s, a, b)
+";
+        let c = parse_bench("m", text).unwrap();
+        assert!(matches!(c.gate(c.find("y").unwrap()).kind(), GateKind::Mux));
+    }
+}

@@ -1,0 +1,58 @@
+//! The genuine ISCAS-85 `c17` benchmark, embedded for tests and examples.
+
+use crate::bench_format::parse_bench;
+use crate::circuit::Circuit;
+
+/// The `.bench` source of ISCAS-85 `c17` (5 inputs, 2 outputs, 6 NAND gates).
+///
+/// Signal names carry an `n` prefix because the original file uses bare
+/// numeric net ids.
+pub const C17_BENCH: &str = "\
+# c17 (ISCAS-85)
+INPUT(n1)
+INPUT(n2)
+INPUT(n3)
+INPUT(n6)
+INPUT(n7)
+OUTPUT(n22)
+OUTPUT(n23)
+n10 = NAND(n1, n3)
+n11 = NAND(n3, n6)
+n16 = NAND(n2, n11)
+n19 = NAND(n11, n7)
+n22 = NAND(n10, n16)
+n23 = NAND(n16, n19)
+";
+
+/// Returns the ISCAS-85 `c17` circuit.
+///
+/// ```
+/// let c = netlist::c17();
+/// assert_eq!(c.num_logic_gates(), 6);
+/// ```
+pub fn c17() -> Circuit {
+    parse_bench("c17", C17_BENCH).expect("embedded c17 netlist is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_is_functionally_correct() {
+        // Exhaustively check both outputs against the NAND network equations.
+        let c = c17();
+        for pattern in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| (pattern >> i) & 1 == 1).collect();
+            let (i1, i2, i3, i6, i7) = (bits[0], bits[1], bits[2], bits[3], bits[4]);
+            let n10 = !(i1 & i3);
+            let n11 = !(i3 & i6);
+            let n16 = !(i2 & n11);
+            let n19 = !(n11 & i7);
+            let n22 = !(n10 & n16);
+            let n23 = !(n16 & n19);
+            let outs = c.simulate_bool(&bits, &[]).unwrap();
+            assert_eq!(outs, vec![n22, n23], "pattern {pattern:05b}");
+        }
+    }
+}

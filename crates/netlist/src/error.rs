@@ -1,0 +1,125 @@
+use std::fmt;
+
+/// Errors produced while building, parsing, or analyzing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate refers to a signal id that was never defined.
+    UndefinedSignal {
+        /// Name of the gate with the dangling fan-in.
+        gate: String,
+        /// The undefined fan-in reference.
+        signal: String,
+    },
+    /// Two definitions share the same signal name.
+    DuplicateSignal(String),
+    /// The netlist contains a combinational cycle.
+    CombinationalCycle {
+        /// Name of a gate that participates in the cycle.
+        gate: String,
+    },
+    /// A gate has the wrong number of fan-ins for its kind.
+    BadArity {
+        /// Name of the offending gate.
+        gate: String,
+        /// Expected fan-in count description (e.g. `"exactly 1"`).
+        expected: String,
+        /// Actual fan-in count.
+        actual: usize,
+    },
+    /// A `.bench` line could not be parsed.
+    ParseBench {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// An `OUTPUT(...)` declaration names an unknown signal.
+    UnknownOutput(String),
+    /// A truth table was constructed with an unsupported input count.
+    BadTruthTable {
+        /// Requested number of LUT inputs.
+        inputs: usize,
+    },
+    /// A simulation was invoked with the wrong number of input patterns.
+    BadSimulationWidth {
+        /// What the circuit expects.
+        expected: usize,
+        /// What the caller supplied.
+        actual: usize,
+        /// Which port class was mismatched (`"inputs"` or `"keys"`).
+        port: &'static str,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UndefinedSignal { gate, signal } => {
+                write!(f, "gate `{gate}` references undefined signal `{signal}`")
+            }
+            NetlistError::DuplicateSignal(name) => {
+                write!(f, "signal `{name}` is defined more than once")
+            }
+            NetlistError::CombinationalCycle { gate } => {
+                write!(f, "combinational cycle through gate `{gate}`")
+            }
+            NetlistError::BadArity {
+                gate,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "gate `{gate}` expects {expected} fan-in(s), found {actual}"
+            ),
+            NetlistError::ParseBench { line, message } => {
+                write!(f, "bench parse error at line {line}: {message}")
+            }
+            NetlistError::UnknownOutput(name) => {
+                write!(f, "OUTPUT declaration names unknown signal `{name}`")
+            }
+            NetlistError::BadTruthTable { inputs } => {
+                write!(f, "truth tables support 0..=6 inputs, requested {inputs}")
+            }
+            NetlistError::BadSimulationWidth {
+                expected,
+                actual,
+                port,
+            } => write!(
+                f,
+                "simulation supplied {actual} {port} pattern(s), circuit has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = NetlistError::UndefinedSignal {
+            gate: "g1".into(),
+            signal: "n9".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("g1"));
+        assert!(msg.contains("n9"));
+
+        let err = NetlistError::BadArity {
+            gate: "inv".into(),
+            expected: "exactly 1".into(),
+            actual: 3,
+        };
+        assert!(err.to_string().contains("exactly 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

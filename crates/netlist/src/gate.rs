@@ -1,0 +1,465 @@
+use crate::circuit::GateId;
+use crate::error::NetlistError;
+use std::fmt;
+
+/// Whether a primary input carries functional data or a locking key bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InputRole {
+    /// Ordinary primary input.
+    Data,
+    /// Key input introduced by an obfuscation scheme.
+    Key,
+}
+
+impl fmt::Display for InputRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputRole::Data => f.write_str("data"),
+            InputRole::Key => f.write_str("key"),
+        }
+    }
+}
+
+/// A truth table over up to 6 inputs, stored as the low `2^k` bits of a `u64`.
+///
+/// Row `i` (where bit `j` of `i` is the value of input `j`) maps to output bit
+/// `i` of [`bits`](TruthTable::bits). This is the payload of
+/// [`GateKind::Lut`] and the unit of key material in LUT-based obfuscation.
+///
+/// ```
+/// use netlist::TruthTable;
+///
+/// // 2-input AND: only row 0b11 outputs 1.
+/// let and = TruthTable::new(2, 0b1000).unwrap();
+/// assert!(and.eval(&[true, true]));
+/// assert!(!and.eval(&[true, false]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    inputs: u8,
+    bits: u64,
+}
+
+impl TruthTable {
+    /// Creates a truth table with `inputs` inputs from the low `2^inputs`
+    /// bits of `bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadTruthTable`] if `inputs > 6`.
+    pub fn new(inputs: usize, bits: u64) -> Result<Self, NetlistError> {
+        if inputs > 6 {
+            return Err(NetlistError::BadTruthTable { inputs });
+        }
+        let mask = if inputs == 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1usize << inputs)) - 1
+        };
+        Ok(TruthTable {
+            inputs: inputs as u8,
+            bits: bits & mask,
+        })
+    }
+
+    /// Builds a truth table by evaluating `f` on every row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadTruthTable`] if `inputs > 6`.
+    pub fn from_fn(
+        inputs: usize,
+        mut f: impl FnMut(&[bool]) -> bool,
+    ) -> Result<Self, NetlistError> {
+        if inputs > 6 {
+            return Err(NetlistError::BadTruthTable { inputs });
+        }
+        let mut bits = 0u64;
+        let rows = 1usize << inputs;
+        let mut row_vals = vec![false; inputs];
+        for row in 0..rows {
+            for (j, v) in row_vals.iter_mut().enumerate() {
+                *v = (row >> j) & 1 == 1;
+            }
+            if f(&row_vals) {
+                bits |= 1u64 << row;
+            }
+        }
+        Ok(TruthTable {
+            inputs: inputs as u8,
+            bits,
+        })
+    }
+
+    /// Number of inputs of the table.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs as usize
+    }
+
+    /// Number of rows (`2^k`).
+    pub fn num_rows(&self) -> usize {
+        1usize << self.inputs
+    }
+
+    /// Raw table bits (row `i` in bit `i`).
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Output of the row addressed by `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^k`.
+    pub fn row(&self, index: usize) -> bool {
+        assert!(index < self.num_rows(), "truth table row out of range");
+        (self.bits >> index) & 1 == 1
+    }
+
+    /// Evaluates the table on a concrete input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the table's input count.
+    pub fn eval(&self, values: &[bool]) -> bool {
+        assert_eq!(
+            values.len(),
+            self.num_inputs(),
+            "truth table input arity mismatch"
+        );
+        let mut idx = 0usize;
+        for (j, &v) in values.iter().enumerate() {
+            if v {
+                idx |= 1 << j;
+            }
+        }
+        self.row(idx)
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lut{}:{:0width$b}",
+            self.inputs,
+            self.bits,
+            width = self.num_rows()
+        )
+    }
+}
+
+/// The logic function computed by a [`Gate`].
+///
+/// Multi-input variants (`And` through `Xnor`) accept two or more fan-ins,
+/// matching the ISCAS-85 `.bench` convention. `Xor`/`Xnor` over more than two
+/// inputs compute (inverted) parity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input (data or key).
+    Input(InputRole),
+    /// Identity buffer, 1 fan-in.
+    Buf,
+    /// Inverter, 1 fan-in.
+    Not,
+    /// n-ary AND.
+    And,
+    /// n-ary NAND.
+    Nand,
+    /// n-ary OR.
+    Or,
+    /// n-ary NOR.
+    Nor,
+    /// n-ary parity.
+    Xor,
+    /// n-ary inverted parity.
+    Xnor,
+    /// 2:1 multiplexer with fan-ins `[s, a, b]` computing `s ? b : a`.
+    Mux,
+    /// k-input lookup table with a constant truth table.
+    Lut(TruthTable),
+}
+
+impl GateKind {
+    /// Short lowercase mnemonic used by the `.bench` writer and statistics.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            GateKind::Input(InputRole::Data) => "input",
+            GateKind::Input(InputRole::Key) => "keyinput",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Nand => "nand",
+            GateKind::Or => "or",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux => "mux",
+            GateKind::Lut(_) => "lut",
+        }
+    }
+
+    /// Whether this kind is a primary input (data or key).
+    pub fn is_input(&self) -> bool {
+        matches!(self, GateKind::Input(_))
+    }
+
+    /// Validates the fan-in count for this gate kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] when `fanin_len` is not legal for
+    /// the kind (inputs take 0, `Buf`/`Not` take 1, `Mux` takes 3, a LUT takes
+    /// exactly its input count, and the n-ary kinds take at least 2).
+    pub fn check_arity(&self, gate_name: &str, fanin_len: usize) -> Result<(), NetlistError> {
+        let bad = |expected: &str| NetlistError::BadArity {
+            gate: gate_name.to_owned(),
+            expected: expected.to_owned(),
+            actual: fanin_len,
+        };
+        match self {
+            GateKind::Input(_) => {
+                if fanin_len != 0 {
+                    return Err(bad("exactly 0"));
+                }
+            }
+            GateKind::Buf | GateKind::Not => {
+                if fanin_len != 1 {
+                    return Err(bad("exactly 1"));
+                }
+            }
+            GateKind::Mux => {
+                if fanin_len != 3 {
+                    return Err(bad("exactly 3"));
+                }
+            }
+            GateKind::Lut(table) => {
+                if fanin_len != table.num_inputs() {
+                    return Err(bad(&format!("exactly {}", table.num_inputs())));
+                }
+            }
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => {
+                if fanin_len < 2 {
+                    return Err(bad("at least 2"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the gate on 64 patterns at once (one per bit position).
+    ///
+    /// `vals[i]` is the 64-pattern word of fan-in `i`, in fan-in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`GateKind::Input`] (inputs have no function) or
+    /// with a fan-in slice whose length is illegal for the kind.
+    pub fn eval_words(&self, vals: &[u64]) -> u64 {
+        match self {
+            GateKind::Input(_) => panic!("primary inputs are assigned, not evaluated"),
+            GateKind::Buf => vals[0],
+            GateKind::Not => !vals[0],
+            GateKind::And => vals.iter().copied().fold(u64::MAX, |a, b| a & b),
+            GateKind::Nand => !vals.iter().copied().fold(u64::MAX, |a, b| a & b),
+            GateKind::Or => vals.iter().copied().fold(0, |a, b| a | b),
+            GateKind::Nor => !vals.iter().copied().fold(0, |a, b| a | b),
+            GateKind::Xor => vals.iter().copied().fold(0, |a, b| a ^ b),
+            GateKind::Xnor => !vals.iter().copied().fold(0, |a, b| a ^ b),
+            GateKind::Mux => {
+                let (s, a, b) = (vals[0], vals[1], vals[2]);
+                (s & b) | (!s & a)
+            }
+            GateKind::Lut(table) => {
+                let k = table.num_inputs();
+                assert_eq!(vals.len(), k, "LUT fan-in arity mismatch");
+                let mut out = 0u64;
+                for row in 0..table.num_rows() {
+                    if !table.row(row) {
+                        continue;
+                    }
+                    // Word of patterns whose inputs select exactly this row.
+                    let mut hit = u64::MAX;
+                    for (j, &v) in vals.iter().enumerate() {
+                        hit &= if (row >> j) & 1 == 1 { v } else { !v };
+                    }
+                    out |= hit;
+                }
+                out
+            }
+        }
+    }
+
+    /// Evaluates the gate on a single boolean pattern.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GateKind::eval_words`].
+    pub fn eval_bools(&self, vals: &[bool]) -> bool {
+        let words: Vec<u64> = vals.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        self.eval_words(&words) & 1 == 1
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::Lut(t) => write!(f, "{t}"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+/// A single gate: its name, kind, and fan-in list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    pub(crate) name: String,
+    pub(crate) kind: GateKind,
+    pub(crate) fanin: Vec<GateId>,
+}
+
+impl Gate {
+    /// The signal name driven by this gate.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The logic function of this gate.
+    pub fn kind(&self) -> &GateKind {
+        &self.kind
+    }
+
+    /// Fan-in gate ids in positional order.
+    pub fn fanin(&self) -> &[GateId] {
+        &self.fanin
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} = {}({} fan-ins)",
+            self.name,
+            self.kind,
+            self.fanin.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_table_masks_high_bits() {
+        let t = TruthTable::new(2, u64::MAX).unwrap();
+        assert_eq!(t.bits(), 0b1111);
+        assert_eq!(t.num_rows(), 4);
+    }
+
+    #[test]
+    fn truth_table_rejects_wide_tables() {
+        assert!(matches!(
+            TruthTable::new(7, 0),
+            Err(NetlistError::BadTruthTable { inputs: 7 })
+        ));
+    }
+
+    #[test]
+    fn truth_table_from_fn_matches_eval() {
+        let t = TruthTable::from_fn(3, |v| v[0] ^ v[1] ^ v[2]).unwrap();
+        for row in 0..8 {
+            let vals = [(row & 1) == 1, (row >> 1) & 1 == 1, (row >> 2) & 1 == 1];
+            assert_eq!(t.eval(&vals), vals[0] ^ vals[1] ^ vals[2]);
+        }
+    }
+
+    #[test]
+    fn six_input_table_uses_full_word() {
+        let t = TruthTable::new(6, u64::MAX).unwrap();
+        assert_eq!(t.num_rows(), 64);
+        assert!(t.row(63));
+    }
+
+    #[test]
+    fn eval_words_basic_gates() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        assert_eq!(GateKind::And.eval_words(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(GateKind::Or.eval_words(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(GateKind::Xor.eval_words(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(GateKind::Nand.eval_words(&[a, b]) & 0xF, 0b0111);
+        assert_eq!(GateKind::Nor.eval_words(&[a, b]) & 0xF, 0b0001);
+        assert_eq!(GateKind::Xnor.eval_words(&[a, b]) & 0xF, 0b1001);
+        assert_eq!(GateKind::Not.eval_words(&[a]) & 0xF, 0b0011);
+        assert_eq!(GateKind::Buf.eval_words(&[a]) & 0xF, 0b1100);
+    }
+
+    #[test]
+    fn eval_words_nary_gates() {
+        let a = 0b1111_0000u64;
+        let b = 0b1100_1100u64;
+        let c = 0b1010_1010u64;
+        assert_eq!(GateKind::And.eval_words(&[a, b, c]) & 0xFF, 0b1000_0000);
+        assert_eq!(GateKind::Or.eval_words(&[a, b, c]) & 0xFF, 0b1111_1110);
+        // 3-input XOR is parity.
+        assert_eq!(GateKind::Xor.eval_words(&[a, b, c]) & 0xFF, 0b1001_0110);
+    }
+
+    #[test]
+    fn mux_selects_between_branches() {
+        let s = 0b1100u64;
+        let a = 0b1010u64;
+        let b = 0b0110u64;
+        // s=0 -> a, s=1 -> b.
+        assert_eq!(
+            GateKind::Mux.eval_words(&[s, a, b]) & 0xF,
+            0b0110 & s | a & !s
+        );
+    }
+
+    #[test]
+    fn lut_eval_words_matches_truth_table() {
+        // 4-input LUT implementing majority-ish function.
+        let t = TruthTable::from_fn(4, |v| v.iter().filter(|&&x| x).count() >= 2).unwrap();
+        let kind = GateKind::Lut(t);
+        for pattern in 0..16u64 {
+            let vals: Vec<u64> = (0..4).map(|j| (pattern >> j) & 1).collect();
+            let expect = (pattern.count_ones() >= 2) as u64;
+            assert_eq!(kind.eval_words(&vals) & 1, expect, "pattern {pattern:04b}");
+        }
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(GateKind::Not.check_arity("g", 1).is_ok());
+        assert!(GateKind::Not.check_arity("g", 2).is_err());
+        assert!(GateKind::And.check_arity("g", 1).is_err());
+        assert!(GateKind::And.check_arity("g", 4).is_ok());
+        assert!(GateKind::Mux.check_arity("g", 3).is_ok());
+        assert!(GateKind::Mux.check_arity("g", 2).is_err());
+        let t = TruthTable::new(4, 0xBEEF).unwrap();
+        assert!(GateKind::Lut(t).check_arity("g", 4).is_ok());
+        assert!(GateKind::Lut(t).check_arity("g", 3).is_err());
+        assert!(GateKind::Input(InputRole::Data).check_arity("g", 0).is_ok());
+        assert!(GateKind::Input(InputRole::Key).check_arity("g", 1).is_err());
+    }
+
+    #[test]
+    fn eval_bools_agrees_with_eval_words() {
+        for kind in [GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Nand] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let via_words = kind.eval_words(&[a as u64, b as u64]) & 1 == 1;
+                    assert_eq!(kind.eval_bools(&[a, b]), via_words);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,620 @@
+//! Netlist cleanup passes: constant folding, buffer elision, and
+//! dead-logic removal.
+//!
+//! The main client is key application: resolving a locked circuit under a
+//! key ([`obfuscate`-crate `apply_key`]) turns every key input into a
+//! 0-input constant LUT, leaving MUX trees with constant selects behind.
+//! [`optimize`] folds those away, recovering a netlist of roughly the
+//! original size.
+//!
+//! All passes are function-preserving: `optimize(c)` is combinationally
+//! equivalent to `c` on every input/key assignment (checked by tests and
+//! property tests).
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateId};
+use crate::error::NetlistError;
+use crate::gate::{GateKind, TruthTable};
+use crate::topo::fanin_cone;
+use std::collections::HashMap;
+
+/// What a source gate became in the optimized circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Folded {
+    /// A known constant.
+    Const(bool),
+    /// An alias of an already-created new gate.
+    Gate(GateId),
+}
+
+/// Statistics of one [`optimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Gates in the input circuit.
+    pub gates_before: usize,
+    /// Gates in the optimized circuit.
+    pub gates_after: usize,
+    /// Gates folded to constants.
+    pub constants_folded: usize,
+    /// Buffers / double inverters / trivial gates aliased away.
+    pub aliased: usize,
+}
+
+/// Optimizes a circuit: folds constants, elides buffers and double
+/// inverters, simplifies dominated/neutral fan-ins, and sweeps logic that
+/// no output observes. Port order (inputs, keys, outputs) is preserved.
+///
+/// Runs [`optimize_once`] to a fixpoint (eliding a gate can orphan a gate
+/// created earlier in the same pass, so one sweep is not always enough).
+///
+/// # Errors
+///
+/// Propagates netlist construction failures (cannot occur for circuits
+/// built by [`CircuitBuilder`], but the signature stays honest).
+pub fn optimize(circuit: &Circuit) -> Result<(Circuit, OptStats), NetlistError> {
+    let (mut current, mut total) = optimize_once(circuit)?;
+    for _ in 0..8 {
+        let (next, stats) = optimize_once(&current)?;
+        if next.num_gates() == current.num_gates() {
+            break;
+        }
+        total.constants_folded += stats.constants_folded;
+        total.aliased += stats.aliased;
+        total.gates_after = next.num_gates();
+        current = next;
+    }
+    Ok((current, total))
+}
+
+/// One optimization sweep; see [`optimize`].
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`].
+pub fn optimize_once(circuit: &Circuit) -> Result<(Circuit, OptStats), NetlistError> {
+    let mut stats = OptStats {
+        gates_before: circuit.num_gates(),
+        ..OptStats::default()
+    };
+    // Restrict rebuilding to the observable cone (plus all ports).
+    let mut live = vec![false; circuit.num_gates()];
+    for id in fanin_cone(circuit, circuit.outputs()) {
+        live[id.index()] = true;
+    }
+    for &id in circuit.inputs().iter().chain(circuit.keys()) {
+        live[id.index()] = true;
+    }
+
+    let mut builder = CircuitBuilder::new(circuit.name().to_owned());
+    let mut folded: Vec<Option<Folded>> = vec![None; circuit.num_gates()];
+    // Lazily created constant gates (at most one per polarity).
+    let mut const_gates: [Option<GateId>; 2] = [None, None];
+    // Structural hashing: one gate per (kind, fan-in) signature.
+    let mut cse: HashMap<(GateKind, Vec<GateId>), GateId> = HashMap::new();
+
+    for (id, gate) in circuit.iter() {
+        if !live[id.index()] {
+            continue;
+        }
+        let result = match gate.kind() {
+            GateKind::Input(crate::gate::InputRole::Data) => {
+                Folded::Gate(builder.add_input(gate.name().to_owned())?)
+            }
+            GateKind::Input(crate::gate::InputRole::Key) => {
+                Folded::Gate(builder.add_key_input(gate.name().to_owned())?)
+            }
+            kind => {
+                let fanin: Vec<Folded> = gate
+                    .fanin()
+                    .iter()
+                    .map(|f| folded[f.index()].expect("id order is topological"))
+                    .collect();
+                fold_gate(
+                    &mut builder,
+                    gate.name(),
+                    kind,
+                    &fanin,
+                    &mut stats,
+                    &mut const_gates,
+                    &mut cse,
+                )?
+            }
+        };
+        folded[id.index()] = Some(result);
+    }
+
+    let mut marked: Vec<GateId> = Vec::new();
+    for &out in circuit.outputs() {
+        let mut id = match folded[out.index()].expect("outputs are live") {
+            Folded::Gate(id) => id,
+            Folded::Const(v) => materialize_const(&mut builder, &mut const_gates, v)?,
+        };
+        // Two source outputs may fold to the same gate; keep the port count
+        // stable by buffering the duplicate.
+        if marked.contains(&id) {
+            id = builder.add_gate(
+                format!("{}__obuf", circuit.gate(out).name()),
+                GateKind::Buf,
+                &[id],
+            )?;
+        }
+        marked.push(id);
+        builder.mark_output(id);
+    }
+    let optimized = builder.finish()?;
+    stats.gates_after = optimized.num_gates();
+    Ok((optimized, stats))
+}
+
+fn materialize_const(
+    builder: &mut CircuitBuilder,
+    cache: &mut [Option<GateId>; 2],
+    value: bool,
+) -> Result<GateId, NetlistError> {
+    if let Some(id) = cache[value as usize] {
+        return Ok(id);
+    }
+    let table = TruthTable::new(0, value as u64).expect("0-input tables are valid");
+    let id = builder.add_gate(format!("__const{}", value as u8), GateKind::Lut(table), &[])?;
+    cache[value as usize] = Some(id);
+    Ok(id)
+}
+
+/// Folds one gate given the folded states of its fan-ins.
+/// Emits a gate through the structural-hashing table: an existing gate with
+/// the same kind and (order-normalized, for commutative kinds) fan-ins is
+/// reused instead of duplicated.
+fn emit(
+    builder: &mut CircuitBuilder,
+    cse: &mut HashMap<(GateKind, Vec<GateId>), GateId>,
+    name: &str,
+    kind: GateKind,
+    fanin: &[GateId],
+) -> Result<GateId, NetlistError> {
+    let mut signature = fanin.to_vec();
+    if matches!(
+        kind,
+        GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor
+    ) {
+        signature.sort();
+    }
+    let key = (kind.clone(), signature);
+    if let Some(&existing) = cse.get(&key) {
+        return Ok(existing);
+    }
+    let id = builder.add_gate(name.to_owned(), kind, fanin)?;
+    cse.insert(key, id);
+    Ok(id)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fold_gate(
+    builder: &mut CircuitBuilder,
+    name: &str,
+    kind: &GateKind,
+    fanin: &[Folded],
+    stats: &mut OptStats,
+    const_gates: &mut [Option<GateId>; 2],
+    cse: &mut HashMap<(GateKind, Vec<GateId>), GateId>,
+) -> Result<Folded, NetlistError> {
+    // 1. Full constant fold.
+    if fanin.iter().all(|f| matches!(f, Folded::Const(_))) {
+        let vals: Vec<bool> = fanin
+            .iter()
+            .map(|f| match f {
+                Folded::Const(v) => *v,
+                Folded::Gate(_) => unreachable!(),
+            })
+            .collect();
+        stats.constants_folded += 1;
+        return Ok(Folded::Const(kind.eval_bools(&vals)));
+    }
+
+    // 2. Kind-specific partial simplification.
+    match kind {
+        GateKind::Buf => {
+            stats.aliased += 1;
+            return Ok(fanin[0]);
+        }
+        GateKind::Not => {
+            if let Folded::Gate(src) = fanin[0] {
+                // Double-inverter elision: Not(Not(x)) -> x.
+                if let Some(inner) = builder_not_operand(builder, src) {
+                    stats.aliased += 1;
+                    return Ok(Folded::Gate(inner));
+                }
+                let id = emit(builder, cse, name, GateKind::Not, &[src])?;
+                return Ok(Folded::Gate(id));
+            }
+            unreachable!("constant Not handled by the full fold");
+        }
+        GateKind::Mux => {
+            // Constant select chooses a branch; equal branches need no MUX.
+            if let Folded::Const(s) = fanin[0] {
+                stats.aliased += 1;
+                return Ok(if s { fanin[2] } else { fanin[1] });
+            }
+            if fanin[1] == fanin[2] {
+                stats.aliased += 1;
+                return Ok(fanin[1]);
+            }
+            // Constant data branches rewrite to basic gates:
+            //   MUX(s, 0, 1) = s          MUX(s, 1, 0) = !s
+            //   MUX(s, 0, b) = s & b      MUX(s, 1, b) = !s | b
+            //   MUX(s, a, 0) = !s & a     MUX(s, a, 1) = s | a
+            let sel = match fanin[0] {
+                Folded::Gate(id) => id,
+                Folded::Const(_) => unreachable!("constant select handled above"),
+            };
+            match (fanin[1], fanin[2]) {
+                (Folded::Const(false), Folded::Const(true)) => {
+                    stats.aliased += 1;
+                    return Ok(fanin[0]);
+                }
+                (Folded::Const(true), Folded::Const(false)) => {
+                    stats.aliased += 1;
+                    let id = emit(builder, cse, name, GateKind::Not, &[sel])?;
+                    return Ok(Folded::Gate(id));
+                }
+                (Folded::Const(a), Folded::Gate(b)) => {
+                    stats.aliased += 1;
+                    let id = if a {
+                        let inv = emit(
+                            builder,
+                            cse,
+                            &format!("{name}__nsel"),
+                            GateKind::Not,
+                            &[sel],
+                        )?;
+                        emit(builder, cse, name, GateKind::Or, &[inv, b])?
+                    } else {
+                        emit(builder, cse, name, GateKind::And, &[sel, b])?
+                    };
+                    return Ok(Folded::Gate(id));
+                }
+                (Folded::Gate(a), Folded::Const(b)) => {
+                    stats.aliased += 1;
+                    let id = if b {
+                        emit(builder, cse, name, GateKind::Or, &[sel, a])?
+                    } else {
+                        let inv = emit(
+                            builder,
+                            cse,
+                            &format!("{name}__nsel"),
+                            GateKind::Not,
+                            &[sel],
+                        )?;
+                        emit(builder, cse, name, GateKind::And, &[inv, a])?
+                    };
+                    return Ok(Folded::Gate(id));
+                }
+                _ => {}
+            }
+        }
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let (dominator, invert_out) = match kind {
+                GateKind::And => (false, false),
+                GateKind::Nand => (false, true),
+                GateKind::Or => (true, false),
+                GateKind::Nor => (true, true),
+                _ => unreachable!(),
+            };
+            if fanin
+                .iter()
+                .any(|f| matches!(f, Folded::Const(v) if *v == dominator))
+            {
+                stats.constants_folded += 1;
+                return Ok(Folded::Const(dominator ^ invert_out));
+            }
+            // Neutral constants drop out.
+            let remaining: Vec<Folded> = fanin
+                .iter()
+                .copied()
+                .filter(|f| !matches!(f, Folded::Const(_)))
+                .collect();
+            if remaining.len() == 1 {
+                if let Folded::Gate(src) = remaining[0] {
+                    stats.aliased += 1;
+                    if invert_out {
+                        let id = emit(builder, cse, name, GateKind::Not, &[src])?;
+                        return Ok(Folded::Gate(id));
+                    }
+                    return Ok(Folded::Gate(src));
+                }
+            }
+            if remaining.len() < fanin.len() && remaining.len() >= 2 {
+                let srcs: Vec<GateId> = remaining
+                    .iter()
+                    .map(|f| match f {
+                        Folded::Gate(id) => *id,
+                        Folded::Const(_) => unreachable!(),
+                    })
+                    .collect();
+                let id = emit(builder, cse, name, kind.clone(), &srcs)?;
+                return Ok(Folded::Gate(id));
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // Constants toggle the output parity and drop out.
+            let mut invert = matches!(kind, GateKind::Xnor);
+            let mut srcs: Vec<GateId> = Vec::new();
+            for f in fanin {
+                match f {
+                    Folded::Const(v) => invert ^= *v,
+                    Folded::Gate(id) => srcs.push(*id),
+                }
+            }
+            match srcs.len() {
+                0 => unreachable!("constant parity handled by the full fold"),
+                1 => {
+                    stats.aliased += 1;
+                    if invert {
+                        let id = emit(builder, cse, name, GateKind::Not, &[srcs[0]])?;
+                        return Ok(Folded::Gate(id));
+                    }
+                    return Ok(Folded::Gate(srcs[0]));
+                }
+                _ if srcs.len() < fanin.len() => {
+                    let k = if invert {
+                        GateKind::Xnor
+                    } else {
+                        GateKind::Xor
+                    };
+                    let id = emit(builder, cse, name, k, &srcs)?;
+                    return Ok(Folded::Gate(id));
+                }
+                _ => {}
+            }
+        }
+        GateKind::Lut(table) => {
+            // Shannon-cofactor the LUT on its constant inputs.
+            let const_positions: Vec<(usize, bool)> = fanin
+                .iter()
+                .enumerate()
+                .filter_map(|(j, f)| match f {
+                    Folded::Const(v) => Some((j, *v)),
+                    Folded::Gate(_) => None,
+                })
+                .collect();
+            if !const_positions.is_empty() {
+                let free: Vec<usize> = (0..fanin.len())
+                    .filter(|j| !const_positions.iter().any(|(cj, _)| cj == j))
+                    .collect();
+                let sub = TruthTable::from_fn(free.len(), |vals| {
+                    let mut full = vec![false; fanin.len()];
+                    for (&j, &v) in free.iter().zip(vals) {
+                        full[j] = v;
+                    }
+                    for &(j, v) in &const_positions {
+                        full[j] = v;
+                    }
+                    table.eval(&full)
+                })?;
+                let srcs: Vec<GateId> = free
+                    .iter()
+                    .map(|&j| match fanin[j] {
+                        Folded::Gate(id) => id,
+                        Folded::Const(_) => unreachable!(),
+                    })
+                    .collect();
+                stats.aliased += 1;
+                let id = emit(builder, cse, name, GateKind::Lut(sub), &srcs)?;
+                return Ok(Folded::Gate(id));
+            }
+        }
+        GateKind::Input(_) => unreachable!("inputs handled by the caller"),
+    }
+
+    // 3. No simplification: copy the gate, materializing any constant
+    // fan-ins that survived the kind-specific rules (e.g. a MUX data branch
+    // under a variable select).
+    let srcs: Vec<GateId> = fanin
+        .iter()
+        .map(|f| match f {
+            Folded::Gate(id) => Ok(*id),
+            Folded::Const(v) => materialize_const(builder, const_gates, *v),
+        })
+        .collect::<Result<_, NetlistError>>()?;
+    let id = emit(builder, cse, name, kind.clone(), &srcs)?;
+    Ok(Folded::Gate(id))
+}
+
+/// If `id` is a NOT gate in the builder, returns its operand.
+fn builder_not_operand(builder: &CircuitBuilder, id: GateId) -> Option<GateId> {
+    builder.gate_kind(id).and_then(|(kind, fanin)| {
+        if matches!(kind, GateKind::Not) {
+            fanin.first().copied()
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c17;
+    use crate::gate::InputRole;
+
+    fn constant(builder: &mut CircuitBuilder, name: &str, v: bool) -> GateId {
+        builder
+            .add_gate(
+                name.to_owned(),
+                GateKind::Lut(TruthTable::new(0, v as u64).unwrap()),
+                &[],
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn c17_is_already_minimal() {
+        let c = c17();
+        let (opt, stats) = optimize(&c).unwrap();
+        assert_eq!(stats.gates_before, 11);
+        assert_eq!(opt.num_gates(), 11);
+        assert!(c.equiv_random(&opt, &[], &[], 4, 1).unwrap());
+    }
+
+    #[test]
+    fn constants_propagate_through_gates() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_input("a").unwrap();
+        let one = constant(&mut b, "one", true);
+        let zero = constant(&mut b, "zero", false);
+        // and(a, one) -> a ; or(a, one) -> 1 ; and(a, zero) -> 0
+        let and1 = b.add_gate("and1", GateKind::And, &[a, one]).unwrap();
+        let or1 = b.add_gate("or1", GateKind::Or, &[a, one]).unwrap();
+        let and0 = b.add_gate("and0", GateKind::And, &[a, zero]).unwrap();
+        let x = b.add_gate("x", GateKind::Xor, &[and1, or1]).unwrap();
+        let y = b.add_gate("y", GateKind::Or, &[x, and0]).unwrap();
+        b.mark_output(y);
+        let c = b.finish().unwrap();
+        let (opt, _) = optimize(&c).unwrap();
+        assert!(c.equiv_random(&opt, &[], &[], 4, 2).unwrap());
+        assert!(opt.num_gates() < c.num_gates());
+    }
+
+    #[test]
+    fn mux_with_constant_select_collapses() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_input("a").unwrap();
+        let d = b.add_input("d").unwrap();
+        let one = constant(&mut b, "one", true);
+        let m = b.add_gate("m", GateKind::Mux, &[one, a, d]).unwrap();
+        b.mark_output(m);
+        let c = b.finish().unwrap();
+        let (opt, stats) = optimize(&c).unwrap();
+        assert!(c.equiv_random(&opt, &[], &[], 4, 3).unwrap());
+        // s=1 selects the `d` branch; the MUX and constant disappear.
+        assert_eq!(opt.num_logic_gates(), 0);
+        assert!(stats.aliased >= 1);
+    }
+
+    #[test]
+    fn double_inverter_is_elided() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_input("a").unwrap();
+        let n1 = b.add_gate("n1", GateKind::Not, &[a]).unwrap();
+        let n2 = b.add_gate("n2", GateKind::Not, &[n1]).unwrap();
+        let n3 = b.add_gate("n3", GateKind::Not, &[n2]).unwrap();
+        b.mark_output(n3);
+        let c = b.finish().unwrap();
+        let (opt, _) = optimize(&c).unwrap();
+        assert!(c.equiv_random(&opt, &[], &[], 4, 4).unwrap());
+        assert_eq!(opt.num_logic_gates(), 1, "three NOTs fold to one");
+    }
+
+    #[test]
+    fn dead_logic_is_swept() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_input("a").unwrap();
+        let live = b.add_gate("live", GateKind::Not, &[a]).unwrap();
+        let dead = b.add_gate("dead", GateKind::Buf, &[a]).unwrap();
+        let _dead2 = b.add_gate("dead2", GateKind::Not, &[dead]).unwrap();
+        b.mark_output(live);
+        let c = b.finish().unwrap();
+        let (opt, _) = optimize(&c).unwrap();
+        assert_eq!(opt.num_gates(), 2);
+    }
+
+    #[test]
+    fn lut_cofactoring_on_constant_inputs() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_input("a").unwrap();
+        let one = constant(&mut b, "one", true);
+        // LUT(a, 1) computing AND: cofactor = identity on a.
+        let table = TruthTable::from_fn(2, |v| v[0] & v[1]).unwrap();
+        let l = b.add_gate("l", GateKind::Lut(table), &[a, one]).unwrap();
+        b.mark_output(l);
+        let c = b.finish().unwrap();
+        let (opt, _) = optimize(&c).unwrap();
+        assert!(c.equiv_random(&opt, &[], &[], 4, 5).unwrap());
+        // Result is a 1-input LUT (identity) on `a`.
+        let out = opt.outputs()[0];
+        match opt.gate(out).kind() {
+            GateKind::Lut(t) => assert_eq!(t.num_inputs(), 1),
+            other => panic!("expected LUT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_output_is_materialized() {
+        let mut b = CircuitBuilder::new("t");
+        let _a = b.add_input("a").unwrap();
+        let zero = constant(&mut b, "zero", false);
+        let one = constant(&mut b, "one", true);
+        let g = b.add_gate("g", GateKind::And, &[zero, one]).unwrap();
+        b.mark_output(g);
+        let c = b.finish().unwrap();
+        let (opt, stats) = optimize(&c).unwrap();
+        assert!(c.equiv_random(&opt, &[], &[], 4, 6).unwrap());
+        assert!(stats.constants_folded >= 1);
+        assert_eq!(opt.outputs().len(), 1);
+    }
+
+    #[test]
+    fn ports_are_preserved() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_input("a").unwrap();
+        let k = b.add_key_input("keyinput0").unwrap();
+        let g = b.add_gate("g", GateKind::Xor, &[a, k]).unwrap();
+        b.mark_output(g);
+        let c = b.finish().unwrap();
+        let (opt, _) = optimize(&c).unwrap();
+        assert_eq!(opt.inputs().len(), 1);
+        assert_eq!(opt.keys().len(), 1);
+        assert!(matches!(
+            opt.gate(opt.keys()[0]).kind(),
+            GateKind::Input(InputRole::Key)
+        ));
+    }
+
+    #[test]
+    fn colliding_outputs_keep_their_port_count() {
+        // out2 = BUF(out1): both fold to the same gate; the optimizer must
+        // keep two output ports (buffering the duplicate).
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_input("a").unwrap();
+        let g = b.add_gate("g", GateKind::Not, &[a]).unwrap();
+        let h = b.add_gate("h", GateKind::Buf, &[g]).unwrap();
+        b.mark_output(g);
+        b.mark_output(h);
+        let c = b.finish().unwrap();
+        let (opt, _) = optimize(&c).unwrap();
+        assert_eq!(opt.outputs().len(), 2);
+        assert!(c.equiv_random(&opt, &[], &[], 4, 9).unwrap());
+
+        // Same for two constant outputs of equal polarity.
+        let mut b = CircuitBuilder::new("t2");
+        let _a = b.add_input("a").unwrap();
+        let one1 = constant(&mut b, "one1", true);
+        let one2 = constant(&mut b, "one2", true);
+        b.mark_output(one1);
+        b.mark_output(one2);
+        let c = b.finish().unwrap();
+        let (opt, _) = optimize(&c).unwrap();
+        assert_eq!(opt.outputs().len(), 2);
+        assert!(c.equiv_random(&opt, &[], &[], 4, 10).unwrap());
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let mut b = CircuitBuilder::new("t");
+        let a = b.add_input("a").unwrap();
+        let one = constant(&mut b, "one", true);
+        let g1 = b.add_gate("g1", GateKind::And, &[a, one]).unwrap();
+        let g2 = b.add_gate("g2", GateKind::Buf, &[g1]).unwrap();
+        b.mark_output(g2);
+        let c = b.finish().unwrap();
+        let (opt1, _) = optimize(&c).unwrap();
+        let (opt2, stats2) = optimize(&opt1).unwrap();
+        assert_eq!(opt1, opt2);
+        assert_eq!(stats2.constants_folded, 0);
+        assert_eq!(stats2.aliased, 0);
+    }
+}

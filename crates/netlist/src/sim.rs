@@ -1,0 +1,246 @@
+//! 64-way bit-parallel logic simulation.
+//!
+//! Each signal carries a `u64` word; bit position `p` of every word belongs
+//! to the same test pattern, so a single pass over the circuit evaluates 64
+//! input patterns at once. This is the workhorse behind oracle queries in the
+//! SAT attack and behind functional-equivalence checks in tests.
+
+use crate::circuit::{Circuit, GateId};
+use crate::error::NetlistError;
+
+/// The values of every gate in a circuit for up to 64 patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimPatterns {
+    values: Vec<u64>,
+}
+
+impl SimPatterns {
+    /// Word of 64 pattern values for a gate.
+    pub fn word(&self, id: GateId) -> u64 {
+        self.values[id.index()]
+    }
+
+    /// Value of a gate under pattern `p` (bit position `p`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= 64`.
+    pub fn bit(&self, id: GateId, p: usize) -> bool {
+        assert!(p < 64, "pattern index out of range");
+        (self.values[id.index()] >> p) & 1 == 1
+    }
+
+    /// All gate words in id order.
+    pub fn words(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+impl Circuit {
+    /// Simulates 64 patterns at once.
+    ///
+    /// `inputs[i]` / `keys[i]` hold the 64-pattern words for the i-th primary
+    /// / key input (bit `p` = pattern `p`). Returns the words of all gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadSimulationWidth`] when the slice lengths do
+    /// not match the circuit's port counts.
+    pub fn simulate_words(
+        &self,
+        inputs: &[u64],
+        keys: &[u64],
+    ) -> Result<SimPatterns, NetlistError> {
+        Circuit::validate_port_width(self.inputs.len(), inputs.len(), "inputs")?;
+        Circuit::validate_port_width(self.keys.len(), keys.len(), "keys")?;
+        let mut values = vec![0u64; self.gates.len()];
+        for (word, &id) in inputs.iter().zip(&self.inputs) {
+            values[id.index()] = *word;
+        }
+        for (word, &id) in keys.iter().zip(&self.keys) {
+            values[id.index()] = *word;
+        }
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for &id in &self.topo {
+            let gate = &self.gates[id.index()];
+            if gate.kind.is_input() {
+                continue;
+            }
+            fanin_buf.clear();
+            fanin_buf.extend(gate.fanin.iter().map(|f| values[f.index()]));
+            values[id.index()] = gate.kind.eval_words(&fanin_buf);
+        }
+        Ok(SimPatterns { values })
+    }
+
+    /// Simulates 64 patterns and returns only the primary-output words.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::simulate_words`].
+    pub fn simulate(&self, inputs: &[u64], keys: &[u64]) -> Result<Vec<u64>, NetlistError> {
+        let sim = self.simulate_words(inputs, keys)?;
+        Ok(self.outputs.iter().map(|&o| sim.word(o)).collect())
+    }
+
+    /// Simulates a single boolean pattern and returns the output values.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Circuit::simulate_words`].
+    pub fn simulate_bool(&self, inputs: &[bool], keys: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let input_words: Vec<u64> = inputs.iter().map(|&b| b as u64).collect();
+        let key_words: Vec<u64> = keys.iter().map(|&b| b as u64).collect();
+        let outs = self.simulate(&input_words, &key_words)?;
+        Ok(outs.into_iter().map(|w| w & 1 == 1).collect())
+    }
+
+    /// Checks whether two circuits with identical port shapes compute the
+    /// same outputs on `rounds * 64` random patterns (a Monte-Carlo
+    /// equivalence check; exact for small input counts when `exhaustive`
+    /// coverage fits in the rounds).
+    ///
+    /// `self` and `other` must have the same number of inputs and outputs;
+    /// `self_keys` / `other_keys` fix the key values of each circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadSimulationWidth`] when key widths are wrong.
+    pub fn equiv_random(
+        &self,
+        other: &Circuit,
+        self_keys: &[bool],
+        other_keys: &[bool],
+        rounds: usize,
+        seed: u64,
+    ) -> Result<bool, NetlistError> {
+        assert_eq!(self.inputs.len(), other.inputs.len(), "input counts differ");
+        assert_eq!(
+            self.outputs.len(),
+            other.outputs.len(),
+            "output counts differ"
+        );
+        let self_key_words: Vec<u64> = self_keys
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        let other_key_words: Vec<u64> = other_keys
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        let n_in = self.inputs.len();
+        // For few inputs, walk the exhaustive space instead of sampling.
+        if n_in <= 6 {
+            let total = 1u64 << n_in;
+            let mut words = vec![0u64; n_in];
+            for (j, w) in words.iter_mut().enumerate() {
+                for p in 0..total {
+                    if (p >> j) & 1 == 1 {
+                        *w |= 1 << p;
+                    }
+                }
+            }
+            let a = self.simulate(&words, &self_key_words)?;
+            let b = other.simulate(&words, &other_key_words)?;
+            let mask = if total == 64 {
+                u64::MAX
+            } else {
+                (1u64 << total) - 1
+            };
+            return Ok(a.iter().zip(&b).all(|(x, y)| (x & mask) == (y & mask)));
+        }
+        for _ in 0..rounds {
+            let words: Vec<u64> = (0..n_in).map(|_| next()).collect();
+            let a = self.simulate(&words, &self_key_words)?;
+            let b = other.simulate(&words, &other_key_words)?;
+            if a != b {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::c17;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn word_simulation_matches_bool_simulation() {
+        let c = c17();
+        // Pack all 32 exhaustive patterns into one word per input.
+        let mut words = vec![0u64; 5];
+        for p in 0..32u64 {
+            for (j, w) in words.iter_mut().enumerate() {
+                if (p >> j) & 1 == 1 {
+                    *w |= 1 << p;
+                }
+            }
+        }
+        let outs = c.simulate(&words, &[]).unwrap();
+        for p in 0..32 {
+            let bits: Vec<bool> = (0..5).map(|j| (p >> j) & 1 == 1).collect();
+            let expect = c.simulate_bool(&bits, &[]).unwrap();
+            for (o, w) in expect.iter().zip(&outs) {
+                assert_eq!(*o, (w >> p) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_port_width_is_error() {
+        let c = c17();
+        assert!(matches!(
+            c.simulate(&[0; 4], &[]),
+            Err(NetlistError::BadSimulationWidth { port: "inputs", .. })
+        ));
+        assert!(matches!(
+            c.simulate(&[0; 5], &[0]),
+            Err(NetlistError::BadSimulationWidth { port: "keys", .. })
+        ));
+    }
+
+    #[test]
+    fn keyed_circuit_simulation() {
+        let mut b = CircuitBuilder::new("keyed");
+        let a = b.add_input("a").unwrap();
+        let k = b.add_key_input("keyinput0").unwrap();
+        let y = b.add_gate("y", GateKind::Xor, &[a, k]).unwrap();
+        b.mark_output(y);
+        let c = b.finish().unwrap();
+        assert_eq!(c.simulate_bool(&[true], &[false]).unwrap(), vec![true]);
+        assert_eq!(c.simulate_bool(&[true], &[true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn equiv_random_detects_equivalence_and_difference() {
+        let c = c17();
+        assert!(c.equiv_random(&c, &[], &[], 4, 42).unwrap());
+
+        // A circuit that differs on some pattern: swap an output gate kind.
+        let text = c.to_bench().replace("n23 = NAND", "n23 = AND");
+        let other = Circuit::from_bench("c17x", &text).unwrap();
+        assert!(!c.equiv_random(&other, &[], &[], 4, 42).unwrap());
+    }
+
+    #[test]
+    fn sim_patterns_bit_accessor() {
+        let c = c17();
+        let sim = c.simulate_words(&[u64::MAX, 0, 0, 0, 0], &[]).unwrap();
+        let n1 = c.find("n1").unwrap();
+        assert!(sim.bit(n1, 0));
+        assert!(sim.bit(n1, 63));
+        assert_eq!(sim.words().len(), c.num_gates());
+    }
+}

@@ -1,0 +1,133 @@
+//! Circuit statistics used for reporting and feature engineering.
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+use crate::topo::levelize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics of a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Total gates including inputs.
+    pub num_gates: usize,
+    /// Primary (data) inputs.
+    pub num_inputs: usize,
+    /// Key inputs.
+    pub num_keys: usize,
+    /// Primary outputs.
+    pub num_outputs: usize,
+    /// Logic gates (non-inputs).
+    pub num_logic: usize,
+    /// Longest input-to-output path length.
+    pub depth: u32,
+    /// Mean fan-out over all gates.
+    pub avg_fanout: f64,
+    /// Largest fan-out of any gate.
+    pub max_fanout: usize,
+    /// Gate counts keyed by mnemonic (e.g. `"nand"`).
+    pub kind_counts: BTreeMap<&'static str, usize>,
+}
+
+impl CircuitStats {
+    /// Fraction of logic gates with the given mnemonic.
+    pub fn kind_fraction(&self, mnemonic: &str) -> f64 {
+        if self.num_logic == 0 {
+            return 0.0;
+        }
+        *self.kind_counts.get(mnemonic).unwrap_or(&0) as f64 / self.num_logic as f64
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} gates ({} in, {} key, {} out), depth {}, avg fanout {:.2}",
+            self.num_gates,
+            self.num_inputs,
+            self.num_keys,
+            self.num_outputs,
+            self.depth,
+            self.avg_fanout
+        )?;
+        for (kind, count) in &self.kind_counts {
+            writeln!(f, "  {kind:>8}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes [`CircuitStats`] for a circuit.
+pub fn circuit_stats(circuit: &Circuit) -> CircuitStats {
+    let fanouts = circuit.fanouts();
+    let total_fanout: usize = fanouts.iter().map(Vec::len).sum();
+    let max_fanout = fanouts.iter().map(Vec::len).max().unwrap_or(0);
+    let mut kind_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for gate in circuit.gates() {
+        if !gate.kind().is_input() {
+            *kind_counts.entry(gate.kind().mnemonic()).or_insert(0) += 1;
+        }
+    }
+    CircuitStats {
+        num_gates: circuit.num_gates(),
+        num_inputs: circuit.inputs().len(),
+        num_keys: circuit.keys().len(),
+        num_outputs: circuit.outputs().len(),
+        num_logic: circuit.num_logic_gates(),
+        depth: levelize(circuit).depth(),
+        avg_fanout: if circuit.num_gates() == 0 {
+            0.0
+        } else {
+            total_fanout as f64 / circuit.num_gates() as f64
+        },
+        max_fanout,
+        kind_counts,
+    }
+}
+
+/// The set of gate-type mnemonics the paper's feature encoding recognizes:
+/// {AND, NOR, NOT, NAND, OR, XOR} (Section IV-B).
+pub const PAPER_GATE_TYPES: [&str; 6] = ["and", "nor", "not", "nand", "or", "xor"];
+
+/// Index of a gate kind inside the paper's one-hot gate-type encoding,
+/// or `None` for kinds outside the paper's set (buf, xnor, mux, lut).
+pub fn paper_type_index(kind: &GateKind) -> Option<usize> {
+    PAPER_GATE_TYPES.iter().position(|&m| m == kind.mnemonic())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c17;
+
+    #[test]
+    fn c17_stats() {
+        let s = circuit_stats(&c17());
+        assert_eq!(s.num_gates, 11);
+        assert_eq!(s.num_logic, 6);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.kind_counts.get("nand"), Some(&6));
+        assert!((s.kind_fraction("nand") - 1.0).abs() < 1e-12);
+        assert_eq!(s.kind_fraction("xor"), 0.0);
+        assert_eq!(s.max_fanout, 2);
+        assert!(s.to_string().contains("nand"));
+    }
+
+    #[test]
+    fn paper_type_indices() {
+        assert_eq!(paper_type_index(&GateKind::And), Some(0));
+        assert_eq!(paper_type_index(&GateKind::Xor), Some(5));
+        assert_eq!(paper_type_index(&GateKind::Mux), None);
+        assert_eq!(paper_type_index(&GateKind::Buf), None);
+    }
+
+    #[test]
+    fn empty_circuit_stats() {
+        let c = crate::CircuitBuilder::new("e").finish().unwrap();
+        let s = circuit_stats(&c);
+        assert_eq!(s.num_gates, 0);
+        assert_eq!(s.avg_fanout, 0.0);
+        assert_eq!(s.kind_fraction("and"), 0.0);
+    }
+}

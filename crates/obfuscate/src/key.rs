@@ -1,0 +1,177 @@
+use crate::error::ObfuscateError;
+use rand::Rng;
+use std::fmt;
+
+/// An ordered vector of key bits for a locked circuit.
+///
+/// Bit `i` corresponds to key input `keyinput{i}` of the locked netlist.
+///
+/// ```
+/// use obfuscate::Key;
+///
+/// let key = Key::from_bits([true, false, true, true]);
+/// assert_eq!(key.len(), 4);
+/// assert_eq!(key.to_hex(), "d");
+/// assert_eq!(Key::from_hex("d", 4).unwrap(), key);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Key {
+    bits: Vec<bool>,
+}
+
+impl Key {
+    /// Builds a key from explicit bits.
+    pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
+        Key {
+            bits: bits.into_iter().collect(),
+        }
+    }
+
+    /// Samples a uniformly random key of `len` bits.
+    pub fn random(len: usize, rng: &mut impl Rng) -> Self {
+        Key {
+            bits: (0..len).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// Number of key bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the key has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// All bits in order.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Hamming distance to another key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the keys have different lengths.
+    pub fn hamming(&self, other: &Key) -> usize {
+        assert_eq!(self.len(), other.len(), "key length mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Lowercase hex encoding, little-endian nibbles (bit 0 = lsb of the
+    /// first hex digit's group).
+    pub fn to_hex(&self) -> String {
+        if self.bits.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        for chunk in self.bits.chunks(4) {
+            let mut nibble = 0u8;
+            for (j, &b) in chunk.iter().enumerate() {
+                if b {
+                    nibble |= 1 << j;
+                }
+            }
+            out.push(char::from_digit(nibble as u32, 16).expect("nibble < 16"));
+        }
+        out
+    }
+
+    /// Parses the [`to_hex`](Key::to_hex) encoding back into a key of
+    /// exactly `len` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObfuscateError::ParseKey`] for non-hex characters or a
+    /// digit count inconsistent with `len`.
+    pub fn from_hex(hex: &str, len: usize) -> Result<Self, ObfuscateError> {
+        let expected_digits = len.div_ceil(4);
+        if hex.len() != expected_digits {
+            return Err(ObfuscateError::ParseKey(hex.to_owned()));
+        }
+        let mut bits = Vec::with_capacity(len);
+        for ch in hex.chars() {
+            let nibble =
+                ch.to_digit(16)
+                    .ok_or_else(|| ObfuscateError::ParseKey(hex.to_owned()))? as u8;
+            for j in 0..4 {
+                if bits.len() < len {
+                    bits.push((nibble >> j) & 1 == 1);
+                }
+            }
+        }
+        Ok(Key { bits })
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key[{}]=0x{}", self.len(), self.to_hex())
+    }
+}
+
+impl FromIterator<bool> for Key {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Key::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hex_round_trip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for len in [0, 1, 3, 4, 5, 16, 31, 64] {
+            let key = Key::random(len, &mut rng);
+            let back = Key::from_hex(&key.to_hex(), len).unwrap();
+            assert_eq!(key, back, "len {len}");
+        }
+    }
+
+    #[test]
+    fn from_hex_rejects_garbage() {
+        assert!(Key::from_hex("zz", 8).is_err());
+        assert!(Key::from_hex("ff", 4).is_err()); // too many digits
+    }
+
+    #[test]
+    fn hamming_counts_differences() {
+        let a = Key::from_bits([true, false, true]);
+        let b = Key::from_bits([false, false, true]);
+        assert_eq!(a.hamming(&b), 1);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = Key::random(32, &mut StdRng::seed_from_u64(7));
+        let b = Key::random(32, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let key: Key = [true, true, false].into_iter().collect();
+        assert_eq!(key.len(), 3);
+        assert!(key.bit(0));
+        assert!(!key.bit(2));
+    }
+}

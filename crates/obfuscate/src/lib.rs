@@ -1,0 +1,45 @@
+//! Logic-locking (circuit obfuscation) schemes.
+//!
+//! Implements the three classic gate-level locking families the paper's
+//! threat model covers, each producing a [`LockedCircuit`] that pairs the
+//! keyed netlist with its correct [`Key`] and the list of *selected* gates
+//! (the "encryption locations" that the ICNet gate-mask feature encodes):
+//!
+//! * [`xor_lock`] — EPIC-style XOR/XNOR key gates spliced behind selected
+//!   gates;
+//! * [`mux_lock`] — key-controlled 2:1 multiplexers choosing between the
+//!   true signal and a decoy;
+//! * [`lut_lock`] — the paper's scheme: selected gates are replaced by
+//!   key-programmed lookup tables of fixed size (LUT size 4 in the paper),
+//!   realized as MUX trees over `2^k` fresh key inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use obfuscate::{lock_random, SchemeKind};
+//!
+//! # fn main() -> Result<(), obfuscate::ObfuscateError> {
+//! let original = netlist::c17();
+//! let locked = lock_random(&original, SchemeKind::LutLock { lut_size: 2 }, 2, 42)?;
+//! assert_eq!(locked.locked.keys().len(), 2 * 4); // 2 LUTs x 2^2 key bits
+//! assert!(locked.verify_key(&locked.key)?);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod key;
+mod locked;
+mod lut_lock;
+mod mux_lock;
+pub mod overhead;
+mod scheme;
+mod xor_lock;
+
+pub use error::ObfuscateError;
+pub use key::Key;
+pub use locked::LockedCircuit;
+pub use lut_lock::lut_lock;
+pub use mux_lock::mux_lock;
+pub use scheme::{eligible_gates, lock_random, select_gates, SchemeKind};
+pub use xor_lock::xor_lock;

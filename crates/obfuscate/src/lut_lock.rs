@@ -1,0 +1,234 @@
+//! LUT-based obfuscation: the paper's locking scheme (Section IV-A).
+//!
+//! Each selected gate is replaced by a key-programmed lookup table of a
+//! fixed size `k`: the gate's fan-ins become the LUT's select lines (padded
+//! with random other signals up to `k`), and the `2^k` truth-table entries
+//! become fresh key inputs. Structurally the keyed LUT is realized as a
+//! binary MUX tree over the key inputs, which is exactly how a
+//! key-programmable LUT cell appears in a locked netlist.
+
+use crate::error::ObfuscateError;
+use crate::key::Key;
+use crate::locked::LockedCircuit;
+use crate::scheme::{copy_gate, validate_selection, SchemeKind};
+use netlist::{Circuit, CircuitBuilder, GateId, GateKind};
+use rand::Rng;
+
+/// Replaces each selected gate with a `lut_size`-input key-programmed LUT.
+///
+/// Key bits `[i * 2^k, (i+1) * 2^k)` hold the truth table of the `i`-th
+/// selected gate (in id order): bit `r` of that block is the gate's output
+/// on LUT row `r`, where select-line `j` supplies bit `j` of `r`.
+///
+/// # Errors
+///
+/// Returns [`ObfuscateError::BadLutSize`] for `lut_size` outside 1..=6,
+/// [`ObfuscateError::NotEnoughGates`] if `original` is already locked, and
+/// propagates netlist construction failures.
+///
+/// # Panics
+///
+/// Panics if a selected gate's fan-in count exceeds `lut_size` (use
+/// [`select_gates`](crate::select_gates), which only returns eligible gates).
+pub fn lut_lock(
+    original: &Circuit,
+    selected: &[GateId],
+    lut_size: usize,
+    rng: &mut impl Rng,
+) -> Result<LockedCircuit, ObfuscateError> {
+    if lut_size == 0 || lut_size > 6 {
+        return Err(ObfuscateError::BadLutSize(lut_size));
+    }
+    validate_selection(original, selected)?;
+    let rows = 1usize << lut_size;
+    let mut builder = CircuitBuilder::new(format!("{}_lut{}lock", original.name(), lut_size));
+    let mut map: Vec<Option<GateId>> = vec![None; original.num_gates()];
+    let mut placed: Vec<GateId> = Vec::with_capacity(original.num_gates());
+    let mut key_bits: Vec<bool> = Vec::with_capacity(selected.len() * rows);
+    let mut mux_counter = 0usize;
+
+    for (id, gate) in original.iter() {
+        if gate.kind().is_input() {
+            let new_id = builder.add_input(gate.name().to_owned())?;
+            map[id.index()] = Some(new_id);
+            placed.push(new_id);
+            continue;
+        }
+        if !selected.contains(&id) {
+            let new_id = copy_gate(&mut builder, gate, &map)?;
+            map[id.index()] = Some(new_id);
+            placed.push(new_id);
+            continue;
+        }
+
+        // Replace this gate with a keyed LUT.
+        let arity = gate.fanin().len();
+        assert!(
+            arity <= lut_size,
+            "selected gate `{}` has fan-in {} > LUT size {}",
+            gate.name(),
+            arity,
+            lut_size
+        );
+        let mut selects: Vec<GateId> = gate
+            .fanin()
+            .iter()
+            .map(|f| map[f.index()].expect("id order is topological"))
+            .collect();
+        // Pad the select lines with random earlier signals; the correct key
+        // ignores them, but an attacker cannot tell pads from real inputs.
+        while selects.len() < lut_size {
+            let pad = placed[rng.gen_range(0..placed.len())];
+            if !selects.contains(&pad) || placed.len() <= selects.len() {
+                selects.push(pad);
+            }
+        }
+
+        // Correct truth table: evaluate the original gate on the real fan-in
+        // bits of each row; pad bits are don't-cares filled by the gate value.
+        let lut_index = key_bits.len() / rows;
+        let mut leaves: Vec<GateId> = Vec::with_capacity(rows);
+        for row in 0..rows {
+            let vals: Vec<bool> = (0..arity).map(|j| (row >> j) & 1 == 1).collect();
+            key_bits.push(gate.kind().eval_bools(&vals));
+            let key_input = builder.add_key_input(format!("keyinput{}", lut_index * rows + row))?;
+            leaves.push(key_input);
+        }
+        let root = mux_tree(&mut builder, &selects, &leaves, &mut mux_counter)?;
+        map[id.index()] = Some(root);
+        placed.push(root);
+    }
+    for &out in original.outputs() {
+        builder.mark_output(map[out.index()].expect("all gates mapped"));
+    }
+
+    Ok(LockedCircuit {
+        original: original.clone(),
+        locked: builder.finish()?,
+        key: Key::from_bits(key_bits),
+        selected: selected.to_vec(),
+        scheme: SchemeKind::LutLock { lut_size },
+    })
+}
+
+/// Builds a MUX tree selecting `leaves[row]` where bit `j` of `row` is the
+/// value of `selects[j]`. Returns the root gate.
+fn mux_tree(
+    builder: &mut CircuitBuilder,
+    selects: &[GateId],
+    leaves: &[GateId],
+    counter: &mut usize,
+) -> Result<GateId, ObfuscateError> {
+    debug_assert_eq!(leaves.len(), 1 << selects.len());
+    if selects.is_empty() {
+        return Ok(leaves[0]);
+    }
+    let msb = selects[selects.len() - 1];
+    let half = leaves.len() / 2;
+    let low = mux_tree(
+        builder,
+        &selects[..selects.len() - 1],
+        &leaves[..half],
+        counter,
+    )?;
+    let high = mux_tree(
+        builder,
+        &selects[..selects.len() - 1],
+        &leaves[half..],
+        counter,
+    )?;
+    let name = format!("lutmux{}", *counter);
+    *counter += 1;
+    Ok(builder.add_gate(name, GateKind::Mux, &[msb, low, high])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::c17;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lock_c17(n: usize, lut_size: usize, seed: u64) -> LockedCircuit {
+        let c = c17();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sel = crate::select_gates(&c, SchemeKind::LutLock { lut_size }, n, &mut rng).unwrap();
+        lut_lock(&c, &sel, lut_size, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn correct_key_restores_function() {
+        for lut_size in 2..=4 {
+            for seed in 0..4 {
+                let locked = lock_c17(2, lut_size, seed);
+                assert!(
+                    locked.verify_key(&locked.key).unwrap(),
+                    "lut{lut_size} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_layout_matches_paper_scheme() {
+        let locked = lock_c17(3, 4, 1);
+        assert_eq!(locked.key.len(), 3 * 16);
+        assert_eq!(locked.locked.keys().len(), 3 * 16);
+        // Key inputs are named keyinput0..keyinput47 in block order.
+        assert_eq!(
+            locked.locked.gate(locked.locked.keys()[0]).name(),
+            "keyinput0"
+        );
+        assert_eq!(
+            locked.locked.gate(locked.locked.keys()[47]).name(),
+            "keyinput47"
+        );
+    }
+
+    #[test]
+    fn truth_table_blocks_encode_the_replaced_gates() {
+        // c17 is all NANDs with fan-in 2: every block's low 4 rows must be
+        // the NAND truth table (1,1,1,0) replicated over pad combinations.
+        let locked = lock_c17(2, 2, 3);
+        for block in locked.key.bits().chunks(4) {
+            assert_eq!(block, &[true, true, true, false]);
+        }
+    }
+
+    #[test]
+    fn wrong_truth_table_breaks_function() {
+        let locked = lock_c17(2, 2, 5);
+        let mut wrong = locked.key.bits().to_vec();
+        // Invert an entire LUT block: the gate becomes its complement.
+        for b in wrong.iter_mut().take(4) {
+            *b = !*b;
+        }
+        assert!(!locked.verify_key(&Key::from_bits(wrong)).unwrap());
+    }
+
+    #[test]
+    fn mux_tree_depth_is_lut_size() {
+        // Each keyed LUT of size k adds 2^k - 1 MUX gates.
+        let locked = lock_c17(1, 3, 2);
+        let muxes = locked
+            .locked
+            .gates()
+            .filter(|g| matches!(g.kind(), GateKind::Mux))
+            .count();
+        assert_eq!(muxes, 7);
+    }
+
+    #[test]
+    fn rejects_bad_lut_sizes() {
+        let c = c17();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            lut_lock(&c, &[], 0, &mut rng),
+            Err(ObfuscateError::BadLutSize(0))
+        ));
+        assert!(matches!(
+            lut_lock(&c, &[], 7, &mut rng),
+            Err(ObfuscateError::BadLutSize(7))
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! Key-controlled MUX locking with decoy signals.
+
+use crate::error::ObfuscateError;
+use crate::key::Key;
+use crate::locked::LockedCircuit;
+use crate::scheme::{copy_gate, validate_selection, SchemeKind};
+use netlist::{Circuit, CircuitBuilder, GateId, GateKind};
+use rand::Rng;
+
+/// Reroutes each selected gate through a key-controlled 2:1 multiplexer.
+///
+/// For each selected gate `g` a fresh key input `k` and a random *decoy*
+/// signal `d` (any earlier gate of the rebuilt netlist) are chosen; fan-outs
+/// of `g` then read `MUX(k, g, d)` (correct key bit 0) or `MUX(k, d, g)`
+/// (correct key bit 1). A wrong key bit substitutes the decoy for the true
+/// signal.
+///
+/// # Errors
+///
+/// Returns [`ObfuscateError::NotEnoughGates`] if `original` is already
+/// locked, and propagates netlist construction failures.
+pub fn mux_lock(
+    original: &Circuit,
+    selected: &[GateId],
+    rng: &mut impl Rng,
+) -> Result<LockedCircuit, ObfuscateError> {
+    validate_selection(original, selected)?;
+    let mut builder = CircuitBuilder::new(format!("{}_muxlock", original.name()));
+    let mut map: Vec<Option<GateId>> = vec![None; original.num_gates()];
+    let mut placed: Vec<GateId> = Vec::with_capacity(original.num_gates());
+    let mut key_bits: Vec<bool> = Vec::with_capacity(selected.len());
+
+    for (id, gate) in original.iter() {
+        let new_id = match gate.kind() {
+            GateKind::Input(_) => builder.add_input(gate.name().to_owned())?,
+            _ => copy_gate(&mut builder, gate, &map)?,
+        };
+        if selected.contains(&id) {
+            let idx = key_bits.len();
+            let key_input = builder.add_key_input(format!("keyinput{idx}"))?;
+            // Any already-placed signal is safe as a decoy (no cycles).
+            let decoy = placed[rng.gen_range(0..placed.len())];
+            let bit = rng.gen::<bool>();
+            let (a, b) = if bit {
+                (decoy, new_id)
+            } else {
+                (new_id, decoy)
+            };
+            let lock = builder.add_gate(format!("mlk{idx}"), GateKind::Mux, &[key_input, a, b])?;
+            key_bits.push(bit);
+            map[id.index()] = Some(lock);
+            placed.push(lock);
+        } else {
+            map[id.index()] = Some(new_id);
+            placed.push(new_id);
+        }
+    }
+    for &out in original.outputs() {
+        builder.mark_output(map[out.index()].expect("all gates mapped"));
+    }
+
+    Ok(LockedCircuit {
+        original: original.clone(),
+        locked: builder.finish()?,
+        key: Key::from_bits(key_bits),
+        selected: selected.to_vec(),
+        scheme: SchemeKind::MuxLock,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::c17;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lock_c17(n: usize, seed: u64) -> LockedCircuit {
+        let c = c17();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sel = crate::select_gates(&c, SchemeKind::MuxLock, n, &mut rng).unwrap();
+        mux_lock(&c, &sel, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn correct_key_restores_function() {
+        for seed in 0..8 {
+            let locked = lock_c17(3, seed);
+            assert!(locked.verify_key(&locked.key).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn structure_is_as_expected() {
+        let locked = lock_c17(2, 1);
+        assert_eq!(locked.locked.keys().len(), 2);
+        assert_eq!(locked.key.len(), 2);
+        // 6 original NANDs + 2 MUX lock gates.
+        assert_eq!(locked.locked.num_logic_gates(), 8);
+    }
+
+    #[test]
+    fn locking_every_gate_works() {
+        let c = c17();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sel = crate::select_gates(&c, SchemeKind::MuxLock, 6, &mut rng).unwrap();
+        let locked = mux_lock(&c, &sel, &mut rng).unwrap();
+        assert!(locked.verify_key(&locked.key).unwrap());
+    }
+}

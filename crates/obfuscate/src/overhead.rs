@@ -1,0 +1,108 @@
+//! Obfuscation cost model.
+//!
+//! The paper motivates runtime prediction with the finance/power/area cost
+//! of obfuscation: a defender wants maximum attack runtime under an overhead
+//! budget. This module quantifies the structural overhead of a
+//! [`LockedCircuit`] so sweeps can report both sides
+//! of that trade-off.
+
+use crate::locked::LockedCircuit;
+use std::fmt;
+
+/// Relative gate-count cost of each gate kind, in NAND2-equivalent units
+/// (a standard-cell-flavored approximation).
+fn gate_cost(kind: &netlist::GateKind) -> f64 {
+    use netlist::GateKind::*;
+    match kind {
+        Input(_) => 0.0,
+        Buf => 0.5,
+        Not => 0.5,
+        And | Or => 1.5,
+        Nand | Nor => 1.0,
+        Xor | Xnor => 2.5,
+        Mux => 2.5,
+        Lut(t) => (t.num_rows() as f64) / 2.0,
+    }
+}
+
+/// Structural overhead of a locked circuit relative to its original.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LockOverhead {
+    /// Logic gates added by locking.
+    pub added_gates: usize,
+    /// Key inputs added (tamper-proof memory bits required).
+    pub added_key_bits: usize,
+    /// NAND2-equivalent area of the original circuit.
+    pub original_area: f64,
+    /// NAND2-equivalent area of the locked circuit.
+    pub locked_area: f64,
+}
+
+impl LockOverhead {
+    /// Area ratio `locked / original` (1.0 = no overhead).
+    pub fn area_factor(&self) -> f64 {
+        if self.original_area == 0.0 {
+            return 1.0;
+        }
+        self.locked_area / self.original_area
+    }
+}
+
+impl fmt::Display for LockOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "+{} gates, +{} key bits, area x{:.2}",
+            self.added_gates,
+            self.added_key_bits,
+            self.area_factor()
+        )
+    }
+}
+
+/// Computes the structural overhead of `locked`.
+pub fn overhead(locked: &LockedCircuit) -> LockOverhead {
+    let area = |c: &netlist::Circuit| c.gates().map(|g| gate_cost(g.kind())).sum::<f64>();
+    LockOverhead {
+        added_gates: locked.locked.num_logic_gates() - locked.original.num_logic_gates()
+            + locked.selected.len().min(
+                // LUT locking removes the selected gates entirely.
+                match locked.scheme {
+                    crate::SchemeKind::LutLock { .. } => locked.selected.len(),
+                    _ => 0,
+                },
+            ),
+        added_key_bits: locked.locked.keys().len(),
+        original_area: area(&locked.original),
+        locked_area: area(&locked.locked),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lock_random, SchemeKind};
+
+    #[test]
+    fn xor_lock_overhead() {
+        let locked = lock_random(&netlist::c17(), SchemeKind::XorLock, 3, 0).unwrap();
+        let oh = overhead(&locked);
+        assert_eq!(oh.added_gates, 3);
+        assert_eq!(oh.added_key_bits, 3);
+        assert!(oh.area_factor() > 1.0);
+        assert!(oh.to_string().contains("+3 gates"));
+    }
+
+    #[test]
+    fn lut_lock_overhead_grows_with_lut_size() {
+        let small = overhead(
+            &lock_random(&netlist::c17(), SchemeKind::LutLock { lut_size: 2 }, 2, 0).unwrap(),
+        );
+        let large = overhead(
+            &lock_random(&netlist::c17(), SchemeKind::LutLock { lut_size: 4 }, 2, 0).unwrap(),
+        );
+        assert!(large.locked_area > small.locked_area);
+        assert_eq!(small.added_key_bits, 8);
+        assert_eq!(large.added_key_bits, 32);
+    }
+}

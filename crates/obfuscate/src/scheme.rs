@@ -1,0 +1,223 @@
+use crate::error::ObfuscateError;
+use crate::locked::LockedCircuit;
+use crate::{lut_lock, mux_lock, xor_lock};
+use netlist::{Circuit, CircuitBuilder, Gate, GateId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The locking family to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// XOR/XNOR key gates spliced behind selected gates (EPIC-style).
+    XorLock,
+    /// Key-controlled 2:1 MUX between the true signal and a decoy.
+    MuxLock,
+    /// Replace selected gates with key-programmed LUTs of `lut_size` inputs
+    /// (the paper uses `lut_size = 4`).
+    LutLock {
+        /// Number of LUT data inputs (1..=6).
+        lut_size: usize,
+    },
+}
+
+impl SchemeKind {
+    /// Key bits consumed per locked gate.
+    pub fn key_bits_per_gate(&self) -> usize {
+        match self {
+            SchemeKind::XorLock | SchemeKind::MuxLock => 1,
+            SchemeKind::LutLock { lut_size } => 1 << lut_size,
+        }
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeKind::XorLock => f.write_str("xor-lock"),
+            SchemeKind::MuxLock => f.write_str("mux-lock"),
+            SchemeKind::LutLock { lut_size } => write!(f, "lut{lut_size}-lock"),
+        }
+    }
+}
+
+/// Logic gates of `circuit` that `scheme` can lock.
+///
+/// All schemes require non-input gates; LUT locking additionally requires
+/// the gate's fan-in count to fit in the LUT.
+pub fn eligible_gates(circuit: &Circuit, scheme: SchemeKind) -> Vec<GateId> {
+    circuit
+        .iter()
+        .filter(|(_, g)| !g.kind().is_input())
+        .filter(|(_, g)| match scheme {
+            SchemeKind::XorLock | SchemeKind::MuxLock => true,
+            SchemeKind::LutLock { lut_size } => {
+                g.fanin().len() <= lut_size && !g.fanin().is_empty()
+            }
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Samples `count` distinct eligible gates, sorted by id.
+///
+/// # Errors
+///
+/// Returns [`ObfuscateError::NotEnoughGates`] when fewer than `count` gates
+/// are eligible, and [`ObfuscateError::BadLutSize`] for LUT sizes outside
+/// 1..=6.
+pub fn select_gates(
+    circuit: &Circuit,
+    scheme: SchemeKind,
+    count: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<GateId>, ObfuscateError> {
+    if let SchemeKind::LutLock { lut_size } = scheme {
+        if lut_size == 0 || lut_size > 6 {
+            return Err(ObfuscateError::BadLutSize(lut_size));
+        }
+    }
+    let eligible = eligible_gates(circuit, scheme);
+    if eligible.len() < count {
+        return Err(ObfuscateError::NotEnoughGates {
+            available: eligible.len(),
+            requested: count,
+        });
+    }
+    let mut chosen: Vec<GateId> = eligible.choose_multiple(rng, count).copied().collect();
+    chosen.sort();
+    Ok(chosen)
+}
+
+/// Locks `count` randomly selected gates of `original` with `scheme`,
+/// deterministically in `seed`.
+///
+/// # Errors
+///
+/// Propagates the selection errors of [`select_gates`] and the per-scheme
+/// locking errors (see [`xor_lock`], [`mux_lock`], [`lut_lock`]).
+pub fn lock_random(
+    original: &Circuit,
+    scheme: SchemeKind,
+    count: usize,
+    seed: u64,
+) -> Result<LockedCircuit, ObfuscateError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0BF0_5CA7_E5EE_D000);
+    let selected = select_gates(original, scheme, count, &mut rng)?;
+    match scheme {
+        SchemeKind::XorLock => xor_lock(original, &selected, &mut rng),
+        SchemeKind::MuxLock => mux_lock(original, &selected, &mut rng),
+        SchemeKind::LutLock { lut_size } => lut_lock(original, &selected, lut_size, &mut rng),
+    }
+}
+
+/// Copies `gate` into `builder` with fan-ins remapped through `map`.
+pub(crate) fn copy_gate(
+    builder: &mut CircuitBuilder,
+    gate: &Gate,
+    map: &[Option<GateId>],
+) -> Result<GateId, ObfuscateError> {
+    let fanin: Vec<GateId> = gate
+        .fanin()
+        .iter()
+        .map(|f| map[f.index()].expect("id order is topological"))
+        .collect();
+    Ok(builder.add_gate(gate.name().to_owned(), gate.kind().clone(), &fanin)?)
+}
+
+/// Validates a locking selection: the original must be unlocked, and the
+/// selection must consist of distinct logic gates.
+pub(crate) fn validate_selection(
+    original: &Circuit,
+    selected: &[GateId],
+) -> Result<(), ObfuscateError> {
+    if !original.keys().is_empty() {
+        // Re-locking an already locked circuit would interleave key orders;
+        // callers should lock the original netlist instead.
+        return Err(ObfuscateError::NotEnoughGates {
+            available: 0,
+            requested: selected.len(),
+        });
+    }
+    for &id in selected {
+        assert!(
+            id.index() < original.num_gates(),
+            "selected gate outside the circuit"
+        );
+        assert!(
+            !original.gate(id).kind().is_input(),
+            "primary inputs cannot be locked"
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::c17;
+
+    #[test]
+    fn eligible_counts() {
+        let c = c17();
+        assert_eq!(eligible_gates(&c, SchemeKind::XorLock).len(), 6);
+        assert_eq!(
+            eligible_gates(&c, SchemeKind::LutLock { lut_size: 2 }).len(),
+            6
+        );
+        assert_eq!(
+            eligible_gates(&c, SchemeKind::LutLock { lut_size: 1 }).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn select_rejects_oversized_requests() {
+        let c = c17();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            select_gates(&c, SchemeKind::XorLock, 7, &mut rng),
+            Err(ObfuscateError::NotEnoughGates {
+                available: 6,
+                requested: 7
+            })
+        ));
+    }
+
+    #[test]
+    fn select_rejects_bad_lut_size() {
+        let c = c17();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            select_gates(&c, SchemeKind::LutLock { lut_size: 7 }, 1, &mut rng),
+            Err(ObfuscateError::BadLutSize(7))
+        ));
+        assert!(matches!(
+            select_gates(&c, SchemeKind::LutLock { lut_size: 0 }, 1, &mut rng),
+            Err(ObfuscateError::BadLutSize(0))
+        ));
+    }
+
+    #[test]
+    fn selection_is_sorted_and_distinct() {
+        let c = c17();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sel = select_gates(&c, SchemeKind::XorLock, 4, &mut rng).unwrap();
+        assert_eq!(sel.len(), 4);
+        assert!(sel.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn key_bits_per_gate() {
+        assert_eq!(SchemeKind::XorLock.key_bits_per_gate(), 1);
+        assert_eq!(SchemeKind::MuxLock.key_bits_per_gate(), 1);
+        assert_eq!(SchemeKind::LutLock { lut_size: 4 }.key_bits_per_gate(), 16);
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(SchemeKind::XorLock.to_string(), "xor-lock");
+        assert_eq!(SchemeKind::LutLock { lut_size: 4 }.to_string(), "lut4-lock");
+    }
+}

@@ -1,0 +1,126 @@
+//! EPIC-style XOR/XNOR key-gate insertion.
+
+use crate::error::ObfuscateError;
+use crate::key::Key;
+use crate::locked::LockedCircuit;
+use crate::scheme::{copy_gate, validate_selection, SchemeKind};
+use netlist::{Circuit, CircuitBuilder, GateId, GateKind};
+use rand::Rng;
+
+/// Inserts a key gate behind each selected gate.
+///
+/// For each selected gate `g` a fresh key input `k` is created and every
+/// fan-out of `g` is rerouted through `XOR(g, k)` (correct key bit 0) or
+/// `XNOR(g, k)` (correct key bit 1); the polarity is chosen uniformly at
+/// random so the correct key is itself uniform. Key bit `i` belongs to the
+/// `i`-th selected gate in id order.
+///
+/// # Errors
+///
+/// Returns [`ObfuscateError::NotEnoughGates`] if `original` is already
+/// locked, and propagates netlist construction failures.
+pub fn xor_lock(
+    original: &Circuit,
+    selected: &[GateId],
+    rng: &mut impl Rng,
+) -> Result<LockedCircuit, ObfuscateError> {
+    validate_selection(original, selected)?;
+    let mut builder = CircuitBuilder::new(format!("{}_xorlock", original.name()));
+    let mut map: Vec<Option<GateId>> = vec![None; original.num_gates()];
+    let mut key_bits: Vec<bool> = Vec::with_capacity(selected.len());
+
+    for (id, gate) in original.iter() {
+        let new_id = match gate.kind() {
+            GateKind::Input(_) => builder.add_input(gate.name().to_owned())?,
+            _ => copy_gate(&mut builder, gate, &map)?,
+        };
+        if selected.contains(&id) {
+            let idx = key_bits.len();
+            let key_input = builder.add_key_input(format!("keyinput{idx}"))?;
+            let bit = rng.gen::<bool>();
+            let kind = if bit { GateKind::Xnor } else { GateKind::Xor };
+            let lock = builder.add_gate(format!("xlk{idx}"), kind, &[new_id, key_input])?;
+            key_bits.push(bit);
+            map[id.index()] = Some(lock);
+        } else {
+            map[id.index()] = Some(new_id);
+        }
+    }
+    for &out in original.outputs() {
+        builder.mark_output(map[out.index()].expect("all gates mapped"));
+    }
+
+    Ok(LockedCircuit {
+        original: original.clone(),
+        locked: builder.finish()?,
+        key: Key::from_bits(key_bits),
+        selected: selected.to_vec(),
+        scheme: SchemeKind::XorLock,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::c17;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lock_c17(n: usize, seed: u64) -> LockedCircuit {
+        let c = c17();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sel = crate::select_gates(&c, SchemeKind::XorLock, n, &mut rng).unwrap();
+        xor_lock(&c, &sel, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn correct_key_restores_function() {
+        for seed in 0..5 {
+            let locked = lock_c17(3, seed);
+            assert!(locked.verify_key(&locked.key).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_breaks_function() {
+        let locked = lock_c17(3, 1);
+        let mut wrong = locked.key.bits().to_vec();
+        wrong[0] = !wrong[0];
+        // An XOR key gate with a flipped bit inverts a live signal, which in
+        // c17 always reaches an output.
+        assert!(!locked.verify_key(&Key::from_bits(wrong)).unwrap());
+    }
+
+    #[test]
+    fn structure_is_as_expected() {
+        let locked = lock_c17(2, 2);
+        assert_eq!(locked.locked.keys().len(), 2);
+        assert_eq!(locked.locked.inputs().len(), 5);
+        assert_eq!(locked.locked.outputs().len(), 2);
+        // 6 original NANDs + 2 lock gates.
+        assert_eq!(locked.locked.num_logic_gates(), 8);
+        assert_eq!(locked.key.len(), 2);
+        assert_eq!(locked.selected.len(), 2);
+    }
+
+    #[test]
+    fn already_locked_circuit_is_rejected() {
+        let locked = lock_c17(1, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sel = vec![locked.locked.find("n22").unwrap()];
+        assert!(xor_lock(&locked.locked, &sel, &mut rng).is_err());
+    }
+
+    #[test]
+    fn locked_netlist_round_trips_through_bench() {
+        let locked = lock_c17(2, 4);
+        let text = locked.locked.to_bench();
+        let reparsed = Circuit::from_bench("locked", &text).unwrap();
+        assert_eq!(reparsed.keys().len(), 2);
+        // Functional equivalence of the locked circuits under the correct key.
+        assert!(locked
+            .locked
+            .equiv_random(&reparsed, locked.key.bits(), locked.key.bits(), 4, 7)
+            .unwrap());
+    }
+}

@@ -1,0 +1,171 @@
+use crate::internal::{center, predict_centered};
+use crate::traits::{RegressError, Regressor};
+use tensor::Matrix;
+
+/// Elastic-net regression (Zou & Hastie) fitted by cyclic coordinate
+/// descent on the scikit-learn objective
+/// `1/(2n) ||y - Xw||² + alpha * l1_ratio * ||w||₁
+///  + alpha * (1 - l1_ratio)/2 * ||w||²`.
+#[derive(Debug, Clone)]
+pub struct ElasticNet {
+    /// Overall penalty strength.
+    pub alpha: f64,
+    /// Mix between L1 (1.0) and L2 (0.0).
+    pub l1_ratio: f64,
+    /// Maximum coordinate-descent sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the largest coefficient change per sweep.
+    pub tol: f64,
+    weights: Option<Vec<f64>>,
+    x_mean: Vec<f64>,
+    y_mean: f64,
+}
+
+impl ElasticNet {
+    /// Elastic net with the given penalty and mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha >= 0` and `0 <= l1_ratio <= 1`.
+    pub fn new(alpha: f64, l1_ratio: f64) -> Self {
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        assert!((0.0..=1.0).contains(&l1_ratio), "l1_ratio in [0, 1]");
+        ElasticNet {
+            alpha,
+            l1_ratio,
+            max_iter: 1000,
+            tol: 1e-8,
+            weights: None,
+            x_mean: Vec::new(),
+            y_mean: 0.0,
+        }
+    }
+
+    /// The fitted coefficients.
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    pub(crate) fn fit_impl(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        let (xc, yc, xm, ym) = center(x, y);
+        let n = xc.rows();
+        let p = xc.cols();
+        let nf = n as f64;
+        // Column norms (1/n) x_j . x_j.
+        let col_sq: Vec<f64> = (0..p)
+            .map(|j| (0..n).map(|r| xc.get(r, j) * xc.get(r, j)).sum::<f64>() / nf)
+            .collect();
+        let l1 = self.alpha * self.l1_ratio;
+        let l2 = self.alpha * (1.0 - self.l1_ratio);
+
+        let mut w = vec![0.0; p];
+        let mut residual = yc.clone(); // r = y - Xw, starts at y since w = 0
+        for _ in 0..self.max_iter {
+            let mut max_delta = 0.0f64;
+            for j in 0..p {
+                if col_sq[j] == 0.0 {
+                    continue; // constant column after centering
+                }
+                // rho = (1/n) x_j . (r + x_j w_j)
+                let mut rho = 0.0;
+                for (r, &res) in residual.iter().enumerate() {
+                    rho += xc.get(r, j) * (res + xc.get(r, j) * w[j]);
+                }
+                rho /= nf;
+                let new_w = soft_threshold(rho, l1) / (col_sq[j] + l2);
+                let delta = new_w - w[j];
+                if delta != 0.0 {
+                    for (r, res) in residual.iter_mut().enumerate() {
+                        *res -= xc.get(r, j) * delta;
+                    }
+                    w[j] = new_w;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+        self.weights = Some(w);
+        self.x_mean = xm;
+        self.y_mean = ym;
+        Ok(())
+    }
+}
+
+fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+impl Regressor for ElasticNet {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        self.fit_impl(x, y)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("fit before predict");
+        predict_centered(x, w, &self.x_mean, self.y_mean)
+    }
+
+    fn name(&self) -> String {
+        "EN".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn tiny_penalty_recovers_ols() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let mut en = ElasticNet::new(1e-8, 0.5);
+        en.fit(&x, &y).unwrap();
+        assert!(mse(&en.predict(&x), &y) < 1e-8);
+    }
+
+    #[test]
+    fn huge_l1_zeroes_everything() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let mut en = ElasticNet::new(1e4, 1.0);
+        en.fit(&x, &y).unwrap();
+        assert_eq!(en.coefficients().unwrap(), &[0.0]);
+        // Falls back to mean prediction.
+        assert!((en.predict(&x)[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_produces_sparsity_on_irrelevant_features() {
+        // Feature 1 is pure noise; LASSO-like EN should zero it out.
+        let n = 40;
+        let x = Matrix::from_fn(n, 2, |r, c| {
+            if c == 0 {
+                r as f64 / n as f64
+            } else {
+                ((r * 17) % 7) as f64 / 7.0 - 0.5
+            }
+        });
+        let y: Vec<f64> = (0..n).map(|r| 3.0 * (r as f64 / n as f64)).collect();
+        let mut en = ElasticNet::new(0.05, 1.0);
+        en.fit(&x, &y).unwrap();
+        let w = en.coefficients().unwrap();
+        assert!(w[0] > 1.0, "relevant weight {w:?}");
+        assert!(w[1].abs() < 0.05, "noise weight {w:?}");
+    }
+}

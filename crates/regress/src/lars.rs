@@ -1,0 +1,219 @@
+use crate::internal::{center, predict_centered};
+use crate::traits::{RegressError, Regressor};
+use tensor::linalg::solve;
+use tensor::Matrix;
+
+/// Least-angle regression (Efron, Hastie, Johnstone, Tibshirani 2004).
+///
+/// Features are centered and unit-normalized internally; coefficients move
+/// along the equiangular direction of the active set until a new feature
+/// ties in correlation, exactly as in the published algorithm.
+#[derive(Debug, Clone)]
+pub struct Lars {
+    /// Maximum number of active features; `None` = all.
+    pub max_features: Option<usize>,
+    weights: Option<Vec<f64>>,
+    x_mean: Vec<f64>,
+    y_mean: f64,
+}
+
+impl Lars {
+    /// LARS limited to `max_features` steps (or unlimited).
+    pub fn new(max_features: Option<usize>) -> Self {
+        Lars {
+            max_features,
+            weights: None,
+            x_mean: Vec::new(),
+            y_mean: 0.0,
+        }
+    }
+
+    /// The fitted coefficients.
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+}
+
+impl Regressor for Lars {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        let (xc, yc, xm, ym) = center(x, y);
+        let n = xc.rows();
+        let p = xc.cols();
+        if n == 0 || p == 0 {
+            return Err(RegressError::Degenerate("empty design matrix".into()));
+        }
+        // Unit-normalize columns; remember norms to unscale at the end.
+        let norms: Vec<f64> = (0..p)
+            .map(|j| {
+                (0..n)
+                    .map(|r| xc.get(r, j) * xc.get(r, j))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        let xn = Matrix::from_fn(n, p, |r, c| {
+            if norms[c] > 1e-12 {
+                xc.get(r, c) / norms[c]
+            } else {
+                0.0
+            }
+        });
+
+        let budget = self
+            .max_features
+            .unwrap_or(p)
+            .min(p)
+            .min(n.saturating_sub(1).max(1));
+        let mut beta = vec![0.0f64; p]; // on the normalized scale
+        let mut mu = vec![0.0f64; n];
+        let mut active: Vec<usize> = Vec::new();
+
+        for _step in 0..budget {
+            // Correlations with the current residual.
+            let corr: Vec<f64> = (0..p)
+                .map(|j| (0..n).map(|r| xn.get(r, j) * (yc[r] - mu[r])).sum())
+                .collect();
+            let c_max = active
+                .iter()
+                .map(|&j| corr[j].abs())
+                .fold(0.0f64, f64::max)
+                .max(
+                    (0..p)
+                        .filter(|j| !active.contains(j))
+                        .map(|j| corr[j].abs())
+                        .fold(0.0, f64::max),
+                );
+            if c_max < 1e-10 {
+                break;
+            }
+            // Add the (first) most-correlated inactive feature.
+            if let Some(j_new) = (0..p)
+                .filter(|j| !active.contains(j) && norms[*j] > 1e-12)
+                .max_by(|&a, &b| corr[a].abs().partial_cmp(&corr[b].abs()).expect("no NaN"))
+            {
+                if (corr[j_new].abs() - c_max).abs() < 1e-9 || active.is_empty() {
+                    active.push(j_new);
+                }
+            }
+            if active.is_empty() {
+                break;
+            }
+            let k = active.len();
+            let signs: Vec<f64> = active.iter().map(|&j| corr[j].signum()).collect();
+            // G = S X_A^T X_A S  (signed Gram), w = A_norm * G^{-1} 1.
+            let g = Matrix::from_fn(k, k, |a, b| {
+                let (ja, jb) = (active[a], active[b]);
+                signs[a] * signs[b] * (0..n).map(|r| xn.get(r, ja) * xn.get(r, jb)).sum::<f64>()
+            });
+            let ones = vec![1.0; k];
+            let ginv_one = solve(&g, &ones)
+                .map_err(|_| RegressError::Degenerate("collinear active set in LARS".into()))?;
+            let a_norm = 1.0 / ginv_one.iter().sum::<f64>().max(1e-12).sqrt();
+            let w: Vec<f64> = ginv_one.iter().map(|&v| v * a_norm).collect();
+            // Equiangular direction u = X_A S w, and a_j = x_j . u.
+            let mut u = vec![0.0f64; n];
+            for (pos, &j) in active.iter().enumerate() {
+                for (r, uv) in u.iter_mut().enumerate() {
+                    *uv += signs[pos] * w[pos] * xn.get(r, j);
+                }
+            }
+            let a: Vec<f64> = (0..p)
+                .map(|j| (0..n).map(|r| xn.get(r, j) * u[r]).sum())
+                .collect();
+            // Step length: smallest positive gamma where an inactive feature ties.
+            let mut gamma = c_max / a_norm; // full step (OLS on active set)
+            if active.len() < p {
+                for j in 0..p {
+                    if active.contains(&j) || norms[j] <= 1e-12 {
+                        continue;
+                    }
+                    for cand in [
+                        (c_max - corr[j]) / (a_norm - a[j]),
+                        (c_max + corr[j]) / (a_norm + a[j]),
+                    ] {
+                        if cand > 1e-12 && cand < gamma {
+                            gamma = cand;
+                        }
+                    }
+                }
+            }
+            for (pos, &j) in active.iter().enumerate() {
+                beta[j] += gamma * signs[pos] * w[pos];
+            }
+            for (r, m) in mu.iter_mut().enumerate() {
+                *m += gamma * u[r];
+            }
+        }
+
+        // Unscale back to the original feature scale.
+        let weights: Vec<f64> = (0..p)
+            .map(|j| {
+                if norms[j] > 1e-12 {
+                    beta[j] / norms[j]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        self.weights = Some(weights);
+        self.x_mean = xm;
+        self.y_mean = ym;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("fit before predict");
+        predict_centered(x, w, &self.x_mean, self.y_mean)
+    }
+
+    fn name(&self) -> String {
+        "LARS".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    #[test]
+    fn full_path_reaches_ols_on_well_posed_data() {
+        let n = 50;
+        let x = Matrix::from_fn(n, 3, |r, c| (((r + 3) * (2 * c + 5)) % 19) as f64 / 19.0);
+        let y: Vec<f64> = (0..n)
+            .map(|r| 1.0 * x.get(r, 0) - 2.0 * x.get(r, 1) + 0.5 * x.get(r, 2) + 1.0)
+            .collect();
+        let mut lars = Lars::new(None);
+        lars.fit(&x, &y).unwrap();
+        assert!(
+            mse(&lars.predict(&x), &y) < 1e-6,
+            "mse {}",
+            mse(&lars.predict(&x), &y)
+        );
+    }
+
+    #[test]
+    fn single_feature_problem() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = [0.0, 2.0, 4.0, 6.0];
+        let mut lars = Lars::new(None);
+        lars.fit(&x, &y).unwrap();
+        assert!((lars.coefficients().unwrap()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_features_limits_path() {
+        let n = 30;
+        let x = Matrix::from_fn(n, 5, |r, c| (((r + 1) * (c + 2)) % 13) as f64 / 13.0);
+        let y: Vec<f64> = (0..n).map(|r| x.get(r, 0) * 3.0).collect();
+        let mut lars = Lars::new(Some(1));
+        lars.fit(&x, &y).unwrap();
+        let nonzero = lars
+            .coefficients()
+            .unwrap()
+            .iter()
+            .filter(|&&w| w.abs() > 1e-9)
+            .count();
+        assert_eq!(nonzero, 1);
+    }
+}

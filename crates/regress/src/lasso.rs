@@ -1,0 +1,66 @@
+use crate::elastic_net::ElasticNet;
+use crate::traits::{RegressError, Regressor};
+use tensor::Matrix;
+
+/// LASSO (Tibshirani): L1-penalized least squares, i.e. an
+/// [`ElasticNet`] with `l1_ratio = 1`.
+#[derive(Debug, Clone)]
+pub struct Lasso {
+    inner: ElasticNet,
+}
+
+impl Lasso {
+    /// LASSO with penalty `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha < 0`.
+    pub fn new(alpha: f64) -> Self {
+        Lasso {
+            inner: ElasticNet::new(alpha, 1.0),
+        }
+    }
+
+    /// The fitted coefficients.
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.inner.coefficients()
+    }
+}
+
+impl Regressor for Lasso {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        self.inner.fit(x, y)
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.inner.predict(x)
+    }
+
+    fn name(&self) -> String {
+        "LASSO".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    #[test]
+    fn lasso_fits_sparse_truth() {
+        // y depends on features 0 and 2 only.
+        let n = 50;
+        let x = Matrix::from_fn(n, 4, |r, c| (((r + 1) * (c + 3)) % 13) as f64 / 13.0);
+        let y: Vec<f64> = (0..n)
+            .map(|r| 2.0 * x.get(r, 0) - 1.5 * x.get(r, 2))
+            .collect();
+        let mut lasso = Lasso::new(1e-4);
+        lasso.fit(&x, &y).unwrap();
+        assert!(mse(&lasso.predict(&x), &y) < 1e-3);
+    }
+
+    #[test]
+    fn name_is_table_label() {
+        assert_eq!(Lasso::new(0.1).name(), "LASSO");
+    }
+}

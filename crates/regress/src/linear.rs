@@ -1,0 +1,81 @@
+use crate::internal::{center, predict_centered};
+use crate::traits::{RegressError, Regressor};
+use tensor::linalg::lstsq;
+use tensor::Matrix;
+
+/// Ordinary least squares with intercept.
+///
+/// Like scikit-learn's `LinearRegression`, the normal equations are solved
+/// directly with only a vanishing numerical ridge (`1e-12`), so collinear
+/// features produce the same exploding coefficients the paper observes on
+/// its unscaled sum-aggregated inputs (Table II, LR row).
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    weights: Option<Vec<f64>>,
+    x_mean: Vec<f64>,
+    y_mean: f64,
+}
+
+impl LinearRegression {
+    /// A fresh, unfitted estimator.
+    pub fn new() -> Self {
+        LinearRegression::default()
+    }
+
+    /// The fitted coefficients (feature weights, no intercept).
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        let (xc, yc, xm, ym) = center(x, y);
+        let w = lstsq(&xc, &yc, 1e-12)?;
+        self.weights = Some(w);
+        self.x_mean = xm;
+        self.y_mean = ym;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("fit before predict");
+        predict_centered(x, w, &self.x_mean, self.y_mean)
+    }
+
+    fn name(&self) -> String {
+        "LR".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    #[test]
+    fn exact_fit_on_noiseless_line() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let y = [1.0, 3.0, 5.0];
+        let mut lr = LinearRegression::new();
+        lr.fit(&x, &y).unwrap();
+        assert!(mse(&lr.predict(&x), &y) < 1e-18);
+        let coef = lr.coefficients().unwrap();
+        assert!((coef[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intercept_is_recovered() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let y = [10.0, 10.0, 10.0, 10.0];
+        let mut lr = LinearRegression::new();
+        lr.fit(&x, &y).unwrap();
+        assert!((lr.predict(&Matrix::from_rows(&[&[99.0]]))[0] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit before predict")]
+    fn predict_without_fit_panics() {
+        LinearRegression::new().predict(&Matrix::zeros(1, 1));
+    }
+}

@@ -1,0 +1,155 @@
+//! Regression quality metrics and correlation coefficients.
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Coefficient of determination R². 1.0 is perfect; 0.0 matches the mean
+/// predictor; negative is worse than the mean predictor.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty inputs");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (t - p) * (t - p))
+        .sum();
+    let ss_tot: f64 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Pearson correlation coefficient, or 0.0 when either side is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty inputs");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Spearman rank correlation (Pearson on average-ranked data).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Average ranks (1-based), ties receive the mean of their rank range.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("no NaN"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_mae_known_values() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [1.0, 4.0, 1.0];
+        assert!((mse(&pred, &truth) - (0.0 + 4.0 + 4.0) / 3.0).abs() < 1e-12);
+        assert!((mae(&pred, &truth) - (0.0 + 2.0 + 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_bounds() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r2(&truth, &truth), 1.0);
+        let mean_pred = [2.5; 4];
+        assert!(r2(&mean_pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[5.0; 3]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but non-linear: Spearman 1, Pearson < 1.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 10.0, 100.0, 1000.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        assert!(pearson(&a, &b) < 0.95);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(ranks(&[5.0, 5.0]), vec![1.5, 1.5]);
+    }
+}

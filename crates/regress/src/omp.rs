@@ -1,0 +1,150 @@
+use crate::internal::{center, predict_centered};
+use crate::traits::{RegressError, Regressor};
+use tensor::linalg::lstsq;
+use tensor::Matrix;
+
+/// Orthogonal matching pursuit (Mallat & Zhang): greedily adds the feature
+/// most correlated with the residual, refitting least squares on the active
+/// set after each addition.
+#[derive(Debug, Clone)]
+pub struct OrthogonalMatchingPursuit {
+    /// Number of nonzero coefficients to select; `None` uses
+    /// `max(1, n_features / 10)` like scikit-learn's default.
+    pub n_nonzero: Option<usize>,
+    weights: Option<Vec<f64>>,
+    x_mean: Vec<f64>,
+    y_mean: f64,
+}
+
+impl OrthogonalMatchingPursuit {
+    /// OMP selecting `n_nonzero` features (or the scikit-learn default).
+    pub fn new(n_nonzero: Option<usize>) -> Self {
+        OrthogonalMatchingPursuit {
+            n_nonzero,
+            weights: None,
+            x_mean: Vec::new(),
+            y_mean: 0.0,
+        }
+    }
+
+    /// Indices of the selected features.
+    pub fn active_set(&self) -> Vec<usize> {
+        self.weights
+            .as_ref()
+            .map(|w| {
+                w.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+impl Regressor for OrthogonalMatchingPursuit {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        let (xc, yc, xm, ym) = center(x, y);
+        let p = xc.cols();
+        let n = xc.rows();
+        if p == 0 || n == 0 {
+            return Err(RegressError::Degenerate("empty design matrix".into()));
+        }
+        let budget = self.n_nonzero.unwrap_or((p / 10).max(1)).min(p).min(n);
+
+        let mut active: Vec<usize> = Vec::new();
+        let mut residual = yc.clone();
+        let mut w = vec![0.0; p];
+        for _ in 0..budget {
+            // Most-correlated inactive feature.
+            let mut best = None;
+            let mut best_corr = 0.0f64;
+            for j in 0..p {
+                if active.contains(&j) {
+                    continue;
+                }
+                let corr: f64 = (0..n).map(|r| xc.get(r, j) * residual[r]).sum();
+                if corr.abs() > best_corr {
+                    best_corr = corr.abs();
+                    best = Some(j);
+                }
+            }
+            let Some(j) = best else { break };
+            if best_corr < 1e-12 {
+                break; // residual orthogonal to everything left
+            }
+            active.push(j);
+            // Least-squares refit on the active set.
+            let sub = Matrix::from_fn(n, active.len(), |r, c| xc.get(r, active[c]));
+            let coef = lstsq(&sub, &yc, 1e-10)?;
+            for (pos, &feat) in active.iter().enumerate() {
+                w[feat] = coef[pos];
+            }
+            for (r, res) in residual.iter_mut().enumerate() {
+                *res = yc[r]
+                    - active
+                        .iter()
+                        .map(|&feat| xc.get(r, feat) * w[feat])
+                        .sum::<f64>();
+            }
+        }
+        self.weights = Some(w);
+        self.x_mean = xm;
+        self.y_mean = ym;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("fit before predict");
+        predict_centered(x, w, &self.x_mean, self.y_mean)
+    }
+
+    fn name(&self) -> String {
+        "OMP".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    #[test]
+    fn selects_the_truly_active_features() {
+        // y = 4 x2 - 2 x5 among 8 features.
+        let n = 60;
+        let x = Matrix::from_fn(n, 8, |r, c| (((r + 1) * (c * c + 1)) % 17) as f64 / 17.0);
+        let y: Vec<f64> = (0..n)
+            .map(|r| 4.0 * x.get(r, 2) - 2.0 * x.get(r, 5))
+            .collect();
+        let mut omp = OrthogonalMatchingPursuit::new(Some(2));
+        omp.fit(&x, &y).unwrap();
+        let mut active = omp.active_set();
+        active.sort();
+        assert_eq!(active, vec![2, 5]);
+        assert!(mse(&omp.predict(&x), &y) < 1e-6);
+    }
+
+    #[test]
+    fn budget_limits_selection() {
+        let n = 30;
+        let x = Matrix::from_fn(n, 6, |r, c| ((r * (c + 2)) % 11) as f64);
+        let y: Vec<f64> = (0..n).map(|r| x.row(r).iter().sum::<f64>()).collect();
+        let mut omp = OrthogonalMatchingPursuit::new(Some(3));
+        omp.fit(&x, &y).unwrap();
+        assert!(omp.active_set().len() <= 3);
+    }
+
+    #[test]
+    fn default_budget_is_tenth_of_features() {
+        let omp = OrthogonalMatchingPursuit::new(None);
+        assert!(omp.n_nonzero.is_none());
+        // Behavioural check: with 20 features the default selects 2.
+        let n = 40;
+        let x = Matrix::from_fn(n, 20, |r, c| (((r + 2) * (c + 3)) % 19) as f64 / 19.0);
+        let y: Vec<f64> = (0..n).map(|r| x.get(r, 0) + x.get(r, 1)).collect();
+        let mut omp = OrthogonalMatchingPursuit::new(None);
+        omp.fit(&x, &y).unwrap();
+        assert_eq!(omp.active_set().len(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+use crate::traits::{RegressError, Regressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tensor::Matrix;
+
+/// Passive-aggressive regression (PA-I, Crammer et al.) with the
+/// ε-insensitive loss — the `PAR` baseline of Table II.
+///
+/// Each sample with loss `max(0, |w.x - y| - epsilon)` triggers the update
+/// `w += sign(y - w.x) * min(C, loss / ||x||²) * x`.
+#[derive(Debug, Clone)]
+pub struct PassiveAggressive {
+    /// Aggressiveness cap.
+    pub c: f64,
+    /// Insensitivity tube width.
+    pub epsilon: f64,
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+    weights: Option<Vec<f64>>,
+    intercept: f64,
+}
+
+impl Default for PassiveAggressive {
+    fn default() -> Self {
+        PassiveAggressive {
+            c: 1.0,
+            epsilon: 0.1,
+            epochs: 30,
+            seed: 0,
+            weights: None,
+            intercept: 0.0,
+        }
+    }
+}
+
+impl PassiveAggressive {
+    /// A PA-I regressor with library defaults.
+    pub fn new() -> Self {
+        PassiveAggressive::default()
+    }
+}
+
+impl Regressor for PassiveAggressive {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        let n = x.rows();
+        let p = x.cols();
+        let mut w = vec![0.0f64; p];
+        let mut b = 0.0f64;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let row = x.row(i);
+                let pred: f64 = row.iter().zip(&w).map(|(&a, &c)| a * c).sum::<f64>() + b;
+                let err = y[i] - pred;
+                let loss = err.abs() - self.epsilon;
+                if loss <= 0.0 {
+                    continue; // passive
+                }
+                let norm2: f64 = row.iter().map(|&v| v * v).sum::<f64>() + 1.0; // +1 for bias
+                let tau = (loss / norm2).min(self.c) * err.signum();
+                for (wj, &xj) in w.iter_mut().zip(row) {
+                    *wj += tau * xj;
+                }
+                b += tau;
+            }
+        }
+        self.weights = Some(w);
+        self.intercept = b;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("fit before predict");
+        (0..x.rows())
+            .map(|r| x.row(r).iter().zip(w).map(|(&a, &b)| a * b).sum::<f64>() + self.intercept)
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        "PAR".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    #[test]
+    fn fits_linear_data_within_tube() {
+        let n = 50;
+        let x = Matrix::from_fn(n, 2, |r, c| ((r * (c + 3)) % 13) as f64 / 13.0);
+        let y: Vec<f64> = (0..n)
+            .map(|r| 2.0 * x.get(r, 0) - x.get(r, 1) + 0.5)
+            .collect();
+        let mut par = PassiveAggressive {
+            epochs: 200,
+            epsilon: 0.01,
+            ..PassiveAggressive::default()
+        };
+        par.fit(&x, &y).unwrap();
+        assert!(mse(&par.predict(&x), &y) < 0.01);
+    }
+
+    #[test]
+    fn wide_tube_means_no_updates() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let y = [0.05, -0.05];
+        let mut par = PassiveAggressive {
+            epsilon: 10.0,
+            ..PassiveAggressive::default()
+        };
+        par.fit(&x, &y).unwrap();
+        assert_eq!(par.predict(&x), vec![0.0, 0.0]);
+    }
+}

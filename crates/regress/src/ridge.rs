@@ -1,0 +1,94 @@
+use crate::internal::{center, predict_centered};
+use crate::traits::{RegressError, Regressor};
+use tensor::linalg::lstsq;
+use tensor::Matrix;
+
+/// Ridge regression (L2-penalized least squares) with unpenalized intercept.
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    /// L2 penalty strength.
+    pub alpha: f64,
+    weights: Option<Vec<f64>>,
+    x_mean: Vec<f64>,
+    y_mean: f64,
+}
+
+impl Ridge {
+    /// Ridge with penalty `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha < 0`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        Ridge {
+            alpha,
+            weights: None,
+            x_mean: Vec::new(),
+            y_mean: 0.0,
+        }
+    }
+
+    /// The fitted coefficients.
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+}
+
+impl Regressor for Ridge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        let (xc, yc, xm, ym) = center(x, y);
+        let w = lstsq(&xc, &yc, self.alpha.max(1e-12))?;
+        self.weights = Some(w);
+        self.x_mean = xm;
+        self.y_mean = ym;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("fit before predict");
+        predict_centered(x, w, &self.x_mean, self.y_mean)
+    }
+
+    fn name(&self) -> String {
+        "RR".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_alpha_shrinks_weights() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = [0.0, 2.0, 4.0, 6.0];
+        let mut small = Ridge::new(1e-8);
+        let mut big = Ridge::new(1e4);
+        small.fit(&x, &y).unwrap();
+        big.fit(&x, &y).unwrap();
+        let ws = small.coefficients().unwrap()[0];
+        let wb = big.coefficients().unwrap()[0];
+        assert!(ws > 1.9, "small-alpha weight {ws}");
+        assert!(wb < 0.1, "big-alpha weight {wb}");
+        // Even fully shrunk, prediction falls back to the mean.
+        assert!((big.predict(&x)[0] - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn ridge_survives_collinear_features() {
+        // Two identical columns are singular for OLS; ridge handles them.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let y = [2.0, 4.0, 6.0];
+        let mut rr = Ridge::new(0.1);
+        rr.fit(&x, &y).unwrap();
+        let pred = rr.predict(&x);
+        assert!(crate::metrics::mse(&pred, &y) < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_alpha_panics() {
+        let _ = Ridge::new(-1.0);
+    }
+}

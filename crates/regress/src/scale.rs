@@ -1,0 +1,103 @@
+use tensor::Matrix;
+
+/// Zero-mean / unit-variance feature scaling.
+///
+/// ```
+/// use regress::StandardScaler;
+/// use tensor::Matrix;
+///
+/// let x = Matrix::from_rows(&[&[0.0, 10.0], &[2.0, 30.0]]);
+/// let scaler = StandardScaler::fit(&x);
+/// let z = scaler.transform(&x);
+/// assert!(z.col_sums().max_abs() < 1e-12); // zero mean per column
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Learns per-column mean and standard deviation. Constant columns get
+    /// `std = 1` so transforms never divide by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty matrix.
+    pub fn fit(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot fit a scaler on zero samples");
+        let n = x.rows() as f64;
+        let mut mean = vec![0.0; x.cols()];
+        for r in 0..x.rows() {
+            for (m, &v) in mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; x.cols()];
+        for r in 0..x.rows() {
+            for ((v, &m), &xv) in var.iter_mut().zip(&mean).zip(x.row(r)) {
+                *v += (xv - m) * (xv - m);
+            }
+        }
+        let std: Vec<f64> = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Applies the learned scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.len(), "feature count mismatch");
+        Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+            (x.get(r, c) - self.mean[c]) / self.std[c]
+        })
+    }
+
+    /// Fits and transforms in one call.
+    pub fn fit_transform(x: &Matrix) -> (Self, Matrix) {
+        let scaler = StandardScaler::fit(x);
+        let z = scaler.transform(x);
+        (scaler, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transforms_to_unit_scale() {
+        let x = Matrix::from_rows(&[&[1.0, -5.0], &[3.0, 5.0], &[5.0, 0.0]]);
+        let (_, z) = StandardScaler::fit_transform(&x);
+        for c in 0..2 {
+            let col: Vec<f64> = (0..3).map(|r| z.get(r, c)).collect();
+            let mean = col.iter().sum::<f64>() / 3.0;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_columns_are_safe() {
+        let x = Matrix::from_rows(&[&[7.0], &[7.0]]);
+        let (_, z) = StandardScaler::fit_transform(&x);
+        assert_eq!(z.get(0, 0), 0.0);
+        assert!(z.get(1, 0).is_finite());
+    }
+}

@@ -1,0 +1,139 @@
+use crate::traits::{RegressError, Regressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tensor::Matrix;
+
+/// Linear regression fitted by stochastic gradient descent on squared loss
+/// with inverse-scaling learning rate — the `SGD` baseline of Tables I/II.
+///
+/// Deliberately scikit-learn-faithful: there is **no internal feature
+/// scaling**, so on raw sum-aggregated circuit features the iterates diverge
+/// to astronomic values exactly as the paper reports (`2.1e+25` MSE).
+#[derive(Debug, Clone)]
+pub struct SgdRegressor {
+    /// Initial learning rate.
+    pub eta0: f64,
+    /// Inverse-scaling exponent: `eta = eta0 / t^power_t`.
+    pub power_t: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+    weights: Option<Vec<f64>>,
+    intercept: f64,
+}
+
+impl Default for SgdRegressor {
+    fn default() -> Self {
+        SgdRegressor {
+            eta0: 0.01,
+            power_t: 0.25,
+            epochs: 50,
+            seed: 0,
+            weights: None,
+            intercept: 0.0,
+        }
+    }
+}
+
+impl SgdRegressor {
+    /// An SGD regressor with scikit-learn-like defaults.
+    pub fn new() -> Self {
+        SgdRegressor::default()
+    }
+
+    /// The fitted coefficients.
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+}
+
+impl Regressor for SgdRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        let n = x.rows();
+        let p = x.cols();
+        let mut w = vec![0.0; p];
+        let mut b = 0.0f64;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut t = 1u64;
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let row = x.row(i);
+                let pred: f64 = row.iter().zip(&w).map(|(&a, &b)| a * b).sum::<f64>() + b;
+                let err = pred - y[i];
+                let eta = self.eta0 / (t as f64).powf(self.power_t);
+                // Divergence guard: clamp the iterates so the huge values
+                // (the observable behaviour on unscaled data) stay finite
+                // instead of overflowing into NaN.
+                const CAP: f64 = 1e75;
+                for (wj, &xj) in w.iter_mut().zip(row) {
+                    *wj = (*wj - eta * err * xj).clamp(-CAP, CAP);
+                }
+                b = (b - eta * err).clamp(-CAP, CAP);
+                t += 1;
+            }
+        }
+        self.weights = Some(w);
+        self.intercept = b;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("fit before predict");
+        (0..x.rows())
+            .map(|r| x.row(r).iter().zip(w).map(|(&a, &b)| a * b).sum::<f64>() + self.intercept)
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        "SGD".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    #[test]
+    fn fits_scaled_data() {
+        let x = Matrix::from_fn(40, 2, |r, c| ((r * (c + 2)) % 9) as f64 / 9.0 - 0.5);
+        let y: Vec<f64> = (0..40)
+            .map(|r| 1.5 * x.get(r, 0) - 0.5 * x.get(r, 1) + 0.25)
+            .collect();
+        let mut sgd = SgdRegressor {
+            epochs: 800,
+            eta0: 0.05,
+            ..SgdRegressor::default()
+        };
+        sgd.fit(&x, &y).unwrap();
+        assert!(mse(&sgd.predict(&x), &y) < 1e-2);
+    }
+
+    #[test]
+    fn diverges_on_huge_unscaled_features_without_nan() {
+        // Mimics the paper's sum-aggregated inputs: feature magnitude ~1e3.
+        let x = Matrix::from_fn(20, 2, |r, c| ((r + c) as f64) * 1.0e3);
+        let y: Vec<f64> = (0..20).map(|r| r as f64).collect();
+        let mut sgd = SgdRegressor::default();
+        sgd.fit(&x, &y).unwrap();
+        let pred = sgd.predict(&x);
+        assert!(pred.iter().all(|p| p.is_finite()));
+        // The fit blows up instead of converging.
+        assert!(mse(&pred, &y) > 1e6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = Matrix::from_fn(10, 1, |r, _| r as f64 / 10.0);
+        let y: Vec<f64> = (0..10).map(|r| r as f64).collect();
+        let mut a = SgdRegressor::default();
+        let mut b = SgdRegressor::default();
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.coefficients(), b.coefficients());
+    }
+}

@@ -1,0 +1,241 @@
+use crate::traits::{RegressError, Regressor};
+use tensor::Matrix;
+
+/// Kernel functions for [`Svr`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Gaussian radial basis function `exp(-gamma ||a - b||²)`.
+    Rbf {
+        /// Width parameter.
+        gamma: f64,
+    },
+    /// Polynomial `(gamma a.b + coef0)^degree`.
+    Poly {
+        /// Polynomial degree.
+        degree: u32,
+        /// Inner-product scale.
+        gamma: f64,
+        /// Additive constant.
+        coef0: f64,
+    },
+}
+
+impl Kernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+                (-gamma * d2).exp()
+            }
+            Kernel::Poly {
+                degree,
+                gamma,
+                coef0,
+            } => {
+                let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+                (gamma * dot + coef0).powi(degree as i32)
+            }
+        }
+    }
+}
+
+/// ε-insensitive support vector regression (Smola & Schölkopf) solved by
+/// coordinate descent on the dual.
+///
+/// The bias is absorbed by training on the augmented kernel `K + 1`, which
+/// removes the equality constraint from the dual, leaving the box-constrained
+/// problem each coordinate of which has the closed-form soft-threshold
+/// update used below.
+#[derive(Debug, Clone)]
+pub struct Svr {
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// Box constraint (regularization strength).
+    pub c: f64,
+    /// Width of the ε-insensitive tube.
+    pub epsilon: f64,
+    /// Maximum coordinate sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the largest dual update per sweep.
+    pub tol: f64,
+    beta: Option<Vec<f64>>,
+    support: Matrix,
+}
+
+impl Svr {
+    /// An SVR with the given kernel, box constraint, and tube width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c > 0` and `epsilon >= 0`.
+    pub fn new(kernel: Kernel, c: f64, epsilon: f64) -> Self {
+        assert!(c > 0.0, "C must be positive");
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        Svr {
+            kernel,
+            c,
+            epsilon,
+            max_iter: 200,
+            tol: 1e-6,
+            beta: None,
+            support: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Number of support vectors (nonzero dual coefficients).
+    pub fn num_support_vectors(&self) -> usize {
+        self.beta
+            .as_ref()
+            .map_or(0, |b| b.iter().filter(|&&v| v != 0.0).count())
+    }
+}
+
+impl Regressor for Svr {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        let n = x.rows();
+        if n == 0 {
+            return Err(RegressError::Degenerate("no samples".into()));
+        }
+        // Augmented Gram matrix K + 1 (bias absorbed).
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.kernel.eval(x.row(i), x.row(j)) + 1.0;
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+        }
+        let mut beta = vec![0.0f64; n];
+        let mut f = vec![0.0f64; n]; // f_i = (K beta)_i
+        for _ in 0..self.max_iter {
+            let mut max_delta = 0.0f64;
+            for i in 0..n {
+                let kii = k.get(i, i).max(1e-12);
+                // Contribution of all other coordinates at sample i.
+                let others = f[i] - kii * beta[i];
+                let target = y[i] - others;
+                // Minimize 0.5*kii*b^2 - target*b + eps*|b| over [-C, C].
+                let raw = soft(target, self.epsilon) / kii;
+                let new_beta = raw.clamp(-self.c, self.c);
+                let delta = new_beta - beta[i];
+                if delta != 0.0 {
+                    for (j, fj) in f.iter_mut().enumerate() {
+                        *fj += k.get(j, i) * delta;
+                    }
+                    beta[i] = new_beta;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+        self.beta = Some(beta);
+        self.support = x.clone();
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let beta = self.beta.as_ref().expect("fit before predict");
+        (0..x.rows())
+            .map(|r| {
+                beta.iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b != 0.0)
+                    .map(|(i, &b)| b * (self.kernel.eval(self.support.row(i), x.row(r)) + 1.0))
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        match self.kernel {
+            Kernel::Rbf { .. } => "SVR RBF".to_owned(),
+            Kernel::Poly { .. } => "SVR Poly".to_owned(),
+        }
+    }
+}
+
+fn soft(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    fn wave_problem() -> (Matrix, Vec<f64>) {
+        let n = 60;
+        let x = Matrix::from_fn(n, 1, |r, _| r as f64 / n as f64 * 4.0 - 2.0);
+        let y: Vec<f64> = (0..n).map(|r| (x.get(r, 0) * 2.0).sin()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn rbf_fits_nonlinear_function() {
+        let (x, y) = wave_problem();
+        let mut svr = Svr::new(Kernel::Rbf { gamma: 4.0 }, 100.0, 0.01);
+        svr.fit(&x, &y).unwrap();
+        let err = mse(&svr.predict(&x), &y);
+        assert!(err < 0.01, "RBF SVR mse {err}");
+        assert!(svr.num_support_vectors() > 0);
+    }
+
+    #[test]
+    fn poly_fits_quadratic() {
+        let n = 40;
+        let x = Matrix::from_fn(n, 1, |r, _| r as f64 / n as f64 * 2.0 - 1.0);
+        let y: Vec<f64> = (0..n).map(|r| x.get(r, 0).powi(2)).collect();
+        let mut svr = Svr::new(
+            Kernel::Poly {
+                degree: 2,
+                gamma: 1.0,
+                coef0: 1.0,
+            },
+            100.0,
+            0.005,
+        );
+        svr.fit(&x, &y).unwrap();
+        let err = mse(&svr.predict(&x), &y);
+        assert!(err < 0.01, "poly SVR mse {err}");
+    }
+
+    #[test]
+    fn epsilon_tube_controls_sparsity() {
+        let (x, y) = wave_problem();
+        let mut tight = Svr::new(Kernel::Rbf { gamma: 4.0 }, 100.0, 0.001);
+        let mut loose = Svr::new(Kernel::Rbf { gamma: 4.0 }, 100.0, 0.5);
+        tight.fit(&x, &y).unwrap();
+        loose.fit(&x, &y).unwrap();
+        assert!(tight.num_support_vectors() > loose.num_support_vectors());
+    }
+
+    #[test]
+    fn kernels_evaluate_known_values() {
+        let rbf = Kernel::Rbf { gamma: 1.0 };
+        assert!((rbf.eval(&[0.0], &[0.0]) - 1.0).abs() < 1e-12);
+        assert!((rbf.eval(&[0.0], &[1.0]) - (-1.0f64).exp()).abs() < 1e-12);
+        let poly = Kernel::Poly {
+            degree: 2,
+            gamma: 1.0,
+            coef0: 1.0,
+        };
+        assert!((poly.eval(&[1.0, 2.0], &[3.0, 4.0]) - 144.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fit_is_degenerate() {
+        let mut svr = Svr::new(Kernel::Rbf { gamma: 1.0 }, 1.0, 0.1);
+        assert!(matches!(
+            svr.fit(&Matrix::zeros(0, 2), &[]),
+            Err(RegressError::Degenerate(_))
+        ));
+    }
+}

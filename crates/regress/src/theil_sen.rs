@@ -1,0 +1,151 @@
+use crate::traits::{RegressError, Regressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tensor::linalg::lstsq;
+use tensor::Matrix;
+
+/// Theil-Sen estimator for multiple linear regression (Dang et al. 2008):
+/// exact least-squares fits on many random minimal subsets, combined by the
+/// coordinate-wise median. Robust to outliers, expensive on wide data.
+#[derive(Debug, Clone)]
+pub struct TheilSen {
+    /// Number of random subsets to fit.
+    pub n_subsets: usize,
+    /// Sampling seed.
+    pub seed: u64,
+    weights: Option<Vec<f64>>,
+    intercept: f64,
+}
+
+impl Default for TheilSen {
+    fn default() -> Self {
+        TheilSen {
+            n_subsets: 300,
+            seed: 0,
+            weights: None,
+            intercept: 0.0,
+        }
+    }
+}
+
+impl TheilSen {
+    /// A Theil-Sen estimator with the default subset count.
+    pub fn new() -> Self {
+        TheilSen::default()
+    }
+
+    /// The fitted coefficients.
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+}
+
+impl Regressor for TheilSen {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError> {
+        let n = x.rows();
+        let p = x.cols();
+        let subset = p + 1; // features + intercept
+        if n < subset + 1 {
+            // Mirrors the paper's Table II, where Theil-Sen is N/A on the
+            // tiny dataset: not enough samples for minimal subsets.
+            return Err(RegressError::Degenerate(format!(
+                "Theil-Sen needs more than {subset} samples, got {n}"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut estimates: Vec<Vec<f64>> = Vec::with_capacity(self.n_subsets);
+        for _ in 0..self.n_subsets {
+            indices.shuffle(&mut rng);
+            let rows = &indices[..subset];
+            // Design with an explicit intercept column.
+            let sub = Matrix::from_fn(subset, p + 1, |r, c| {
+                if c == 0 {
+                    1.0
+                } else {
+                    x.get(rows[r], c - 1)
+                }
+            });
+            let ys: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
+            if let Ok(coef) = lstsq(&sub, &ys, 1e-10) {
+                if coef.iter().all(|v| v.is_finite()) {
+                    estimates.push(coef);
+                }
+            }
+        }
+        if estimates.is_empty() {
+            return Err(RegressError::Degenerate(
+                "every Theil-Sen subset was singular".into(),
+            ));
+        }
+        // Coordinate-wise median.
+        let mut median_coef = vec![0.0; p + 1];
+        for (j, m) in median_coef.iter_mut().enumerate() {
+            let mut column: Vec<f64> = estimates.iter().map(|e| e[j]).collect();
+            column.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            *m = column[column.len() / 2];
+        }
+        self.intercept = median_coef[0];
+        self.weights = Some(median_coef[1..].to_vec());
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let w = self.weights.as_ref().expect("fit before predict");
+        (0..x.rows())
+            .map(|r| x.row(r).iter().zip(w).map(|(&a, &b)| a * b).sum::<f64>() + self.intercept)
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        "Theil".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    #[test]
+    fn fits_clean_linear_data() {
+        let n = 40;
+        let x = Matrix::from_fn(n, 2, |r, c| (((r + 2) * (c + 5)) % 17) as f64 / 17.0);
+        let y: Vec<f64> = (0..n)
+            .map(|r| 3.0 * x.get(r, 0) - x.get(r, 1) + 2.0)
+            .collect();
+        let mut ts = TheilSen::default();
+        ts.fit(&x, &y).unwrap();
+        assert!(mse(&ts.predict(&x), &y) < 1e-6);
+    }
+
+    #[test]
+    fn robust_to_gross_outliers() {
+        let n = 60;
+        let x = Matrix::from_fn(n, 1, |r, _| r as f64 / n as f64);
+        let mut y: Vec<f64> = (0..n).map(|r| 2.0 * x.get(r, 0)).collect();
+        // Corrupt 10% of targets grossly.
+        for i in 0..6 {
+            y[i * 10] = 1000.0;
+        }
+        let mut ts = TheilSen::default();
+        ts.fit(&x, &y).unwrap();
+        let w = ts.coefficients().unwrap()[0];
+        assert!((w - 2.0).abs() < 0.3, "Theil-Sen slope {w}");
+
+        // OLS, by contrast, is dragged far away.
+        let mut lr = crate::LinearRegression::new();
+        lr.fit(&x, &y).unwrap();
+        assert!((lr.coefficients().unwrap()[0] - 2.0).abs() > 10.0);
+    }
+
+    #[test]
+    fn too_few_samples_is_na() {
+        // The Table II "N/A" case.
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let y = [1.0, 2.0];
+        let mut ts = TheilSen::default();
+        assert!(matches!(ts.fit(&x, &y), Err(RegressError::Degenerate(_))));
+    }
+}

@@ -1,0 +1,83 @@
+use std::fmt;
+use tensor::linalg::LinalgError;
+use tensor::Matrix;
+
+/// Errors produced while fitting or predicting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RegressError {
+    /// `predict` called before a successful `fit`.
+    NotFitted,
+    /// The training data cannot support this estimator (explained inside).
+    Degenerate(String),
+    /// A direct linear solve failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for RegressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressError::NotFitted => f.write_str("estimator has not been fitted"),
+            RegressError::Degenerate(why) => write!(f, "degenerate training data: {why}"),
+            RegressError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegressError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for RegressError {
+    fn from(e: LinalgError) -> Self {
+        RegressError::Linalg(e)
+    }
+}
+
+/// A supervised regressor mapping feature rows to scalar targets.
+///
+/// `x` is an `n_samples x n_features` design matrix; `y` has one target per
+/// row. Estimators are reusable: a second `fit` discards the first.
+pub trait Regressor {
+    /// Fits the estimator.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`RegressError::Degenerate`] when the data
+    /// cannot support them (e.g. too few samples for Theil-Sen) and
+    /// [`RegressError::Linalg`] when a direct solve fails.
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), RegressError>;
+
+    /// Predicts targets for each row of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when called before a successful [`fit`]
+    /// (programming error), or when the feature count differs from training.
+    ///
+    /// [`fit`]: Regressor::fit
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Human-readable estimator name (used in experiment tables).
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(RegressError::NotFitted.to_string().contains("fitted"));
+        assert!(RegressError::Degenerate("x".into())
+            .to_string()
+            .contains("x"));
+        let e = RegressError::from(LinalgError::Singular);
+        assert!(e.to_string().contains("singular"));
+    }
+}

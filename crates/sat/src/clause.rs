@@ -1,0 +1,43 @@
+use crate::lit::Lit;
+
+/// Index of a clause in the solver's clause database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ClauseRef(pub(crate) u32);
+
+/// A disjunction of literals plus CDCL bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    /// True for clauses learnt from conflicts (candidates for deletion).
+    pub(crate) learnt: bool,
+    /// Literal block distance at learning time (lower = more valuable).
+    pub(crate) lbd: u32,
+    /// Bump-decay activity for reduction tie-breaking.
+    pub(crate) activity: f64,
+    /// Tombstone set by database reduction.
+    pub(crate) deleted: bool,
+}
+
+impl Clause {
+    pub(crate) fn new(lits: Vec<Lit>, learnt: bool) -> Self {
+        Clause {
+            lits,
+            learnt,
+            lbd: 0,
+            activity: 0.0,
+            deleted: false,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.lits.len()
+    }
+}
+
+/// A watch-list entry: the clause plus a "blocker" literal whose truth lets
+/// propagation skip loading the clause at all.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Watcher {
+    pub(crate) clause: ClauseRef,
+    pub(crate) blocker: Lit,
+}

@@ -1,0 +1,158 @@
+//! DIMACS CNF reader/writer for interoperability and test fixtures.
+
+use crate::lit::Lit;
+use std::fmt;
+
+/// Error produced by [`parse_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Explanation of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DIMACS parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text into `(num_vars, clauses)`.
+///
+/// The `p cnf` header is optional; the variable count is the maximum of the
+/// declared count and the largest variable mentioned.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers or non-integer tokens.
+pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), ParseDimacsError> {
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut declared_vars = 0usize;
+    let mut max_var = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    message: "expected `p cnf <vars> <clauses>`".into(),
+                });
+            }
+            declared_vars =
+                parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseDimacsError {
+                        line: lineno,
+                        message: "invalid variable count".into(),
+                    })?;
+            continue;
+        }
+        for token in line.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: format!("invalid literal `{token}`"),
+            })?;
+            if value == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                max_var = max_var.max(value.unsigned_abs() as usize);
+                current.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok((declared_vars.max(max_var), clauses))
+}
+
+/// Serializes clauses as DIMACS CNF text.
+pub fn write_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", num_vars, clauses.len());
+    for clause in clauses {
+        for lit in clause {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    #[test]
+    fn parse_simple_cnf() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let (vars, clauses) = parse_dimacs(text).unwrap();
+        assert_eq!(vars, 3);
+        assert_eq!(clauses.len(), 2);
+        assert_eq!(clauses[0][1], Lit::from_dimacs(-2));
+    }
+
+    #[test]
+    fn parse_without_header() {
+        let (vars, clauses) = parse_dimacs("1 2 0\n-1 0\n").unwrap();
+        assert_eq!(vars, 2);
+        assert_eq!(clauses.len(), 2);
+    }
+
+    #[test]
+    fn multiline_clause_and_trailing_clause() {
+        let (_, clauses) = parse_dimacs("1 2\n3 0 -1 -2").unwrap();
+        assert_eq!(clauses.len(), 2);
+        assert_eq!(clauses[0].len(), 3);
+        assert_eq!(clauses[1].len(), 2);
+    }
+
+    #[test]
+    fn bad_token_is_error() {
+        let err = parse_dimacs("1 x 0").unwrap_err();
+        assert!(err.to_string().contains("invalid literal"));
+    }
+
+    #[test]
+    fn bad_header_is_error() {
+        assert!(parse_dimacs("p sat 3 2").is_err());
+        assert!(parse_dimacs("p cnf nope 2").is_err());
+    }
+
+    #[test]
+    fn round_trip_and_solve() {
+        let text = "p cnf 2 2\n1 2 0\n-1 2 0\n";
+        let (vars, clauses) = parse_dimacs(text).unwrap();
+        let rewritten = write_dimacs(vars, &clauses);
+        let (vars2, clauses2) = parse_dimacs(&rewritten).unwrap();
+        assert_eq!(vars, vars2);
+        assert_eq!(clauses, clauses2);
+
+        let mut solver = Solver::new();
+        solver.new_vars(vars);
+        for clause in clauses {
+            solver.add_clause(clause);
+        }
+        match solver.solve() {
+            SolveResult::Sat(m) => assert!(m.value(crate::Var::from_index(1))),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+}

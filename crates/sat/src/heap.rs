@@ -1,0 +1,152 @@
+//! Max-heap over variables ordered by VSIDS activity.
+
+use crate::lit::Var;
+
+/// Binary max-heap keyed by an external activity array, with position
+/// tracking so arbitrary variables can be re-ordered after activity bumps.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VarHeap {
+    heap: Vec<Var>,
+    /// `pos[v] == usize::MAX` means "not in heap".
+    pos: Vec<usize>,
+}
+
+const NOT_IN_HEAP: usize = usize::MAX;
+
+impl VarHeap {
+    pub(crate) fn new() -> Self {
+        VarHeap::default()
+    }
+
+    pub(crate) fn grow_to(&mut self, num_vars: usize) {
+        if self.pos.len() < num_vars {
+            self.pos.resize(num_vars, NOT_IN_HEAP);
+        }
+    }
+
+    pub(crate) fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != NOT_IN_HEAP
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top.index()] = NOT_IN_HEAP;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Re-orders `v` after its activity increased.
+    pub(crate) fn decrease_key(&mut self, v: Var, activity: &[f64]) {
+        let p = self.pos[v.index()];
+        if p != NOT_IN_HEAP {
+            self.sift_up(p, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[largest].index()]
+            {
+                largest = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[largest].index()]
+            {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a].index()] = a;
+        self.pos[self.heap[b].index()] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = [1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.grow_to(5);
+        for i in 0..5 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop_max(&activity))
+            .map(Var::index)
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = [1.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.grow_to(2);
+        let v = Var::from_index(0);
+        heap.insert(v, &activity);
+        heap.insert(v, &activity);
+        assert_eq!(heap.pop_max(&activity), Some(v));
+        assert!(heap.pop_max(&activity).is_none());
+    }
+
+    #[test]
+    fn decrease_key_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::new();
+        heap.grow_to(3);
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.decrease_key(Var::from_index(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+    }
+}

@@ -1,0 +1,176 @@
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Builds a variable from its dense index.
+    pub fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `var * 2 + sign` where `sign == 1` means negated; this makes
+/// literals directly usable as watch-list indices.
+///
+/// ```
+/// use sat::{Lit, Var};
+///
+/// let v = Var::from_index(3);
+/// let l = Lit::positive(v);
+/// assert_eq!(!l, Lit::negative(v));
+/// assert_eq!((!l).var(), v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: Var) -> Self {
+        Lit((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = negated).
+    pub fn new(var: Var, negated: bool) -> Self {
+        Lit((var.0 << 1) | negated as u32)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive (non-negated).
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The watch-list / array index of this literal (`var*2 + sign`).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// Converts a DIMACS-style signed integer (non-zero) to a literal, where
+    /// variable `n` maps to index `n - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs == 0`.
+    pub fn from_dimacs(dimacs: i64) -> Self {
+        assert!(dimacs != 0, "DIMACS literals are non-zero");
+        let var = Var((dimacs.unsigned_abs() - 1) as u32);
+        Lit::new(var, dimacs < 0)
+    }
+
+    /// Converts to a DIMACS-style signed integer.
+    pub fn to_dimacs(self) -> i64 {
+        let v = (self.0 >> 1) as i64 + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.0 >> 1)
+        } else {
+            write!(f, "!x{}", self.0 >> 1)
+        }
+    }
+}
+
+/// Tri-state assignment value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    pub(crate) fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var::from_index(7);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(!p, n);
+        assert_eq!(!!p, p);
+        assert_eq!(Lit::from_code(p.code()), p);
+    }
+
+    #[test]
+    fn dimacs_conversion() {
+        assert_eq!(Lit::from_dimacs(1), Lit::positive(Var(0)));
+        assert_eq!(Lit::from_dimacs(-3), Lit::negative(Var(2)));
+        assert_eq!(Lit::from_dimacs(-3).to_dimacs(), -3);
+        assert_eq!(Lit::from_dimacs(12).to_dimacs(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(2);
+        assert_eq!(Lit::positive(v).to_string(), "x2");
+        assert_eq!(Lit::negative(v).to_string(), "!x2");
+        assert_eq!(v.to_string(), "x2");
+    }
+}

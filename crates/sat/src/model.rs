@@ -1,0 +1,77 @@
+use crate::lit::{Lit, Var};
+use std::fmt;
+
+/// A satisfying assignment returned by [`Solver::solve`](crate::Solver::solve).
+///
+/// Unassigned variables (possible when a variable occurs in no clause) are
+/// reported as `false`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    pub(crate) fn new(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// The value assigned to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not created by the solver that produced this model.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Whether the literal is true under this model.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.is_positive()
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in variable order.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", if *v { 1 } else { 0 })?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lit_value_respects_sign() {
+        let m = Model::new(vec![true, false]);
+        let v0 = Var::from_index(0);
+        let v1 = Var::from_index(1);
+        assert!(m.lit_value(Lit::positive(v0)));
+        assert!(!m.lit_value(Lit::negative(v0)));
+        assert!(m.lit_value(Lit::negative(v1)));
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.to_string(), "[1 0]");
+    }
+}

@@ -1,0 +1,1087 @@
+//! The CDCL search engine.
+
+use crate::clause::{Clause, ClauseRef, Watcher};
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+use crate::model::Model;
+use crate::stats::SolverStats;
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found.
+    Sat(Model),
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+impl SolveResult {
+    /// Returns the model if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the result is [`SolveResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// Whether the result is [`SolveResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLAUSE_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const LUBY_UNIT: u64 = 100;
+
+/// An incremental CDCL SAT solver. See the [crate docs](crate) for the
+/// feature list and an example.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarHeap,
+    saved_phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+    conflict_budget: Option<u64>,
+    max_learnts: usize,
+    num_learnt_live: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarHeap::new(),
+            saved_phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+            conflict_budget: None,
+            max_learnts: 4000,
+            num_learnt_live: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assign.len());
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assign.len());
+        v
+    }
+
+    /// Allocates `n` fresh variables and returns them in order.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses currently alive (problem + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Accumulated work counters.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Caps the number of conflicts any single future [`Solver::solve`] call
+    /// may spend; `None` removes the cap. When the budget is exhausted the
+    /// call returns [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    fn value(&self, lit: Lit) -> LBool {
+        match self.assign[lit.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if lit.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if lit.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause to the formula.
+    ///
+    /// Duplicated literals are removed and tautologies are dropped silently.
+    /// Returns `false` when the formula has become trivially unsatisfiable
+    /// (an empty clause was derived), `true` otherwise. Adding a clause
+    /// resets the search to decision level 0.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort();
+        lits.dedup();
+        // Tautology / level-0 simplification.
+        let mut simplified = Vec::with_capacity(lits.len());
+        for (i, &l) in lits.iter().enumerate() {
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return true; // tautology: contains l and !l (adjacent after sort)
+            }
+            match self.value(l) {
+                LBool::True => return true, // satisfied at level 0
+                LBool::False => continue,   // falsified at level 0: drop
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false, 0);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = ClauseRef(self.clauses.len() as u32);
+        let w0 = Watcher {
+            clause: cref,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: cref,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).code()].push(w0);
+        self.watches[(!lits[1]).code()].push(w1);
+        let mut clause = Clause::new(lits, learnt);
+        clause.lbd = lbd;
+        clause.activity = self.cla_inc;
+        self.clauses.push(clause);
+        if learnt {
+            self.num_learnt_live += 1;
+            self.stats.learnt_clauses += 1;
+        }
+        cref
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(lit), LBool::Undef);
+        let v = lit.var().index();
+        self.assign[v] = LBool::from_bool(lit.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.clauses[w.clause.0 as usize].deleted {
+                    continue; // drop tombstoned watcher
+                }
+                if self.value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.clause;
+                let false_lit = !p;
+                // Normalize so the false literal sits at position 1.
+                let first = {
+                    let c = &mut self.clauses[cref.0 as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                    c.lits[0]
+                };
+                let new_watch = Watcher {
+                    clause: cref,
+                    blocker: first,
+                };
+                if first != w.blocker && self.value(first) == LBool::True {
+                    ws[j] = new_watch;
+                    j += 1;
+                    continue;
+                }
+                // Search for a non-false literal to watch instead.
+                let len = self.clauses[cref.0 as usize].len();
+                for k in 2..len {
+                    let lk = self.clauses[cref.0 as usize].lits[k];
+                    if self.value(lk) != LBool::False {
+                        self.clauses[cref.0 as usize].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(new_watch);
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting under the current trail.
+                ws[j] = new_watch;
+                j += 1;
+                if self.value(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let bound = self.trail_lim[target_level as usize];
+        for idx in (bound..self.trail.len()).rev() {
+            let lit = self.trail[idx];
+            let v = lit.var();
+            self.saved_phase[v.index()] = lit.is_positive();
+            self.assign[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            if !self.order.contains(v) {
+                self.order.insert(v, &self.activity);
+            }
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.decrease_key(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.0 as usize];
+        c.activity += self.cla_inc;
+        if c.activity > RESCALE_LIMIT {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-100;
+            }
+            self.cla_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for the asserting literal
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut to_clear: Vec<Var> = Vec::new();
+        let current_level = self.decision_level();
+
+        loop {
+            if self.clauses[conflict.0 as usize].learnt {
+                self.bump_clause(conflict);
+            }
+            let lits = self.clauses[conflict.0 as usize].lits.clone();
+            let start = if p.is_none() { 0 } else { 1 };
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.bump_var(v);
+                    self.seen[v.index()] = true;
+                    to_clear.push(v);
+                    if self.level[v.index()] >= current_level {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next trail literal that contributed to the conflict.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            self.seen[lit.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                break;
+            }
+            conflict = self.reason[lit.var().index()].expect("non-decision on conflict path");
+        }
+        learnt[0] = !p.expect("conflict analysis found a UIP");
+
+        // Cheap clause minimization: drop literals implied by the rest.
+        let retained: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.literal_redundant(l))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(retained);
+
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+
+        // Compute backtrack level and move its literal into slot 1.
+        let backtrack = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+
+        // Literal block distance = number of distinct decision levels.
+        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+
+        (learnt, backtrack, lbd)
+    }
+
+    /// A learnt literal is redundant if its reason clause's other literals
+    /// are all already marked `seen` (i.e. already in the learnt clause or on
+    /// the conflict path) or assigned at level 0.
+    fn literal_redundant(&self, lit: Lit) -> bool {
+        let Some(reason) = self.reason[lit.var().index()] else {
+            return false;
+        };
+        self.clauses[reason.0 as usize].lits[1..]
+            .iter()
+            .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0)
+    }
+
+    fn reduce_db(&mut self) {
+        // Collect live learnt clauses sorted worst-first.
+        let mut candidates: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                let c = &self.clauses[i];
+                c.learnt && !c.deleted && c.len() > 2 && !self.is_locked(ClauseRef(i as u32))
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            let ca = &self.clauses[a];
+            let cb = &self.clauses[b];
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        let to_delete = candidates.len() / 2;
+        for &i in candidates.iter().take(to_delete) {
+            self.clauses[i].deleted = true;
+            self.clauses[i].lits.clear();
+            self.clauses[i].lits.shrink_to_fit();
+            self.num_learnt_live -= 1;
+            self.stats.deleted_clauses += 1;
+        }
+        self.max_learnts += self.max_learnts / 10;
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let c = &self.clauses[cref.0 as usize];
+        if c.lits.is_empty() {
+            return false;
+        }
+        let first = c.lits[0];
+        self.value(first) == LBool::True && self.reason[first.var().index()] == Some(cref)
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Simplifies the clause database using the level-0 assignment: clauses
+    /// satisfied by a root-level literal are deleted and false root-level
+    /// literals are removed from the remaining clauses. Watch lists are
+    /// rebuilt. Sound and complete: the formula stays equisatisfiable.
+    ///
+    /// Useful between incremental solves that add many unit clauses (the
+    /// SAT attack fixes hundreds of inputs/outputs per DIP), which otherwise
+    /// leave permanently satisfied clauses clogging propagation.
+    pub fn simplify(&mut self) {
+        if !self.ok {
+            return;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        for idx in 0..self.clauses.len() {
+            if self.clauses[idx].deleted {
+                continue;
+            }
+            let lits = self.clauses[idx].lits.clone();
+            if lits
+                .iter()
+                .any(|&l| self.value(l) == LBool::True && self.level[l.var().index()] == 0)
+            {
+                let learnt = self.clauses[idx].learnt;
+                self.clauses[idx].deleted = true;
+                self.clauses[idx].lits.clear();
+                if learnt {
+                    self.num_learnt_live -= 1;
+                }
+                self.stats.deleted_clauses += 1;
+                continue;
+            }
+            let surviving: Vec<Lit> = lits
+                .iter()
+                .copied()
+                .filter(|&l| !(self.value(l) == LBool::False && self.level[l.var().index()] == 0))
+                .collect();
+            if surviving.len() < lits.len() {
+                debug_assert!(
+                    surviving.len() >= 2,
+                    "unit/empty clauses cannot survive level-0 propagation to fixpoint"
+                );
+                self.clauses[idx].lits = surviving;
+            }
+        }
+        // Rebuild every watch list from the surviving clauses.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for idx in 0..self.clauses.len() {
+            if self.clauses[idx].deleted {
+                continue;
+            }
+            let cref = ClauseRef(idx as u32);
+            let (l0, l1) = (self.clauses[idx].lits[0], self.clauses[idx].lits[1]);
+            self.watches[(!l0).code()].push(Watcher {
+                clause: cref,
+                blocker: l1,
+            });
+            self.watches[(!l1).code()].push(Watcher {
+                clause: cref,
+                blocker: l0,
+            });
+        }
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// Assumptions act like temporary unit clauses: the result is relative to
+    /// them, and the solver state remains reusable afterwards (clauses can be
+    /// added and `solve*` called again).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        // Seed the order heap with every unassigned variable.
+        for i in 0..self.assign.len() {
+            let v = Var::from_index(i);
+            if self.assign[i] == LBool::Undef && !self.order.contains(v) {
+                self.order.insert(v, &self.activity);
+            }
+        }
+
+        let budget_start = self.stats.conflicts;
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = luby(restart_count) * LUBY_UNIT;
+        let mut conflicts_this_restart = 0u64;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, backtrack, lbd) = self.analyze(conflict);
+                // Never backtrack past the assumption levels.
+                self.cancel_until(backtrack);
+                if learnt.len() == 1 {
+                    // Asserting unit at level 0 context of its backtrack level.
+                    if self.value(learnt[0]) == LBool::Undef {
+                        self.unchecked_enqueue(learnt[0], None);
+                    } else if self.value(learnt[0]) == LBool::False {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt, true, lbd);
+                    self.unchecked_enqueue(asserting, Some(cref));
+                }
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLAUSE_DECAY;
+
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if self.num_learnt_live > self.max_learnts {
+                    self.reduce_db();
+                }
+                if conflicts_this_restart >= conflicts_until_restart {
+                    self.stats.restarts += 1;
+                    restart_count += 1;
+                    conflicts_this_restart = 0;
+                    conflicts_until_restart = luby(restart_count) * LUBY_UNIT;
+                    self.cancel_until(0);
+                }
+            } else {
+                // No conflict: extend with assumptions first, then decide.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let p = assumptions[dl];
+                    match self.value(p) {
+                        LBool::True => {
+                            // Already satisfied: open a dummy level so the
+                            // assumption index advances.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.cancel_until(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(p, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        let model =
+                            Model::new(self.assign.iter().map(|&a| a == LBool::True).collect());
+                        self.cancel_until(0);
+                        return SolveResult::Sat(model);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        let lit = Lit::new(v, !self.saved_phase[v.index()]);
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,...
+fn luby(i: u64) -> u64 {
+    // Find the finite subsequence containing index i.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = i;
+    while size - 1 != i {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i64) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    fn solver_with_vars(n: usize) -> Solver {
+        let mut s = Solver::new();
+        s.new_vars(n);
+        s
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn single_unit_clause() {
+        let mut s = solver_with_vars(1);
+        s.add_clause([lit(1)]);
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(m.value(Var::from_index(0))),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut s = solver_with_vars(1);
+        assert!(s.add_clause([lit(1)]));
+        assert!(!s.add_clause([lit(-1)]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // x1, x1->x2, x2->x3 ... forces all true.
+        let mut s = solver_with_vars(10);
+        s.add_clause([lit(1)]);
+        for i in 1..10i64 {
+            s.add_clause([lit(-i), lit(i + 1)]);
+        }
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                for i in 0..10 {
+                    assert!(m.value(Var::from_index(i)));
+                }
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j] = pigeon i in hole j; vars numbered i*2 + j + 1.
+        let mut s = solver_with_vars(6);
+        let p = |i: i64, j: i64| lit(i * 2 + j + 1);
+        for i in 0..3 {
+            s.add_clause([p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat() {
+        let n = 5i64;
+        let h = 4i64;
+        let mut s = solver_with_vars((n * h) as usize);
+        let p = |i: i64, j: i64| lit(i * h + j + 1);
+        for i in 0..n {
+            let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(clause);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = solver_with_vars(2);
+        assert!(s.add_clause([lit(1), lit(-1)]));
+        assert!(s.add_clause([lit(2), lit(1), lit(-2)]));
+        assert!(s.solve().is_sat());
+        assert_eq!(s.num_clauses(), 0);
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(1), lit(2)]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        assert!(s.solve_with_assumptions(&[lit(-1), lit(-2)]).is_unsat());
+        // The solver stays usable and SAT without assumptions.
+        assert!(s.solve().is_sat());
+        match s.solve_with_assumptions(&[lit(-1)]) {
+            SolveResult::Sat(m) => {
+                assert!(!m.value(Var::from_index(0)));
+                assert!(m.value(Var::from_index(1)));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = solver_with_vars(3);
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([lit(-1)]);
+        s.add_clause([lit(-2)]);
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(m.value(Var::from_index(2))),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        s.add_clause([lit(-3)]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn conflict_budget_yields_unknown() {
+        // A hard instance (php 7 into 6) with a tiny budget.
+        let n = 7i64;
+        let h = 6i64;
+        let mut s = solver_with_vars((n * h) as usize);
+        let p = |i: i64, j: i64| lit(i * h + j + 1);
+        for i in 0..n {
+            let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(clause);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(10));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_random_3sat() {
+        // Deterministic LCG-generated satisfiable-ish 3-SAT at low density;
+        // whenever SAT is reported the model must satisfy every clause.
+        let mut state = 0x12345678u64;
+        let mut next = move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        for round in 0..10 {
+            let num_vars = 30;
+            let num_clauses = 90 + round * 3;
+            let mut s = solver_with_vars(num_vars);
+            let mut clauses = Vec::new();
+            for _ in 0..num_clauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = next(num_vars as u64) as i64 + 1;
+                    let sign = if next(2) == 0 { 1 } else { -1 };
+                    c.push(lit(sign * v));
+                }
+                clauses.push(c.clone());
+                s.add_clause(c);
+            }
+            if let SolveResult::Sat(m) = s.solve() {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| m.lit_value(l)),
+                        "model violates clause {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xor_chain_parity_unsat() {
+        // Encode x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 (odd cycle): UNSAT.
+        let mut s = solver_with_vars(3);
+        let xor1 = |s: &mut Solver, a: i64, b: i64| {
+            // a ^ b = 1  <=>  (a|b) & (!a|!b)
+            s.add_clause([lit(a), lit(b)]);
+            s.add_clause([lit(-a), lit(-b)]);
+        };
+        xor1(&mut s, 1, 2);
+        xor1(&mut s, 2, 3);
+        xor1(&mut s, 1, 3);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn clause_db_reduction_preserves_soundness() {
+        // A formula hard enough to trigger reduce_db (php 8 into 7 learns
+        // thousands of clauses), cross-checked for the UNSAT verdict.
+        let n = 8i64;
+        let h = 7i64;
+        let mut s = solver_with_vars((n * h) as usize);
+        let p = |i: i64, j: i64| lit(i * h + j + 1);
+        for i in 0..n {
+            let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(clause);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        // Force frequent reductions.
+        s.max_learnts = 50;
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().deleted_clauses > 0, "reduce_db must have fired");
+    }
+
+    #[test]
+    fn odd_cycle_coloring_is_unsat_even_cycle_sat() {
+        // 2-coloring a cycle: SAT iff the cycle length is even.
+        for &len in &[6usize, 7] {
+            let mut s = solver_with_vars(len);
+            for i in 0..len {
+                let a = (i + 1) as i64;
+                let b = ((i + 1) % len + 1) as i64;
+                // adjacent vertices differ: (a|b) & (!a|!b)
+                s.add_clause([lit(a), lit(b)]);
+                s.add_clause([lit(-a), lit(-b)]);
+            }
+            assert_eq!(s.solve().is_sat(), len % 2 == 0, "cycle length {len}");
+        }
+    }
+
+    #[test]
+    fn solved_solver_accepts_more_vars_and_clauses() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        assert!(s.solve().is_sat());
+        let v = s.new_var();
+        s.add_clause([Lit::negative(v)]);
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(!m.value(v)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_then_unlimited_is_consistent() {
+        // Unknown under a tiny budget must not corrupt state: the later
+        // unlimited solve still returns the correct verdict.
+        let n = 6i64;
+        let h = 5i64;
+        let build = || {
+            let mut s = solver_with_vars((n * h) as usize);
+            let p = |i: i64, j: i64| lit(i * h + j + 1);
+            for i in 0..n {
+                let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+                s.add_clause(clause);
+            }
+            for j in 0..h {
+                for i1 in 0..n {
+                    for i2 in (i1 + 1)..n {
+                        s.add_clause([!p(i1, j), !p(i2, j)]);
+                    }
+                }
+            }
+            s
+        };
+        let mut budgeted = build();
+        budgeted.set_conflict_budget(Some(5));
+        while budgeted.solve() == SolveResult::Unknown {
+            // keep re-solving under the same tiny budget; learnt clauses
+            // accumulate across calls, so this terminates
+        }
+        budgeted.set_conflict_budget(None);
+        assert!(budgeted.solve().is_unsat());
+        let mut reference = build();
+        assert!(reference.solve().is_unsat());
+    }
+
+    #[test]
+    fn simplify_preserves_verdicts_and_prunes() {
+        // SAT case with removable clauses. The unit is added *after* the
+        // clauses (add_clause simplifies eagerly against existing level-0
+        // facts, so the other order would never store them).
+        let mut s = solver_with_vars(4);
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(3), lit(4)]); // loses the false -x1
+        s.add_clause([lit(3), lit(-4)]);
+        s.add_clause([lit(1)]); // unit: satisfies the first clause
+        let before = s.num_clauses();
+        s.simplify();
+        assert!(s.num_clauses() < before);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m.value(Var::from_index(0)));
+                // x3 | x4 (shrunk) and x3 | !x4 must both hold.
+                assert!(m.value(Var::from_index(2)) || m.value(Var::from_index(3)));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+
+        // UNSAT case must stay UNSAT after simplify.
+        let n = 5i64;
+        let h = 4i64;
+        let mut s = solver_with_vars((n * h) as usize);
+        let p = |i: i64, j: i64| lit(i * h + j + 1);
+        for i in 0..n {
+            let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(clause);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s.add_clause([p(0, 0)]); // fix something so simplify has work
+        s.simplify();
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn simplify_then_incremental_solving_works() {
+        let mut s = solver_with_vars(3);
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        s.add_clause([lit(-1)]);
+        s.simplify();
+        assert!(s.solve().is_sat());
+        s.add_clause([lit(-2)]);
+        s.simplify();
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(m.value(Var::from_index(2))),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        s.add_clause([lit(-3)]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        let before = *s.stats();
+        s.solve();
+        let after = *s.stats();
+        assert_eq!(after.since(&before).solves, 1);
+        assert!(after.work() >= before.work());
+    }
+}

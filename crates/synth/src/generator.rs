@@ -1,0 +1,258 @@
+use crate::profile::GeneratorConfig;
+use netlist::{Circuit, CircuitBuilder, GateId, GateKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random combinational circuit matching `config`.
+///
+/// Wiring uses an exponential look-back distribution so most fan-ins come
+/// from recently created gates (yielding realistic depth), with occasional
+/// long-range edges back to the primary inputs (yielding realistic fan-out
+/// on the inputs). Roughly half the fan-ins are drawn from the *frontier*
+/// (gates no one reads yet), which keeps the dangling-sink set small so the
+/// primary outputs — drawn from that frontier at the end — observe almost
+/// all generated logic.
+///
+/// # Panics
+///
+/// Panics if `config.num_inputs` is zero or `config.num_outputs` exceeds the
+/// total gate count.
+pub fn generate(config: &GeneratorConfig) -> Circuit {
+    assert!(config.num_inputs > 0, "circuits need at least one input");
+    assert!(
+        config.num_outputs <= config.num_inputs + config.num_logic,
+        "more outputs requested than gates generated"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut builder = CircuitBuilder::new(config.name.clone());
+
+    let mut nodes: Vec<GateId> = Vec::with_capacity(config.num_inputs + config.num_logic);
+    // The frontier: nodes not yet referenced by any fan-in.
+    let mut frontier: Vec<GateId> = Vec::new();
+    let mut referenced: Vec<bool> = Vec::new();
+    for i in 0..config.num_inputs {
+        let id = builder
+            .add_input(format!("i{i}"))
+            .expect("generated input names are unique");
+        nodes.push(id);
+        frontier.push(id);
+        referenced.push(false);
+    }
+
+    let mix = &config.mix;
+    let total = mix.total();
+    for g in 0..config.num_logic {
+        let kind = {
+            let mut r = rng.gen_range(0.0..total);
+            let entries = [
+                (GateKind::And, mix.and),
+                (GateKind::Nand, mix.nand),
+                (GateKind::Or, mix.or),
+                (GateKind::Nor, mix.nor),
+                (GateKind::Not, mix.not),
+                (GateKind::Xor, mix.xor),
+            ];
+            let mut chosen = GateKind::Nand;
+            for (kind, weight) in entries {
+                if r < weight {
+                    chosen = kind;
+                    break;
+                }
+                r -= weight;
+            }
+            chosen
+        };
+        let arity = match kind {
+            GateKind::Not => 1,
+            GateKind::Xor => 2,
+            _ => {
+                if rng.gen_bool(config.three_input_prob) {
+                    3
+                } else {
+                    2
+                }
+            }
+        };
+        let mut fanin: Vec<GateId> = Vec::with_capacity(arity);
+        let mut guard = 0;
+        while fanin.len() < arity {
+            let src = if rng.gen_bool(0.5) {
+                pop_frontier(&mut frontier, &referenced, &mut rng)
+                    .unwrap_or_else(|| pick_source(&nodes, config, &mut rng))
+            } else {
+                pick_source(&nodes, config, &mut rng)
+            };
+            if !fanin.contains(&src) {
+                fanin.push(src);
+            }
+            guard += 1;
+            if guard > 64 {
+                // Tiny circuits can exhaust distinct sources; fall back to a
+                // linear scan for any unused node.
+                for &candidate in &nodes {
+                    if !fanin.contains(&candidate) {
+                        fanin.push(candidate);
+                        break;
+                    }
+                }
+                break;
+            }
+        }
+        // Degenerate case: fewer distinct nodes than the arity requires.
+        let kind = if fanin.len() < 2 && !matches!(kind, GateKind::Not) {
+            GateKind::Not
+        } else {
+            kind
+        };
+        if matches!(kind, GateKind::Not) {
+            fanin.truncate(1);
+        }
+        let id = builder
+            .add_gate(format!("g{g}"), kind, &fanin)
+            .expect("generated gates are well-formed");
+        for &f in &fanin {
+            referenced[f.index()] = true;
+        }
+        nodes.push(id);
+        frontier.push(id);
+        referenced.push(false);
+    }
+
+    for id in choose_outputs(&nodes, &frontier, &referenced, config, &mut rng) {
+        builder.mark_output(id);
+    }
+    builder.finish().expect("generator only builds DAGs")
+}
+
+/// Pops a random still-unreferenced node from the frontier (lazily dropping
+/// entries that have been referenced since they were pushed).
+fn pop_frontier(
+    frontier: &mut Vec<GateId>,
+    referenced: &[bool],
+    rng: &mut StdRng,
+) -> Option<GateId> {
+    while !frontier.is_empty() {
+        let i = rng.gen_range(0..frontier.len());
+        let id = frontier.swap_remove(i);
+        if !referenced[id.index()] {
+            return Some(id);
+        }
+    }
+    None
+}
+
+/// Picks a fan-in source with exponential look-back bias.
+fn pick_source(nodes: &[GateId], config: &GeneratorConfig, rng: &mut StdRng) -> GateId {
+    let n = nodes.len();
+    // 10% of edges reach uniformly back (long-range / primary-input reuse).
+    if rng.gen_bool(0.10) {
+        return nodes[rng.gen_range(0..n)];
+    }
+    let mean = (config.locality * n as f64).max(2.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let back = (-mean * u.ln()) as usize;
+    let idx = n - 1 - back.min(n - 1);
+    nodes[idx]
+}
+
+/// Draws the primary outputs from the remaining frontier (the true sinks),
+/// falling back to the most recent logic gates if the frontier is smaller
+/// than the requested output count.
+fn choose_outputs(
+    nodes: &[GateId],
+    frontier: &[GateId],
+    referenced: &[bool],
+    config: &GeneratorConfig,
+    rng: &mut StdRng,
+) -> Vec<GateId> {
+    let mut sinks: Vec<GateId> = frontier
+        .iter()
+        .copied()
+        .filter(|id| !referenced[id.index()] && id.index() >= config.num_inputs)
+        .collect();
+    sinks.sort();
+    sinks.dedup();
+    for i in (1..sinks.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        sinks.swap(i, j);
+    }
+    let mut outputs: Vec<GateId> = sinks.into_iter().take(config.num_outputs).collect();
+    if outputs.len() < config.num_outputs {
+        for &id in nodes.iter().rev() {
+            if outputs.len() == config.num_outputs {
+                break;
+            }
+            if !outputs.contains(&id) {
+                outputs.push(id);
+            }
+        }
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::GeneratorConfig;
+    use netlist::stats::circuit_stats;
+    use netlist::topo::levelize;
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig::new("t", 8, 4, 60).with_seed(1)
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let c = generate(&small_config());
+        assert_eq!(c.inputs().len(), 8);
+        assert_eq!(c.outputs().len(), 4);
+        assert_eq!(c.num_logic_gates(), 60);
+        assert_eq!(c.keys().len(), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_config());
+        let b = generate(&small_config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small_config());
+        let b = generate(&small_config().with_seed(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generated_circuit_has_depth() {
+        let c = generate(&GeneratorConfig::new("t", 16, 8, 400).with_seed(3));
+        let depth = levelize(&c).depth();
+        assert!(depth >= 6, "expected realistic depth, got {depth}");
+    }
+
+    #[test]
+    fn generated_circuit_simulates() {
+        let c = generate(&small_config());
+        let inputs: Vec<u64> = (0..8).map(|i| 0xDEAD_BEEF_u64.rotate_left(i)).collect();
+        let outs = c.simulate(&inputs, &[]).unwrap();
+        assert_eq!(outs.len(), 4);
+    }
+
+    #[test]
+    fn bench_round_trip() {
+        let c = generate(&small_config());
+        let text = c.to_bench();
+        let reparsed = Circuit::from_bench("t", &text).unwrap();
+        assert_eq!(c, reparsed);
+    }
+
+    #[test]
+    fn gate_mix_is_respected_roughly() {
+        let c = generate(&GeneratorConfig::new("t", 32, 8, 2000).with_seed(5));
+        let stats = circuit_stats(&c);
+        // NAND should dominate with the default mix.
+        let nand = stats.kind_fraction("nand");
+        assert!(nand > 0.2, "nand fraction {nand}");
+    }
+}

@@ -1,0 +1,83 @@
+//! ISCAS-85 benchmark profiles.
+//!
+//! Shapes (primary inputs, primary outputs, logic gates) follow the published
+//! ISCAS-85 circuit statistics; `c1529` is the paper's evaluation circuit
+//! (total gate number 1529, Section IV-A), which the paper does not name, so
+//! its input/output counts here are representative rather than quoted.
+
+use crate::generator::generate;
+use crate::profile::GeneratorConfig;
+use netlist::Circuit;
+
+/// (name, inputs, outputs, logic gates) for each supported profile.
+const PROFILES: [(&str, usize, usize, usize); 12] = [
+    ("c17", 5, 2, 6),
+    ("c432", 36, 7, 160),
+    ("c499", 41, 32, 202),
+    ("c880", 60, 26, 383),
+    ("c1355", 41, 32, 546),
+    ("c1529", 50, 25, 1479), // paper's circuit: 1529 total gates
+    ("c1908", 33, 25, 880),
+    ("c2670", 233, 140, 1193),
+    ("c3540", 50, 22, 1669),
+    ("c5315", 178, 123, 2307),
+    ("c6288", 32, 32, 2406),
+    ("c7552", 207, 108, 3512),
+];
+
+/// Names of all supported profiles, in size order.
+pub fn names() -> Vec<&'static str> {
+    PROFILES.iter().map(|p| p.0).collect()
+}
+
+/// The generator configuration for a named ISCAS-85 profile (seed 0).
+pub fn profile(name: &str) -> Option<GeneratorConfig> {
+    PROFILES
+        .iter()
+        .find(|p| p.0 == name)
+        .map(|&(n, i, o, g)| GeneratorConfig::new(n, i, o, g))
+}
+
+/// Generates the profile-matched synthetic circuit for `name` with `seed`.
+///
+/// Returns `None` for unknown names. `"c17"` returns the genuine embedded
+/// ISCAS-85 netlist regardless of seed (it is small enough to ship).
+pub fn circuit(name: &str, seed: u64) -> Option<Circuit> {
+    if name == "c17" {
+        return Some(netlist::c17());
+    }
+    profile(name).map(|cfg| generate(&cfg.with_seed(seed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_exist() {
+        for name in names() {
+            assert!(profile(name).is_some(), "{name}");
+        }
+        assert!(profile("c9999").is_none());
+        assert!(circuit("c9999", 0).is_none());
+    }
+
+    #[test]
+    fn c17_is_the_genuine_netlist() {
+        assert_eq!(circuit("c17", 123).unwrap(), netlist::c17());
+    }
+
+    #[test]
+    fn paper_circuit_has_1529_gates_total() {
+        let c = circuit("c1529", 0).unwrap();
+        assert_eq!(c.num_gates(), 1529);
+    }
+
+    #[test]
+    fn c432_shape() {
+        let c = circuit("c432", 0).unwrap();
+        assert_eq!(c.inputs().len(), 36);
+        assert_eq!(c.outputs().len(), 7);
+        assert_eq!(c.num_logic_gates(), 160);
+    }
+}

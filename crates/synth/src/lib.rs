@@ -1,0 +1,27 @@
+//! Seeded synthetic combinational-circuit generator.
+//!
+//! The original ISCAS-85 benchmark files are a dataset this reproduction
+//! does not redistribute (see `DESIGN.md` §4); instead this crate generates
+//! random combinational DAGs that are *profile-matched* to each ISCAS-85
+//! circuit — same primary input/output counts, similar logic-gate count,
+//! a realistic gate-type mix, and locality-biased wiring that yields
+//! ISCAS-like logic depth. Generation is fully deterministic in the seed.
+//!
+//! # Example
+//!
+//! ```
+//! use synth::iscas;
+//!
+//! let c432 = iscas::circuit("c432", 7).expect("known profile");
+//! assert_eq!(c432.inputs().len(), 36);
+//! assert_eq!(c432.outputs().len(), 7);
+//! // Same seed, same circuit.
+//! assert_eq!(c432, iscas::circuit("c432", 7).unwrap());
+//! ```
+
+mod generator;
+pub mod iscas;
+mod profile;
+
+pub use generator::generate;
+pub use profile::{GateMix, GeneratorConfig};

@@ -1,0 +1,127 @@
+use std::fmt;
+
+/// Relative frequencies of the generated gate kinds.
+///
+/// The defaults approximate the ISCAS-85 suite, which is dominated by
+/// NAND/NOR/inverter logic with a sprinkling of AND/OR/XOR (the paper's
+/// feature encoding recognizes exactly {AND, NOR, NOT, NAND, OR, XOR}).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateMix {
+    /// Weight of 2..3-input AND gates.
+    pub and: f64,
+    /// Weight of 2..3-input NAND gates.
+    pub nand: f64,
+    /// Weight of 2..3-input OR gates.
+    pub or: f64,
+    /// Weight of 2..3-input NOR gates.
+    pub nor: f64,
+    /// Weight of inverters.
+    pub not: f64,
+    /// Weight of 2-input XOR gates.
+    pub xor: f64,
+}
+
+impl Default for GateMix {
+    fn default() -> Self {
+        GateMix {
+            and: 0.14,
+            nand: 0.38,
+            or: 0.12,
+            nor: 0.12,
+            not: 0.18,
+            xor: 0.06,
+        }
+    }
+}
+
+impl GateMix {
+    /// Sum of all weights (used for normalization).
+    pub fn total(&self) -> f64 {
+        self.and + self.nand + self.or + self.nor + self.not + self.xor
+    }
+}
+
+/// Full parameterization of the synthetic generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of logic gates (total gates = this + inputs).
+    pub num_logic: usize,
+    /// Gate-kind mix.
+    pub mix: GateMix,
+    /// Probability that a multi-input gate gets a third fan-in.
+    pub three_input_prob: f64,
+    /// Wiring locality: mean look-back distance (in gates) of a fan-in,
+    /// as a fraction of the already-built circuit. Smaller values produce
+    /// deeper circuits.
+    pub locality: f64,
+    /// RNG seed; identical configs with identical seeds generate identical
+    /// circuits.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A config with ISCAS-like defaults for the given shape.
+    pub fn new(
+        name: impl Into<String>,
+        num_inputs: usize,
+        num_outputs: usize,
+        num_logic: usize,
+    ) -> Self {
+        GeneratorConfig {
+            name: name.into(),
+            num_inputs,
+            num_outputs,
+            num_logic,
+            mix: GateMix::default(),
+            three_input_prob: 0.15,
+            locality: 0.12,
+            seed: 0,
+        }
+    }
+
+    /// Returns the config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl fmt::Display for GeneratorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} in / {} out / {} logic (seed {})",
+            self.name, self.num_inputs, self.num_outputs, self.num_logic, self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_sums_to_one() {
+        assert!((GateMix::default().total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = GeneratorConfig::new("t", 4, 2, 10);
+        let b = a.clone().with_seed(99);
+        assert_eq!(b.seed, 99);
+        assert_eq!(a.num_logic, b.num_logic);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let c = GeneratorConfig::new("t", 4, 2, 10);
+        assert!(c.to_string().contains("4 in / 2 out / 10 logic"));
+    }
+}

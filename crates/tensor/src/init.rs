@@ -1,0 +1,56 @@
+//! Parameter initialization (the paper initializes with Gaussian or uniform
+//! distributions, Algorithm 1 line 7).
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+}
+
+/// Zero-mean Gaussian initialization with the given standard deviation
+/// (Box-Muller; avoids needing a distributions crate).
+pub fn gaussian(rows: usize, cols: usize, std: f64, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(20, 30, &mut rng);
+        let a = (6.0 / 50.0f64).sqrt();
+        assert!(m.max_abs() <= a);
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn gaussian_has_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = gaussian(100, 100, 0.5, &mut rng);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+            / (m.as_slice().len() - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(3));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,224 @@
+//! Direct linear solvers for the closed-form regression baselines.
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// Error produced by the direct solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The system matrix is singular (or numerically so).
+    Singular,
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular => f.write_str("matrix is singular"),
+            LinalgError::NotPositiveDefinite => f.write_str("matrix is not positive definite"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] when a pivot vanishes.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `b.len() != n`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve expects a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Augmented working copy.
+    let mut m: Vec<f64> = Vec::with_capacity(n * (n + 1));
+    for (i, &bi) in b.iter().enumerate() {
+        m.extend_from_slice(a.row(i));
+        m.push(bi);
+    }
+    let w = n + 1;
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[r * w + col].abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN pivots"))
+            .expect("non-empty range");
+        if pivot_val < 1e-12 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for k in 0..w {
+                m.swap(col * w + k, pivot_row * w + k);
+            }
+        }
+        let pivot = m[col * w + col];
+        for r in (col + 1)..n {
+            let factor = m[r * w + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..w {
+                m[r * w + k] -= factor * m[col * w + k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = m[r * w + n];
+        for k in (r + 1)..n {
+            acc -= m[r * w + k] * x[k];
+        }
+        x[r] = acc / m[r * w + r];
+    }
+    Ok(x)
+}
+
+/// Solves the symmetric positive-definite system `A x = b` by Cholesky
+/// factorization (used for ridge/normal-equation fits).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is
+/// non-positive.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `b.len() != n`.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "cholesky expects a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Lower-triangular factor L with A = L L^T.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = b[i];
+        for k in 0..i {
+            acc -= l[i * n + k] * y[k];
+        }
+        y[i] = acc / l[i * n + i];
+    }
+    // Back solve L^T x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = y[i];
+        for k in (i + 1)..n {
+            acc -= l[k * n + i] * x[k];
+        }
+        x[i] = acc / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Least-squares solution of `X w = y` via the (ridge-stabilized) normal
+/// equations `(X^T X + eps I) w = X^T y`.
+///
+/// # Errors
+///
+/// Returns an error when the normal matrix is not solvable even after
+/// the `eps` ridge (pathological inputs).
+pub fn lstsq(x: &Matrix, y: &[f64], eps: f64) -> Result<Vec<f64>, LinalgError> {
+    assert_eq!(x.rows(), y.len(), "row count mismatch");
+    let xt = x.transpose();
+    let mut xtx = xt.matmul(x);
+    for i in 0..xtx.rows() {
+        let v = xtx.get(i, i);
+        xtx.set(i, i, v + eps);
+    }
+    let xty: Vec<f64> = (0..xt.rows())
+        .map(|i| xt.row(i).iter().zip(y).map(|(&a, &b)| a * b).sum::<f64>())
+        .collect();
+    cholesky_solve(&xtx, &xty).or_else(|_| solve(&xtx, &xty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn cholesky_matches_gaussian_on_spd() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]]);
+        let b = [1.0, -2.0, 0.5];
+        let x1 = cholesky_solve(&a, &b).unwrap();
+        let x2 = solve(&a, &b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert_eq!(
+            cholesky_solve(&a, &[1.0, 1.0]),
+            Err(LinalgError::NotPositiveDefinite)
+        );
+    }
+
+    #[test]
+    fn lstsq_recovers_planted_weights() {
+        // y = 2 x0 - 3 x1 + 0.5 x2 on a deterministic design.
+        let rows = 12;
+        let x = Matrix::from_fn(rows, 3, |r, c| ((r * 3 + c * 7) % 11) as f64 / 11.0);
+        let w_true = [2.0, -3.0, 0.5];
+        let y: Vec<f64> = (0..rows)
+            .map(|r| {
+                x.row(r)
+                    .iter()
+                    .zip(&w_true)
+                    .map(|(&a, &b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect();
+        let w = lstsq(&x, &y, 1e-10).unwrap();
+        for (est, truth) in w.iter().zip(&w_true) {
+            assert!((est - truth).abs() < 1e-6, "{est} vs {truth}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Gradient-descent optimizers. The paper trains its models with ADAM
+//! (Section IV-B); plain SGD is provided for the SGD-regression baseline and
+//! for ablations.
+
+use crate::matrix::Matrix;
+
+/// A first-order optimizer updating a flat list of parameter matrices from
+/// equally shaped gradients.
+pub trait Optimizer {
+    /// Applies one update step. `params[i]` is updated from `grads[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or mismatched shapes.
+    fn step(&mut self, params: &mut [Matrix], grads: &[Matrix]);
+}
+
+/// Plain stochastic gradient descent: `p -= lr * g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [Matrix], grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        for (p, g) in params.iter_mut().zip(grads) {
+            p.axpy(-self.lr, g);
+        }
+    }
+}
+
+/// ADAM (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Division-by-zero guard.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// ADAM with the standard betas (0.9, 0.999).
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [Matrix], grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "optimizer bound to other params"
+        );
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = &grads[i];
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for j in 0..g.as_slice().len() {
+                let gj = g.as_slice()[j];
+                let mj = self.beta1 * m.as_slice()[j] + (1.0 - self.beta1) * gj;
+                let vj = self.beta2 * v.as_slice()[j] + (1.0 - self.beta2) * gj * gj;
+                m.as_mut_slice()[j] = mj;
+                v.as_mut_slice()[j] = vj;
+                let m_hat = mj / b1t;
+                let v_hat = vj / b2t;
+                params[i].as_mut_slice()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2 and check convergence.
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut params = vec![Matrix::scalar(0.0)];
+        for _ in 0..steps {
+            let x = params[0].get(0, 0);
+            let grad = vec![Matrix::scalar(2.0 * (x - 3.0))];
+            opt.step(&mut params, &grad);
+        }
+        params[0].get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimize(&mut Sgd::new(0.1), 200);
+        assert!((x - 3.0).abs() < 1e-6, "got {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimize(&mut Adam::new(0.1), 500);
+        assert!((x - 3.0).abs() < 1e-3, "got {x}");
+    }
+
+    #[test]
+    fn adam_handles_multiple_params() {
+        let mut opt = Adam::new(0.05);
+        let mut params = vec![Matrix::scalar(-1.0), Matrix::scalar(5.0)];
+        for _ in 0..800 {
+            let grads = vec![
+                Matrix::scalar(2.0 * (params[0].get(0, 0) - 1.0)),
+                Matrix::scalar(2.0 * (params[1].get(0, 0) + 2.0)),
+            ];
+            opt.step(&mut params, &grads);
+        }
+        assert!((params[0].get(0, 0) - 1.0).abs() < 1e-2);
+        assert!((params[1].get(0, 0) + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::new(0.1);
+        let mut params = vec![Matrix::scalar(0.0)];
+        opt.step(&mut params, &[]);
+    }
+}

@@ -1,0 +1,251 @@
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// A compressed-sparse-row matrix of `f64`.
+///
+/// Circuit adjacency matrices have ~2 nonzeros per row, so the graph
+/// convolutions in `icnet` run on this representation instead of dense
+/// `n x n` matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets. Duplicate
+    /// coordinates are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is out of range.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet out of range");
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicate coordinates.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut indptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            indptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            indptr[r + 1] += indptr[r];
+        }
+        let indices: Vec<u32> = merged.iter().map(|&(_, c, _)| c as u32).collect();
+        let values: Vec<f64> = merged.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// The `n x n` sparse identity.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(row, col, value)` of stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            (self.indptr[r]..self.indptr[r + 1])
+                .map(move |i| (r, self.indices[i] as usize, self.values[i]))
+        })
+    }
+
+    /// Sparse × dense product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn spmm(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            rhs.rows(),
+            "spmm inner dimensions: {}x{} * {}x{}",
+            self.rows,
+            self.cols,
+            rhs.rows(),
+            rhs.cols()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        let f = rhs.cols();
+        let out_data = out.as_mut_slice();
+        let rhs_data = rhs.as_slice();
+        for r in 0..self.rows {
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[i] as usize;
+                let v = self.values[i];
+                let src = &rhs_data[c * f..(c + 1) * f];
+                let dst = &mut out_data[r * f..(r + 1) * f];
+                for (o, &x) in dst.iter_mut().zip(src) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose (used for the backward pass of [`CsrMatrix::spmm`]).
+    pub fn transpose(&self) -> CsrMatrix {
+        let triplets: Vec<(usize, usize, f64)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Densifies (for tests and small matrices).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.set(r, c, out.get(r, c) + v);
+        }
+        out
+    }
+
+    /// Multiplies each row by a scalar (`diag(scale) * self`); used for
+    /// normalized Laplacians.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale.len() != rows`.
+    pub fn scale_rows(&self, scale: &[f64]) -> CsrMatrix {
+        assert_eq!(scale.len(), self.rows, "row scale length mismatch");
+        let mut out = self.clone();
+        for (r, &factor) in scale.iter().enumerate() {
+            for i in out.indptr[r]..out.indptr[r + 1] {
+                out.values[i] *= factor;
+            }
+        }
+        out
+    }
+
+    /// Multiplies each column by a scalar (`self * diag(scale)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale.len() != cols`.
+    pub fn scale_cols(&self, scale: &[f64]) -> CsrMatrix {
+        assert_eq!(scale.len(), self.cols, "col scale length mismatch");
+        let mut out = self.clone();
+        for i in 0..out.values.len() {
+            out.values[i] *= scale[out.indices[i] as usize];
+        }
+        out
+    }
+
+    /// Row sums (out-degree when the matrix is an adjacency matrix).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.values[self.indptr[r]..self.indptr[r + 1]].iter().sum())
+            .collect()
+    }
+}
+
+impl fmt::Display for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csr {}x{} ({} nnz)", self.rows, self.cols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, 3.0), (2, 2, 4.0), (0, 2, 1.0)])
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let s = example();
+        let d = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(s.spmm(&d), s.to_dense().matmul(&d));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let s = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.to_dense().get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let s = example();
+        assert_eq!(s.transpose().to_dense(), s.to_dense().transpose());
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let d = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(CsrMatrix::identity(3).spmm(&d), d);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let s = CsrMatrix::from_triplets(4, 4, &[(3, 0, 1.0)]);
+        let d = Matrix::ones(4, 2);
+        let out = s.spmm(&d);
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(3, 0), 1.0);
+    }
+
+    #[test]
+    fn row_and_col_scaling() {
+        let s = example();
+        let scaled = s.scale_rows(&[2.0, 1.0, 0.5]);
+        assert_eq!(scaled.to_dense().get(0, 1), 4.0);
+        assert_eq!(scaled.to_dense().get(2, 2), 2.0);
+        let cscaled = s.scale_cols(&[0.0, 1.0, 10.0]);
+        assert_eq!(cscaled.to_dense().get(1, 0), 0.0);
+        assert_eq!(cscaled.to_dense().get(0, 2), 10.0);
+    }
+
+    #[test]
+    fn row_sums_match_dense() {
+        let s = example();
+        let dense = s.to_dense();
+        for (r, sum) in s.row_sums().into_iter().enumerate() {
+            assert_eq!(sum, dense.row(r).iter().sum::<f64>());
+        }
+    }
+
+    #[test]
+    fn display_mentions_nnz() {
+        assert!(example().to_string().contains("4 nnz"));
+    }
+}

@@ -1,0 +1,498 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! The tape records a DAG of operations as the forward pass runs;
+//! [`Tape::backward`] then accumulates gradients in reverse topological
+//! order (which is simply reverse insertion order). Models rebuild the tape
+//! on every training step — parameters live outside the tape and are
+//! re-inserted as leaves (see the `icnet` crate's trainer).
+
+use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+use std::rc::Rc;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf { requires_grad: bool },
+    MatMul(VarId, VarId),
+    SpMM { sparse: Rc<CsrMatrix>, dense: VarId },
+    Add(VarId, VarId),
+    Sub(VarId, VarId),
+    Hadamard(VarId, VarId),
+    Scale(VarId, f64),
+    AddBiasRow(VarId, VarId),
+    Relu(VarId),
+    Exp(VarId),
+    Transpose(VarId),
+    SumAll(VarId),
+    MeanAll(VarId),
+    SoftmaxCol(VarId),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// A reverse-mode autodiff tape. See the [crate docs](crate) for an example.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> VarId {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// Inserts a trainable leaf (gradients will be accumulated for it).
+    pub fn leaf(&mut self, value: Matrix) -> VarId {
+        self.push(
+            value,
+            Op::Leaf {
+                requires_grad: true,
+            },
+        )
+    }
+
+    /// Inserts a constant leaf (no gradient).
+    pub fn constant(&mut self, value: Matrix) -> VarId {
+        self.push(
+            value,
+            Op::Leaf {
+                requires_grad: false,
+            },
+        )
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: VarId) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of the last [`Tape::backward`] target w.r.t. `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backward` has not been run or the node is unreachable from
+    /// the loss (no gradient was accumulated).
+    pub fn grad(&self, v: VarId) -> &Matrix {
+        self.nodes[v.0]
+            .grad
+            .as_ref()
+            .expect("no gradient: run backward() on a loss that depends on this node")
+    }
+
+    /// Like [`Tape::grad`] but returns `None` when no gradient reached `v`.
+    pub fn try_grad(&self, v: VarId) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Sparse-constant × dense product (`sparse` receives no gradient).
+    pub fn spmm(&mut self, sparse: Rc<CsrMatrix>, dense: VarId) -> VarId {
+        let value = sparse.spmm(self.value(dense));
+        self.push(value, Op::SpMM { sparse, dense })
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).sub(self.value(b));
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Element-wise product.
+    pub fn hadamard(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = self.value(a).hadamard(self.value(b));
+        self.push(value, Op::Hadamard(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: VarId, c: f64) -> VarId {
+        let value = self.value(a).scale(c);
+        self.push(value, Op::Scale(a, c))
+    }
+
+    /// Adds a `1 x cols` bias row to every row of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x cols(x)`.
+    pub fn add_bias_row(&mut self, x: VarId, bias: VarId) -> VarId {
+        let (xr, xc) = self.value(x).shape();
+        assert_eq!(self.value(bias).shape(), (1, xc), "bias must be 1 x cols");
+        let bias_row: Vec<f64> = self.value(bias).as_slice().to_vec();
+        let xv = self.value(x);
+        let value = Matrix::from_fn(xr, xc, |r, c| xv.get(r, c) + bias_row[c]);
+        self.push(value, Op::AddBiasRow(x, bias))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let value = self.value(a).map(|v| v.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: VarId) -> VarId {
+        let value = self.value(a).map(f64::exp);
+        self.push(value, Op::Exp(a))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: VarId) -> VarId {
+        let value = self.value(a).transpose();
+        self.push(value, Op::Transpose(a))
+    }
+
+    /// Sum of all elements, as a `1 x 1` node.
+    pub fn sum_all(&mut self, a: VarId) -> VarId {
+        let value = Matrix::scalar(self.value(a).sum());
+        self.push(value, Op::SumAll(a))
+    }
+
+    /// Mean of all elements, as a `1 x 1` node.
+    pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let value = Matrix::scalar(self.value(a).mean());
+        self.push(value, Op::MeanAll(a))
+    }
+
+    /// Numerically stable softmax down a column vector (`n x 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not a column vector.
+    pub fn softmax_col(&mut self, a: VarId) -> VarId {
+        let v = self.value(a);
+        assert_eq!(v.cols(), 1, "softmax_col expects an n x 1 column");
+        let max = v
+            .as_slice()
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+        let exps: Vec<f64> = v.as_slice().iter().map(|&x| (x - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        let value = Matrix::column(&exps.iter().map(|&e| e / total).collect::<Vec<_>>());
+        self.push(value, Op::SoftmaxCol(a))
+    }
+
+    /// Mean squared error between `pred` and a constant `target`, as a
+    /// `1 x 1` node. Convenience composition of `sub`/`hadamard`/`mean_all`.
+    pub fn mse_loss(&mut self, pred: VarId, target: Matrix) -> VarId {
+        let t = self.constant(target);
+        let diff = self.sub(pred, t);
+        let sq = self.hadamard(diff, diff);
+        self.mean_all(sq)
+    }
+
+    fn accumulate(&mut self, v: VarId, grad: Matrix) {
+        if let Op::Leaf {
+            requires_grad: false,
+        } = self.nodes[v.0].op
+        {
+            return; // constants do not collect gradients
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.axpy(1.0, &grad),
+            slot @ None => *slot = Some(grad),
+        }
+    }
+
+    /// Runs the backward pass from `target` (which must be `1 x 1`),
+    /// accumulating gradients into every reachable node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a `1 x 1` node.
+    pub fn backward(&mut self, target: VarId) {
+        assert_eq!(
+            self.nodes[target.0].value.shape(),
+            (1, 1),
+            "backward target must be scalar (1 x 1)"
+        );
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+        self.nodes[target.0].grad = Some(Matrix::scalar(1.0));
+
+        for i in (0..=target.0).rev() {
+            let Some(grad) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            match self.nodes[i].op.clone() {
+                Op::Leaf { .. } => {}
+                Op::MatMul(a, b) => {
+                    let da = grad.matmul(&self.value(b).transpose());
+                    let db = self.value(a).transpose().matmul(&grad);
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::SpMM { sparse, dense } => {
+                    let dd = sparse.transpose().spmm(&grad);
+                    self.accumulate(dense, dd);
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad.scale(-1.0));
+                }
+                Op::Hadamard(a, b) => {
+                    let da = grad.hadamard(self.value(b));
+                    let db = grad.hadamard(self.value(a));
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Scale(a, c) => self.accumulate(a, grad.scale(c)),
+                Op::AddBiasRow(x, bias) => {
+                    self.accumulate(x, grad.clone());
+                    self.accumulate(bias, grad.col_sums());
+                }
+                Op::Relu(a) => {
+                    let mask = self.value(a).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    self.accumulate(a, grad.hadamard(&mask));
+                }
+                Op::Exp(a) => {
+                    let y = self.nodes[i].value.clone();
+                    self.accumulate(a, grad.hadamard(&y));
+                }
+                Op::Transpose(a) => self.accumulate(a, grad.transpose()),
+                Op::SumAll(a) => {
+                    let (r, c) = self.value(a).shape();
+                    self.accumulate(a, Matrix::ones(r, c).scale(grad.get(0, 0)));
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = self.value(a).shape();
+                    let n = (r * c) as f64;
+                    self.accumulate(a, Matrix::ones(r, c).scale(grad.get(0, 0) / n));
+                }
+                Op::SoftmaxCol(a) => {
+                    // dx = y ⊙ (dy - <y, dy>)
+                    let y = self.nodes[i].value.clone();
+                    let dot: f64 = y
+                        .as_slice()
+                        .iter()
+                        .zip(grad.as_slice())
+                        .map(|(&yi, &gi)| yi * gi)
+                        .sum();
+                    let dx = y.zip(&grad, |yi, gi| yi * (gi - dot));
+                    self.accumulate(a, dx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference check of d(loss)/d(param[idx]).
+    fn finite_diff(
+        build: &dyn Fn(&mut Tape, VarId) -> VarId,
+        param: &Matrix,
+        r: usize,
+        c: usize,
+    ) -> f64 {
+        let eps = 1e-6;
+        let eval = |delta: f64| {
+            let mut p = param.clone();
+            p.set(r, c, p.get(r, c) + delta);
+            let mut tape = Tape::new();
+            let pv = tape.leaf(p);
+            let loss = build(&mut tape, pv);
+            tape.value(loss).get(0, 0)
+        };
+        (eval(eps) - eval(-eps)) / (2.0 * eps)
+    }
+
+    fn check_grads(build: &dyn Fn(&mut Tape, VarId) -> VarId, param: Matrix) {
+        let mut tape = Tape::new();
+        let pv = tape.leaf(param.clone());
+        let loss = build(&mut tape, pv);
+        tape.backward(loss);
+        let analytic = tape.grad(pv).clone();
+        for r in 0..param.rows() {
+            for c in 0..param.cols() {
+                let numeric = finite_diff(build, &param, r, c);
+                let a = analytic.get(r, c);
+                assert!(
+                    (a - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                    "grad mismatch at ({r},{c}): analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_grad_matches_finite_difference() {
+        let x = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0], &[2.0, 1.0]]);
+        let build = move |tape: &mut Tape, w: VarId| {
+            let xv = tape.constant(x.clone());
+            let h = tape.matmul(xv, w);
+            let sq = tape.hadamard(h, h);
+            tape.mean_all(sq)
+        };
+        check_grads(&build, Matrix::from_rows(&[&[0.3, -0.7], &[1.1, 0.2]]));
+    }
+
+    #[test]
+    fn relu_exp_chain_grad() {
+        let build = |tape: &mut Tape, w: VarId| {
+            let r = tape.relu(w);
+            let e = tape.exp(r);
+            tape.sum_all(e)
+        };
+        check_grads(&build, Matrix::from_rows(&[&[0.5, -0.5], &[1.5, -2.0]]));
+    }
+
+    #[test]
+    fn softmax_attention_grad() {
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]);
+        let build = move |tape: &mut Tape, theta: VarId| {
+            let xv = tape.constant(x.clone());
+            let scores = tape.matmul(xv, theta); // 3x1
+            let attn = tape.softmax_col(scores);
+            let xt = tape.transpose(xv); // 2x3
+            let pooled = tape.matmul(xt, attn); // 2x1
+            let sq = tape.hadamard(pooled, pooled);
+            tape.sum_all(sq)
+        };
+        check_grads(&build, Matrix::column(&[0.3, -0.2]));
+    }
+
+    #[test]
+    fn spmm_grad() {
+        let s = Rc::new(CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, -1.0), (2, 2, 0.5)],
+        ));
+        let build = move |tape: &mut Tape, x: VarId| {
+            let h = tape.spmm(Rc::clone(&s), x);
+            let sq = tape.hadamard(h, h);
+            tape.mean_all(sq)
+        };
+        check_grads(
+            &build,
+            Matrix::from_rows(&[&[1.0, 2.0], &[-1.0, 0.5], &[0.3, 0.7]]),
+        );
+    }
+
+    #[test]
+    fn bias_scale_sub_grads() {
+        let build = |tape: &mut Tape, w: VarId| {
+            let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+            let two_w = tape.scale(w, 2.0);
+            let d = tape.sub(x, two_w);
+            let s = tape.add(d, d);
+            let sq = tape.hadamard(s, s);
+            tape.mean_all(sq)
+        };
+        check_grads(&build, Matrix::from_rows(&[&[0.1, -0.4], &[0.9, 0.2]]));
+    }
+
+    #[test]
+    fn add_bias_row_grad() {
+        let build = |tape: &mut Tape, b: VarId| {
+            let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+            let h = tape.add_bias_row(x, b);
+            let sq = tape.hadamard(h, h);
+            tape.sum_all(sq)
+        };
+        check_grads(&build, Matrix::from_rows(&[&[0.5, -1.0]]));
+    }
+
+    #[test]
+    fn mse_loss_value_and_grad() {
+        let mut tape = Tape::new();
+        let pred = tape.leaf(Matrix::column(&[1.0, 2.0]));
+        let loss = tape.mse_loss(pred, Matrix::column(&[0.0, 0.0]));
+        assert!((tape.value(loss).get(0, 0) - 2.5).abs() < 1e-12);
+        tape.backward(loss);
+        // d/dp mean((p - t)^2) = 2(p - t)/n
+        assert!((tape.grad(pred).get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((tape.grad(pred).get(1, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_collect_no_gradient() {
+        let mut tape = Tape::new();
+        let c = tape.constant(Matrix::scalar(3.0));
+        let w = tape.leaf(Matrix::scalar(2.0));
+        let p = tape.hadamard(c, w);
+        let l = tape.sum_all(p);
+        tape.backward(l);
+        assert!(tape.try_grad(c).is_none());
+        assert_eq!(tape.grad(w).get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn backward_is_rerunnable() {
+        let mut tape = Tape::new();
+        let w = tape.leaf(Matrix::scalar(2.0));
+        let sq = tape.hadamard(w, w);
+        let l = tape.sum_all(sq);
+        tape.backward(l);
+        let g1 = tape.grad(w).get(0, 0);
+        tape.backward(l);
+        let g2 = tape.grad(w).get(0, 0);
+        assert_eq!(g1, g2, "gradients must reset between backward passes");
+        assert_eq!(g1, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut tape = Tape::new();
+        let w = tape.leaf(Matrix::ones(2, 2));
+        tape.backward(w);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::column(&[1000.0, 1000.0, 999.0]));
+        let s = tape.softmax_col(a);
+        let v = tape.value(s);
+        assert!(v.as_slice().iter().all(|x| x.is_finite()));
+        assert!((v.sum() - 1.0).abs() < 1e-12);
+    }
+}

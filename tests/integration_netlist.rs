@@ -1,0 +1,134 @@
+//! Cross-crate consistency between the three semantic views of a circuit:
+//! bit-parallel simulation, CNF encoding, and the `.bench` text format.
+
+use cnf::{encode_circuit, fix_vars};
+use netlist::Circuit;
+use obfuscate::{lock_random, SchemeKind};
+use sat::{SolveResult, Solver};
+use synth::GeneratorConfig;
+
+/// Deterministic pattern stream.
+fn patterns(seed: u64, n: usize, count: usize) -> Vec<Vec<bool>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    (0..count)
+        .map(|_| (0..n).map(|_| next() & 1 == 1).collect())
+        .collect()
+}
+
+/// The CNF encoding and the simulator must agree on sampled patterns.
+fn check_cnf_sim_agreement(circuit: &Circuit, seed: u64) {
+    let n_in = circuit.inputs().len();
+    let n_key = circuit.keys().len();
+    for pattern in patterns(seed, n_in + n_key, 8) {
+        let (ins, keys) = pattern.split_at(n_in);
+        let mut solver = Solver::new();
+        let enc = encode_circuit(circuit, &mut solver);
+        fix_vars(&mut solver, &enc.input_vars(circuit), ins);
+        fix_vars(&mut solver, &enc.key_vars(circuit), keys);
+        let model = match solver.solve() {
+            SolveResult::Sat(m) => m,
+            other => panic!("fully constrained encoding must be SAT, got {other:?}"),
+        };
+        let sim = circuit.simulate_bool(ins, keys).expect("simulates");
+        let cnf_out: Vec<bool> = enc
+            .output_vars(circuit)
+            .iter()
+            .map(|&v| model.value(v))
+            .collect();
+        assert_eq!(cnf_out, sim, "{}", circuit.name());
+    }
+}
+
+#[test]
+fn cnf_matches_simulation_on_synthetic_circuits() {
+    for seed in 0..4 {
+        let circuit = synth::generate(&GeneratorConfig::new("x", 10, 5, 150).with_seed(seed));
+        check_cnf_sim_agreement(&circuit, seed * 31 + 7);
+    }
+}
+
+#[test]
+fn cnf_matches_simulation_on_locked_circuits() {
+    let base = synth::generate(&GeneratorConfig::new("x", 8, 4, 80).with_seed(9));
+    for scheme in [
+        SchemeKind::XorLock,
+        SchemeKind::MuxLock,
+        SchemeKind::LutLock { lut_size: 3 },
+    ] {
+        let locked = lock_random(&base, scheme, 3, 5).expect("lockable");
+        check_cnf_sim_agreement(&locked.locked, 1234);
+    }
+}
+
+#[test]
+fn bench_text_preserves_function_for_synthetic_circuits() {
+    for seed in 0..4 {
+        let circuit = synth::generate(&GeneratorConfig::new("x", 10, 5, 150).with_seed(seed));
+        let reparsed = Circuit::from_bench("rt", &circuit.to_bench()).expect("parses back");
+        assert!(circuit
+            .equiv_random(&reparsed, &[], &[], 16, seed)
+            .expect("same ports"));
+    }
+}
+
+#[test]
+fn iscas_profiles_generate_and_simulate() {
+    for name in synth::iscas::names() {
+        // The largest profiles are expensive to simulate repeatedly; shape
+        // checks are enough there.
+        let circuit = synth::iscas::circuit(name, 1).expect("known profile");
+        assert!(circuit.num_gates() > 0, "{name}");
+        assert!(!circuit.outputs().is_empty(), "{name}");
+        if circuit.num_gates() < 1000 {
+            let zeros = vec![0u64; circuit.inputs().len()];
+            let outs = circuit.simulate(&zeros, &[]).expect("simulates");
+            assert_eq!(outs.len(), circuit.outputs().len());
+        }
+    }
+}
+
+#[test]
+fn applied_key_restores_equivalence_end_to_end() {
+    let base = synth::generate(&GeneratorConfig::new("x", 10, 5, 100).with_seed(21));
+    let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 5, 7).expect("lockable");
+    let applied = locked.apply_key(&locked.key).expect("key fits");
+    assert!(base
+        .equiv_random(&applied, &[], &[], 32, 99)
+        .expect("same ports"));
+
+    // A fully inverted key must break equivalence somewhere in 32 random
+    // words (every replaced gate becomes its complement).
+    let bad: Vec<bool> = locked.key.bits().iter().map(|b| !b).collect();
+    let applied_bad = locked
+        .apply_key(&obfuscate::Key::from_bits(bad))
+        .expect("key fits");
+    assert!(!base
+        .equiv_random(&applied_bad, &[], &[], 32, 99)
+        .expect("same ports"));
+}
+
+#[test]
+fn levelization_bounds_hold_for_generated_circuits() {
+    use netlist::topo::{dead_gates, levelize};
+    let circuit = synth::generate(&GeneratorConfig::new("x", 16, 8, 300).with_seed(5));
+    let levels = levelize(&circuit);
+    for (id, gate) in circuit.iter() {
+        for &f in gate.fanin() {
+            assert!(levels.level(f) < levels.level(id));
+        }
+    }
+    // The generator picks outputs from likely sinks; dead logic should be a
+    // small minority of the netlist.
+    let dead = dead_gates(&circuit).len();
+    assert!(
+        dead * 4 < circuit.num_gates(),
+        "{dead} dead gates out of {}",
+        circuit.num_gates()
+    );
+}

@@ -1,0 +1,228 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: solver soundness, encoding/simulation agreement, locking
+//! correctness, sparse/dense algebra parity, metric ranges, and autodiff
+//! gradients.
+
+use proptest::prelude::*;
+use sat::{Lit, SolveResult, Solver};
+use tensor::{CsrMatrix, Matrix, Tape};
+
+/// Strategy: a random CNF over `nv` variables.
+fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<i64>>)> {
+    (2usize..12).prop_flat_map(|nv| {
+        let clause = proptest::collection::vec(
+            (1i64..=nv as i64).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
+            1..4,
+        );
+        proptest::collection::vec(clause, 1..30).prop_map(move |cs| (nv, cs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any model the solver returns satisfies every clause it was given.
+    #[test]
+    fn solver_models_satisfy_all_clauses((nv, clauses) in cnf_strategy()) {
+        let mut solver = Solver::new();
+        solver.new_vars(nv);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().map(|&l| Lit::from_dimacs(l)));
+        }
+        if let SolveResult::Sat(model) = solver.solve() {
+            for clause in &clauses {
+                prop_assert!(
+                    clause.iter().any(|&l| model.lit_value(Lit::from_dimacs(l))),
+                    "model violates clause {clause:?}"
+                );
+            }
+        }
+    }
+
+    /// UNSAT verdicts agree with exhaustive enumeration (small formulas).
+    #[test]
+    fn solver_unsat_is_confirmed_by_enumeration((nv, clauses) in cnf_strategy()) {
+        prop_assume!(nv <= 8);
+        let mut solver = Solver::new();
+        solver.new_vars(nv);
+        for clause in &clauses {
+            solver.add_clause(clauses_to_lits(clause));
+        }
+        let brute_sat = (0u32..(1 << nv)).any(|bits| {
+            clauses.iter().all(|clause| {
+                clause.iter().any(|&l| {
+                    let v = (l.unsigned_abs() - 1) as u32;
+                    let val = (bits >> v) & 1 == 1;
+                    if l > 0 { val } else { !val }
+                })
+            })
+        });
+        match solver.solve() {
+            SolveResult::Sat(_) => prop_assert!(brute_sat),
+            SolveResult::Unsat => prop_assert!(!brute_sat),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+}
+
+fn clauses_to_lits(clause: &[i64]) -> Vec<Lit> {
+    clause.iter().map(|&l| Lit::from_dimacs(l)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated circuits always round-trip through the bench format
+    /// structurally (ids, kinds, ports).
+    #[test]
+    fn bench_round_trip_is_identity(seed in 0u64..5000, gates in 5usize..60) {
+        let circuit = synth::generate(
+            &synth::GeneratorConfig::new("p", 6, 3, gates).with_seed(seed),
+        );
+        let reparsed = netlist::Circuit::from_bench("p", &circuit.to_bench()).unwrap();
+        prop_assert_eq!(circuit, reparsed);
+    }
+
+    /// The correct key always restores the original function.
+    #[test]
+    fn correct_key_always_verifies(seed in 0u64..2000, keys in 1usize..5) {
+        let base = synth::generate(
+            &synth::GeneratorConfig::new("p", 8, 4, 60).with_seed(seed),
+        );
+        let locked = obfuscate::lock_random(
+            &base,
+            obfuscate::SchemeKind::LutLock { lut_size: 3 },
+            keys,
+            seed,
+        ).unwrap();
+        prop_assert!(locked.verify_key(&locked.key).unwrap());
+    }
+
+    /// Truth tables are consistent between construction and evaluation.
+    #[test]
+    fn truth_table_from_fn_eval_consistent(bits in any::<u64>(), k in 0usize..=6) {
+        let table = netlist::TruthTable::new(k, bits).unwrap();
+        let rebuilt = netlist::TruthTable::from_fn(k, |vals| table.eval(vals)).unwrap();
+        prop_assert_eq!(table, rebuilt);
+    }
+
+    /// Word-parallel simulation equals 64 single-pattern simulations.
+    #[test]
+    fn word_simulation_matches_scalar(seed in 0u64..1000) {
+        let circuit = synth::generate(
+            &synth::GeneratorConfig::new("p", 5, 3, 40).with_seed(seed),
+        );
+        let words: Vec<u64> = (0..5).map(|i| seed.rotate_left(i * 13) ^ 0xABCD).collect();
+        let outs = circuit.simulate(&words, &[]).unwrap();
+        for p in [0usize, 17, 63] {
+            let bits: Vec<bool> = words.iter().map(|w| (w >> p) & 1 == 1).collect();
+            let scalar = circuit.simulate_bool(&bits, &[]).unwrap();
+            for (o, w) in scalar.iter().zip(&outs) {
+                prop_assert_eq!(*o, (w >> p) & 1 == 1);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sparse-dense product agrees with densified matmul.
+    #[test]
+    fn spmm_matches_dense(
+        triplets in proptest::collection::vec((0usize..8, 0usize..8, -4i32..=4), 0..24),
+        cols in 1usize..5,
+    ) {
+        let trip: Vec<(usize, usize, f64)> =
+            triplets.iter().map(|&(r, c, v)| (r, c, v as f64)).collect();
+        let sparse = CsrMatrix::from_triplets(8, 8, &trip);
+        let dense = Matrix::from_fn(8, cols, |r, c| ((r * 3 + c * 5) % 7) as f64 - 3.0);
+        let expect = sparse.to_dense().matmul(&dense);
+        prop_assert_eq!(sparse.spmm(&dense), expect);
+        // Transpose parity too.
+        let expect_t = sparse.to_dense().transpose();
+        prop_assert_eq!(sparse.transpose().to_dense(), expect_t);
+    }
+
+    /// Correlations always land in [-1, 1].
+    #[test]
+    fn correlations_are_bounded(
+        a in proptest::collection::vec(-100.0f64..100.0, 3..30),
+    ) {
+        let b: Vec<f64> = a.iter().map(|&x| (x * 1.7).sin() * 10.0 + x * 0.2).collect();
+        let p = regress::metrics::pearson(&a, &b);
+        let s = regress::metrics::spearman(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&p), "pearson {p}");
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s), "spearman {s}");
+    }
+
+    /// Autodiff matmul gradients match central finite differences.
+    #[test]
+    fn autodiff_matches_finite_difference(
+        vals in proptest::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        let w = Matrix::from_vec(3, 2, vals);
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
+        let forward = |w: &Matrix| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let wv = tape.leaf(w.clone());
+            let h = tape.matmul(xv, wv);
+            let r = tape.relu(h);
+            let sq = tape.hadamard(r, r);
+            let loss = tape.sum_all(sq);
+            (tape.value(loss).get(0, 0), tape, wv, loss)
+        };
+        let (_, mut tape, wv, loss) = forward(&w);
+        tape.backward(loss);
+        let grad = tape.grad(wv).clone();
+        let eps = 1e-5;
+        for r in 0..3 {
+            for c in 0..2 {
+                // Skip non-differentiable kinks of the ReLU.
+                let pre = x.matmul(&w);
+                if pre.as_slice().iter().any(|v| v.abs() < 1e-3) {
+                    continue;
+                }
+                let mut wp = w.clone();
+                wp.set(r, c, w.get(r, c) + eps);
+                let mut wm = w.clone();
+                wm.set(r, c, w.get(r, c) - eps);
+                let numeric = (forward(&wp).0 - forward(&wm).0) / (2.0 * eps);
+                prop_assert!(
+                    (grad.get(r, c) - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                    "grad ({r},{c}): {} vs {}",
+                    grad.get(r, c),
+                    numeric
+                );
+            }
+        }
+    }
+
+    /// The netlist optimizer never changes circuit function.
+    #[test]
+    fn optimizer_preserves_function(seed in 0u64..2000, keys in 1usize..4) {
+        let base = synth::generate(
+            &synth::GeneratorConfig::new("p", 6, 3, 40).with_seed(seed),
+        );
+        // Locked + key applied: rich in constants and MUX trees.
+        let locked = obfuscate::lock_random(
+            &base,
+            obfuscate::SchemeKind::LutLock { lut_size: 3 },
+            keys,
+            seed,
+        ).unwrap();
+        let applied = locked.apply_key(&locked.key).unwrap();
+        let (optimized, stats) = netlist::opt::optimize(&applied).unwrap();
+        prop_assert!(applied.equiv_random(&optimized, &[], &[], 8, seed).unwrap());
+        prop_assert!(stats.gates_after <= stats.gates_before);
+    }
+
+    /// Keys round-trip through hex for arbitrary lengths.
+    #[test]
+    fn key_hex_round_trip(bits in proptest::collection::vec(any::<bool>(), 0..128)) {
+        let key = obfuscate::Key::from_bits(bits.clone());
+        let parsed = obfuscate::Key::from_hex(&key.to_hex(), bits.len()).unwrap();
+        prop_assert_eq!(key, parsed);
+    }
+}
