@@ -7,7 +7,38 @@ use cnf::{encode_circuit_with, encode_miter, fix_vars, EncodeOptions};
 use netlist::Circuit;
 use obfuscate::{Key, LockedCircuit};
 use sat::{SolveResult, Solver, SolverStats};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// A cheap, cloneable cooperative-cancellation flag.
+///
+/// Clones share one flag, so a coordinator thread can hand copies to worker
+/// threads and cancel every in-flight attack at once (the DIP loop polls the
+/// flag between solver calls, exactly like its work-budget check). A
+/// cancelled attack ends with [`AttackOutcome::BudgetExceeded`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raises the flag; every attack polling a clone stops at its next
+    /// iteration boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
 
 /// Resource limits and options for one attack run.
 #[derive(Debug, Clone, Default)]
@@ -22,6 +53,9 @@ pub struct AttackConfig {
     pub conflicts_per_solve: Option<u64>,
     /// Record every DIP found (costs memory on long attacks).
     pub record_dips: bool,
+    /// Cross-thread cancellation flag, polled once per DIP iteration.
+    /// `None` = not cancellable.
+    pub cancel: Option<CancelToken>,
 }
 
 impl AttackConfig {
@@ -31,6 +65,17 @@ impl AttackConfig {
             work_budget: Some(budget),
             ..AttackConfig::default()
         }
+    }
+
+    /// This config with `token` installed as its cancellation flag.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether an installed cancellation token has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 }
 
@@ -102,6 +147,10 @@ pub fn attack(
     let mut budget_hit = false;
 
     loop {
+        if config.is_cancelled() {
+            budget_hit = true;
+            break;
+        }
         if let Some(max) = config.max_iterations {
             if iterations >= max {
                 budget_hit = true;
@@ -276,6 +325,41 @@ mod tests {
         for dip in &result.dips {
             assert_eq!(dip.len(), 5);
         }
+    }
+
+    #[test]
+    fn pre_cancelled_attack_stops_immediately() {
+        let base = synth::generate(&GeneratorConfig::new("mid", 16, 8, 150).with_seed(2));
+        let locked = lock_random(&base, SchemeKind::XorLock, 20, 3).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let config = AttackConfig::default().with_cancel(token.clone());
+        assert!(config.is_cancelled());
+        let result = attack_locked(&locked, &config).unwrap();
+        assert_eq!(result.outcome, AttackOutcome::BudgetExceeded);
+        assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones_and_threads() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        std::thread::scope(|scope| {
+            scope.spawn(|| token.cancel());
+        });
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn attack_types_are_send_and_sync() {
+        // The dataset pipeline fans attacks out over worker threads; the
+        // config and result types must be shareable.
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackConfig>();
+        assert_send_sync::<AttackOutcome>();
+        assert_send_sync::<AttackResult>();
+        assert_send_sync::<CancelToken>();
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod oracle;
 mod runtime;
 
 pub use appsat::{appsat, AppSatConfig, AppSatResult};
-pub use dip::{attack, attack_locked, AttackConfig, AttackOutcome, AttackResult};
+pub use dip::{attack, attack_locked, AttackConfig, AttackOutcome, AttackResult, CancelToken};
 pub use error::AttackError;
 pub use oracle::{Oracle, SimOracle};
 pub use runtime::{AttackRuntime, RuntimeMeasure, WORK_UNITS_PER_SECOND};

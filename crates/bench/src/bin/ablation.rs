@@ -102,7 +102,12 @@ fn main() {
     config.seed = opts.seed;
     config.key_range = (1, opts.keys_max);
     println!("# Ablations — held-out MSE on log-runtime");
-    let data = bench::harness::load_or_generate(&config, &opts.out_dir);
+    let data = bench::harness::load_or_generate_parallel(
+        &config,
+        &opts.out_dir,
+        opts.jobs,
+        opts.resume.as_deref(),
+    );
     println!(
         "# profile={} instances={} ({:.0}% censored)\n",
         opts.profile,

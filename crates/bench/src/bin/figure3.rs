@@ -27,7 +27,12 @@ fn main() {
     config.seed = opts.seed;
     config.key_range = (1, opts.keys_max);
     println!("# Figure 3 — predictions vs real values (all-feature setting)");
-    let data = bench::harness::load_or_generate(&config, &opts.out_dir);
+    let data = bench::harness::load_or_generate_parallel(
+        &config,
+        &opts.out_dir,
+        opts.jobs,
+        opts.resume.as_deref(),
+    );
     let split = train_test_split(data.instances.len(), 0.25, opts.seed);
     let y = data.labels();
     let y_test = take(&y, &split.test);

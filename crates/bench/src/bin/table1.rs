@@ -24,7 +24,12 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let data = bench::harness::load_or_generate(&config, &opts.out_dir);
+    let data = bench::harness::load_or_generate_parallel(
+        &config,
+        &opts.out_dir,
+        opts.jobs,
+        opts.resume.as_deref(),
+    );
     println!(
         "# generated {} instances in {:.1}s ({:.0}% censored)",
         data.instances.len(),

@@ -22,7 +22,12 @@ fn main() {
     config.key_range = (1, opts.keys_max);
     println!("# Timing — ICNet inference vs actual SAT attack");
     let t_gen = Instant::now();
-    let data = bench::harness::load_or_generate(&config, &opts.out_dir);
+    let data = bench::harness::load_or_generate_parallel(
+        &config,
+        &opts.out_dir,
+        opts.jobs,
+        opts.resume.as_deref(),
+    );
     let attack_wall = t_gen.elapsed();
 
     let split = train_test_split(data.instances.len(), 0.25, opts.seed);

@@ -23,6 +23,11 @@ pub struct Options {
     pub quick: bool,
     /// Output directory for CSV artifacts.
     pub out_dir: String,
+    /// Worker threads for dataset generation. Results are byte-identical
+    /// for every value (see `dataset::generate_parallel`).
+    pub jobs: usize,
+    /// Checkpoint log to record finished attacks in and resume from.
+    pub resume: Option<String>,
 }
 
 impl Default for Options {
@@ -36,6 +41,8 @@ impl Default for Options {
             keys_max: 40,
             quick: false,
             out_dir: "results".to_owned(),
+            jobs: 1,
+            resume: None,
         }
     }
 }
@@ -63,12 +70,17 @@ impl Options {
                     opts.keys_max = value("--keys-max").parse().expect("usize keys-max")
                 }
                 "--out" => opts.out_dir = value("--out"),
+                "--jobs" => {
+                    opts.jobs = value("--jobs").parse().expect("usize jobs");
+                    assert!(opts.jobs >= 1, "--jobs must be at least 1");
+                }
+                "--resume" => opts.resume = Some(value("--resume")),
                 "--quick" => opts.quick = true,
                 other => {
                     eprintln!(
                         "unknown flag `{other}`\nflags: --profile <name> --instances <n> \
                          --budget <work> --epochs <n> --seed <n> --keys-max <n> \
-                         --out <dir> --quick"
+                         --out <dir> --jobs <n> --resume <path> --quick"
                     );
                     std::process::exit(2);
                 }
@@ -118,6 +130,16 @@ mod tests {
         assert_eq!(o.profile, "c499");
         assert_eq!(o.instances, 10);
         assert_eq!(o.seed, 3);
+    }
+
+    #[test]
+    fn jobs_and_resume_flags_parse() {
+        let o = parse(&["--jobs", "4", "--resume", "sweep.ckpt"]);
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.resume.as_deref(), Some("sweep.ckpt"));
+        let o = parse(&[]);
+        assert_eq!(o.jobs, 1);
+        assert_eq!(o.resume, None);
     }
 
     #[test]

@@ -19,6 +19,24 @@ use tensor::Matrix;
 /// Panics when generation fails (bad profile/range) or a cache file is
 /// corrupt — both are setup errors for an experiment binary.
 pub fn load_or_generate(config: &dataset::DatasetConfig, out_dir: &str) -> Dataset {
+    load_or_generate_parallel(config, out_dir, 1, None)
+}
+
+/// [`load_or_generate`] with a worker count and an optional checkpoint log
+/// (the `--jobs` / `--resume` flags). The dataset is byte-identical for
+/// every `jobs` value and for any interrupted-then-resumed schedule; the
+/// per-worker sweep report is printed to stderr when generation runs.
+///
+/// # Panics
+///
+/// Panics when generation fails or a cache/checkpoint file is corrupt —
+/// both are setup errors for an experiment binary.
+pub fn load_or_generate_parallel(
+    config: &dataset::DatasetConfig,
+    out_dir: &str,
+    jobs: usize,
+    resume: Option<&str>,
+) -> Dataset {
     let key = format!(
         "{}_{}_{}_{}_{}_{}_{}_{}",
         config.profile,
@@ -40,7 +58,16 @@ pub fn load_or_generate(config: &dataset::DatasetConfig, out_dir: &str) -> Datas
             return Dataset { circuit, instances };
         }
     }
-    let data = dataset::generate(config).expect("dataset generation");
+    let mut checkpoint = resume.map(|p| {
+        let log = dataset::CheckpointLog::open(p).expect("usable checkpoint log");
+        if !log.is_empty() {
+            eprintln!("# resuming from {} ({} instances on record)", p, log.len());
+        }
+        log
+    });
+    let (data, report) = dataset::generate_parallel_with(config, jobs, checkpoint.as_mut())
+        .expect("dataset generation");
+    eprint!("{}", report.summary());
     let _ = std::fs::create_dir_all(out_dir);
     let _ = std::fs::write(&path, dataset::dataset_to_csv(&data.instances));
     data

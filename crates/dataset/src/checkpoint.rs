@@ -1,0 +1,305 @@
+//! Incremental checkpointing for dataset sweeps.
+//!
+//! Attacking hundreds of locked instances takes hours; losing a sweep to a
+//! crash or preemption at instance 340/350 is unacceptable. The checkpoint
+//! log persists each labeled instance the moment its attack finishes, as one
+//! append-only record, so an interrupted sweep resumes by replaying the log
+//! and re-attacking only the missing instances.
+//!
+//! Records are keyed by a content hash of the *locked circuit* (its
+//! canonical `.bench` text plus the key and the attack-relevant
+//! configuration) rather than by instance index. Re-locking an instance is
+//! milliseconds, so resume re-derives each instance's locked circuit,
+//! hashes it, and skips the attack on a hit — which makes the log robust to
+//! reordering and immune to config drift: change the seed, scheme, budget,
+//! or circuit and every key changes, so stale records are simply never
+//! matched (and a sweep can even share a log with other sweeps).
+//!
+//! Format: a header line `# icnet-checkpoint v1`, then one record per line:
+//! `<key:016x> <index> <instance CSV fields>` (see [`crate::dataset_to_csv`]
+//! for the field list). The index is informational — the hash is the key.
+
+use crate::csv::{instance_from_line, instance_to_line};
+use crate::error::DatasetError;
+use crate::generate::DatasetConfig;
+use crate::instance::Instance;
+use obfuscate::LockedCircuit;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &str = "# icnet-checkpoint v1";
+
+/// 64-bit FNV-1a over `bytes`, folded into `hash`.
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Content hash identifying one attack run: the locked circuit's canonical
+/// `.bench` text, its key bits, and every configuration field that changes
+/// the attack's outcome. Two sweeps produce the same key for an instance
+/// exactly when the attack would produce the same label.
+pub fn instance_key(config: &DatasetConfig, locked: &LockedCircuit) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, locked.locked.to_bench().as_bytes());
+    let key_bits: Vec<u8> = locked.key.bits().iter().map(|&b| b as u8).collect();
+    h = fnv1a(h, &key_bits);
+    let attack_fingerprint = format!(
+        "budget={:?};measure={:?}",
+        config.attack.work_budget, config.measure
+    );
+    fnv1a(h, attack_fingerprint.as_bytes())
+}
+
+/// An append-only log of completed instances, keyed by [`instance_key`].
+///
+/// [`CheckpointLog::open`] loads every valid record already on disk;
+/// [`CheckpointLog::record`] appends and flushes one record per finished
+/// attack, so a crash loses at most the instance in flight.
+#[derive(Debug)]
+pub struct CheckpointLog {
+    path: PathBuf,
+    entries: HashMap<u64, Instance>,
+    file: File,
+}
+
+impl CheckpointLog {
+    /// Opens (creating if absent) the log at `path` and loads its records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Io`] when the file cannot be read or created
+    /// and [`DatasetError::Checkpoint`] when an existing record is corrupt —
+    /// a truncated final line (the crash case) is *not* an error; it is
+    /// dropped and overwritten by the next append.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, DatasetError> {
+        let path = path.as_ref().to_path_buf();
+        let io_err = |e: std::io::Error| DatasetError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        let existing = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(io_err(e)),
+        };
+        let mut entries = HashMap::new();
+        let complete = existing.is_empty() || existing.ends_with('\n');
+        let mut lines: Vec<&str> = existing.lines().collect();
+        if !complete {
+            // Interrupted mid-append: the partial tail record is lost, the
+            // attack that produced it simply reruns.
+            lines.pop();
+        }
+        for (i, line) in lines.iter().enumerate() {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if lineno == 1 {
+                if line.trim() != MAGIC {
+                    return Err(DatasetError::Checkpoint {
+                        line: 1,
+                        message: format!("expected header `{MAGIC}`, found `{line}`"),
+                    });
+                }
+                continue;
+            }
+            let (key, inst) = parse_record(line, lineno)?;
+            entries.insert(key, inst);
+        }
+        if !complete {
+            // Truncate the partial tail so it does not resurface as a
+            // corrupt record on a later open.
+            let keep = existing.rfind('\n').map_or(0, |i| i + 1);
+            OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .and_then(|f| f.set_len(keep as u64))
+                .map_err(io_err)?;
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err)?;
+        if existing.is_empty() {
+            writeln!(file, "{MAGIC}").map_err(io_err)?;
+            file.flush().map_err(io_err)?;
+        }
+        Ok(CheckpointLog {
+            path,
+            entries,
+            file,
+        })
+    }
+
+    /// Where this log lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of completed instances on record.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no instance has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded instance for `key`, if its attack already completed.
+    pub fn lookup(&self, key: u64) -> Option<&Instance> {
+        self.entries.get(&key)
+    }
+
+    /// Appends one completed instance and flushes it to disk immediately.
+    /// `index` is the instance's position in its sweep (informational).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Io`] when the append fails.
+    pub fn record(
+        &mut self,
+        key: u64,
+        index: usize,
+        instance: &Instance,
+    ) -> Result<(), DatasetError> {
+        let io_err = |e: std::io::Error| DatasetError::Io {
+            path: self.path.display().to_string(),
+            message: e.to_string(),
+        };
+        writeln!(
+            self.file,
+            "{key:016x} {index} {}",
+            instance_to_line(instance)
+        )
+        .map_err(io_err)?;
+        self.file.flush().map_err(io_err)?;
+        self.entries.insert(key, instance.clone());
+        Ok(())
+    }
+}
+
+fn parse_record(line: &str, lineno: usize) -> Result<(u64, Instance), DatasetError> {
+    let corrupt = |message: String| DatasetError::Checkpoint {
+        line: lineno,
+        message,
+    };
+    let mut parts = line.trim().splitn(3, ' ');
+    let key_field = parts.next().unwrap_or("");
+    let key = u64::from_str_radix(key_field, 16)
+        .map_err(|_| corrupt(format!("bad content-hash key `{key_field}`")))?;
+    let index_field = parts.next().ok_or_else(|| corrupt("missing index".into()))?;
+    index_field
+        .parse::<usize>()
+        .map_err(|_| corrupt(format!("bad index `{index_field}`")))?;
+    let rest = parts
+        .next()
+        .ok_or_else(|| corrupt("missing instance fields".into()))?;
+    let inst = instance_from_line(rest, lineno).map_err(|e| match e {
+        DatasetError::ParseCsv { message, .. } => corrupt(message),
+        other => other,
+    })?;
+    Ok((key, inst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::GateId;
+
+    fn inst(n: usize) -> Instance {
+        Instance {
+            selected: vec![GateId::from_index(n)],
+            key_bits: n,
+            iterations: 2,
+            work: 100 + n as u64,
+            seconds: 0.5,
+            log_seconds: 0.5f64.ln(),
+            censored: false,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("icnet_ckpt_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn records_persist_across_reopen() {
+        let path = tmp("roundtrip.ckpt");
+        let mut log = CheckpointLog::open(&path).unwrap();
+        assert!(log.is_empty());
+        log.record(0xAB, 0, &inst(1)).unwrap();
+        log.record(0xCD, 1, &inst(2)).unwrap();
+        drop(log);
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.lookup(0xAB), Some(&inst(1)));
+        assert_eq!(log.lookup(0xCD), Some(&inst(2)));
+        assert_eq!(log.lookup(0xEF), None);
+    }
+
+    #[test]
+    fn truncated_tail_record_is_dropped_not_fatal() {
+        let path = tmp("truncated.ckpt");
+        let mut log = CheckpointLog::open(&path).unwrap();
+        log.record(0x1, 0, &inst(1)).unwrap();
+        log.record(0x2, 1, &inst(2)).unwrap();
+        drop(log);
+        // Chop the file mid-record, as a crash during append would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let mut log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.len(), 1, "partial record dropped");
+        // The log still appends cleanly after recovery.
+        log.record(0x3, 2, &inst(3)).unwrap();
+        drop(log);
+        assert_eq!(CheckpointLog::open(&path).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn corrupt_interior_record_is_reported() {
+        let path = tmp("corrupt.ckpt");
+        std::fs::write(&path, format!("{MAGIC}\nnothex 0 1,2,3,4,5,6,false\n")).unwrap();
+        match CheckpointLog::open(&path) {
+            Err(DatasetError::Checkpoint { line: 2, .. }) => {}
+            other => panic!("expected checkpoint corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        let path = tmp("header.ckpt");
+        std::fs::write(&path, "not a checkpoint\n").unwrap();
+        assert!(matches!(
+            CheckpointLog::open(&path),
+            Err(DatasetError::Checkpoint { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn instance_key_separates_configs_and_indices() {
+        let config = DatasetConfig::quick_demo();
+        let circuit = crate::generate::sweep_circuit(&config).unwrap();
+        let a = crate::generate::lock_instance(&config, &circuit, 0).unwrap();
+        let b = crate::generate::lock_instance(&config, &circuit, 1).unwrap();
+        let ka = instance_key(&config, &a);
+        assert_eq!(ka, instance_key(&config, &a), "deterministic");
+        assert_ne!(ka, instance_key(&config, &b), "indices differ");
+        let mut other = config.clone();
+        other.attack = attack::AttackConfig::with_work_budget(1);
+        assert_ne!(ka, instance_key(&other, &a), "budget changes the key");
+    }
+}

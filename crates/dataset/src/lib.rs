@@ -29,16 +29,20 @@
 //! # }
 //! ```
 
+mod checkpoint;
 mod csv;
 mod encode;
 mod error;
 mod generate;
 mod instance;
+mod parallel;
 mod split;
 
+pub use checkpoint::{instance_key, CheckpointLog};
 pub use csv::{dataset_from_csv, dataset_to_csv};
 pub use encode::{flat_features, graph_features, FlatAggregation, StructureEncoding};
 pub use error::DatasetError;
-pub use generate::{generate, Dataset, DatasetConfig};
+pub use generate::{generate, generate_one, instance_seed, sweep_circuit, Dataset, DatasetConfig};
 pub use instance::Instance;
+pub use parallel::{generate_parallel, generate_parallel_with, SweepReport, WorkerStats};
 pub use split::{kfold, train_test_split, Split};

@@ -1,0 +1,303 @@
+//! Parallel dataset generation with deterministic replay.
+//!
+//! The sweep fans instances over a scoped worker pool built from
+//! `std::thread::scope` and an atomic work index — no thread-pool crate,
+//! because each instance already owns an independent RNG seed
+//! ([`crate::instance_seed`]), so a shared counter is all the scheduling
+//! the problem needs. Instance `i` is a pure function of `(config, i)` and
+//! results land in slot `i`, which makes the output **byte-identical to the
+//! serial sweep for every worker count** — scheduling order, worker count,
+//! and checkpoint reuse cannot leak into the dataset.
+//!
+//! When a worker fails, the shared [`attack::CancelToken`] stops the other
+//! workers' attacks at their next DIP iteration; the first error is the one
+//! reported. With a [`CheckpointLog`] attached, every finished attack is
+//! persisted immediately and already-recorded instances are reused without
+//! re-attacking (re-locking to compute the content hash is milliseconds).
+
+use crate::checkpoint::{instance_key, CheckpointLog};
+use crate::error::DatasetError;
+use crate::generate::{
+    generate_one, label_instance, lock_instance, sweep_circuit, Dataset, DatasetConfig,
+};
+use crate::instance::Instance;
+use attack::{attack_locked, CancelToken};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What one worker did during a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Instances this worker completed (attacked or reused).
+    pub instances: usize,
+    /// Of those, how many were reused from the checkpoint log.
+    pub reused: usize,
+    /// Deterministic solver work this worker expended.
+    pub work: u64,
+    /// Wall-clock time this worker spent on instances (not idle).
+    pub busy: Duration,
+}
+
+/// Per-worker counters and totals for one parallel sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// One entry per worker, in worker-id order.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock duration of the whole sweep.
+    pub elapsed: Duration,
+}
+
+impl SweepReport {
+    /// Instances reused from the checkpoint log instead of re-attacked.
+    pub fn reused(&self) -> usize {
+        self.workers.iter().map(|w| w.reused).sum()
+    }
+
+    /// Instances whose attack actually ran.
+    pub fn attacked(&self) -> usize {
+        let done: usize = self.workers.iter().map(|w| w.instances).sum();
+        done - self.reused()
+    }
+
+    /// Renders the per-worker table printed at sweep end.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# sweep: {} attacked, {} reused, {:.2?} wall",
+            self.attacked(),
+            self.reused(),
+            self.elapsed
+        );
+        for (id, w) in self.workers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "#   worker {id}: {} instances ({} reused), work {}, busy {:.2?}",
+                w.instances, w.reused, w.work, w.busy
+            );
+        }
+        out
+    }
+}
+
+/// Generates the sweep described by `config` on `jobs` worker threads.
+///
+/// Produces a dataset byte-identical to [`crate::generate`] — see the
+/// module docs for why worker count cannot affect the result.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::generate`]; the first worker error wins and
+/// the remaining attacks are cancelled.
+pub fn generate_parallel(config: &DatasetConfig, jobs: usize) -> Result<Dataset, DatasetError> {
+    generate_parallel_with(config, jobs, None).map(|(data, _)| data)
+}
+
+/// [`generate_parallel`], optionally resuming from / recording to a
+/// [`CheckpointLog`], and returning the per-worker [`SweepReport`].
+///
+/// Each finished attack is appended to the log before its result is
+/// published, so an interrupted sweep loses at most `jobs` in-flight
+/// attacks. On resume, instances whose content hash is already on record
+/// skip their attack entirely.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::generate`], plus [`DatasetError::Io`] when a
+/// checkpoint append fails.
+pub fn generate_parallel_with(
+    config: &DatasetConfig,
+    jobs: usize,
+    checkpoint: Option<&mut CheckpointLog>,
+) -> Result<(Dataset, SweepReport), DatasetError> {
+    let jobs = jobs.max(1);
+    let circuit = sweep_circuit(config)?;
+    let n = config.num_instances;
+    let started = Instant::now();
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Instance>>> = Mutex::new(vec![None; n]);
+    let first_error: Mutex<Option<DatasetError>> = Mutex::new(None);
+    let cancel = CancelToken::new();
+    let log = checkpoint.map(Mutex::new);
+
+    let worker = |wid: usize| -> WorkerStats {
+        let mut stats = WorkerStats::default();
+        // Workers attack under a config that carries the shared cancel
+        // token, so one worker's failure stops the others mid-attack.
+        let mut cfg = config.clone();
+        cfg.attack = cfg.attack.clone().with_cancel(cancel.clone());
+        let _ = wid;
+        loop {
+            if cancel.is_cancelled() {
+                break;
+            }
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= n {
+                break;
+            }
+            let begun = Instant::now();
+            let outcome: Result<(Instance, bool), DatasetError> = (|| {
+                let locked = lock_instance(config, &circuit, index)?;
+                let key = log.as_ref().map(|_| instance_key(config, &locked));
+                if let (Some(log), Some(key)) = (&log, key) {
+                    if let Some(done) = log.lock().unwrap().lookup(key) {
+                        return Ok((done.clone(), true));
+                    }
+                }
+                let result = attack_locked(&locked, &cfg.attack)?;
+                if cancel.is_cancelled() {
+                    // The attack may have been stopped mid-run; its label
+                    // would be wrong. Another worker's error is already on
+                    // record, so this result is discarded anyway.
+                    return Err(DatasetError::Attack(attack::AttackError::Cancelled));
+                }
+                let instance = label_instance(config, &locked, &result);
+                if let (Some(log), Some(key)) = (&log, key) {
+                    log.lock().unwrap().record(key, index, &instance)?;
+                }
+                Ok((instance, false))
+            })();
+            match outcome {
+                Ok((instance, reused)) => {
+                    stats.instances += 1;
+                    if reused {
+                        stats.reused += 1;
+                    } else {
+                        stats.work += instance.work;
+                    }
+                    stats.busy += begun.elapsed();
+                    slots.lock().unwrap()[index] = Some(instance);
+                }
+                Err(e) => {
+                    let mut slot = first_error.lock().unwrap();
+                    // A cancellation casualty is a symptom, never the cause.
+                    let is_echo = matches!(
+                        &e,
+                        DatasetError::Attack(attack::AttackError::Cancelled)
+                    );
+                    if slot.is_none() && !is_echo {
+                        *slot = Some(e);
+                    }
+                    drop(slot);
+                    cancel.cancel();
+                    stats.busy += begun.elapsed();
+                    break;
+                }
+            }
+        }
+        stats
+    };
+
+    let workers: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs).map(|wid| scope.spawn(move || worker(wid))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    if let Some(error) = first_error.into_inner().unwrap() {
+        return Err(error);
+    }
+    let instances: Vec<Instance> = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled when no worker errored"))
+        .collect();
+    let report = SweepReport {
+        workers,
+        elapsed: started.elapsed(),
+    };
+    Ok((Dataset { circuit, instances }, report))
+}
+
+/// Serial reference sweep through the same code path as the workers —
+/// exists so tests can assert `generate == generate_parallel` without
+/// trusting either side.
+#[allow(dead_code)]
+pub(crate) fn generate_serial_reference(config: &DatasetConfig) -> Result<Dataset, DatasetError> {
+    let circuit = sweep_circuit(config)?;
+    let instances = (0..config.num_instances)
+        .map(|i| generate_one(config, &circuit, i))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Dataset { circuit, instances })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+
+    fn small_config() -> DatasetConfig {
+        let mut config = DatasetConfig::quick_demo();
+        config.num_instances = 6;
+        config
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_every_worker_count() {
+        let config = small_config();
+        let serial = generate(&config).unwrap();
+        for jobs in [1, 2, 4] {
+            let parallel = generate_parallel(&config, jobs).unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_jobs_degrades_to_one_worker() {
+        let config = small_config();
+        let (data, report) = generate_parallel_with(&config, 0, None).unwrap();
+        assert_eq!(data.instances.len(), 6);
+        assert_eq!(report.workers.len(), 1);
+    }
+
+    #[test]
+    fn report_accounts_for_every_instance() {
+        let config = small_config();
+        let (data, report) = generate_parallel_with(&config, 3, None).unwrap();
+        let done: usize = report.workers.iter().map(|w| w.instances).sum();
+        assert_eq!(done, data.instances.len());
+        assert_eq!(report.reused(), 0);
+        assert_eq!(report.attacked(), 6);
+        let total_work: u64 = report.workers.iter().map(|w| w.work).sum();
+        let label_work: u64 = data.instances.iter().map(|i| i.work).sum();
+        assert_eq!(total_work, label_work);
+        assert!(report.summary().contains("worker 0"));
+    }
+
+    #[test]
+    fn config_errors_surface_from_the_pool() {
+        let mut config = small_config();
+        config.profile = "c9999".into();
+        assert!(matches!(
+            generate_parallel(&config, 2),
+            Err(DatasetError::UnknownProfile(_))
+        ));
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_without_reattacking() {
+        let config = small_config();
+        let dir = std::env::temp_dir().join("icnet_parallel_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume_unit.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let mut log = CheckpointLog::open(&path).unwrap();
+        let (first, report) = generate_parallel_with(&config, 2, Some(&mut log)).unwrap();
+        assert_eq!(report.reused(), 0);
+        assert_eq!(log.len(), 6);
+        drop(log);
+
+        let mut log = CheckpointLog::open(&path).unwrap();
+        let (second, report) = generate_parallel_with(&config, 2, Some(&mut log)).unwrap();
+        assert_eq!(report.reused(), 6, "every attack skipped on resume");
+        assert_eq!(report.attacked(), 0);
+        assert_eq!(first, second);
+    }
+}

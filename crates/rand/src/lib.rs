@@ -1,0 +1,382 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The build environment cannot reach the crate registry, so the workspace
+//! ships the slice of `rand` it actually uses: [`rngs::StdRng`] (seeded via
+//! [`SeedableRng::seed_from_u64`]), the [`Rng`] convenience methods
+//! (`gen`, `gen_range`, `gen_bool`), and the [`seq::SliceRandom`] slice
+//! helpers (`shuffle`, `choose`, `choose_multiple`).
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — fast, high
+//! quality, and fully deterministic. Streams differ from upstream `rand`'s
+//! ChaCha-based `StdRng`, which is fine here: nothing in the workspace
+//! depends on upstream byte streams, only on determinism within this
+//! implementation (see `DESIGN.md`).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source: everything else derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (high bits of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable by [`Rng::gen`] (the `Standard` distribution of rand 0.8).
+pub trait StandardSample {
+    /// Draws one value from the full/unit range of the type.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Maps 64 random bits to a double in `[0, 1)` (53-bit mantissa).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics when empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, bound)` without modulo bias worth caring about
+/// (widening-multiply method).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                debug_assert!(span <= u64::MAX as u128);
+                let off = uniform_below(rng, span as u64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full 64-bit range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                let off = uniform_below(rng, span as u64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // 53 random bits scaled to close the interval at `hi`.
+                let u = ((rng.next_u64() >> 11) as f64
+                    / ((1u64 << 53) - 1) as f64) as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// User-facing convenience methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` (see [`StandardSample`]).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range`. Panics when the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable generators (only the `seed_from_u64` entry point is vendored).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step: the recommended seeder for xoshiro-family generators.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256**.
+    ///
+    /// Not the upstream ChaCha12 `StdRng`; see the crate docs for why that
+    /// is acceptable here.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling helpers.
+
+    use super::RngCore;
+
+    /// Random selection/permutation over slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Uniform in-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// One uniformly chosen element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// `amount` distinct elements in random order (all of them when
+        /// `amount >= len`).
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[super::uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            for k in 0..amount {
+                let j = k + super::uniform_below(rng, (indices.len() - k) as u64) as usize;
+                indices.swap(k, j);
+            }
+            indices
+                .into_iter()
+                .take(amount)
+                .map(|i| &self[i])
+                .collect::<Vec<&T>>()
+                .into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let v = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&v));
+            let w = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_both_endpoints_inclusive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..=2)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_complete() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pool: Vec<usize> = (0..20).collect();
+        let mut picked: Vec<usize> = pool.choose_multiple(&mut rng, 8).copied().collect();
+        assert_eq!(picked.len(), 8);
+        picked.sort_unstable();
+        picked.dedup();
+        assert_eq!(picked.len(), 8, "choose_multiple repeated an element");
+        let all: Vec<usize> = pool.choose_multiple(&mut rng, 99).copied().collect();
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn choose_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let pool = [0usize, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[*pool.choose(&mut rng).unwrap()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "counts {counts:?}");
+        assert!(Vec::<i32>::new().choose(&mut rng).is_none());
+    }
+}

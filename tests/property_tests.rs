@@ -83,6 +83,81 @@ proptest! {
         prop_assert_eq!(circuit, reparsed);
     }
 
+    /// Locked circuits round-trip through the bench format too: key inputs
+    /// keep their `keyinput` prefix and survive reparsing for every scheme.
+    #[test]
+    fn bench_round_trips_locked_circuits(
+        seed in 0u64..2000,
+        keys in 1usize..5,
+        scheme in prop_oneof![
+            Just(obfuscate::SchemeKind::XorLock),
+            Just(obfuscate::SchemeKind::MuxLock),
+            Just(obfuscate::SchemeKind::LutLock { lut_size: 2 }),
+            Just(obfuscate::SchemeKind::LutLock { lut_size: 4 }),
+        ],
+    ) {
+        let base = synth::generate(
+            &synth::GeneratorConfig::new("p", 8, 4, 80).with_seed(seed),
+        );
+        let locked = obfuscate::lock_random(&base, scheme, keys, seed).unwrap();
+        let text = locked.locked.to_bench();
+        let reparsed = netlist::Circuit::from_bench(locked.locked.name(), &text).unwrap();
+        // Ids shift (the writer groups all INPUT lines first, the builder
+        // interleaves key inputs), so the round trip is functional + textual,
+        // not structural: same ports, same text, same behaviour per key.
+        prop_assert_eq!(reparsed.keys().len(), locked.key.bits().len());
+        prop_assert_eq!(reparsed.inputs().len(), locked.locked.inputs().len());
+        prop_assert_eq!(reparsed.outputs().len(), locked.locked.outputs().len());
+        prop_assert_eq!(&text, &reparsed.to_bench());
+        let words: Vec<u64> = (0..8).map(|i| seed.rotate_left(i * 7) ^ 0xF00D).collect();
+        let key_words: Vec<u64> = locked
+            .key
+            .bits()
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        prop_assert_eq!(
+            locked.locked.simulate(&words, &key_words).unwrap(),
+            reparsed.simulate(&words, &key_words).unwrap()
+        );
+    }
+
+    /// Applying a key produces 0-input LUT constants; those must survive the
+    /// `LUT 0x..` extension of the format, and the reparsed circuit must
+    /// simulate identically to the one that was written.
+    #[test]
+    fn bench_round_trips_applied_key_circuits(seed in 0u64..2000, keys in 1usize..4) {
+        let base = synth::generate(
+            &synth::GeneratorConfig::new("p", 7, 3, 60).with_seed(seed),
+        );
+        let locked = obfuscate::lock_random(
+            &base,
+            obfuscate::SchemeKind::LutLock { lut_size: 3 },
+            keys,
+            seed,
+        ).unwrap();
+        let applied = locked.apply_key(&locked.key).unwrap();
+        let reparsed = netlist::Circuit::from_bench(applied.name(), &applied.to_bench()).unwrap();
+        prop_assert_eq!(&applied, &reparsed);
+        let words: Vec<u64> = (0..7).map(|i| seed.rotate_left(i * 11) ^ 0x5A5A).collect();
+        prop_assert_eq!(
+            applied.simulate(&words, &[]).unwrap(),
+            reparsed.simulate(&words, &[]).unwrap()
+        );
+    }
+
+    /// Writing is a left inverse of parsing as *text*, not just as structure:
+    /// write(parse(write(c))) == write(c), so the format is canonical.
+    #[test]
+    fn bench_text_is_canonical(seed in 0u64..3000, gates in 5usize..50) {
+        let circuit = synth::generate(
+            &synth::GeneratorConfig::new("p", 6, 3, gates).with_seed(seed),
+        );
+        let text = circuit.to_bench();
+        let reparsed = netlist::Circuit::from_bench("p", &text).unwrap();
+        prop_assert_eq!(text, reparsed.to_bench());
+    }
+
     /// The correct key always restores the original function.
     #[test]
     fn correct_key_always_verifies(seed in 0u64..2000, keys in 1usize..5) {
