@@ -9,14 +9,16 @@ use obfuscate::{Key, LockedCircuit};
 use sat::{SolveResult, Solver, SolverStats};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A cheap, cloneable cooperative-cancellation flag.
 ///
 /// Clones share one flag, so a coordinator thread can hand copies to worker
 /// threads and cancel every in-flight attack at once (the DIP loop polls the
 /// flag between solver calls, exactly like its work-budget check). A
-/// cancelled attack ends with [`AttackOutcome::BudgetExceeded`].
+/// cancelled attack ends with [`AttackOutcome::Cancelled`], distinct from
+/// every resource-exhaustion outcome so supervisors can tell an operator
+/// shutdown from an instance that is genuinely too hard.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
@@ -51,6 +53,14 @@ pub struct AttackConfig {
     /// Conflict cap per individual solver call (guards against a single
     /// pathological query). `None` = unlimited.
     pub conflicts_per_solve: Option<u64>,
+    /// Wall-clock bound on the whole attack run. Unlike the deterministic
+    /// work budget this actually bounds *time*: SAT-hard structures blow
+    /// past any conflict estimate, and a dataset sweep must terminate.
+    /// `None` = no deadline.
+    pub deadline: Option<Duration>,
+    /// Wall-clock bound on each individual solver call (guards against one
+    /// pathological query eating the whole deadline). `None` = unlimited.
+    pub per_query_deadline: Option<Duration>,
     /// Record every DIP found (costs memory on long attacks).
     pub record_dips: bool,
     /// Cross-thread cancellation flag, polled once per DIP iteration.
@@ -73,6 +83,12 @@ impl AttackConfig {
         self
     }
 
+    /// This config with a wall-clock deadline for the whole attack.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Whether an installed cancellation token has been raised.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
@@ -85,8 +101,20 @@ pub enum AttackOutcome {
     /// The DIP loop converged and this key reproduces the oracle on all
     /// inputs.
     KeyRecovered(Key),
-    /// A resource limit from [`AttackConfig`] was hit first.
+    /// A deterministic resource limit from [`AttackConfig`] (work budget,
+    /// iteration cap, or per-solve conflict cap) was hit first. The partial
+    /// runtime is a reproducible lower bound, so the instance is still
+    /// usable as a censored label.
     BudgetExceeded,
+    /// The wall-clock [`AttackConfig::deadline`] (or
+    /// [`AttackConfig::per_query_deadline`]) expired. The partial runtime is
+    /// machine-dependent, so supervisors quarantine these instead of
+    /// labeling them.
+    TimedOut,
+    /// The attack was stopped through its [`CancelToken`] — an operator or
+    /// coordinator decision, not a property of the instance. Any partial
+    /// result must be discarded.
+    Cancelled,
 }
 
 /// Everything measured during one attack run.
@@ -112,7 +140,7 @@ impl AttackResult {
     pub fn key(&self) -> Option<&Key> {
         match &self.outcome {
             AttackOutcome::KeyRecovered(k) => Some(k),
-            AttackOutcome::BudgetExceeded => None,
+            _ => None,
         }
     }
 }
@@ -138,34 +166,70 @@ pub fn attack(
         return Err(AttackError::NoOutputs);
     }
     let start = Instant::now();
+    let attack_deadline = config.deadline.map(|d| start + d);
     let mut solver = Solver::new();
     solver.set_conflict_budget(config.conflicts_per_solve);
     let miter = encode_miter(locked, &mut solver);
 
+    // Why the loop ended early, when it did. Timeouts are kept distinct
+    // from deterministic budget exhaustion because only the latter yields a
+    // reproducible (censored) runtime label.
+    #[derive(Clone, Copy)]
+    enum End {
+        Budget,
+        Timeout,
+        Cancelled,
+    }
+
+    // The deadline for the next solver call: the attack deadline or the
+    // per-query deadline, whichever falls first.
+    let query_deadline = |attack_deadline: Option<Instant>| -> Option<Instant> {
+        let per_query = config.per_query_deadline.map(|d| Instant::now() + d);
+        match (attack_deadline, per_query) {
+            (Some(a), Some(q)) => Some(a.min(q)),
+            (a, q) => a.or(q),
+        }
+    };
+    // Classifies a `SolveResult::Unknown`: past the wall-clock deadline it
+    // was a timeout, otherwise the per-solve conflict cap fired.
+    let classify_unknown = |deadline: Option<Instant>| -> End {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            End::Timeout
+        } else {
+            End::Budget
+        }
+    };
+
     let mut iterations = 0usize;
     let mut dips = Vec::new();
-    let mut budget_hit = false;
+    let mut ended: Option<End> = None;
 
     loop {
         if config.is_cancelled() {
-            budget_hit = true;
+            ended = Some(End::Cancelled);
+            break;
+        }
+        if attack_deadline.is_some_and(|d| Instant::now() >= d) {
+            ended = Some(End::Timeout);
             break;
         }
         if let Some(max) = config.max_iterations {
             if iterations >= max {
-                budget_hit = true;
+                ended = Some(End::Budget);
                 break;
             }
         }
         if let Some(budget) = config.work_budget {
             if solver.stats().work() >= budget {
-                budget_hit = true;
+                ended = Some(End::Budget);
                 break;
             }
         }
+        let deadline = query_deadline(attack_deadline);
+        solver.set_deadline(deadline);
         match solver.solve_with_assumptions(&[miter.diff_lit()]) {
             SolveResult::Unknown => {
-                budget_hit = true;
+                ended = Some(classify_unknown(deadline));
                 break;
             }
             SolveResult::Unsat => break, // no DIP remains
@@ -199,17 +263,27 @@ pub fn attack(
         }
     }
 
-    let outcome = if budget_hit {
-        AttackOutcome::BudgetExceeded
-    } else {
-        // No DIP remains: any key satisfying the I/O constraints is correct.
-        match solver.solve() {
-            SolveResult::Sat(model) => {
-                let key: Key = miter.key1.iter().map(|&v| model.value(v)).collect();
-                AttackOutcome::KeyRecovered(key)
+    let outcome = match ended {
+        Some(End::Cancelled) => AttackOutcome::Cancelled,
+        Some(End::Timeout) => AttackOutcome::TimedOut,
+        Some(End::Budget) => AttackOutcome::BudgetExceeded,
+        None => {
+            // No DIP remains: any key satisfying the I/O constraints is
+            // correct. The extraction solve stays under the attack deadline
+            // (but not the per-query one — it is the last call and must not
+            // be starved by an earlier slow query).
+            solver.set_deadline(attack_deadline);
+            match solver.solve() {
+                SolveResult::Sat(model) => {
+                    let key: Key = miter.key1.iter().map(|&v| model.value(v)).collect();
+                    AttackOutcome::KeyRecovered(key)
+                }
+                SolveResult::Unsat => return Err(AttackError::OracleInconsistent),
+                SolveResult::Unknown => match classify_unknown(attack_deadline) {
+                    End::Timeout => AttackOutcome::TimedOut,
+                    _ => AttackOutcome::BudgetExceeded,
+                },
             }
-            SolveResult::Unsat => return Err(AttackError::OracleInconsistent),
-            SolveResult::Unknown => AttackOutcome::BudgetExceeded,
         }
     };
 
@@ -336,8 +410,57 @@ mod tests {
         let config = AttackConfig::default().with_cancel(token.clone());
         assert!(config.is_cancelled());
         let result = attack_locked(&locked, &config).unwrap();
-        assert_eq!(result.outcome, AttackOutcome::BudgetExceeded);
+        assert_eq!(result.outcome, AttackOutcome::Cancelled);
+        assert!(result.key().is_none());
         assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn expired_deadline_times_out_not_budget() {
+        let base = synth::generate(&GeneratorConfig::new("mid", 16, 8, 150).with_seed(2));
+        let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 10, 3).unwrap();
+        let config = AttackConfig::default().with_deadline(Duration::ZERO);
+        let result = attack_locked(&locked, &config).unwrap();
+        assert_eq!(result.outcome, AttackOutcome::TimedOut);
+        assert!(result.key().is_none());
+        assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn mid_attack_deadline_times_out() {
+        // A LUT-locked mid-size circuit takes well over 5 ms to attack; the
+        // deadline must interrupt the run mid-flight via the solver's
+        // wall-clock check, not just at iteration boundaries.
+        let base = synth::generate(&GeneratorConfig::new("mid", 16, 8, 150).with_seed(2));
+        let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 12, 3).unwrap();
+        let config = AttackConfig::default().with_deadline(Duration::from_millis(5));
+        let result = attack_locked(&locked, &config).unwrap();
+        assert_eq!(result.outcome, AttackOutcome::TimedOut);
+    }
+
+    #[test]
+    fn per_query_deadline_times_out_a_pathological_query() {
+        let base = synth::generate(&GeneratorConfig::new("mid", 16, 8, 150).with_seed(2));
+        let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 12, 3).unwrap();
+        let config = AttackConfig {
+            per_query_deadline: Some(Duration::ZERO),
+            ..AttackConfig::default()
+        };
+        let result = attack_locked(&locked, &config).unwrap();
+        assert_eq!(result.outcome, AttackOutcome::TimedOut);
+    }
+
+    #[test]
+    fn generous_deadline_leaves_result_untouched() {
+        let locked = lock_random(&netlist::c17(), SchemeKind::XorLock, 3, 1).unwrap();
+        let unlimited = attack_locked(&locked, &AttackConfig::default()).unwrap();
+        let bounded = attack_locked(
+            &locked,
+            &AttackConfig::default().with_deadline(Duration::from_secs(600)),
+        )
+        .unwrap();
+        assert_eq!(unlimited.outcome, bounded.outcome);
+        assert_eq!(unlimited.iterations, bounded.iterations);
     }
 
     #[test]

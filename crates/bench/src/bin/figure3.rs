@@ -22,9 +22,7 @@ use std::fmt::Write as _;
 fn main() {
     let opts = Options::from_env();
     let mut config = DatasetConfig::dataset1(&opts.profile, opts.instances);
-    config.attack.work_budget = Some(opts.budget);
-    config.attack.conflicts_per_solve = Some(200_000);
-    config.seed = opts.seed;
+    opts.configure(&mut config);
     config.key_range = (1, opts.keys_max);
     println!("# Figure 3 — predictions vs real values (all-feature setting)");
     let data = bench::harness::load_or_generate_parallel(

@@ -13,9 +13,7 @@ use std::time::Instant;
 fn main() {
     let opts = Options::from_env();
     let mut config = DatasetConfig::dataset1(&opts.profile, opts.instances);
-    config.attack.work_budget = Some(opts.budget);
-    config.attack.conflicts_per_solve = Some(200_000);
-    config.seed = opts.seed;
+    opts.configure(&mut config);
     config.key_range = (1, opts.keys_max);
     println!("# Table I — MSE on Dataset 1");
     println!(

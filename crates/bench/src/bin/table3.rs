@@ -39,9 +39,7 @@ fn main() {
     for profile in circuits {
         let mut config = DatasetConfig::dataset1(profile, opts.instances.min(60));
         config.key_range = (1, 30.min(config.key_range.1));
-        config.attack.work_budget = Some(opts.budget);
-        config.attack.conflicts_per_solve = Some(200_000);
-        config.seed = opts.seed;
+        opts.configure(&mut config);
         let data = generate(&config).expect("dataset generation");
 
         let split = train_test_split(data.instances.len(), 0.25, opts.seed);

@@ -28,6 +28,16 @@ pub struct Options {
     pub jobs: usize,
     /// Checkpoint log to record finished attacks in and resume from.
     pub resume: Option<String>,
+    /// Per-attack wall-clock deadline in seconds. An attack that outlives
+    /// it is retried with escalated budgets and, failing that, quarantined
+    /// — never labeled, because a wall-clock verdict is machine-dependent.
+    pub deadline: Option<f64>,
+    /// Extra attempts per instance after the first (retry policy runs
+    /// `retries + 1` attempts total, each at escalated budgets).
+    pub retries: usize,
+    /// Keep sweeping past quarantined instances (default). With
+    /// `--no-keep-going` the first quarantine aborts the whole sweep.
+    pub keep_going: bool,
 }
 
 impl Default for Options {
@@ -43,6 +53,9 @@ impl Default for Options {
             out_dir: "results".to_owned(),
             jobs: 1,
             resume: None,
+            deadline: None,
+            retries: dataset::RetryPolicy::default().max_attempts - 1,
+            keep_going: true,
         }
     }
 }
@@ -75,12 +88,24 @@ impl Options {
                     assert!(opts.jobs >= 1, "--jobs must be at least 1");
                 }
                 "--resume" => opts.resume = Some(value("--resume")),
+                "--deadline" => {
+                    let secs: f64 = value("--deadline").parse().expect("seconds deadline");
+                    assert!(
+                        secs.is_finite() && secs > 0.0,
+                        "--deadline must be a positive number of seconds"
+                    );
+                    opts.deadline = Some(secs);
+                }
+                "--retries" => opts.retries = value("--retries").parse().expect("usize retries"),
+                "--keep-going" => opts.keep_going = true,
+                "--no-keep-going" => opts.keep_going = false,
                 "--quick" => opts.quick = true,
                 other => {
                     eprintln!(
                         "unknown flag `{other}`\nflags: --profile <name> --instances <n> \
                          --budget <work> --epochs <n> --seed <n> --keys-max <n> \
-                         --out <dir> --jobs <n> --resume <path> --quick"
+                         --out <dir> --jobs <n> --resume <path> --deadline <secs> \
+                         --retries <n> --keep-going --no-keep-going --quick"
                     );
                     std::process::exit(2);
                 }
@@ -99,6 +124,20 @@ impl Options {
     /// Parses the process arguments (skipping the binary name).
     pub fn from_env() -> Options {
         Options::parse(std::env::args().skip(1))
+    }
+
+    /// Applies the shared attack and supervision flags to a dataset
+    /// configuration: work budget, per-solve conflict cap, wall-clock
+    /// deadline, master seed, retry policy, and keep-going. Fields with
+    /// per-binary semantics (profile, key range, instance count) stay with
+    /// the caller.
+    pub fn configure(&self, config: &mut dataset::DatasetConfig) {
+        config.attack.work_budget = Some(self.budget);
+        config.attack.conflicts_per_solve = Some(200_000);
+        config.attack.deadline = self.deadline.map(std::time::Duration::from_secs_f64);
+        config.seed = self.seed;
+        config.retry.max_attempts = self.retries + 1;
+        config.keep_going = self.keep_going;
     }
 }
 
@@ -140,6 +179,46 @@ mod tests {
         let o = parse(&[]);
         assert_eq!(o.jobs, 1);
         assert_eq!(o.resume, None);
+    }
+
+    #[test]
+    fn supervision_flags_parse() {
+        let o = parse(&["--deadline", "2.5", "--retries", "3", "--no-keep-going"]);
+        assert_eq!(o.deadline, Some(2.5));
+        assert_eq!(o.retries, 3);
+        assert!(!o.keep_going);
+        let o = parse(&[]);
+        assert_eq!(o.deadline, None);
+        assert_eq!(o.retries, 1, "one retry by default");
+        assert!(o.keep_going, "keep-going is the default");
+    }
+
+    #[test]
+    fn configure_applies_the_shared_flags() {
+        let o = parse(&[
+            "--budget",
+            "1234",
+            "--seed",
+            "9",
+            "--deadline",
+            "2",
+            "--retries",
+            "2",
+            "--no-keep-going",
+        ]);
+        let mut config = dataset::DatasetConfig::quick_demo();
+        let key_range = config.key_range;
+        o.configure(&mut config);
+        assert_eq!(config.attack.work_budget, Some(1234));
+        assert_eq!(config.attack.conflicts_per_solve, Some(200_000));
+        assert_eq!(
+            config.attack.deadline,
+            Some(std::time::Duration::from_secs(2))
+        );
+        assert_eq!(config.seed, 9);
+        assert_eq!(config.retry.max_attempts, 3);
+        assert!(!config.keep_going);
+        assert_eq!(config.key_range, key_range, "key range untouched");
     }
 
     #[test]

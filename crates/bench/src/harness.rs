@@ -27,6 +27,13 @@ pub fn load_or_generate(config: &dataset::DatasetConfig, out_dir: &str) -> Datas
 /// every `jobs` value and for any interrupted-then-resumed schedule; the
 /// per-worker sweep report is printed to stderr when generation runs.
 ///
+/// Under `--keep-going` (the default) a sweep with quarantined instances
+/// still succeeds, yielding the healthy subset of labels; the quarantines
+/// are listed in the sweep report. A partial dataset is deliberately *not*
+/// CSV-cached as complete — its instance count differs from
+/// `config.num_instances`, so the next run misses the cache and retries
+/// via the checkpoint log (which skips known-bad instances cheaply).
+///
 /// # Panics
 ///
 /// Panics when generation fails or a cache/checkpoint file is corrupt —
@@ -68,6 +75,19 @@ pub fn load_or_generate_parallel(
     let (data, report) = dataset::generate_parallel_with(config, jobs, checkpoint.as_mut())
         .expect("dataset generation");
     eprint!("{}", report.summary());
+    if report.quarantined() > 0 {
+        eprintln!(
+            "# WARNING: {} instance(s) quarantined; proceeding with {} of {} labels",
+            report.quarantined(),
+            data.instances.len(),
+            config.num_instances
+        );
+    }
+    assert!(
+        !data.instances.is_empty(),
+        "every instance was quarantined — nothing to train on; raise --deadline, \
+         add --retries, or inspect the failures above"
+    );
     let _ = std::fs::create_dir_all(out_dir);
     let _ = std::fs::write(&path, dataset::dataset_to_csv(&data.instances));
     data

@@ -15,21 +15,37 @@
 //! or circuit and every key changes, so stale records are simply never
 //! matched (and a sweep can even share a log with other sweeps).
 //!
-//! Format: a header line `# icnet-checkpoint v1`, then one record per line:
-//! `<key:016x> <index> <instance CSV fields>` (see [`crate::dataset_to_csv`]
-//! for the field list). The index is informational — the hash is the key.
+//! Besides completed labels the log also records *quarantined* instances —
+//! ones whose attack exhausted its retry policy by timing out, panicking,
+//! or erroring (see [`crate::supervise`]). A resumed sweep skips known-bad
+//! instances instead of re-diverging on them.
+//!
+//! Format: a header line `# icnet-checkpoint v2`, then one record per line:
+//!
+//! * success: `<key:016x> <index> ok <instance CSV fields> #<crc:016x>`
+//! * failure: `<key:016x> <index> fail <kind>,<attempts>,<iterations>,<work>,<message> #<crc:016x>`
+//!
+//! (see [`crate::dataset_to_csv`] for the instance field list). The index
+//! is informational — the hash is the key. The trailing `#<crc>` is a
+//! 64-bit FNV-1a checksum of the record body before it: any single-byte
+//! substitution in a record changes the checksum (each FNV step is a
+//! bijection on the 64-bit state), so mid-file corruption is detected and
+//! reported at open time rather than silently deserialized into a bogus
+//! label. A truncated *final* line — the crash-mid-append case — is still
+//! recovered, not fatal.
 
 use crate::csv::{instance_from_line, instance_to_line};
 use crate::error::DatasetError;
 use crate::generate::DatasetConfig;
 use crate::instance::Instance;
+use crate::supervise::{sanitize_line, FailureKind, InstanceFailure};
 use obfuscate::LockedCircuit;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &str = "# icnet-checkpoint v1";
+const MAGIC: &str = "# icnet-checkpoint v2";
 
 /// 64-bit FNV-1a over `bytes`, folded into `hash`.
 fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
@@ -41,6 +57,11 @@ fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
 }
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Checksum of one record body (the line text before ` #<crc>`).
+fn record_crc(body: &str) -> u64 {
+    fnv1a(FNV_OFFSET, body.as_bytes())
+}
 
 /// Content hash identifying one attack run: the locked circuit's canonical
 /// `.bench` text, its key bits, and every configuration field that changes
@@ -57,15 +78,18 @@ pub fn instance_key(config: &DatasetConfig, locked: &LockedCircuit) -> u64 {
     fnv1a(h, attack_fingerprint.as_bytes())
 }
 
-/// An append-only log of completed instances, keyed by [`instance_key`].
+/// An append-only log of completed and quarantined instances, keyed by
+/// [`instance_key`].
 ///
 /// [`CheckpointLog::open`] loads every valid record already on disk;
-/// [`CheckpointLog::record`] appends and flushes one record per finished
-/// attack, so a crash loses at most the instance in flight.
+/// [`CheckpointLog::record`] / [`CheckpointLog::record_failure`] append and
+/// flush one record per finished (or given-up) attack, so a crash loses at
+/// most the instance in flight.
 #[derive(Debug)]
 pub struct CheckpointLog {
     path: PathBuf,
     entries: HashMap<u64, Instance>,
+    failures: HashMap<u64, InstanceFailure>,
     file: File,
 }
 
@@ -75,9 +99,10 @@ impl CheckpointLog {
     /// # Errors
     ///
     /// Returns [`DatasetError::Io`] when the file cannot be read or created
-    /// and [`DatasetError::Checkpoint`] when an existing record is corrupt —
-    /// a truncated final line (the crash case) is *not* an error; it is
-    /// dropped and overwritten by the next append.
+    /// and [`DatasetError::Checkpoint`] when an existing record is corrupt
+    /// (bad checksum, malformed fields, wrong header) — a truncated final
+    /// line (the crash case) is *not* an error; it is dropped and
+    /// overwritten by the next append.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, DatasetError> {
         let path = path.as_ref().to_path_buf();
         let io_err = |e: std::io::Error| DatasetError::Io {
@@ -90,6 +115,7 @@ impl CheckpointLog {
             Err(e) => return Err(io_err(e)),
         };
         let mut entries = HashMap::new();
+        let mut failures = HashMap::new();
         let complete = existing.is_empty() || existing.ends_with('\n');
         let mut lines: Vec<&str> = existing.lines().collect();
         if !complete {
@@ -111,8 +137,14 @@ impl CheckpointLog {
                 }
                 continue;
             }
-            let (key, inst) = parse_record(line, lineno)?;
-            entries.insert(key, inst);
+            match parse_record(line, lineno)? {
+                Record::Ok(key, inst) => {
+                    entries.insert(key, inst);
+                }
+                Record::Fail(key, failure) => {
+                    failures.insert(key, failure);
+                }
+            }
         }
         if !complete {
             // Truncate the partial tail so it does not resurface as a
@@ -136,6 +168,7 @@ impl CheckpointLog {
         Ok(CheckpointLog {
             path,
             entries,
+            failures,
             file,
         })
     }
@@ -145,19 +178,30 @@ impl CheckpointLog {
         &self.path
     }
 
-    /// Number of completed instances on record.
+    /// Number of completed (labeled) instances on record.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// True when no instance has been recorded.
+    /// Number of quarantined instances on record.
+    pub fn num_quarantined(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// True when no instance has been recorded (labeled or quarantined).
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.failures.is_empty()
     }
 
     /// The recorded instance for `key`, if its attack already completed.
     pub fn lookup(&self, key: u64) -> Option<&Instance> {
         self.entries.get(&key)
+    }
+
+    /// The recorded quarantine failure for `key`, if its attack already
+    /// exhausted the retry policy in a previous run.
+    pub fn lookup_failure(&self, key: u64) -> Option<&InstanceFailure> {
+        self.failures.get(&key)
     }
 
     /// Appends one completed instance and flushes it to disk immediately.
@@ -172,43 +216,131 @@ impl CheckpointLog {
         index: usize,
         instance: &Instance,
     ) -> Result<(), DatasetError> {
+        let body = format!("{key:016x} {index} ok {}", instance_to_line(instance));
+        self.append(&body)?;
+        self.entries.insert(key, instance.clone());
+        Ok(())
+    }
+
+    /// Appends one quarantined instance and flushes it to disk immediately,
+    /// so a resumed sweep skips the known-bad instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Io`] when the append fails.
+    pub fn record_failure(
+        &mut self,
+        key: u64,
+        index: usize,
+        failure: &InstanceFailure,
+    ) -> Result<(), DatasetError> {
+        let body = format!(
+            "{key:016x} {index} fail {},{},{},{},{}",
+            failure.kind.tag(),
+            failure.attempts,
+            failure.iterations,
+            failure.work,
+            sanitize_line(&failure.message),
+        );
+        self.append(&body)?;
+        self.failures.insert(key, failure.clone());
+        Ok(())
+    }
+
+    fn append(&mut self, body: &str) -> Result<(), DatasetError> {
         let io_err = |e: std::io::Error| DatasetError::Io {
             path: self.path.display().to_string(),
             message: e.to_string(),
         };
-        writeln!(
-            self.file,
-            "{key:016x} {index} {}",
-            instance_to_line(instance)
-        )
-        .map_err(io_err)?;
-        self.file.flush().map_err(io_err)?;
-        self.entries.insert(key, instance.clone());
-        Ok(())
+        writeln!(self.file, "{body} #{:016x}", record_crc(body)).map_err(io_err)?;
+        self.file.flush().map_err(io_err)
     }
 }
 
-fn parse_record(line: &str, lineno: usize) -> Result<(u64, Instance), DatasetError> {
+enum Record {
+    Ok(u64, Instance),
+    Fail(u64, InstanceFailure),
+}
+
+fn parse_record(line: &str, lineno: usize) -> Result<Record, DatasetError> {
     let corrupt = |message: String| DatasetError::Checkpoint {
         line: lineno,
         message,
     };
-    let mut parts = line.trim().splitn(3, ' ');
+    let line = line.trim_end();
+    let (body, crc_field) = line
+        .rsplit_once(" #")
+        .ok_or_else(|| corrupt("missing record checksum".into()))?;
+    let crc = u64::from_str_radix(crc_field, 16)
+        .map_err(|_| corrupt(format!("bad checksum field `{crc_field}`")))?;
+    let actual = record_crc(body);
+    if actual != crc {
+        return Err(corrupt(format!(
+            "checksum mismatch: record says {crc:016x}, contents hash to {actual:016x}"
+        )));
+    }
+    let mut parts = body.splitn(4, ' ');
     let key_field = parts.next().unwrap_or("");
     let key = u64::from_str_radix(key_field, 16)
         .map_err(|_| corrupt(format!("bad content-hash key `{key_field}`")))?;
-    let index_field = parts.next().ok_or_else(|| corrupt("missing index".into()))?;
+    let index_field = parts
+        .next()
+        .ok_or_else(|| corrupt("missing index".into()))?;
     index_field
         .parse::<usize>()
         .map_err(|_| corrupt(format!("bad index `{index_field}`")))?;
+    let tag = parts
+        .next()
+        .ok_or_else(|| corrupt("missing record tag".into()))?;
     let rest = parts
         .next()
-        .ok_or_else(|| corrupt("missing instance fields".into()))?;
-    let inst = instance_from_line(rest, lineno).map_err(|e| match e {
-        DatasetError::ParseCsv { message, .. } => corrupt(message),
-        other => other,
-    })?;
-    Ok((key, inst))
+        .ok_or_else(|| corrupt("missing record payload".into()))?;
+    match tag {
+        "ok" => {
+            let inst = instance_from_line(rest, lineno).map_err(|e| match e {
+                DatasetError::ParseCsv { message, .. } => corrupt(message),
+                other => other,
+            })?;
+            Ok(Record::Ok(key, inst))
+        }
+        "fail" => Ok(Record::Fail(key, parse_failure(rest, lineno)?)),
+        other => Err(corrupt(format!("unknown record tag `{other}`"))),
+    }
+}
+
+fn parse_failure(payload: &str, lineno: usize) -> Result<InstanceFailure, DatasetError> {
+    let corrupt = |message: String| DatasetError::Checkpoint {
+        line: lineno,
+        message,
+    };
+    // The message is the free-form tail: split off exactly four structured
+    // fields so commas inside the message survive.
+    let mut fields = payload.splitn(5, ',');
+    let kind_field = fields.next().unwrap_or("");
+    let kind = FailureKind::from_tag(kind_field)
+        .ok_or_else(|| corrupt(format!("unknown failure kind `{kind_field}`")))?;
+    let mut num = |name: &str| -> Result<u64, DatasetError> {
+        let field = fields
+            .next()
+            .ok_or_else(|| corrupt(format!("missing failure field `{name}`")))?;
+        field
+            .parse::<u64>()
+            .map_err(|_| corrupt(format!("bad failure field `{name}`: `{field}`")))
+    };
+    let attempts = num("attempts")? as usize;
+    let iterations = num("iterations")? as usize;
+    let work = num("work")?;
+    let message = fields
+        .next()
+        .ok_or_else(|| corrupt("missing failure message".into()))?
+        .to_owned();
+    Ok(InstanceFailure {
+        kind,
+        attempts,
+        message,
+        iterations,
+        work,
+    })
 }
 
 #[cfg(test)]
@@ -225,6 +357,16 @@ mod tests {
             seconds: 0.5,
             log_seconds: 0.5f64.ln(),
             censored: false,
+        }
+    }
+
+    fn fail(n: usize) -> InstanceFailure {
+        InstanceFailure {
+            kind: FailureKind::Panic,
+            attempts: 2,
+            message: format!("boom, with a comma, at {n}"),
+            iterations: n,
+            work: 10 * n as u64,
         }
     }
 
@@ -252,6 +394,33 @@ mod tests {
     }
 
     #[test]
+    fn failures_persist_across_reopen() {
+        let path = tmp("failures.ckpt");
+        let mut log = CheckpointLog::open(&path).unwrap();
+        log.record(0xAB, 0, &inst(1)).unwrap();
+        log.record_failure(0xCD, 1, &fail(7)).unwrap();
+        drop(log);
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.len(), 1, "labels count successes only");
+        assert_eq!(log.num_quarantined(), 1);
+        assert_eq!(log.lookup_failure(0xCD), Some(&fail(7)));
+        assert_eq!(log.lookup(0xCD), None, "a quarantine is not a label");
+    }
+
+    #[test]
+    fn failure_message_keeps_embedded_commas() {
+        let path = tmp("commas.ckpt");
+        let mut log = CheckpointLog::open(&path).unwrap();
+        log.record_failure(0x9, 3, &fail(3)).unwrap();
+        drop(log);
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(
+            log.lookup_failure(0x9).unwrap().message,
+            "boom, with a comma, at 3"
+        );
+    }
+
+    #[test]
     fn truncated_tail_record_is_dropped_not_fatal() {
         let path = tmp("truncated.ckpt");
         let mut log = CheckpointLog::open(&path).unwrap();
@@ -270,9 +439,47 @@ mod tests {
     }
 
     #[test]
+    fn missing_checksum_is_reported() {
+        let path = tmp("nochecksum.ckpt");
+        std::fs::write(&path, format!("{MAGIC}\n00ab 0 ok 1,2,3,4,5,6,false\n")).unwrap();
+        match CheckpointLog::open(&path) {
+            Err(DatasetError::Checkpoint { line: 2, message }) => {
+                assert!(message.contains("checksum"), "{message}");
+            }
+            other => panic!("expected checkpoint corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_byte_fails_the_checksum() {
+        let path = tmp("flipped.ckpt");
+        let mut log = CheckpointLog::open(&path).unwrap();
+        log.record(0xAB, 0, &inst(1)).unwrap();
+        drop(log);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Corrupt one digit inside the record body (never the checksum or
+        // the newline): the reload must notice.
+        let target = text.rfind(" ok ").unwrap() + 4;
+        let mut bytes = text.into_bytes();
+        bytes[target] = if bytes[target] == b'9' { b'7' } else { b'9' };
+        std::fs::write(&path, bytes).unwrap();
+        match CheckpointLog::open(&path) {
+            Err(DatasetError::Checkpoint { line: 2, message }) => {
+                assert!(message.contains("checksum mismatch"), "{message}");
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn corrupt_interior_record_is_reported() {
         let path = tmp("corrupt.ckpt");
-        std::fs::write(&path, format!("{MAGIC}\nnothex 0 1,2,3,4,5,6,false\n")).unwrap();
+        let body = "nothex 0 ok 1,2,3,4,5,6,false";
+        std::fs::write(
+            &path,
+            format!("{MAGIC}\n{body} #{:016x}\n", record_crc(body)),
+        )
+        .unwrap();
         match CheckpointLog::open(&path) {
             Err(DatasetError::Checkpoint { line: 2, .. }) => {}
             other => panic!("expected checkpoint corruption, got {other:?}"),
@@ -283,6 +490,16 @@ mod tests {
     fn wrong_header_is_rejected() {
         let path = tmp("header.ckpt");
         std::fs::write(&path, "not a checkpoint\n").unwrap();
+        assert!(matches!(
+            CheckpointLog::open(&path),
+            Err(DatasetError::Checkpoint { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn v1_logs_are_rejected_as_stale() {
+        let path = tmp("v1.ckpt");
+        std::fs::write(&path, "# icnet-checkpoint v1\n").unwrap();
         assert!(matches!(
             CheckpointLog::open(&path),
             Err(DatasetError::Checkpoint { line: 1, .. })

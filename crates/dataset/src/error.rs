@@ -1,3 +1,4 @@
+use crate::supervise::InstanceFailure;
 use std::fmt;
 
 /// Errors produced by dataset generation or persistence.
@@ -15,8 +16,27 @@ pub enum DatasetError {
     },
     /// A locking operation failed.
     Obfuscate(obfuscate::ObfuscateError),
-    /// An attack run failed.
-    Attack(attack::AttackError),
+    /// An attack run failed on one specific instance. `instance` and
+    /// `circuit` identify *which* attack died, so a fatal sweep error names
+    /// the culprit instead of only the error kind.
+    Attack {
+        /// Index of the instance whose attack failed.
+        instance: usize,
+        /// Circuit profile being swept.
+        circuit: String,
+        /// The underlying attack error.
+        source: attack::AttackError,
+    },
+    /// An instance exhausted its retry policy and the sweep was not running
+    /// with keep-going, so the failure is fatal.
+    Quarantined {
+        /// Index of the failing instance.
+        instance: usize,
+        /// Circuit profile being swept.
+        circuit: String,
+        /// The typed failure that exhausted the retries.
+        failure: InstanceFailure,
+    },
     /// A CSV line could not be parsed.
     ParseCsv {
         /// 1-based line number.
@@ -50,7 +70,22 @@ impl fmt::Display for DatasetError {
                 range.0, range.1, available
             ),
             DatasetError::Obfuscate(e) => write!(f, "obfuscation failed: {e}"),
-            DatasetError::Attack(e) => write!(f, "attack failed: {e}"),
+            DatasetError::Attack {
+                instance,
+                circuit,
+                source,
+            } => write!(
+                f,
+                "attack on instance {instance} of `{circuit}` failed: {source}"
+            ),
+            DatasetError::Quarantined {
+                instance,
+                circuit,
+                failure,
+            } => write!(
+                f,
+                "instance {instance} of `{circuit}` quarantined: {failure}"
+            ),
             DatasetError::ParseCsv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
             }
@@ -68,7 +103,7 @@ impl std::error::Error for DatasetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DatasetError::Obfuscate(e) => Some(e),
-            DatasetError::Attack(e) => Some(e),
+            DatasetError::Attack { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -77,12 +112,6 @@ impl std::error::Error for DatasetError {
 impl From<obfuscate::ObfuscateError> for DatasetError {
     fn from(e: obfuscate::ObfuscateError) -> Self {
         DatasetError::Obfuscate(e)
-    }
-}
-
-impl From<attack::AttackError> for DatasetError {
-    fn from(e: attack::AttackError) -> Self {
-        DatasetError::Attack(e)
     }
 }
 
@@ -101,5 +130,36 @@ mod tests {
         }
         .to_string()
         .contains("400"));
+    }
+
+    #[test]
+    fn attack_error_names_the_instance_and_circuit() {
+        let text = DatasetError::Attack {
+            instance: 42,
+            circuit: "c432".into(),
+            source: attack::AttackError::OracleInconsistent,
+        }
+        .to_string();
+        assert!(text.contains("instance 42"), "{text}");
+        assert!(text.contains("c432"), "{text}");
+        assert!(text.contains("inconsistent"), "{text}");
+    }
+
+    #[test]
+    fn quarantine_error_names_the_instance() {
+        let text = DatasetError::Quarantined {
+            instance: 7,
+            circuit: "c1529".into(),
+            failure: crate::supervise::InstanceFailure {
+                kind: crate::supervise::FailureKind::Timeout,
+                attempts: 2,
+                message: "deadline expired".into(),
+                iterations: 3,
+                work: 99,
+            },
+        }
+        .to_string();
+        assert!(text.contains("instance 7"), "{text}");
+        assert!(text.contains("timeout after 2 attempts"), "{text}");
     }
 }

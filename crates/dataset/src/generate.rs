@@ -1,13 +1,15 @@
 use crate::error::DatasetError;
 use crate::instance::Instance;
+use crate::supervise::{AttackHook, RetryPolicy};
 use attack::{attack_locked, AttackConfig, AttackOutcome, AttackResult, RuntimeMeasure};
 use netlist::Circuit;
 use obfuscate::{eligible_gates, lut_lock, select_gates, LockedCircuit, SchemeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 
 /// Full parameterization of one dataset sweep.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DatasetConfig {
     /// Circuit profile name (see [`synth::iscas`]); the paper uses one
     /// 1529-gate circuit (`"c1529"`).
@@ -27,6 +29,34 @@ pub struct DatasetConfig {
     pub attack: AttackConfig,
     /// Which runtime measure becomes the label.
     pub measure: RuntimeMeasure,
+    /// How timed-out / panicking attacks are retried before quarantine.
+    pub retry: RetryPolicy,
+    /// When true (the default), a sweep quarantines instances that exhaust
+    /// their retries and keeps going, completing with a partial dataset and
+    /// a failure report; when false, the first such failure aborts the
+    /// sweep with [`DatasetError::Quarantined`].
+    pub keep_going: bool,
+    /// Optional replacement attack runner (fault injection in tests);
+    /// `None` = the real [`attack::attack_locked`].
+    pub attack_hook: Option<AttackHook>,
+}
+
+impl fmt::Debug for DatasetConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DatasetConfig")
+            .field("profile", &self.profile)
+            .field("circuit_seed", &self.circuit_seed)
+            .field("scheme", &self.scheme)
+            .field("num_instances", &self.num_instances)
+            .field("key_range", &self.key_range)
+            .field("seed", &self.seed)
+            .field("attack", &self.attack)
+            .field("measure", &self.measure)
+            .field("retry", &self.retry)
+            .field("keep_going", &self.keep_going)
+            .field("attack_hook", &self.attack_hook.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl DatasetConfig {
@@ -41,6 +71,9 @@ impl DatasetConfig {
             seed: 1,
             attack: AttackConfig::with_work_budget(50_000_000),
             measure: RuntimeMeasure::SolverWork,
+            retry: RetryPolicy::default(),
+            keep_going: true,
+            attack_hook: None,
         }
     }
 
@@ -65,6 +98,9 @@ impl DatasetConfig {
             seed: 3,
             attack: AttackConfig::with_work_budget(5_000_000),
             measure: RuntimeMeasure::SolverWork,
+            retry: RetryPolicy::default(),
+            keep_going: true,
+            attack_hook: None,
         }
     }
 }
@@ -168,7 +204,10 @@ pub(crate) fn label_instance(
         work: result.runtime.work,
         seconds,
         log_seconds: seconds.max(1e-6).ln(),
-        censored: matches!(result.outcome, AttackOutcome::BudgetExceeded),
+        censored: matches!(
+            result.outcome,
+            AttackOutcome::BudgetExceeded | AttackOutcome::TimedOut
+        ),
     }
 }
 
@@ -183,15 +222,49 @@ pub(crate) fn label_instance(
 /// # Errors
 ///
 /// Wraps locking failures as [`DatasetError::Obfuscate`] and attack failures
-/// as [`DatasetError::Attack`].
+/// as [`DatasetError::Attack`] (carrying the instance index and circuit
+/// name). A wall-clock timeout or cancellation surfaces as
+/// [`DatasetError::Quarantined`] / [`DatasetError::Attack`] respectively —
+/// this fail-fast entry point never labels a machine-dependent partial run
+/// (retry and quarantine live in the supervised sweep,
+/// [`crate::generate_parallel_with`]).
 pub fn generate_one(
     config: &DatasetConfig,
     circuit: &Circuit,
     index: usize,
 ) -> Result<Instance, DatasetError> {
     let locked = lock_instance(config, circuit, index)?;
-    let result = attack_locked(&locked, &config.attack)?;
-    Ok(label_instance(config, &locked, &result))
+    let result = match &config.attack_hook {
+        Some(hook) => hook(index, &locked, &config.attack),
+        None => attack_locked(&locked, &config.attack),
+    }
+    .map_err(|source| DatasetError::Attack {
+        instance: index,
+        circuit: config.profile.clone(),
+        source,
+    })?;
+    match result.outcome {
+        AttackOutcome::Cancelled => Err(DatasetError::Attack {
+            instance: index,
+            circuit: config.profile.clone(),
+            source: attack::AttackError::Cancelled,
+        }),
+        AttackOutcome::TimedOut => Err(DatasetError::Quarantined {
+            instance: index,
+            circuit: config.profile.clone(),
+            failure: crate::supervise::InstanceFailure {
+                kind: crate::supervise::FailureKind::Timeout,
+                attempts: 1,
+                message: format!(
+                    "wall-clock deadline {:?} expired",
+                    config.attack.deadline.or(config.attack.per_query_deadline)
+                ),
+                iterations: result.iterations,
+                work: result.solver_stats.work(),
+            },
+        }),
+        _ => Ok(label_instance(config, &locked, &result)),
+    }
 }
 
 /// Runs the full pipeline described in the paper's Section IV-A, serially.

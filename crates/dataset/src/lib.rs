@@ -37,6 +37,7 @@ mod generate;
 mod instance;
 mod parallel;
 mod split;
+mod supervise;
 
 pub use checkpoint::{instance_key, CheckpointLog};
 pub use csv::{dataset_from_csv, dataset_to_csv};
@@ -44,5 +45,10 @@ pub use encode::{flat_features, graph_features, FlatAggregation, StructureEncodi
 pub use error::DatasetError;
 pub use generate::{generate, generate_one, instance_seed, sweep_circuit, Dataset, DatasetConfig};
 pub use instance::Instance;
-pub use parallel::{generate_parallel, generate_parallel_with, SweepReport, WorkerStats};
+pub use parallel::{
+    generate_parallel, generate_parallel_with, SweepFailure, SweepReport, WorkerStats,
+};
 pub use split::{kfold, train_test_split, Split};
+pub use supervise::{
+    supervise_attack, AttackHook, FailureKind, InstanceFailure, RetryPolicy, Supervised,
+};

@@ -1,4 +1,5 @@
-//! Parallel dataset generation with deterministic replay.
+//! Parallel dataset generation with deterministic replay and graceful
+//! degradation.
 //!
 //! The sweep fans instances over a scoped worker pool built from
 //! `std::thread::scope` and an atomic work index — no thread-pool crate,
@@ -9,11 +10,18 @@
 //! serial sweep for every worker count** — scheduling order, worker count,
 //! and checkpoint reuse cannot leak into the dataset.
 //!
-//! When a worker fails, the shared [`attack::CancelToken`] stops the other
-//! workers' attacks at their next DIP iteration; the first error is the one
-//! reported. With a [`CheckpointLog`] attached, every finished attack is
-//! persisted immediately and already-recorded instances are reused without
-//! re-attacking (re-locking to compute the content hash is milliseconds).
+//! Every attack runs under the per-instance supervisor
+//! ([`crate::supervise_attack`]): panics are isolated, wall-clock timeouts
+//! and panics are retried with escalating budgets, and an instance that
+//! exhausts its retries is *quarantined*. With
+//! [`DatasetConfig::keep_going`] set (the default), the sweep records the
+//! typed failure — in the [`CheckpointLog`] when one is attached, and in
+//! the [`SweepReport`] always — and moves on, so one sick instance costs
+//! its own label, not the sweep. With `keep_going` off, the first
+//! quarantine aborts the sweep as [`DatasetError::Quarantined`], and the
+//! shared [`attack::CancelToken`] stops the other workers' attacks at
+//! their next DIP iteration. A resumed sweep skips both completed *and*
+//! quarantined instances already on record.
 
 use crate::checkpoint::{instance_key, CheckpointLog};
 use crate::error::DatasetError;
@@ -21,7 +29,8 @@ use crate::generate::{
     generate_one, label_instance, lock_instance, sweep_circuit, Dataset, DatasetConfig,
 };
 use crate::instance::Instance;
-use attack::{attack_locked, CancelToken};
+use crate::supervise::{supervise_attack, InstanceFailure, Supervised};
+use attack::CancelToken;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -33,17 +42,35 @@ pub struct WorkerStats {
     pub instances: usize,
     /// Of those, how many were reused from the checkpoint log.
     pub reused: usize,
+    /// Instances this worker quarantined (fresh failures or failures
+    /// reused from the checkpoint log).
+    pub failed: usize,
     /// Deterministic solver work this worker expended.
     pub work: u64,
     /// Wall-clock time this worker spent on instances (not idle).
     pub busy: Duration,
 }
 
-/// Per-worker counters and totals for one parallel sweep.
+/// One quarantined instance of a sweep, as reported in [`SweepReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepFailure {
+    /// Index of the quarantined instance within the sweep.
+    pub index: usize,
+    /// The typed failure that exhausted the retry policy.
+    pub failure: InstanceFailure,
+    /// True when the quarantine was replayed from the checkpoint log
+    /// instead of diagnosed by this run.
+    pub reused: bool,
+}
+
+/// Per-worker counters, quarantine records, and totals for one parallel
+/// sweep.
 #[derive(Debug, Clone, Default)]
 pub struct SweepReport {
     /// One entry per worker, in worker-id order.
     pub workers: Vec<WorkerStats>,
+    /// Every instance quarantined this sweep, sorted by instance index.
+    pub failures: Vec<SweepFailure>,
     /// Wall-clock duration of the whole sweep.
     pub elapsed: Duration,
 }
@@ -54,28 +81,44 @@ impl SweepReport {
         self.workers.iter().map(|w| w.reused).sum()
     }
 
-    /// Instances whose attack actually ran.
+    /// Instances whose attack actually ran and produced a label.
     pub fn attacked(&self) -> usize {
         let done: usize = self.workers.iter().map(|w| w.instances).sum();
         done - self.reused()
     }
 
-    /// Renders the per-worker table printed at sweep end.
+    /// Instances quarantined (fresh or replayed from the log).
+    pub fn quarantined(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// Renders the per-worker table printed at sweep end, followed by one
+    /// line per quarantined instance when there are any.
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "# sweep: {} attacked, {} reused, {:.2?} wall",
+            "# sweep: {} attacked, {} reused, {} quarantined, {:.2?} wall",
             self.attacked(),
             self.reused(),
+            self.quarantined(),
             self.elapsed
         );
         for (id, w) in self.workers.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "#   worker {id}: {} instances ({} reused), work {}, busy {:.2?}",
-                w.instances, w.reused, w.work, w.busy
+                "#   worker {id}: {} instances ({} reused, {} quarantined), work {}, busy {:.2?}",
+                w.instances, w.reused, w.failed, w.work, w.busy
+            );
+        }
+        for f in &self.failures {
+            let _ = writeln!(
+                out,
+                "#   quarantined instance {}: {}{}",
+                f.index,
+                f.failure,
+                if f.reused { " [from checkpoint]" } else { "" }
             );
         }
         out
@@ -85,7 +128,10 @@ impl SweepReport {
 /// Generates the sweep described by `config` on `jobs` worker threads.
 ///
 /// Produces a dataset byte-identical to [`crate::generate`] — see the
-/// module docs for why worker count cannot affect the result.
+/// module docs for why worker count cannot affect the result. When
+/// [`DatasetConfig::keep_going`] is set and instances quarantine, the
+/// dataset holds the labels of the healthy instances only (use
+/// [`generate_parallel_with`] to see which instances were quarantined).
 ///
 /// # Errors
 ///
@@ -101,12 +147,15 @@ pub fn generate_parallel(config: &DatasetConfig, jobs: usize) -> Result<Dataset,
 /// Each finished attack is appended to the log before its result is
 /// published, so an interrupted sweep loses at most `jobs` in-flight
 /// attacks. On resume, instances whose content hash is already on record
-/// skip their attack entirely.
+/// skip their attack entirely — completed instances are reused as labels,
+/// quarantined instances are skipped and re-reported in the
+/// [`SweepReport`].
 ///
 /// # Errors
 ///
 /// Same conditions as [`crate::generate`], plus [`DatasetError::Io`] when a
-/// checkpoint append fails.
+/// checkpoint append fails, plus [`DatasetError::Quarantined`] when an
+/// instance exhausts its retry policy and `config.keep_going` is off.
 pub fn generate_parallel_with(
     config: &DatasetConfig,
     jobs: usize,
@@ -119,14 +168,42 @@ pub fn generate_parallel_with(
 
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<Instance>>> = Mutex::new(vec![None; n]);
+    let failures: Mutex<Vec<SweepFailure>> = Mutex::new(Vec::new());
     let first_error: Mutex<Option<DatasetError>> = Mutex::new(None);
     let cancel = CancelToken::new();
     let log = checkpoint.map(Mutex::new);
 
+    // A quarantine is fatal exactly when the operator opted out of
+    // keep-going; everything routes through here so the policy lives in
+    // one place.
+    let quarantine =
+        |index: usize, failure: InstanceFailure, reused: bool| -> Result<(), DatasetError> {
+            if !config.keep_going {
+                return Err(DatasetError::Quarantined {
+                    instance: index,
+                    circuit: config.profile.clone(),
+                    failure,
+                });
+            }
+            if !reused {
+                if let Some(log) = &log {
+                    let locked = lock_instance(config, &circuit, index)?;
+                    let key = instance_key(config, &locked);
+                    log.lock().unwrap().record_failure(key, index, &failure)?;
+                }
+            }
+            failures.lock().unwrap().push(SweepFailure {
+                index,
+                failure,
+                reused,
+            });
+            Ok(())
+        };
+
     let worker = |wid: usize| -> WorkerStats {
         let mut stats = WorkerStats::default();
         // Workers attack under a config that carries the shared cancel
-        // token, so one worker's failure stops the others mid-attack.
+        // token, so a fatal failure stops the others mid-attack.
         let mut cfg = config.clone();
         cfg.attack = cfg.attack.clone().with_cancel(cancel.clone());
         let _ = wid;
@@ -139,29 +216,42 @@ pub fn generate_parallel_with(
                 break;
             }
             let begun = Instant::now();
-            let outcome: Result<(Instance, bool), DatasetError> = (|| {
+            // Ok(None) = instance quarantined under keep-going; the sweep
+            // continues without a label for it.
+            let outcome: Result<Option<(Instance, bool)>, DatasetError> = (|| {
                 let locked = lock_instance(config, &circuit, index)?;
                 let key = log.as_ref().map(|_| instance_key(config, &locked));
                 if let (Some(log), Some(key)) = (&log, key) {
-                    if let Some(done) = log.lock().unwrap().lookup(key) {
-                        return Ok((done.clone(), true));
+                    let log = log.lock().unwrap();
+                    if let Some(done) = log.lookup(key) {
+                        return Ok(Some((done.clone(), true)));
+                    }
+                    if let Some(known_bad) = log.lookup_failure(key) {
+                        let failure = known_bad.clone();
+                        drop(log);
+                        quarantine(index, failure, true)?;
+                        return Ok(None);
                     }
                 }
-                let result = attack_locked(&locked, &cfg.attack)?;
-                if cancel.is_cancelled() {
-                    // The attack may have been stopped mid-run; its label
-                    // would be wrong. Another worker's error is already on
-                    // record, so this result is discarded anyway.
-                    return Err(DatasetError::Attack(attack::AttackError::Cancelled));
+                match supervise_attack(config, &locked, index, &cfg.attack) {
+                    Supervised::Done(result) => {
+                        let instance = label_instance(config, &locked, &result);
+                        if let (Some(log), Some(key)) = (&log, key) {
+                            log.lock().unwrap().record(key, index, &instance)?;
+                        }
+                        Ok(Some((instance, false)))
+                    }
+                    Supervised::Failed(failure) => {
+                        quarantine(index, failure, false)?;
+                        Ok(None)
+                    }
+                    // Shutdown, not a verdict: another worker's error (or an
+                    // external cancel) is the cause; report nothing here.
+                    Supervised::Cancelled => Ok(None),
                 }
-                let instance = label_instance(config, &locked, &result);
-                if let (Some(log), Some(key)) = (&log, key) {
-                    log.lock().unwrap().record(key, index, &instance)?;
-                }
-                Ok((instance, false))
             })();
             match outcome {
-                Ok((instance, reused)) => {
+                Ok(Some((instance, reused))) => {
                     stats.instances += 1;
                     if reused {
                         stats.reused += 1;
@@ -171,14 +261,17 @@ pub fn generate_parallel_with(
                     stats.busy += begun.elapsed();
                     slots.lock().unwrap()[index] = Some(instance);
                 }
+                Ok(None) => {
+                    if cancel.is_cancelled() {
+                        stats.busy += begun.elapsed();
+                        break;
+                    }
+                    stats.failed += 1;
+                    stats.busy += begun.elapsed();
+                }
                 Err(e) => {
                     let mut slot = first_error.lock().unwrap();
-                    // A cancellation casualty is a symptom, never the cause.
-                    let is_echo = matches!(
-                        &e,
-                        DatasetError::Attack(attack::AttackError::Cancelled)
-                    );
-                    if slot.is_none() && !is_echo {
+                    if slot.is_none() {
                         *slot = Some(e);
                     }
                     drop(slot);
@@ -192,7 +285,9 @@ pub fn generate_parallel_with(
     };
 
     let workers: Vec<WorkerStats> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs).map(|wid| scope.spawn(move || worker(wid))).collect();
+        let handles: Vec<_> = (0..jobs)
+            .map(|wid| scope.spawn(move || worker(wid)))
+            .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
@@ -202,14 +297,25 @@ pub fn generate_parallel_with(
     if let Some(error) = first_error.into_inner().unwrap() {
         return Err(error);
     }
+    let mut failures = failures.into_inner().unwrap();
+    failures.sort_by_key(|f| f.index);
+    let quarantined: std::collections::HashSet<usize> = failures.iter().map(|f| f.index).collect();
     let instances: Vec<Instance> = slots
         .into_inner()
         .unwrap()
         .into_iter()
-        .map(|slot| slot.expect("every slot filled when no worker errored"))
+        .enumerate()
+        .filter_map(|(index, slot)| {
+            debug_assert!(
+                slot.is_some() || quarantined.contains(&index),
+                "instance {index} neither labeled nor quarantined"
+            );
+            slot
+        })
         .collect();
     let report = SweepReport {
         workers,
+        failures,
         elapsed: started.elapsed(),
     };
     Ok((Dataset { circuit, instances }, report))
@@ -231,6 +337,9 @@ pub(crate) fn generate_serial_reference(config: &DatasetConfig) -> Result<Datase
 mod tests {
     use super::*;
     use crate::generate::generate;
+    use crate::supervise::RetryPolicy;
+    use attack::AttackError;
+    use std::sync::Arc;
 
     fn small_config() -> DatasetConfig {
         let mut config = DatasetConfig::quick_demo();
@@ -264,6 +373,7 @@ mod tests {
         assert_eq!(done, data.instances.len());
         assert_eq!(report.reused(), 0);
         assert_eq!(report.attacked(), 6);
+        assert_eq!(report.quarantined(), 0);
         let total_work: u64 = report.workers.iter().map(|w| w.work).sum();
         let label_work: u64 = data.instances.iter().map(|i| i.work).sum();
         assert_eq!(total_work, label_work);
@@ -299,5 +409,69 @@ mod tests {
         assert_eq!(report.reused(), 6, "every attack skipped on resume");
         assert_eq!(report.attacked(), 0);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn keep_going_quarantines_a_panicking_instance() {
+        let mut config = small_config();
+        config.retry = RetryPolicy {
+            max_attempts: 2,
+            escalation: 2,
+        };
+        config.attack_hook = Some(Arc::new(|index, locked, cfg| {
+            if index == 2 {
+                panic!("injected fault at instance 2");
+            }
+            attack::attack_locked(locked, cfg)
+        }));
+        let (data, report) = generate_parallel_with(&config, 3, None).unwrap();
+        assert_eq!(data.instances.len(), 5, "only the sick instance is lost");
+        assert_eq!(report.quarantined(), 1);
+        let f = &report.failures[0];
+        assert_eq!(f.index, 2);
+        assert!(f.failure.message.contains("injected fault"));
+        assert_eq!(f.failure.attempts, 2);
+        assert!(report.summary().contains("quarantined instance 2"));
+    }
+
+    #[test]
+    fn no_keep_going_aborts_on_the_sick_instance() {
+        let mut config = small_config();
+        config.keep_going = false;
+        config.attack_hook = Some(Arc::new(|index, locked, cfg| {
+            if index == 2 {
+                return Err(AttackError::OracleInconsistent);
+            }
+            attack::attack_locked(locked, cfg)
+        }));
+        match generate_parallel(&config, 2) {
+            Err(DatasetError::Quarantined { instance: 2, .. }) => {}
+            other => panic!("expected fatal quarantine of instance 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_instances_are_identical_with_and_without_a_sick_neighbor() {
+        let clean = small_config();
+        let baseline = generate(&clean).unwrap();
+        let mut sick = clean.clone();
+        sick.attack_hook = Some(Arc::new(|index, locked, cfg| {
+            if index == 4 {
+                panic!("sick neighbor");
+            }
+            attack::attack_locked(locked, cfg)
+        }));
+        for jobs in [1, 2, 4] {
+            let (data, report) = generate_parallel_with(&sick, jobs, None).unwrap();
+            assert_eq!(report.quarantined(), 1, "jobs={jobs}");
+            let expected: Vec<_> = baseline
+                .instances
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 4)
+                .map(|(_, inst)| inst.clone())
+                .collect();
+            assert_eq!(data.instances, expected, "jobs={jobs}");
+        }
     }
 }

@@ -1,0 +1,382 @@
+//! Per-instance attack supervision: panic isolation, retry with budget
+//! escalation, and typed failure records.
+//!
+//! The labels this pipeline produces come from SAT attacks whose runtime is
+//! heavy-tailed and, on SAT-hard structures, effectively unbounded — the
+//! exact pathology ICNet exists to predict. A sweep that fails fast throws
+//! away hours of good labels the moment one instance panics or outlives
+//! every budget estimate. The supervisor turns each attack into a bounded,
+//! isolated attempt sequence:
+//!
+//! 1. every attempt runs under [`std::panic::catch_unwind`], so a panicking
+//!    oracle or solver bug cannot unwind across the sweep's thread scope;
+//! 2. a retryable failure (wall-clock timeout or panic) is retried up to
+//!    [`RetryPolicy::max_attempts`] times, with the work budget, conflict
+//!    cap, and deadlines all multiplied by [`RetryPolicy::escalation`] on
+//!    each retry — transient slowness gets a second, bigger chance;
+//! 3. an instance that exhausts its attempts is *quarantined*: the sweep
+//!    records a typed [`InstanceFailure`] (kind, attempt count, partial
+//!    solver stats) and moves on, and a resumed sweep skips the known-bad
+//!    instance instead of re-diverging on it.
+//!
+//! Deterministic budget exhaustion ([`attack::AttackOutcome::BudgetExceeded`])
+//! is *not* a failure — it yields a reproducible censored label, exactly as
+//! before. Only wall-clock timeouts, panics, and attack errors quarantine.
+
+use crate::generate::DatasetConfig;
+use attack::{attack_locked, AttackConfig, AttackError, AttackOutcome, AttackResult};
+use obfuscate::LockedCircuit;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Pluggable attack runner, mainly for fault-injection tests: receives the
+/// instance index, the locked circuit, and the (already escalated) attack
+/// config. `None` in [`DatasetConfig::attack_hook`] means the real
+/// [`attack::attack_locked`].
+pub type AttackHook = Arc<
+    dyn Fn(usize, &LockedCircuit, &AttackConfig) -> Result<AttackResult, AttackError> + Send + Sync,
+>;
+
+/// How failed attacks are retried before their instance is quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per instance, including the first (minimum 1).
+    pub max_attempts: usize,
+    /// Multiplier applied to the work budget, per-solve conflict cap, and
+    /// both deadlines on each successive attempt (attempt `k` runs at
+    /// `escalation^k` times the configured budgets).
+    pub escalation: u32,
+}
+
+impl Default for RetryPolicy {
+    /// One retry at twice the budgets.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 2,
+            escalation: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// `config` with every budget and deadline scaled by
+    /// `escalation^attempt` (attempt 0 = the configured budgets).
+    pub fn escalate(&self, config: &AttackConfig, attempt: usize) -> AttackConfig {
+        let factor = u64::from(self.escalation).saturating_pow(attempt as u32);
+        let mut out = config.clone();
+        out.work_budget = out.work_budget.map(|b| b.saturating_mul(factor));
+        out.conflicts_per_solve = out.conflicts_per_solve.map(|c| c.saturating_mul(factor));
+        out.deadline = out.deadline.map(|d| d.saturating_mul(factor as u32));
+        out.per_query_deadline = out
+            .per_query_deadline
+            .map(|d| d.saturating_mul(factor as u32));
+        out
+    }
+}
+
+/// Why an instance was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every attempt hit its wall-clock deadline.
+    Timeout,
+    /// Every attempt panicked (oracle or solver bug).
+    Panic,
+    /// The attack returned a hard error (e.g. an inconsistent oracle).
+    Error,
+}
+
+impl FailureKind {
+    /// Stable single-word tag used in checkpoint records.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FailureKind::Timeout => "timeout",
+            FailureKind::Panic => "panic",
+            FailureKind::Error => "error",
+        }
+    }
+
+    /// Parses [`FailureKind::tag`] output.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "timeout" => Some(FailureKind::Timeout),
+            "panic" => Some(FailureKind::Panic),
+            "error" => Some(FailureKind::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// The typed quarantine record for one instance that exhausted its retry
+/// policy. Persisted in the checkpoint log so resume skips the instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceFailure {
+    /// What kind of failure won on the final attempt.
+    pub kind: FailureKind,
+    /// Attempts spent before giving up.
+    pub attempts: usize,
+    /// One-line human-readable cause (panic payload / error / deadline).
+    pub message: String,
+    /// DIP iterations completed by the final attempt, when it got that far.
+    pub iterations: usize,
+    /// Solver work expended by the final attempt, when it got that far.
+    pub work: u64,
+}
+
+impl fmt::Display for InstanceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} attempt{} ({})",
+            self.kind,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
+
+/// What supervising one instance's attack produced.
+#[derive(Debug)]
+pub enum Supervised {
+    /// The attack completed (key recovered or deterministic budget hit);
+    /// the result is labelable.
+    Done(AttackResult),
+    /// Every attempt failed; the instance should be quarantined.
+    Failed(InstanceFailure),
+    /// The sweep's cancel token fired mid-attack — shutdown, not a verdict
+    /// on the instance.
+    Cancelled,
+}
+
+/// Renders a `catch_unwind` payload as a one-line message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let text = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    };
+    sanitize_line(&text)
+}
+
+/// Collapses a message onto one line (checkpoint records are line-oriented).
+pub(crate) fn sanitize_line(text: &str) -> String {
+    text.replace(['\n', '\r'], " ")
+}
+
+/// Runs the attack for instance `index` of `config` under full supervision:
+/// panic isolation, retry with escalation, and failure typing. The attack
+/// config `base` must already carry the sweep's cancel token (when any).
+pub fn supervise_attack(
+    config: &DatasetConfig,
+    locked: &LockedCircuit,
+    index: usize,
+    base: &AttackConfig,
+) -> Supervised {
+    let policy = config.retry;
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last_failure = None;
+    for attempt in 0..max_attempts {
+        if base.is_cancelled() {
+            return Supervised::Cancelled;
+        }
+        let attack_cfg = policy.escalate(base, attempt);
+        let run = catch_unwind(AssertUnwindSafe(|| match &config.attack_hook {
+            Some(hook) => hook(index, locked, &attack_cfg),
+            None => attack_locked(locked, &attack_cfg),
+        }));
+        let failure = match run {
+            Ok(Ok(result)) => match result.outcome {
+                AttackOutcome::KeyRecovered(_) | AttackOutcome::BudgetExceeded => {
+                    return Supervised::Done(result)
+                }
+                AttackOutcome::Cancelled => return Supervised::Cancelled,
+                AttackOutcome::TimedOut => InstanceFailure {
+                    kind: FailureKind::Timeout,
+                    attempts: attempt + 1,
+                    message: format!(
+                        "wall-clock deadline {:?} expired",
+                        attack_cfg.deadline.or(attack_cfg.per_query_deadline)
+                    ),
+                    iterations: result.iterations,
+                    work: result.solver_stats.work(),
+                },
+            },
+            Ok(Err(AttackError::Cancelled)) => return Supervised::Cancelled,
+            Ok(Err(error)) => {
+                // Attack errors are deterministic properties of the instance
+                // (bad netlist, inconsistent oracle): retrying cannot help.
+                return Supervised::Failed(InstanceFailure {
+                    kind: FailureKind::Error,
+                    attempts: attempt + 1,
+                    message: sanitize_line(&error.to_string()),
+                    iterations: 0,
+                    work: 0,
+                });
+            }
+            Err(payload) => InstanceFailure {
+                kind: FailureKind::Panic,
+                attempts: attempt + 1,
+                message: panic_message(payload.as_ref()),
+                iterations: 0,
+                work: 0,
+            },
+        };
+        last_failure = Some(failure);
+    }
+    Supervised::Failed(last_failure.expect("max_attempts >= 1 ran at least one attempt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{lock_instance, sweep_circuit};
+    use attack::CancelToken;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn demo_locked() -> (DatasetConfig, LockedCircuit) {
+        let config = DatasetConfig::quick_demo();
+        let circuit = sweep_circuit(&config).unwrap();
+        let locked = lock_instance(&config, &circuit, 0).unwrap();
+        (config, locked)
+    }
+
+    #[test]
+    fn healthy_attack_is_done_first_attempt() {
+        let (config, locked) = demo_locked();
+        match supervise_attack(&config, &locked, 0, &config.attack) {
+            Supervised::Done(result) => assert!(result.key().is_some()),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_and_retried_to_quarantine() {
+        let (mut config, locked) = demo_locked();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        config.retry = RetryPolicy {
+            max_attempts: 3,
+            escalation: 2,
+        };
+        config.attack_hook = Some(Arc::new(move |_, _, _| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            panic!("deliberate oracle explosion");
+        }));
+        match supervise_attack(&config, &locked, 0, &config.attack.clone()) {
+            Supervised::Failed(failure) => {
+                assert_eq!(failure.kind, FailureKind::Panic);
+                assert_eq!(failure.attempts, 3);
+                assert!(failure.message.contains("oracle explosion"));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "every attempt isolated");
+    }
+
+    #[test]
+    fn timeout_retries_with_escalated_budgets_then_succeeds() {
+        let (mut config, locked) = demo_locked();
+        config.attack.work_budget = Some(1000);
+        config.retry = RetryPolicy {
+            max_attempts: 3,
+            escalation: 4,
+        };
+        let budgets = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let seen = budgets.clone();
+        config.attack_hook = Some(Arc::new(move |index, locked, cfg| {
+            seen.lock().unwrap().push(cfg.work_budget);
+            if seen.lock().unwrap().len() < 3 {
+                // Simulate a wall-clock timeout through the real code path.
+                let mut timed = cfg.clone();
+                timed.deadline = Some(Duration::ZERO);
+                attack_locked(locked, &timed)
+            } else {
+                let _ = index;
+                attack_locked(locked, cfg)
+            }
+        }));
+        match supervise_attack(&config, &locked, 0, &config.attack.clone()) {
+            Supervised::Done(result) => assert!(result.key().is_some()),
+            other => panic!("expected Done on third attempt, got {other:?}"),
+        }
+        assert_eq!(
+            *budgets.lock().unwrap(),
+            vec![Some(1000), Some(4000), Some(16000)],
+            "budgets escalate 4x per attempt"
+        );
+    }
+
+    #[test]
+    fn attack_errors_quarantine_without_retry() {
+        let (mut config, locked) = demo_locked();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        config.attack_hook = Some(Arc::new(move |_, _, _| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Err(AttackError::OracleInconsistent)
+        }));
+        match supervise_attack(&config, &locked, 0, &config.attack.clone()) {
+            Supervised::Failed(failure) => {
+                assert_eq!(failure.kind, FailureKind::Error);
+                assert_eq!(failure.attempts, 1);
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "hard errors do not retry");
+    }
+
+    #[test]
+    fn cancellation_is_not_a_failure() {
+        let (config, locked) = demo_locked();
+        let token = CancelToken::new();
+        token.cancel();
+        let base = config.attack.clone().with_cancel(token);
+        assert!(matches!(
+            supervise_attack(&config, &locked, 0, &base),
+            Supervised::Cancelled
+        ));
+    }
+
+    #[test]
+    fn escalation_saturates_instead_of_overflowing() {
+        let policy = RetryPolicy {
+            max_attempts: 80,
+            escalation: u32::MAX,
+        };
+        let cfg = AttackConfig::with_work_budget(u64::MAX / 2);
+        let escalated = policy.escalate(&cfg, 79);
+        assert_eq!(escalated.work_budget, Some(u64::MAX));
+    }
+
+    #[test]
+    fn failure_kind_tags_round_trip() {
+        for kind in [FailureKind::Timeout, FailureKind::Panic, FailureKind::Error] {
+            assert_eq!(FailureKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(FailureKind::from_tag("nonsense"), None);
+    }
+
+    #[test]
+    fn failure_display_is_one_line() {
+        let failure = InstanceFailure {
+            kind: FailureKind::Panic,
+            attempts: 2,
+            message: sanitize_line("boom\nwith newline"),
+            iterations: 0,
+            work: 0,
+        };
+        let text = failure.to_string();
+        assert!(text.contains("panic after 2 attempts"));
+        assert!(!text.contains('\n'));
+    }
+}

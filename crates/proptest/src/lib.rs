@@ -95,7 +95,9 @@ pub mod prelude {
 
     pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy, Union};
     pub use crate::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Per-test runner configuration.
@@ -162,8 +164,7 @@ where
              after {max_attempts} attempts)",
             config.cases
         );
-        let mut rng =
-            StdRng::seed_from_u64(master ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(master ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         match case(&mut rng) {
             Ok(()) => accepted += 1,
             Err(TestCaseError::Reject(_)) => continue,
@@ -329,10 +330,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "proptest `always_fails` failed")]
     fn failures_panic_with_context() {
-        crate::__run_cases(
-            &ProptestConfig::with_cases(4),
-            "always_fails",
-            |_| Err(crate::TestCaseError::fail("boom")),
-        );
+        crate::__run_cases(&ProptestConfig::with_cases(4), "always_fails", |_| {
+            Err(crate::TestCaseError::fail("boom"))
+        });
     }
 }

@@ -5,6 +5,7 @@ use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
 use crate::model::Model;
 use crate::stats::SolverStats;
+use std::time::Instant;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +42,11 @@ const VAR_DECAY: f64 = 0.95;
 const CLAUSE_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
 const LUBY_UNIT: u64 = 100;
+/// Conflicts between wall-clock deadline checks: `Instant::now` costs tens
+/// of nanoseconds, so polling it every conflict would be measurable on easy
+/// queries; every 64 conflicts the overhead is noise while a runaway solve
+/// still stops within milliseconds of its deadline.
+const DEADLINE_CHECK_INTERVAL: u64 = 64;
 
 /// An incremental CDCL SAT solver. See the [crate docs](crate) for the
 /// feature list and an example.
@@ -63,6 +69,7 @@ pub struct Solver {
     ok: bool,
     stats: SolverStats,
     conflict_budget: Option<u64>,
+    deadline: Option<Instant>,
     max_learnts: usize,
     num_learnt_live: usize,
 }
@@ -94,6 +101,7 @@ impl Solver {
             ok: true,
             stats: SolverStats::default(),
             conflict_budget: None,
+            deadline: None,
             max_learnts: 4000,
             num_learnt_live: 0,
         }
@@ -139,6 +147,20 @@ impl Solver {
     /// call returns [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Installs a wall-clock deadline for future [`Solver::solve`] calls;
+    /// `None` removes it. The deadline is polled once at solve entry and
+    /// then every few conflicts (the conflict budget's cadence), so it costs
+    /// nothing on the hot path; when it passes, the in-flight call returns
+    /// [`SolveResult::Unknown`] — exactly the budget-exhausted verdict — and
+    /// the solver remains usable.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     fn value(&self, lit: Lit) -> LBool {
@@ -586,6 +608,9 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        if self.past_deadline() {
+            return SolveResult::Unknown;
+        }
         self.cancel_until(0);
         // Seed the order heap with every unassigned variable.
         for i in 0..self.assign.len() {
@@ -632,6 +657,12 @@ impl Solver {
                         self.cancel_until(0);
                         return SolveResult::Unknown;
                     }
+                }
+                if (self.stats.conflicts - budget_start).is_multiple_of(DEADLINE_CHECK_INTERVAL)
+                    && self.past_deadline()
+                {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
                 }
                 if self.num_learnt_live > self.max_learnts {
                     self.reduce_db();
@@ -871,6 +902,57 @@ mod tests {
         s.set_conflict_budget(Some(10));
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
+        assert!(s.solve().is_unsat());
+    }
+
+    fn pigeonhole(n: i64, h: i64) -> Solver {
+        let mut s = solver_with_vars((n * h) as usize);
+        let p = |i: i64, j: i64| lit(i * h + j + 1);
+        for i in 0..n {
+            let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
+            s.add_clause(clause);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn expired_deadline_yields_unknown() {
+        let mut s = pigeonhole(7, 6);
+        s.set_deadline(Some(std::time::Instant::now()));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Clearing the deadline restores normal operation on the same state.
+        s.set_deadline(None);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn mid_search_deadline_stops_a_hard_solve() {
+        // php(9,8) runs for seconds unbounded; a few-ms deadline must stop
+        // it at a conflict-check boundary and leave the solver reusable.
+        let mut s = pigeonhole(9, 8);
+        s.set_deadline(Some(
+            std::time::Instant::now() + std::time::Duration::from_millis(20),
+        ));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert!(s.stats().conflicts > 0, "search actually started");
+        s.set_deadline(None);
+        let mut easy = pigeonhole(3, 2);
+        assert!(easy.solve().is_unsat());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_change_verdicts() {
+        let mut s = pigeonhole(5, 4);
+        s.set_deadline(Some(
+            std::time::Instant::now() + std::time::Duration::from_secs(600),
+        ));
         assert!(s.solve().is_unsat());
     }
 

@@ -18,13 +18,20 @@ fn main() {
     println!("== serial sweep ==");
     let start = Instant::now();
     let serial = generate(&config).expect("serial generation");
-    println!("{} instances in {:.2?}\n", serial.instances.len(), start.elapsed());
+    println!(
+        "{} instances in {:.2?}\n",
+        serial.instances.len(),
+        start.elapsed()
+    );
 
     println!("== 4-worker sweep (no checkpoint) ==");
     let start = Instant::now();
-    let (parallel, report) =
-        generate_parallel_with(&config, 4, None).expect("parallel generation");
-    println!("{} instances in {:.2?}", parallel.instances.len(), start.elapsed());
+    let (parallel, report) = generate_parallel_with(&config, 4, None).expect("parallel generation");
+    println!(
+        "{} instances in {:.2?}",
+        parallel.instances.len(),
+        start.elapsed()
+    );
     print!("{}", report.summary());
     assert_eq!(serial, parallel, "worker count must not change the dataset");
     println!("byte-identical to the serial sweep\n");

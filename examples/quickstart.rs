@@ -33,6 +33,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             println!("functionally correct: {}", locked.verify_key(key)?);
         }
         AttackOutcome::BudgetExceeded => println!("attack hit its budget"),
+        AttackOutcome::TimedOut => println!("attack hit its wall-clock deadline"),
+        AttackOutcome::Cancelled => println!("attack was cancelled"),
     }
 
     // 3. Generate a small labeled dataset (obfuscate -> attack -> record

@@ -70,8 +70,7 @@ fn miter_models_reproduce_under_simulation_for_xor_locking() {
 #[test]
 fn miter_models_reproduce_under_simulation_for_lut_locking() {
     let base = synth::iscas::circuit("c432", 0).expect("profile");
-    let locked =
-        lock_random(&base, SchemeKind::LutLock { lut_size: 3 }, 4, 5).expect("lockable");
+    let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 3 }, 4, 5).expect("lockable");
     let checked = check_miter_models(&locked.locked, 8);
     assert!(checked > 0, "a LUT-locked c432 miter must have DIPs");
 }

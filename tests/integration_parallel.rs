@@ -2,9 +2,7 @@
 //! invariance, interrupted-sweep resume, and the parallel speedup the
 //! pipeline exists for.
 
-use dataset::{
-    generate, generate_parallel, generate_parallel_with, CheckpointLog, DatasetConfig,
-};
+use dataset::{generate, generate_parallel, generate_parallel_with, CheckpointLog, DatasetConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 

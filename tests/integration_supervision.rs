@@ -1,0 +1,166 @@
+//! Supervised sweeps, end to end: a deliberately panicking oracle and a
+//! deliberately timing-out instance in one multi-worker sweep must cost
+//! exactly their own labels — every healthy instance completes, both
+//! failures land as typed quarantine records in the sweep report (and the
+//! checkpoint log), the process exits cleanly, and a resumed sweep skips
+//! exactly the quarantined instances.
+
+use dataset::{
+    generate, generate_parallel_with, CheckpointLog, DatasetConfig, FailureKind, RetryPolicy,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PANICKY: usize = 2;
+const SLUGGISH: usize = 5;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("icnet_integration_supervision");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// An 8-instance sweep where instance [`PANICKY`] panics on every attempt
+/// and instance [`SLUGGISH`] exceeds a wall-clock deadline on every attempt
+/// (through the real deadline code path — the hook only shrinks the
+/// deadline to zero before delegating to the genuine attack).
+fn faulty_config() -> DatasetConfig {
+    let mut config = DatasetConfig::quick_demo();
+    config.num_instances = 8;
+    config.retry = RetryPolicy {
+        max_attempts: 2,
+        escalation: 2,
+    };
+    config.attack_hook = Some(Arc::new(|index, locked, cfg| match index {
+        PANICKY => panic!("injected oracle explosion at instance {index}"),
+        SLUGGISH => {
+            let mut hobbled = cfg.clone();
+            hobbled.deadline = Some(Duration::ZERO);
+            attack::attack_locked(locked, &hobbled)
+        }
+        _ => attack::attack_locked(locked, cfg),
+    }));
+    config
+}
+
+/// The labels the healthy instances of [`faulty_config`] must produce:
+/// the clean serial sweep minus the two sick indices.
+fn healthy_subset() -> Vec<dataset::Instance> {
+    let mut clean = faulty_config();
+    clean.attack_hook = None;
+    let baseline = generate(&clean).expect("clean sweep");
+    baseline
+        .instances
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != PANICKY && *i != SLUGGISH)
+        .map(|(_, inst)| inst)
+        .collect()
+}
+
+#[test]
+fn sick_instances_cost_their_own_labels_for_every_worker_count() {
+    let config = faulty_config();
+    let expected = healthy_subset();
+    for jobs in [1, 2, 4] {
+        let (data, report) =
+            generate_parallel_with(&config, jobs, None).expect("keep-going sweep completes");
+        assert_eq!(
+            data.instances, expected,
+            "healthy labels byte-identical to the clean sweep (jobs={jobs})"
+        );
+        assert_eq!(report.quarantined(), 2, "jobs={jobs}");
+        let kinds: Vec<(usize, FailureKind)> = report
+            .failures
+            .iter()
+            .map(|f| (f.index, f.failure.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (PANICKY, FailureKind::Panic),
+                (SLUGGISH, FailureKind::Timeout)
+            ],
+            "jobs={jobs}"
+        );
+        assert!(report.failures.iter().all(|f| f.failure.attempts == 2));
+        assert!(report
+            .summary()
+            .contains(&format!("quarantined instance {PANICKY}")));
+    }
+}
+
+#[test]
+fn resume_skips_exactly_the_quarantined_instances() {
+    let config = faulty_config();
+    let path = tmp("quarantine_resume.ckpt");
+
+    let mut log = CheckpointLog::open(&path).unwrap();
+    let (first, report) = generate_parallel_with(&config, 2, Some(&mut log)).unwrap();
+    assert_eq!(report.attacked(), 6);
+    assert_eq!(report.quarantined(), 2);
+    assert_eq!(log.len(), 6, "six labels on record");
+    assert_eq!(log.num_quarantined(), 2, "two quarantines on record");
+    drop(log);
+
+    // The replay must not re-attack anything: labels are reused from the
+    // log, quarantines are replayed from the log (the hook would panic
+    // again if the sick instances re-ran — reaching the hook at all would
+    // burn wall-clock on the sluggish one, and the panicky one is cheap
+    // but must still be skipped by record, which `reused` proves).
+    let mut log = CheckpointLog::open(&path).unwrap();
+    let (second, report) = generate_parallel_with(&config, 2, Some(&mut log)).unwrap();
+    assert_eq!(report.attacked(), 0, "nothing re-attacked on resume");
+    assert_eq!(report.reused(), 6);
+    assert_eq!(report.quarantined(), 2);
+    assert!(
+        report.failures.iter().all(|f| f.reused),
+        "both quarantines replayed from the checkpoint log"
+    );
+    assert_eq!(first, second, "resumed dataset is byte-identical");
+}
+
+#[test]
+fn no_keep_going_aborts_on_the_first_sick_instance() {
+    let mut config = faulty_config();
+    config.keep_going = false;
+    match generate_parallel_with(&config, 2, None) {
+        Err(dataset::DatasetError::Quarantined { instance, .. }) => {
+            assert!(
+                instance == PANICKY || instance == SLUGGISH,
+                "the fatal quarantine names a sick instance, got {instance}"
+            );
+        }
+        other => panic!("expected a fatal quarantine, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadline_quarantines_are_not_censored_labels() {
+    // A wall-clock timeout must never be labeled (its partial runtime is
+    // machine-dependent); a deterministic budget exhaustion must still be.
+    let mut config = DatasetConfig::quick_demo();
+    config.num_instances = 4;
+    config.retry = RetryPolicy {
+        max_attempts: 1,
+        escalation: 2,
+    };
+    config.attack.work_budget = Some(1); // everything budget-exhausts
+    let (data, report) = generate_parallel_with(&config, 2, None).unwrap();
+    assert_eq!(report.quarantined(), 0);
+    assert_eq!(data.instances.len(), 4);
+    assert!(data.instances.iter().all(|i| i.censored));
+
+    config.attack.work_budget = None;
+    config.attack.deadline = Some(Duration::ZERO); // everything times out
+    let (data, report) = generate_parallel_with(&config, 2, None).unwrap();
+    assert_eq!(report.quarantined(), 4);
+    assert!(data.instances.is_empty());
+    assert!(report
+        .failures
+        .iter()
+        .all(|f| f.failure.kind == FailureKind::Timeout));
+}

@@ -301,3 +301,138 @@ proptest! {
         prop_assert_eq!(key, parsed);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint-log robustness: corruption is detected, quarantine is replayed.
+
+use dataset::{CheckpointLog, DatasetError, Instance};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fresh temp path per proptest case, so shrinking never reuses a file.
+fn ckpt_tmp() -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("icnet_property_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "case_{}_{}.ckpt",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Writes a small, valid checkpoint log and returns its path.
+fn seeded_checkpoint() -> std::path::PathBuf {
+    let path = ckpt_tmp();
+    let mut log = CheckpointLog::open(&path).unwrap();
+    for i in 0..3usize {
+        log.record(
+            0xA0 + i as u64,
+            i,
+            &Instance {
+                selected: vec![netlist::GateId::from_index(i)],
+                key_bits: i + 1,
+                iterations: 2 * i,
+                work: 1000 + i as u64,
+                seconds: 0.25,
+                log_seconds: 0.25f64.ln(),
+                censored: false,
+            },
+        )
+        .unwrap();
+    }
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-byte substitution inside a checkpoint record is detected
+    /// at reopen — never silently deserialized into a bogus label.
+    #[test]
+    fn corrupted_checkpoint_byte_is_detected(pos in 0usize..10_000, replacement in 33u8..127) {
+        let path = seeded_checkpoint();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let header_end = text.find('\n').unwrap();
+        // Candidate positions: every byte of every record line (the header
+        // has its own check; newlines would change the line structure).
+        let candidates: Vec<usize> = (header_end + 1..text.len())
+            .filter(|&i| text.as_bytes()[i] != b'\n')
+            .collect();
+        let target = candidates[pos % candidates.len()];
+        let mut bytes = text.into_bytes();
+        prop_assume!(bytes[target] != replacement);
+        bytes[target] = replacement;
+        std::fs::write(&path, bytes).unwrap();
+        let reopened = CheckpointLog::open(&path);
+        match &reopened {
+            Err(DatasetError::Checkpoint { line, .. }) => prop_assert!(*line >= 2),
+            other => prop_assert!(false, "corruption at byte {target} not detected: {other:?}"),
+        }
+    }
+
+    /// A garbage line spliced into the middle of the log is reported as
+    /// corruption, not skipped or misparsed.
+    #[test]
+    fn garbage_checkpoint_line_is_detected(
+        garbage in proptest::collection::vec(33u8..127, 1..30),
+        at in 0usize..3,
+    ) {
+        let path = seeded_checkpoint();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let line = String::from_utf8(garbage).unwrap();
+        lines.insert(1 + at.min(lines.len() - 1), line);
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        prop_assert!(
+            matches!(
+                CheckpointLog::open(&path),
+                Err(DatasetError::Checkpoint { .. })
+            ),
+            "garbage line accepted"
+        );
+    }
+
+    /// After a sweep quarantines some instances, a resumed sweep skips
+    /// exactly those instances: nothing is re-attacked, every healthy label
+    /// is reused, and the replayed quarantine set matches the sick set.
+    #[test]
+    fn resume_skips_exactly_the_quarantined_instances(
+        sick in proptest::collection::vec(0usize..6, 0..4),
+    ) {
+        let mut sick: Vec<usize> = sick;
+        sick.sort_unstable();
+        sick.dedup();
+        let mut config = dataset::DatasetConfig::quick_demo();
+        config.num_instances = 6;
+        let bad = sick.clone();
+        config.attack_hook = Some(std::sync::Arc::new(move |index, locked, cfg| {
+            if bad.contains(&index) {
+                Err(attack::AttackError::OracleInconsistent)
+            } else {
+                attack::attack_locked(locked, cfg)
+            }
+        }));
+        let path = ckpt_tmp();
+
+        let mut log = CheckpointLog::open(&path).unwrap();
+        let (first, report) =
+            dataset::generate_parallel_with(&config, 2, Some(&mut log)).unwrap();
+        prop_assert_eq!(report.attacked(), 6 - sick.len());
+        let found: Vec<usize> = report.failures.iter().map(|f| f.index).collect();
+        prop_assert_eq!(&found, &sick);
+        drop(log);
+
+        let mut log = CheckpointLog::open(&path).unwrap();
+        prop_assert_eq!(log.num_quarantined(), sick.len());
+        let (second, report) =
+            dataset::generate_parallel_with(&config, 2, Some(&mut log)).unwrap();
+        prop_assert_eq!(report.attacked(), 0);
+        prop_assert_eq!(report.reused(), 6 - sick.len());
+        let replayed: Vec<usize> = report.failures.iter().map(|f| f.index).collect();
+        prop_assert_eq!(&replayed, &sick);
+        prop_assert!(report.failures.iter().all(|f| f.reused));
+        prop_assert_eq!(first, second);
+    }
+}
