@@ -95,6 +95,27 @@ impl AttackConfig {
     }
 }
 
+/// Which wall-clock bound expired when an attack ends as
+/// [`AttackOutcome::TimedOut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpiredDeadline {
+    /// The whole-attack [`AttackConfig::deadline`].
+    Attack,
+    /// The [`AttackConfig::per_query_deadline`] of one solver call.
+    PerQuery,
+}
+
+impl ExpiredDeadline {
+    /// Flag-style name of the expired bound ("deadline" /
+    /// "per-query deadline"), for diagnostics.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ExpiredDeadline::Attack => "deadline",
+            ExpiredDeadline::PerQuery => "per-query deadline",
+        }
+    }
+}
+
 /// How an attack run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AttackOutcome {
@@ -106,11 +127,11 @@ pub enum AttackOutcome {
     /// runtime is a reproducible lower bound, so the instance is still
     /// usable as a censored label.
     BudgetExceeded,
-    /// The wall-clock [`AttackConfig::deadline`] (or
-    /// [`AttackConfig::per_query_deadline`]) expired. The partial runtime is
-    /// machine-dependent, so supervisors quarantine these instead of
-    /// labeling them.
-    TimedOut,
+    /// The wall-clock [`AttackConfig::deadline`] or
+    /// [`AttackConfig::per_query_deadline`] expired — the payload says
+    /// which. The partial runtime is machine-dependent, so supervisors
+    /// quarantine these instead of labeling them.
+    TimedOut(ExpiredDeadline),
     /// The attack was stopped through its [`CancelToken`] — an operator or
     /// coordinator decision, not a property of the instance. Any partial
     /// result must be discarded.
@@ -177,7 +198,7 @@ pub fn attack(
     #[derive(Clone, Copy)]
     enum End {
         Budget,
-        Timeout,
+        Timeout(ExpiredDeadline),
         Cancelled,
     }
 
@@ -190,15 +211,20 @@ pub fn attack(
             (a, q) => a.or(q),
         }
     };
-    // Classifies a `SolveResult::Unknown`: past the wall-clock deadline it
-    // was a timeout, otherwise the per-solve conflict cap fired.
-    let classify_unknown = |deadline: Option<Instant>| -> End {
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            End::Timeout
-        } else {
-            End::Budget
-        }
-    };
+    // Classifies a `SolveResult::Unknown`: past a wall-clock deadline it
+    // was a timeout (the whole-attack bound wins attribution when both have
+    // expired), otherwise the per-solve conflict cap fired.
+    let classify_unknown =
+        |attack_deadline: Option<Instant>, solve_deadline: Option<Instant>| -> End {
+            let now = Instant::now();
+            if attack_deadline.is_some_and(|d| now >= d) {
+                End::Timeout(ExpiredDeadline::Attack)
+            } else if solve_deadline.is_some_and(|d| now >= d) {
+                End::Timeout(ExpiredDeadline::PerQuery)
+            } else {
+                End::Budget
+            }
+        };
 
     let mut iterations = 0usize;
     let mut dips = Vec::new();
@@ -210,7 +236,7 @@ pub fn attack(
             break;
         }
         if attack_deadline.is_some_and(|d| Instant::now() >= d) {
-            ended = Some(End::Timeout);
+            ended = Some(End::Timeout(ExpiredDeadline::Attack));
             break;
         }
         if let Some(max) = config.max_iterations {
@@ -229,7 +255,7 @@ pub fn attack(
         solver.set_deadline(deadline);
         match solver.solve_with_assumptions(&[miter.diff_lit()]) {
             SolveResult::Unknown => {
-                ended = Some(classify_unknown(deadline));
+                ended = Some(classify_unknown(attack_deadline, deadline));
                 break;
             }
             SolveResult::Unsat => break, // no DIP remains
@@ -265,7 +291,7 @@ pub fn attack(
 
     let outcome = match ended {
         Some(End::Cancelled) => AttackOutcome::Cancelled,
-        Some(End::Timeout) => AttackOutcome::TimedOut,
+        Some(End::Timeout(which)) => AttackOutcome::TimedOut(which),
         Some(End::Budget) => AttackOutcome::BudgetExceeded,
         None => {
             // No DIP remains: any key satisfying the I/O constraints is
@@ -279,8 +305,8 @@ pub fn attack(
                     AttackOutcome::KeyRecovered(key)
                 }
                 SolveResult::Unsat => return Err(AttackError::OracleInconsistent),
-                SolveResult::Unknown => match classify_unknown(attack_deadline) {
-                    End::Timeout => AttackOutcome::TimedOut,
+                SolveResult::Unknown => match classify_unknown(attack_deadline, None) {
+                    End::Timeout(which) => AttackOutcome::TimedOut(which),
                     _ => AttackOutcome::BudgetExceeded,
                 },
             }
@@ -421,7 +447,10 @@ mod tests {
         let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 10, 3).unwrap();
         let config = AttackConfig::default().with_deadline(Duration::ZERO);
         let result = attack_locked(&locked, &config).unwrap();
-        assert_eq!(result.outcome, AttackOutcome::TimedOut);
+        assert_eq!(
+            result.outcome,
+            AttackOutcome::TimedOut(ExpiredDeadline::Attack)
+        );
         assert!(result.key().is_none());
         assert_eq!(result.iterations, 0);
     }
@@ -435,7 +464,10 @@ mod tests {
         let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 12, 3).unwrap();
         let config = AttackConfig::default().with_deadline(Duration::from_millis(5));
         let result = attack_locked(&locked, &config).unwrap();
-        assert_eq!(result.outcome, AttackOutcome::TimedOut);
+        assert_eq!(
+            result.outcome,
+            AttackOutcome::TimedOut(ExpiredDeadline::Attack)
+        );
     }
 
     #[test]
@@ -447,7 +479,29 @@ mod tests {
             ..AttackConfig::default()
         };
         let result = attack_locked(&locked, &config).unwrap();
-        assert_eq!(result.outcome, AttackOutcome::TimedOut);
+        assert_eq!(
+            result.outcome,
+            AttackOutcome::TimedOut(ExpiredDeadline::PerQuery),
+            "an expired per-query bound must not be blamed on the attack deadline"
+        );
+    }
+
+    #[test]
+    fn attack_deadline_wins_attribution_over_per_query() {
+        // With both bounds set and the whole-attack deadline already
+        // expired, the timeout is attributed to the attack deadline even
+        // though the per-query bound would also have fired.
+        let base = synth::generate(&GeneratorConfig::new("mid", 16, 8, 150).with_seed(2));
+        let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 12, 3).unwrap();
+        let config = AttackConfig {
+            per_query_deadline: Some(Duration::ZERO),
+            ..AttackConfig::default().with_deadline(Duration::ZERO)
+        };
+        let result = attack_locked(&locked, &config).unwrap();
+        assert_eq!(
+            result.outcome,
+            AttackOutcome::TimedOut(ExpiredDeadline::Attack)
+        );
     }
 
     #[test]

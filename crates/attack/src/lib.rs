@@ -37,7 +37,9 @@ mod oracle;
 mod runtime;
 
 pub use appsat::{appsat, AppSatConfig, AppSatResult};
-pub use dip::{attack, attack_locked, AttackConfig, AttackOutcome, AttackResult, CancelToken};
+pub use dip::{
+    attack, attack_locked, AttackConfig, AttackOutcome, AttackResult, CancelToken, ExpiredDeadline,
+};
 pub use error::AttackError;
 pub use oracle::{Oracle, SimOracle};
 pub use runtime::{AttackRuntime, RuntimeMeasure, WORK_UNITS_PER_SECOND};

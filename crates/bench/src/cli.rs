@@ -29,11 +29,12 @@ pub struct Options {
     /// Checkpoint log to record finished attacks in and resume from.
     pub resume: Option<String>,
     /// Per-attack wall-clock deadline in seconds. An attack that outlives
-    /// it is retried with escalated budgets and, failing that, quarantined
-    /// — never labeled, because a wall-clock verdict is machine-dependent.
+    /// it is retried with an escalated deadline (deterministic budgets stay
+    /// fixed) and, failing that, quarantined — never labeled, because a
+    /// wall-clock verdict is machine-dependent.
     pub deadline: Option<f64>,
     /// Extra attempts per instance after the first (retry policy runs
-    /// `retries + 1` attempts total, each at escalated budgets).
+    /// `retries + 1` attempts total, each at escalated deadlines).
     pub retries: usize,
     /// Keep sweeping past quarantined instances (default). With
     /// `--no-keep-going` the first quarantine aborts the whole sweep.

@@ -18,12 +18,21 @@
 //! Besides completed labels the log also records *quarantined* instances —
 //! ones whose attack exhausted its retry policy by timing out, panicking,
 //! or erroring (see [`crate::supervise`]). A resumed sweep skips known-bad
-//! instances instead of re-diverging on them.
+//! instances instead of re-diverging on them — but only while the
+//! *supervision policy* is unchanged: each `fail` record carries a
+//! [`supervision_key`] fingerprint of the deadlines and retry policy it
+//! gave up under, and [`CheckpointLog::lookup_failure`] ignores records
+//! from a different policy. Rerunning with a raised `--deadline` or
+//! `--retries` therefore re-attacks known-bad instances instead of
+//! trusting a verdict reached under tighter limits. (Success records need
+//! no such guard: a completed or budget-censored label is a deterministic
+//! function of the inputs fingerprinted by [`instance_key`]; deadlines can
+//! only time an attack out, never change a label it produced.)
 //!
-//! Format: a header line `# icnet-checkpoint v2`, then one record per line:
+//! Format: a header line `# icnet-checkpoint v3`, then one record per line:
 //!
 //! * success: `<key:016x> <index> ok <instance CSV fields> #<crc:016x>`
-//! * failure: `<key:016x> <index> fail <kind>,<attempts>,<iterations>,<work>,<message> #<crc:016x>`
+//! * failure: `<key:016x> <index> fail <kind>,<attempts>,<iterations>,<work>,<supervision:016x>,<message> #<crc:016x>`
 //!
 //! (see [`crate::dataset_to_csv`] for the instance field list). The index
 //! is informational — the hash is the key. The trailing `#<crc>` is a
@@ -45,7 +54,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &str = "# icnet-checkpoint v2";
+const MAGIC: &str = "# icnet-checkpoint v3";
 
 /// 64-bit FNV-1a over `bytes`, folded into `hash`.
 fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
@@ -65,17 +74,38 @@ fn record_crc(body: &str) -> u64 {
 
 /// Content hash identifying one attack run: the locked circuit's canonical
 /// `.bench` text, its key bits, and every configuration field that changes
-/// the attack's outcome. Two sweeps produce the same key for an instance
-/// exactly when the attack would produce the same label.
+/// the attack's *deterministic* outcome (work budget, per-solve conflict
+/// cap, runtime measure). Two sweeps produce the same key for an instance
+/// exactly when the attack would produce the same label. Wall-clock
+/// deadlines and the retry policy are deliberately excluded — they decide
+/// whether an attack *finishes*, never what label a finished attack gets —
+/// and are fingerprinted separately by [`supervision_key`] for quarantine
+/// records.
 pub fn instance_key(config: &DatasetConfig, locked: &LockedCircuit) -> u64 {
     let mut h = fnv1a(FNV_OFFSET, locked.locked.to_bench().as_bytes());
     let key_bits: Vec<u8> = locked.key.bits().iter().map(|&b| b as u8).collect();
     h = fnv1a(h, &key_bits);
     let attack_fingerprint = format!(
-        "budget={:?};measure={:?}",
-        config.attack.work_budget, config.measure
+        "budget={:?};conflicts={:?};measure={:?}",
+        config.attack.work_budget, config.attack.conflicts_per_solve, config.measure
     );
     fnv1a(h, attack_fingerprint.as_bytes())
+}
+
+/// Fingerprint of the supervision policy a quarantine verdict was reached
+/// under: both wall-clock deadlines and the retry policy. A `fail` record
+/// is only authoritative for runs with the *same* fingerprint — raise the
+/// deadline or add retries and the instance deserves another attack, so
+/// [`CheckpointLog::lookup_failure`] treats the stale record as absent.
+pub fn supervision_key(config: &DatasetConfig) -> u64 {
+    let fingerprint = format!(
+        "deadline={:?};per_query={:?};attempts={};escalation={}",
+        config.attack.deadline,
+        config.attack.per_query_deadline,
+        config.retry.max_attempts.max(1),
+        config.retry.escalation,
+    );
+    fnv1a(FNV_OFFSET, fingerprint.as_bytes())
 }
 
 /// An append-only log of completed and quarantined instances, keyed by
@@ -89,7 +119,9 @@ pub fn instance_key(config: &DatasetConfig, locked: &LockedCircuit) -> u64 {
 pub struct CheckpointLog {
     path: PathBuf,
     entries: HashMap<u64, Instance>,
-    failures: HashMap<u64, InstanceFailure>,
+    /// Quarantines, each stored with the [`supervision_key`] of the policy
+    /// it was reached under.
+    failures: HashMap<u64, (u64, InstanceFailure)>,
     file: File,
 }
 
@@ -141,8 +173,8 @@ impl CheckpointLog {
                 Record::Ok(key, inst) => {
                     entries.insert(key, inst);
                 }
-                Record::Fail(key, failure) => {
-                    failures.insert(key, failure);
+                Record::Fail(key, supervision, failure) => {
+                    failures.insert(key, (supervision, failure));
                 }
             }
         }
@@ -199,9 +231,17 @@ impl CheckpointLog {
     }
 
     /// The recorded quarantine failure for `key`, if its attack already
-    /// exhausted the retry policy in a previous run.
-    pub fn lookup_failure(&self, key: u64) -> Option<&InstanceFailure> {
-        self.failures.get(&key)
+    /// exhausted the retry policy in a previous run *under the same
+    /// supervision policy* (`supervision` = [`supervision_key`] of the
+    /// current config). A record written under different deadlines or a
+    /// different retry policy is ignored, so a rerun with a raised
+    /// `--deadline` / `--retries` re-attacks the instance instead of
+    /// trusting a verdict reached under tighter limits.
+    pub fn lookup_failure(&self, key: u64, supervision: u64) -> Option<&InstanceFailure> {
+        self.failures
+            .get(&key)
+            .filter(|(recorded, _)| *recorded == supervision)
+            .map(|(_, failure)| failure)
     }
 
     /// Appends one completed instance and flushes it to disk immediately.
@@ -223,7 +263,8 @@ impl CheckpointLog {
     }
 
     /// Appends one quarantined instance and flushes it to disk immediately,
-    /// so a resumed sweep skips the known-bad instance.
+    /// so a resumed sweep under the same supervision policy (`supervision`
+    /// = [`supervision_key`]) skips the known-bad instance.
     ///
     /// # Errors
     ///
@@ -232,10 +273,11 @@ impl CheckpointLog {
         &mut self,
         key: u64,
         index: usize,
+        supervision: u64,
         failure: &InstanceFailure,
     ) -> Result<(), DatasetError> {
         let body = format!(
-            "{key:016x} {index} fail {},{},{},{},{}",
+            "{key:016x} {index} fail {},{},{},{},{supervision:016x},{}",
             failure.kind.tag(),
             failure.attempts,
             failure.iterations,
@@ -243,7 +285,7 @@ impl CheckpointLog {
             sanitize_line(&failure.message),
         );
         self.append(&body)?;
-        self.failures.insert(key, failure.clone());
+        self.failures.insert(key, (supervision, failure.clone()));
         Ok(())
     }
 
@@ -259,7 +301,7 @@ impl CheckpointLog {
 
 enum Record {
     Ok(u64, Instance),
-    Fail(u64, InstanceFailure),
+    Fail(u64, u64, InstanceFailure),
 }
 
 fn parse_record(line: &str, lineno: usize) -> Result<Record, DatasetError> {
@@ -303,19 +345,22 @@ fn parse_record(line: &str, lineno: usize) -> Result<Record, DatasetError> {
             })?;
             Ok(Record::Ok(key, inst))
         }
-        "fail" => Ok(Record::Fail(key, parse_failure(rest, lineno)?)),
+        "fail" => {
+            let (supervision, failure) = parse_failure(rest, lineno)?;
+            Ok(Record::Fail(key, supervision, failure))
+        }
         other => Err(corrupt(format!("unknown record tag `{other}`"))),
     }
 }
 
-fn parse_failure(payload: &str, lineno: usize) -> Result<InstanceFailure, DatasetError> {
+fn parse_failure(payload: &str, lineno: usize) -> Result<(u64, InstanceFailure), DatasetError> {
     let corrupt = |message: String| DatasetError::Checkpoint {
         line: lineno,
         message,
     };
-    // The message is the free-form tail: split off exactly four structured
+    // The message is the free-form tail: split off exactly five structured
     // fields so commas inside the message survive.
-    let mut fields = payload.splitn(5, ',');
+    let mut fields = payload.splitn(6, ',');
     let kind_field = fields.next().unwrap_or("");
     let kind = FailureKind::from_tag(kind_field)
         .ok_or_else(|| corrupt(format!("unknown failure kind `{kind_field}`")))?;
@@ -330,17 +375,28 @@ fn parse_failure(payload: &str, lineno: usize) -> Result<InstanceFailure, Datase
     let attempts = num("attempts")? as usize;
     let iterations = num("iterations")? as usize;
     let work = num("work")?;
+    let supervision_field = fields
+        .next()
+        .ok_or_else(|| corrupt("missing failure field `supervision`".into()))?;
+    let supervision = u64::from_str_radix(supervision_field, 16).map_err(|_| {
+        corrupt(format!(
+            "bad failure field `supervision`: `{supervision_field}`"
+        ))
+    })?;
     let message = fields
         .next()
         .ok_or_else(|| corrupt("missing failure message".into()))?
         .to_owned();
-    Ok(InstanceFailure {
-        kind,
-        attempts,
-        message,
-        iterations,
-        work,
-    })
+    Ok((
+        supervision,
+        InstanceFailure {
+            kind,
+            attempts,
+            message,
+            iterations,
+            work,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -393,29 +449,48 @@ mod tests {
         assert_eq!(log.lookup(0xEF), None);
     }
 
+    /// An arbitrary supervision fingerprint for tests that only need one.
+    const SUP: u64 = 0x5E1F;
+
     #[test]
     fn failures_persist_across_reopen() {
         let path = tmp("failures.ckpt");
         let mut log = CheckpointLog::open(&path).unwrap();
         log.record(0xAB, 0, &inst(1)).unwrap();
-        log.record_failure(0xCD, 1, &fail(7)).unwrap();
+        log.record_failure(0xCD, 1, SUP, &fail(7)).unwrap();
         drop(log);
         let log = CheckpointLog::open(&path).unwrap();
         assert_eq!(log.len(), 1, "labels count successes only");
         assert_eq!(log.num_quarantined(), 1);
-        assert_eq!(log.lookup_failure(0xCD), Some(&fail(7)));
+        assert_eq!(log.lookup_failure(0xCD, SUP), Some(&fail(7)));
         assert_eq!(log.lookup(0xCD), None, "a quarantine is not a label");
+    }
+
+    #[test]
+    fn failures_from_a_different_supervision_policy_are_ignored() {
+        let path = tmp("stale_policy.ckpt");
+        let mut log = CheckpointLog::open(&path).unwrap();
+        log.record_failure(0xCD, 1, SUP, &fail(7)).unwrap();
+        drop(log);
+        let log = CheckpointLog::open(&path).unwrap();
+        assert_eq!(log.lookup_failure(0xCD, SUP), Some(&fail(7)));
+        assert_eq!(
+            log.lookup_failure(0xCD, SUP + 1),
+            None,
+            "a raised deadline / retry budget must re-attack the instance"
+        );
+        assert_eq!(log.num_quarantined(), 1, "the record itself survives");
     }
 
     #[test]
     fn failure_message_keeps_embedded_commas() {
         let path = tmp("commas.ckpt");
         let mut log = CheckpointLog::open(&path).unwrap();
-        log.record_failure(0x9, 3, &fail(3)).unwrap();
+        log.record_failure(0x9, 3, SUP, &fail(3)).unwrap();
         drop(log);
         let log = CheckpointLog::open(&path).unwrap();
         assert_eq!(
-            log.lookup_failure(0x9).unwrap().message,
+            log.lookup_failure(0x9, SUP).unwrap().message,
             "boom, with a comma, at 3"
         );
     }
@@ -497,13 +572,18 @@ mod tests {
     }
 
     #[test]
-    fn v1_logs_are_rejected_as_stale() {
-        let path = tmp("v1.ckpt");
-        std::fs::write(&path, "# icnet-checkpoint v1\n").unwrap();
-        assert!(matches!(
-            CheckpointLog::open(&path),
-            Err(DatasetError::Checkpoint { line: 1, .. })
-        ));
+    fn older_format_logs_are_rejected_as_stale() {
+        for version in ["v1", "v2"] {
+            let path = tmp(&format!("{version}.ckpt"));
+            std::fs::write(&path, format!("# icnet-checkpoint {version}\n")).unwrap();
+            assert!(
+                matches!(
+                    CheckpointLog::open(&path),
+                    Err(DatasetError::Checkpoint { line: 1, .. })
+                ),
+                "{version} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -518,5 +598,38 @@ mod tests {
         let mut other = config.clone();
         other.attack = attack::AttackConfig::with_work_budget(1);
         assert_ne!(ka, instance_key(&other, &a), "budget changes the key");
+        let mut other = config.clone();
+        other.attack.conflicts_per_solve = Some(99);
+        assert_ne!(
+            ka,
+            instance_key(&other, &a),
+            "the per-solve conflict cap changes deterministic outcomes, so it changes the key"
+        );
+    }
+
+    #[test]
+    fn supervision_key_tracks_deadlines_and_retries_but_not_labels() {
+        let config = DatasetConfig::quick_demo();
+        let circuit = crate::generate::sweep_circuit(&config).unwrap();
+        let locked = crate::generate::lock_instance(&config, &circuit, 0).unwrap();
+        let base = supervision_key(&config);
+        assert_eq!(base, supervision_key(&config), "deterministic");
+
+        let mut raised = config.clone();
+        raised.attack.deadline = Some(std::time::Duration::from_secs(30));
+        assert_ne!(base, supervision_key(&raised), "deadline changes it");
+        assert_eq!(
+            instance_key(&config, &locked),
+            instance_key(&raised, &locked),
+            "deadlines never change a finished attack's label, so success records stay valid"
+        );
+
+        let mut retried = config.clone();
+        retried.retry.max_attempts += 1;
+        assert_ne!(base, supervision_key(&retried), "retry policy changes it");
+
+        let mut per_query = config.clone();
+        per_query.attack.per_query_deadline = Some(std::time::Duration::from_secs(1));
+        assert_ne!(base, supervision_key(&per_query));
     }
 }

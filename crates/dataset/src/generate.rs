@@ -206,7 +206,7 @@ pub(crate) fn label_instance(
         log_seconds: seconds.max(1e-6).ln(),
         censored: matches!(
             result.outcome,
-            AttackOutcome::BudgetExceeded | AttackOutcome::TimedOut
+            AttackOutcome::BudgetExceeded | AttackOutcome::TimedOut(_)
         ),
     }
 }
@@ -249,16 +249,13 @@ pub fn generate_one(
             circuit: config.profile.clone(),
             source: attack::AttackError::Cancelled,
         }),
-        AttackOutcome::TimedOut => Err(DatasetError::Quarantined {
+        AttackOutcome::TimedOut(which) => Err(DatasetError::Quarantined {
             instance: index,
             circuit: config.profile.clone(),
             failure: crate::supervise::InstanceFailure {
                 kind: crate::supervise::FailureKind::Timeout,
                 attempts: 1,
-                message: format!(
-                    "wall-clock deadline {:?} expired",
-                    config.attack.deadline.or(config.attack.per_query_deadline)
-                ),
+                message: crate::supervise::timeout_message(which, &config.attack),
                 iterations: result.iterations,
                 work: result.solver_stats.work(),
             },

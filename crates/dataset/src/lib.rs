@@ -39,7 +39,7 @@ mod parallel;
 mod split;
 mod supervise;
 
-pub use checkpoint::{instance_key, CheckpointLog};
+pub use checkpoint::{instance_key, supervision_key, CheckpointLog};
 pub use csv::{dataset_from_csv, dataset_to_csv};
 pub use encode::{flat_features, graph_features, FlatAggregation, StructureEncoding};
 pub use error::DatasetError;

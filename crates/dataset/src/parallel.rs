@@ -12,7 +12,8 @@
 //!
 //! Every attack runs under the per-instance supervisor
 //! ([`crate::supervise_attack`]): panics are isolated, wall-clock timeouts
-//! and panics are retried with escalating budgets, and an instance that
+//! and panics are retried with escalating deadlines (deterministic budgets
+//! stay fixed so retries cannot change a label), and an instance that
 //! exhausts its retries is *quarantined*. With
 //! [`DatasetConfig::keep_going`] set (the default), the sweep records the
 //! typed failure — in the [`CheckpointLog`] when one is attached, and in
@@ -23,7 +24,7 @@
 //! their next DIP iteration. A resumed sweep skips both completed *and*
 //! quarantined instances already on record.
 
-use crate::checkpoint::{instance_key, CheckpointLog};
+use crate::checkpoint::{instance_key, supervision_key, CheckpointLog};
 use crate::error::DatasetError;
 use crate::generate::{
     generate_one, label_instance, lock_instance, sweep_circuit, Dataset, DatasetConfig,
@@ -172,6 +173,9 @@ pub fn generate_parallel_with(
     let first_error: Mutex<Option<DatasetError>> = Mutex::new(None);
     let cancel = CancelToken::new();
     let log = checkpoint.map(Mutex::new);
+    // Quarantine records are only trusted across runs with the same
+    // deadlines and retry policy (see `checkpoint::supervision_key`).
+    let supervision = supervision_key(config);
 
     // A quarantine is fatal exactly when the operator opted out of
     // keep-going; everything routes through here so the policy lives in
@@ -189,7 +193,9 @@ pub fn generate_parallel_with(
                 if let Some(log) = &log {
                     let locked = lock_instance(config, &circuit, index)?;
                     let key = instance_key(config, &locked);
-                    log.lock().unwrap().record_failure(key, index, &failure)?;
+                    log.lock()
+                        .unwrap()
+                        .record_failure(key, index, supervision, &failure)?;
                 }
             }
             failures.lock().unwrap().push(SweepFailure {
@@ -226,7 +232,7 @@ pub fn generate_parallel_with(
                     if let Some(done) = log.lookup(key) {
                         return Ok(Some((done.clone(), true)));
                     }
-                    if let Some(known_bad) = log.lookup_failure(key) {
+                    if let Some(known_bad) = log.lookup_failure(key, supervision) {
                         let failure = known_bad.clone();
                         drop(log);
                         quarantine(index, failure, true)?;

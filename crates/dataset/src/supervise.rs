@@ -1,4 +1,4 @@
-//! Per-instance attack supervision: panic isolation, retry with budget
+//! Per-instance attack supervision: panic isolation, retry with deadline
 //! escalation, and typed failure records.
 //!
 //! The labels this pipeline produces come from SAT attacks whose runtime is
@@ -11,9 +11,12 @@
 //! 1. every attempt runs under [`std::panic::catch_unwind`], so a panicking
 //!    oracle or solver bug cannot unwind across the sweep's thread scope;
 //! 2. a retryable failure (wall-clock timeout or panic) is retried up to
-//!    [`RetryPolicy::max_attempts`] times, with the work budget, conflict
-//!    cap, and deadlines all multiplied by [`RetryPolicy::escalation`] on
-//!    each retry — transient slowness gets a second, bigger chance;
+//!    [`RetryPolicy::max_attempts`] times, with both wall-clock deadlines
+//!    multiplied by [`RetryPolicy::escalation`] on each retry — transient
+//!    slowness gets a second, longer chance. The *deterministic* budgets
+//!    (work budget, per-solve conflict cap) are never escalated: a label
+//!    must be a pure function of the instance and the configured budgets,
+//!    never of which attempt happened to beat the machine-dependent clock;
 //! 3. an instance that exhausts its attempts is *quarantined*: the sweep
 //!    records a typed [`InstanceFailure`] (kind, attempt count, partial
 //!    solver stats) and moves on, and a resumed sweep skips the known-bad
@@ -24,7 +27,9 @@
 //! before. Only wall-clock timeouts, panics, and attack errors quarantine.
 
 use crate::generate::DatasetConfig;
-use attack::{attack_locked, AttackConfig, AttackError, AttackOutcome, AttackResult};
+use attack::{
+    attack_locked, AttackConfig, AttackError, AttackOutcome, AttackResult, ExpiredDeadline,
+};
 use obfuscate::LockedCircuit;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -43,14 +48,15 @@ pub type AttackHook = Arc<
 pub struct RetryPolicy {
     /// Total attempts per instance, including the first (minimum 1).
     pub max_attempts: usize,
-    /// Multiplier applied to the work budget, per-solve conflict cap, and
-    /// both deadlines on each successive attempt (attempt `k` runs at
-    /// `escalation^k` times the configured budgets).
+    /// Multiplier applied to both wall-clock deadlines on each successive
+    /// attempt (attempt `k` runs at `escalation^k` times the configured
+    /// deadlines). Deterministic budgets are deliberately *not* escalated —
+    /// see [`RetryPolicy::escalate`].
     pub escalation: u32,
 }
 
 impl Default for RetryPolicy {
-    /// One retry at twice the budgets.
+    /// One retry at twice the deadlines.
     fn default() -> Self {
         RetryPolicy {
             max_attempts: 2,
@@ -60,17 +66,24 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// `config` with every budget and deadline scaled by
-    /// `escalation^attempt` (attempt 0 = the configured budgets).
+    /// `config` with both wall-clock deadlines scaled by
+    /// `escalation^attempt` (attempt 0 = the configured deadlines).
+    ///
+    /// The deterministic budgets (`work_budget`, `conflicts_per_solve`) are
+    /// left untouched: they define the label (a censored instance is
+    /// "censored at the configured budget"), so escalating them would make
+    /// the label depend on wall-clock timing and worker contention —
+    /// whichever attempt finished would have been measured under different
+    /// budgets, breaking byte-identity across machines, worker counts, and
+    /// resumed runs. Only the machine-dependent deadlines grow; a retry
+    /// that succeeds therefore yields exactly the label a serial
+    /// deadline-free run would have produced.
     pub fn escalate(&self, config: &AttackConfig, attempt: usize) -> AttackConfig {
         let factor = u64::from(self.escalation).saturating_pow(attempt as u32);
+        let factor = u32::try_from(factor).unwrap_or(u32::MAX);
         let mut out = config.clone();
-        out.work_budget = out.work_budget.map(|b| b.saturating_mul(factor));
-        out.conflicts_per_solve = out.conflicts_per_solve.map(|c| c.saturating_mul(factor));
-        out.deadline = out.deadline.map(|d| d.saturating_mul(factor as u32));
-        out.per_query_deadline = out
-            .per_query_deadline
-            .map(|d| d.saturating_mul(factor as u32));
+        out.deadline = out.deadline.map(|d| d.saturating_mul(factor));
+        out.per_query_deadline = out.per_query_deadline.map(|d| d.saturating_mul(factor));
         out
     }
 }
@@ -172,6 +185,16 @@ pub(crate) fn sanitize_line(text: &str) -> String {
     text.replace(['\n', '\r'], " ")
 }
 
+/// One-line quarantine message naming the wall-clock bound that actually
+/// expired (the attack reports which via [`ExpiredDeadline`]).
+pub(crate) fn timeout_message(which: ExpiredDeadline, config: &AttackConfig) -> String {
+    let bound = match which {
+        ExpiredDeadline::Attack => config.deadline,
+        ExpiredDeadline::PerQuery => config.per_query_deadline,
+    };
+    format!("wall-clock {} {:?} expired", which.describe(), bound)
+}
+
 /// Runs the attack for instance `index` of `config` under full supervision:
 /// panic isolation, retry with escalation, and failure typing. The attack
 /// config `base` must already carry the sweep's cancel token (when any).
@@ -199,13 +222,10 @@ pub fn supervise_attack(
                     return Supervised::Done(result)
                 }
                 AttackOutcome::Cancelled => return Supervised::Cancelled,
-                AttackOutcome::TimedOut => InstanceFailure {
+                AttackOutcome::TimedOut(which) => InstanceFailure {
                     kind: FailureKind::Timeout,
                     attempts: attempt + 1,
-                    message: format!(
-                        "wall-clock deadline {:?} expired",
-                        attack_cfg.deadline.or(attack_cfg.per_query_deadline)
-                    ),
+                    message: timeout_message(which, &attack_cfg),
                     iterations: result.iterations,
                     work: result.solver_stats.work(),
                 },
@@ -284,17 +304,18 @@ mod tests {
     }
 
     #[test]
-    fn timeout_retries_with_escalated_budgets_then_succeeds() {
+    fn timeout_retries_escalate_deadlines_but_never_budgets() {
         let (mut config, locked) = demo_locked();
-        config.attack.work_budget = Some(1000);
+        config.attack.work_budget = Some(5_000_000);
+        config.attack.deadline = Some(Duration::from_secs(60));
         config.retry = RetryPolicy {
             max_attempts: 3,
             escalation: 4,
         };
-        let budgets = Arc::new(std::sync::Mutex::new(Vec::new()));
-        let seen = budgets.clone();
+        let attempts = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let seen = attempts.clone();
         config.attack_hook = Some(Arc::new(move |index, locked, cfg| {
-            seen.lock().unwrap().push(cfg.work_budget);
+            seen.lock().unwrap().push((cfg.work_budget, cfg.deadline));
             if seen.lock().unwrap().len() < 3 {
                 // Simulate a wall-clock timeout through the real code path.
                 let mut timed = cfg.clone();
@@ -306,13 +327,26 @@ mod tests {
             }
         }));
         match supervise_attack(&config, &locked, 0, &config.attack.clone()) {
-            Supervised::Done(result) => assert!(result.key().is_some()),
+            Supervised::Done(result) => {
+                assert!(result.key().is_some());
+                // The label the escalated attempt produced is byte-identical
+                // to a first-try run under the base config: escalation only
+                // buys wall-clock, never a different measurement.
+                let reference = attack_locked(&locked, &config.attack).unwrap();
+                assert_eq!(result.outcome, reference.outcome);
+                assert_eq!(result.iterations, reference.iterations);
+                assert_eq!(result.solver_stats.work(), reference.solver_stats.work());
+            }
             other => panic!("expected Done on third attempt, got {other:?}"),
         }
         assert_eq!(
-            *budgets.lock().unwrap(),
-            vec![Some(1000), Some(4000), Some(16000)],
-            "budgets escalate 4x per attempt"
+            *attempts.lock().unwrap(),
+            vec![
+                (Some(5_000_000), Some(Duration::from_secs(60))),
+                (Some(5_000_000), Some(Duration::from_secs(240))),
+                (Some(5_000_000), Some(Duration::from_secs(960))),
+            ],
+            "deadlines escalate 4x per attempt; the deterministic budget never moves"
         );
     }
 
@@ -353,9 +387,34 @@ mod tests {
             max_attempts: 80,
             escalation: u32::MAX,
         };
-        let cfg = AttackConfig::with_work_budget(u64::MAX / 2);
+        let mut cfg = AttackConfig::with_work_budget(1000);
+        cfg.deadline = Some(Duration::from_secs(1));
         let escalated = policy.escalate(&cfg, 79);
-        assert_eq!(escalated.work_budget, Some(u64::MAX));
+        assert_eq!(
+            escalated.deadline,
+            Some(Duration::from_secs(1).saturating_mul(u32::MAX)),
+            "the factor clamps and the deadline saturates instead of wrapping"
+        );
+        assert_eq!(escalated.work_budget, Some(1000), "budgets never escalate");
+    }
+
+    #[test]
+    fn huge_escalation_factors_clamp_instead_of_truncating_to_zero() {
+        // 2^40 overflows u32; a plain `as u32` cast would truncate it to 0
+        // and turn every later attempt's deadline into Duration::ZERO.
+        let policy = RetryPolicy {
+            max_attempts: 64,
+            escalation: 2,
+        };
+        let cfg = AttackConfig {
+            deadline: Some(Duration::from_millis(1)),
+            per_query_deadline: Some(Duration::from_millis(1)),
+            ..AttackConfig::default()
+        };
+        let escalated = policy.escalate(&cfg, 40);
+        let clamped = Duration::from_millis(1).saturating_mul(u32::MAX);
+        assert_eq!(escalated.deadline, Some(clamped));
+        assert_eq!(escalated.per_query_deadline, Some(clamped));
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             println!("functionally correct: {}", locked.verify_key(key)?);
         }
         AttackOutcome::BudgetExceeded => println!("attack hit its budget"),
-        AttackOutcome::TimedOut => println!("attack hit its wall-clock deadline"),
+        AttackOutcome::TimedOut(which) => println!("attack hit its {}", which.describe()),
         AttackOutcome::Cancelled => println!("attack was cancelled"),
     }
 

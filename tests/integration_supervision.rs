@@ -124,6 +124,42 @@ fn resume_skips_exactly_the_quarantined_instances() {
 }
 
 #[test]
+fn raising_the_deadline_reattacks_quarantined_instances_on_resume() {
+    let mut config = DatasetConfig::quick_demo();
+    config.num_instances = 4;
+    config.retry = RetryPolicy {
+        max_attempts: 1,
+        escalation: 2,
+    };
+    config.attack.deadline = Some(Duration::ZERO); // everything times out
+    let path = tmp("raised_deadline.ckpt");
+
+    let mut log = CheckpointLog::open(&path).unwrap();
+    let (data, report) = generate_parallel_with(&config, 2, Some(&mut log)).unwrap();
+    assert!(data.instances.is_empty());
+    assert_eq!(report.quarantined(), 4);
+    assert_eq!(log.num_quarantined(), 4);
+    drop(log);
+
+    // Same --resume log, generous deadline: the quarantine verdicts were
+    // reached under a tighter supervision policy and must not be trusted —
+    // every instance deserves another attack.
+    config.attack.deadline = Some(Duration::from_secs(600));
+    let mut log = CheckpointLog::open(&path).unwrap();
+    let (data, report) = generate_parallel_with(&config, 2, Some(&mut log)).unwrap();
+    assert_eq!(report.quarantined(), 0, "no stale quarantine replayed");
+    assert_eq!(report.attacked(), 4, "every instance re-attacked");
+    assert_eq!(data.instances.len(), 4);
+
+    // The recovered labels are byte-identical to a deadline-free sweep:
+    // deadlines decide whether an attack finishes, never what label a
+    // finished attack gets.
+    let mut clean = config.clone();
+    clean.attack.deadline = None;
+    assert_eq!(data.instances, generate(&clean).unwrap().instances);
+}
+
+#[test]
 fn no_keep_going_aborts_on_the_first_sick_instance() {
     let mut config = faulty_config();
     config.keep_going = false;
