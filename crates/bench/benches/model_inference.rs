@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use icnet::{encode_features, Aggregation, CircuitGraph, FeatureSet, GraphModel, ModelKind};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bench_inference(c: &mut Criterion) {
     let circuit = synth::iscas::circuit("c1529", 0).expect("profile");
@@ -24,7 +24,7 @@ fn bench_inference(c: &mut Criterion) {
         ModelKind::ChebNet { k: 3 },
         ModelKind::ICNet,
     ] {
-        let op = Rc::new(kind.operator(&graph));
+        let op = Arc::new(kind.operator(&graph));
         let model = GraphModel::new(kind, Aggregation::Nn, 7, 16, 16, 1);
         group.bench_function(kind.label(), |b| {
             b.iter(|| model.predict(&op, &x));

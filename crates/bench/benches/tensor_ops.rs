@@ -1,7 +1,7 @@
 //! Criterion benchmarks of the numeric substrate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::{CsrMatrix, Matrix, Tape};
 
 fn circuit_sized_sparse(n: usize) -> CsrMatrix {
@@ -33,7 +33,7 @@ fn bench_tensor(c: &mut Criterion) {
         bencher.iter(|| sparse.spmm(&dense));
     });
 
-    let op = Rc::new(circuit_sized_sparse(1529));
+    let op = Arc::new(circuit_sized_sparse(1529));
     let x = Matrix::from_fn(1529, 7, |r, c| ((r * c) % 3) as f64);
     let w1 = Matrix::from_fn(7, 16, |r, c| ((r + c) % 5) as f64 / 5.0 - 0.4);
     let w2 = Matrix::from_fn(16, 16, |r, c| ((r * c) % 7) as f64 / 7.0 - 0.5);
@@ -43,10 +43,10 @@ fn bench_tensor(c: &mut Criterion) {
             let xv = tape.constant(x.clone());
             let w1v = tape.leaf(w1.clone());
             let w2v = tape.leaf(w2.clone());
-            let p1 = tape.spmm(Rc::clone(&op), xv);
+            let p1 = tape.spmm(Arc::clone(&op), xv);
             let h1 = tape.matmul(p1, w1v);
             let r1 = tape.relu(h1);
-            let p2 = tape.spmm(Rc::clone(&op), r1);
+            let p2 = tape.spmm(Arc::clone(&op), r1);
             let h2 = tape.matmul(p2, w2v);
             let r2 = tape.relu(h2);
             let loss = tape.mean_all(r2);

@@ -17,7 +17,7 @@ use dataset::{
 use icnet::{Aggregation, FeatureSet, GraphModel, ModelKind, OutputHead, TrainConfig};
 use regress::metrics;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 struct Ablation<'a> {
     data: &'a dataset::Dataset,
@@ -40,7 +40,7 @@ impl Ablation<'_> {
         head: OutputHead,
     ) {
         let graph = icnet::CircuitGraph::from_circuit(&self.data.circuit);
-        let op = Rc::new(kind.operator(&graph));
+        let op = Arc::new(kind.operator(&graph));
         let xs = graph_features(&self.data.circuit, &self.data.instances, fs);
         // Identity head trains on standardized log labels; the exp head
         // (paper Eq. 3) trains on raw seconds directly.

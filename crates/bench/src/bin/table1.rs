@@ -5,7 +5,7 @@
 //! ```
 
 use bench::cli::Options;
-use bench::harness::{format_table, results_to_csv, run_mse_suite};
+use bench::harness::{format_table, results_to_csv, run_mse_suite_jobs};
 use bench::methods::BaselineKind;
 use dataset::DatasetConfig;
 use std::time::Instant;
@@ -36,7 +36,13 @@ fn main() {
     );
 
     let t1 = Instant::now();
-    let results = run_mse_suite(&data, &BaselineKind::table1(), opts.epochs, opts.seed);
+    let results = run_mse_suite_jobs(
+        &data,
+        &BaselineKind::table1(),
+        opts.epochs,
+        opts.seed,
+        opts.jobs,
+    );
     println!(
         "# evaluated {} cells in {:.1}s\n",
         results.len(),

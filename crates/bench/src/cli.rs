@@ -23,8 +23,10 @@ pub struct Options {
     pub quick: bool,
     /// Output directory for CSV artifacts.
     pub out_dir: String,
-    /// Worker threads for dataset generation. Results are byte-identical
-    /// for every value (see `dataset::generate_parallel`).
+    /// Worker threads, for both dataset generation and the evaluation
+    /// suite's (method × feature-set × aggregation) grid. Results are
+    /// byte-identical for every value (see `dataset::generate_parallel`
+    /// and `harness::run_mse_suite_jobs`).
     pub jobs: usize,
     /// Checkpoint log to record finished attacks in and resume from.
     pub resume: Option<String>,

@@ -7,7 +7,7 @@ use dataset::{
 };
 use icnet::{Aggregation, FeatureSet, GraphModel, ModelKind, TrainConfig};
 use regress::metrics;
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::Matrix;
 
 /// Generates the dataset for `config`, or loads it from a CSV cache under
@@ -175,7 +175,7 @@ pub struct TrainedGnn {
     /// The fitted model.
     pub model: GraphModel,
     /// The graph operator it was trained with.
-    pub op: Rc<tensor::CsrMatrix>,
+    pub op: Arc<tensor::CsrMatrix>,
     /// Feature set the model expects.
     pub feature_set: FeatureSet,
     y_mean: f64,
@@ -210,8 +210,27 @@ pub fn evaluate_gnn(
     epochs: usize,
     seed: u64,
 ) -> (EvalResult, TrainedGnn) {
+    let config = TrainConfig {
+        max_epochs: epochs,
+        lr: 5e-3,
+        ..TrainConfig::default()
+    };
+    evaluate_gnn_with(data, split, kind, agg, fs, &config, seed)
+}
+
+/// [`evaluate_gnn`] with full control over the training configuration
+/// (learning rate, worker threads, ...).
+pub fn evaluate_gnn_with(
+    data: &Dataset,
+    split: &Split,
+    kind: ModelKind,
+    agg: Aggregation,
+    fs: FeatureSet,
+    config: &TrainConfig,
+    seed: u64,
+) -> (EvalResult, TrainedGnn) {
     let graph = icnet::CircuitGraph::from_circuit(&data.circuit);
-    let op = Rc::new(kind.operator(&graph));
+    let op = Arc::new(kind.operator(&graph));
     let xs = graph_features(&data.circuit, &data.instances, fs);
     let y = data.labels();
 
@@ -227,13 +246,8 @@ pub fn evaluate_gnn(
 
     let hidden = 16;
     let mut model = GraphModel::new(kind, agg, fs.width(), hidden, hidden, seed);
-    let config = TrainConfig {
-        max_epochs: epochs,
-        lr: 5e-3,
-        ..TrainConfig::default()
-    };
     let xs_train: Vec<Matrix> = split.train.iter().map(|&i| xs[i].clone()).collect();
-    icnet::train(&mut model, &op, &xs_train, &y_train, &config);
+    let report = icnet::train(&mut model, &op, &xs_train, &y_train, config);
 
     let trained = TrainedGnn {
         model,
@@ -242,16 +256,31 @@ pub fn evaluate_gnn(
         y_mean,
         y_std,
     };
+    let suffix = if agg == Aggregation::Nn { "-NN" } else { "" };
+    let method = format!("{}{}", kind.label(), suffix);
+    // A diverged run has no meaningful test MSE — report the paper-style
+    // N/A cell instead of evaluating the (pre-divergence) parameters.
+    if report.diverged {
+        return (
+            EvalResult {
+                method,
+                feature_set: fs,
+                aggregation: agg.label().to_owned(),
+                mse: None,
+                note: format!("diverged: non-finite loss in epoch {}", report.epochs_run),
+            },
+            trained,
+        );
+    }
     let pred: Vec<f64> = split
         .test
         .iter()
         .map(|&i| trained.predict(&xs[i]))
         .collect();
     let y_test = take(&y, &split.test);
-    let suffix = if agg == Aggregation::Nn { "-NN" } else { "" };
     (
         EvalResult {
-            method: format!("{}{}", kind.label(), suffix),
+            method,
             feature_set: fs,
             aggregation: agg.label().to_owned(),
             mse: Some(metrics::mse(&pred, &y_test)),
@@ -261,36 +290,119 @@ pub fn evaluate_gnn(
     )
 }
 
+/// One independently evaluable cell of the Table I/II grid.
+#[derive(Debug, Clone, Copy)]
+enum SuiteCell {
+    Baselines {
+        fs: FeatureSet,
+        agg: FlatAggregation,
+    },
+    Gnn {
+        kind: ModelKind,
+        fs: FeatureSet,
+        agg: Aggregation,
+    },
+}
+
+impl SuiteCell {
+    /// The full grid, in the order the serial suite has always emitted it:
+    /// the four baseline groups, then the 18 GNN configurations.
+    fn grid() -> Vec<SuiteCell> {
+        let mut cells = Vec::new();
+        for fs in [FeatureSet::Location, FeatureSet::All] {
+            for agg in [FlatAggregation::Sum, FlatAggregation::Mean] {
+                cells.push(SuiteCell::Baselines { fs, agg });
+            }
+        }
+        for kind in [
+            ModelKind::ChebNet { k: 3 },
+            ModelKind::Gcn,
+            ModelKind::ICNet,
+        ] {
+            for fs in [FeatureSet::Location, FeatureSet::All] {
+                for agg in [Aggregation::Sum, Aggregation::Mean, Aggregation::Nn] {
+                    cells.push(SuiteCell::Gnn { kind, fs, agg });
+                }
+            }
+        }
+        cells
+    }
+
+    fn evaluate(
+        self,
+        data: &Dataset,
+        split: &Split,
+        roster: &[BaselineKind],
+        epochs: usize,
+        seed: u64,
+    ) -> Vec<EvalResult> {
+        match self {
+            SuiteCell::Baselines { fs, agg } => {
+                eprintln!("#   baselines {} / {} ...", fs.label(), agg.label());
+                evaluate_baselines(data, split, roster, fs, agg)
+            }
+            SuiteCell::Gnn { kind, fs, agg } => {
+                eprintln!("#   {} {} / {} ...", kind.label(), fs.label(), agg.label());
+                let (result, _) = evaluate_gnn(data, split, kind, agg, fs, epochs, seed);
+                vec![result]
+            }
+        }
+    }
+}
+
 /// The full Table I/II sweep: every baseline and every GNN under both
 /// feature sets and both fixed aggregations, plus the `-NN` variants.
+/// Serial; see [`run_mse_suite_jobs`] for the multi-worker variant.
 pub fn run_mse_suite(
     data: &Dataset,
     roster: &[BaselineKind],
     epochs: usize,
     seed: u64,
 ) -> Vec<EvalResult> {
+    run_mse_suite_jobs(data, roster, epochs, seed, 1)
+}
+
+/// [`run_mse_suite`] with the (method × feature-set × aggregation) grid
+/// fanned out across `jobs` worker threads.
+///
+/// Every cell is self-contained (it builds its own features, operator, and
+/// seeded model) and its results land in the slot of its grid position, so
+/// the output is numerically identical for every `jobs` value — only the
+/// wall clock and the interleaving of progress lines change.
+pub fn run_mse_suite_jobs(
+    data: &Dataset,
+    roster: &[BaselineKind],
+    epochs: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<EvalResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let split = train_test_split(data.instances.len(), 0.25, seed);
-    let mut results = Vec::new();
-    for fs in [FeatureSet::Location, FeatureSet::All] {
-        for agg in [FlatAggregation::Sum, FlatAggregation::Mean] {
-            eprintln!("#   baselines {} / {} ...", fs.label(), agg.label());
-            results.extend(evaluate_baselines(data, &split, roster, fs, agg));
+    let cells = SuiteCell::grid();
+    let jobs = jobs.clamp(1, cells.len());
+    let slots: Mutex<Vec<Option<Vec<EvalResult>>>> = Mutex::new(vec![None; cells.len()]);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= cells.len() {
+                    break;
+                }
+                let out = cells[k].evaluate(data, &split, roster, epochs, seed);
+                slots.lock().expect("suite worker panicked")[k] = Some(out);
+            });
         }
-    }
-    for kind in [
-        ModelKind::ChebNet { k: 3 },
-        ModelKind::Gcn,
-        ModelKind::ICNet,
-    ] {
-        for fs in [FeatureSet::Location, FeatureSet::All] {
-            for agg in [Aggregation::Sum, Aggregation::Mean, Aggregation::Nn] {
-                eprintln!("#   {} {} / {} ...", kind.label(), fs.label(), agg.label());
-                let (result, _) = evaluate_gnn(data, &split, kind, agg, fs, epochs, seed);
-                results.push(result);
-            }
-        }
-    }
-    results
+    });
+    slots
+        .into_inner()
+        .expect("suite worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every suite cell evaluated"))
+        .collect::<Vec<_>>()
+        .concat()
 }
 
 /// Formats an MSE value the way the paper's tables do.
@@ -420,6 +532,55 @@ mod tests {
         assert!(result.mse.expect("gnn always fits").is_finite());
         assert_eq!(result.method, "ICNet-NN");
         assert!(model.feature_attention().is_some());
+    }
+
+    #[test]
+    fn diverged_training_reports_na_cell() {
+        // An absurd learning rate overflows the squared residual after the
+        // first optimizer step; the cell must come back as the paper-style
+        // N/A instead of a NaN MSE.
+        let data = tiny_dataset();
+        let split = train_test_split(data.instances.len(), 0.25, 1);
+        let config = TrainConfig {
+            max_epochs: 10,
+            lr: 1e80,
+            ..TrainConfig::default()
+        };
+        let (result, _) = evaluate_gnn_with(
+            &data,
+            &split,
+            ModelKind::ICNet,
+            Aggregation::Sum,
+            FeatureSet::All,
+            &config,
+            1,
+        );
+        assert!(result.mse.is_none(), "diverged run must be N/A");
+        assert!(result.note.contains("diverged"), "note: {}", result.note);
+        assert_eq!(format_mse(result.mse), "N/A");
+    }
+
+    #[test]
+    fn suite_results_are_independent_of_jobs() {
+        let data = tiny_dataset();
+        let roster = [BaselineKind::Lr, BaselineKind::Rr];
+        let serial = run_mse_suite_jobs(&data, &roster, 3, 1, 1);
+        let parallel = run_mse_suite_jobs(&data, &roster, 3, 1, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.feature_set, b.feature_set);
+            assert_eq!(a.aggregation, b.aggregation);
+            assert_eq!(
+                a.mse,
+                b.mse,
+                "{} {} {}",
+                a.method,
+                a.feature_set.label(),
+                a.aggregation
+            );
+            assert_eq!(a.note, b.note);
+        }
     }
 
     #[test]

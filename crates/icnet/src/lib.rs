@@ -25,11 +25,11 @@
 //! ```
 //! use icnet::{Aggregation, FeatureSet, GraphModel, ModelKind, TrainConfig};
 //! use icnet::{encode_features, CircuitGraph};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let circuit = netlist::c17();
 //! let graph = CircuitGraph::from_circuit(&circuit);
-//! let op = Rc::new(icnet::ModelKind::ICNet.operator(&graph));
+//! let op = Arc::new(icnet::ModelKind::ICNet.operator(&graph));
 //!
 //! // Two toy instances: different encryption locations, different runtimes.
 //! let sel_a = vec![circuit.find("n10").unwrap()];

@@ -3,7 +3,7 @@
 use crate::aggregate::Aggregation;
 use crate::graph::CircuitGraph;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::{init, CsrMatrix, Matrix, Tape, VarId};
 
 /// Which graph operator (and hence which model of the paper) to use.
@@ -272,10 +272,10 @@ impl GraphModel {
     }
 
     /// One graph-convolution layer: `relu(op-filter(input) @ w)`.
-    fn conv(&self, tape: &mut Tape, op: &Rc<CsrMatrix>, input: VarId, weights: &[VarId]) -> VarId {
+    fn conv(&self, tape: &mut Tape, op: &Arc<CsrMatrix>, input: VarId, weights: &[VarId]) -> VarId {
         let mixed = match self.kind {
             ModelKind::Gcn | ModelKind::ICNet => {
-                let propagated = tape.spmm(Rc::clone(op), input);
+                let propagated = tape.spmm(Arc::clone(op), input);
                 tape.matmul(propagated, weights[0])
             }
             ModelKind::ChebNet { k } => {
@@ -283,10 +283,10 @@ impl GraphModel {
                 let mut terms: Vec<VarId> = Vec::with_capacity(k);
                 terms.push(input);
                 if k > 1 {
-                    terms.push(tape.spmm(Rc::clone(op), input));
+                    terms.push(tape.spmm(Arc::clone(op), input));
                 }
                 for j in 2..k {
-                    let prop = tape.spmm(Rc::clone(op), terms[j - 1]);
+                    let prop = tape.spmm(Arc::clone(op), terms[j - 1]);
                     let doubled = tape.scale(prop, 2.0);
                     let t = tape.sub(doubled, terms[j - 2]);
                     terms.push(t);
@@ -308,7 +308,7 @@ impl GraphModel {
         &self,
         tape: &mut Tape,
         param_ids: &[VarId],
-        op: &Rc<CsrMatrix>,
+        op: &Arc<CsrMatrix>,
         x: &Matrix,
     ) -> VarId {
         self.forward_with_attention(tape, param_ids, op, x).0
@@ -320,7 +320,7 @@ impl GraphModel {
         &self,
         tape: &mut Tape,
         param_ids: &[VarId],
-        op: &Rc<CsrMatrix>,
+        op: &Arc<CsrMatrix>,
         x: &Matrix,
     ) -> (VarId, Option<VarId>) {
         assert_eq!(
@@ -396,7 +396,7 @@ impl GraphModel {
     /// weight per gate, summing to 1. Returns `None` for sum/mean
     /// aggregation. High-attention gates are the ones the model considers
     /// decisive for this placement's runtime.
-    pub fn gate_attention(&self, op: &Rc<CsrMatrix>, x: &Matrix) -> Option<Vec<f64>> {
+    pub fn gate_attention(&self, op: &Arc<CsrMatrix>, x: &Matrix) -> Option<Vec<f64>> {
         if self.aggregation != Aggregation::Nn {
             return None;
         }
@@ -412,7 +412,7 @@ impl GraphModel {
     }
 
     /// Predicts the (log-)runtime of one instance.
-    pub fn predict(&self, op: &Rc<CsrMatrix>, x: &Matrix) -> f64 {
+    pub fn predict(&self, op: &Arc<CsrMatrix>, x: &Matrix) -> f64 {
         let mut tape = Tape::new();
         let ids = self.insert_params(&mut tape);
         let out = self.forward(&mut tape, &ids, op, x);
@@ -420,7 +420,7 @@ impl GraphModel {
     }
 
     /// Predicts a batch of instances.
-    pub fn predict_batch(&self, op: &Rc<CsrMatrix>, xs: &[Matrix]) -> Vec<f64> {
+    pub fn predict_batch(&self, op: &Arc<CsrMatrix>, xs: &[Matrix]) -> Vec<f64> {
         xs.iter().map(|x| self.predict(op, x)).collect()
     }
 }
@@ -445,10 +445,10 @@ mod tests {
     use super::*;
     use crate::features::{encode_features, FeatureSet};
 
-    fn setup(kind: ModelKind, agg: Aggregation) -> (Rc<CsrMatrix>, Matrix, GraphModel) {
+    fn setup(kind: ModelKind, agg: Aggregation) -> (Arc<CsrMatrix>, Matrix, GraphModel) {
         let circuit = netlist::c17();
         let graph = CircuitGraph::from_circuit(&circuit);
-        let op = Rc::new(kind.operator(&graph));
+        let op = Arc::new(kind.operator(&graph));
         let sel = vec![circuit.find("n10").unwrap()];
         let x = encode_features(&circuit, &sel, FeatureSet::All);
         let model = GraphModel::new(kind, agg, 7, 8, 6, 42);
@@ -481,7 +481,7 @@ mod tests {
     fn predictions_depend_on_the_mask() {
         let circuit = netlist::c17();
         let graph = CircuitGraph::from_circuit(&circuit);
-        let op = Rc::new(ModelKind::ICNet.operator(&graph));
+        let op = Arc::new(ModelKind::ICNet.operator(&graph));
         let model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 8, 6, 1);
         let a = encode_features(&circuit, &[circuit.find("n10").unwrap()], FeatureSet::All);
         let all: Vec<netlist::GateId> = circuit
@@ -533,7 +533,7 @@ mod tests {
     fn conv_depth_is_configurable() {
         let circuit = netlist::c17();
         let graph = CircuitGraph::from_circuit(&circuit);
-        let op = Rc::new(ModelKind::ICNet.operator(&graph));
+        let op = Arc::new(ModelKind::ICNet.operator(&graph));
         let x = encode_features(&circuit, &[], FeatureSet::All);
         for layers in [1usize, 2, 3] {
             let model =

@@ -179,7 +179,7 @@ mod tests {
     use super::*;
     use crate::features::{encode_features, FeatureSet};
     use crate::graph::CircuitGraph;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn round_trip(kind: ModelKind, agg: Aggregation) {
         let model = GraphModel::new(kind, agg, 7, 8, 8, 5).with_output(OutputHead::Exp);
@@ -189,7 +189,7 @@ mod tests {
         // Same architecture, same predictions.
         let circuit = netlist::c17();
         let graph = CircuitGraph::from_circuit(&circuit);
-        let op = Rc::new(kind.operator(&graph));
+        let op = Arc::new(kind.operator(&graph));
         let x = encode_features(&circuit, &[circuit.find("n10").unwrap()], FeatureSet::All);
         assert_eq!(
             model.predict(&op, &x),

@@ -1,11 +1,22 @@
 //! Mini-batch training loop (the paper's Algorithm 1: ADAM, random batches,
-//! stop on loss convergence).
+//! stop on loss convergence) with deterministic data-parallel gradient
+//! accumulation.
+//!
+//! # Determinism
+//!
+//! With `jobs > 1` each instance of a mini-batch gets its own [`Tape`]
+//! forward/backward on a worker thread, and the per-instance gradients are
+//! reduced strictly in batch-position order afterwards. The floating-point
+//! operations are therefore identical for every job count — `jobs = 1` and
+//! `jobs = 8` produce bit-identical parameters for the same seed (see
+//! DESIGN.md §6d).
 
 use crate::model::GraphModel;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use tensor::{Adam, CsrMatrix, Matrix, Optimizer, Tape};
 
 /// Training hyper-parameters.
@@ -24,6 +35,9 @@ pub struct TrainConfig {
     pub patience: usize,
     /// Batch shuffling seed.
     pub seed: u64,
+    /// Worker threads for gradient computation; `0` and `1` both mean
+    /// serial. Every value produces bit-identical parameters.
+    pub jobs: usize,
 }
 
 impl Default for TrainConfig {
@@ -35,6 +49,7 @@ impl Default for TrainConfig {
             tol: 1e-5,
             patience: 10,
             seed: 0,
+            jobs: 1,
         }
     }
 }
@@ -55,17 +70,109 @@ impl TrainConfig {
 pub struct TrainReport {
     /// Epochs actually run.
     pub epochs_run: usize,
-    /// Mean squared error over the training set after the last epoch.
+    /// Mean squared error over the training set after the last fully
+    /// finite epoch (`f64::INFINITY` if training diverged before completing
+    /// one).
     pub final_loss: f64,
-    /// Per-epoch mean training loss.
+    /// Per-epoch mean training loss. Contains only finite values: a
+    /// divergent epoch is not recorded (see [`TrainReport::diverged`]).
     pub loss_history: Vec<f64>,
     /// Whether the tolerance criterion (not the epoch cap) ended training.
     pub converged: bool,
+    /// Whether training stopped because a batch produced a non-finite loss
+    /// or gradient. The model keeps its last healthy parameters — the
+    /// poisoned update is never applied.
+    pub diverged: bool,
+}
+
+/// Squared-error loss and per-parameter gradients for one training instance
+/// (its own tape; `None` where no gradient reached a parameter).
+fn instance_gradient(
+    model: &GraphModel,
+    op: &Arc<CsrMatrix>,
+    x: &Matrix,
+    y: f64,
+) -> (f64, Vec<Option<Matrix>>) {
+    let mut tape = Tape::new();
+    let ids = model.insert_params(&mut tape);
+    let pred = model.forward(&mut tape, &ids, op, x);
+    let target = tape.constant(Matrix::scalar(y));
+    let diff = tape.sub(pred, target);
+    let sq = tape.hadamard(diff, diff);
+    tape.backward(sq);
+    let loss = tape.value(sq).get(0, 0);
+    let grads = ids.iter().map(|&id| tape.try_grad(id).cloned()).collect();
+    (loss, grads)
+}
+
+/// Summed batch loss and mean per-parameter gradients for one mini-batch,
+/// computed with `jobs` worker threads.
+///
+/// Workers drop each instance's result into the slot of its batch position;
+/// the reduction then walks the slots in order. The sequence of f64
+/// additions is thus fixed by the batch, not by thread scheduling, which is
+/// what makes parallel training bit-identical to serial.
+fn batch_gradients(
+    model: &GraphModel,
+    op: &Arc<CsrMatrix>,
+    xs: &[Matrix],
+    ys: &[f64],
+    batch: &[usize],
+    jobs: usize,
+) -> (f64, Vec<Matrix>) {
+    type InstanceResult = Option<(f64, Vec<Option<Matrix>>)>;
+    let jobs = jobs.clamp(1, batch.len());
+    let mut results: Vec<InstanceResult> = if jobs <= 1 {
+        batch
+            .iter()
+            .map(|&i| Some(instance_gradient(model, op, &xs[i], ys[i])))
+            .collect()
+    } else {
+        let slots: Mutex<Vec<InstanceResult>> = Mutex::new(vec![None; batch.len()]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= batch.len() {
+                        break;
+                    }
+                    let i = batch[k];
+                    let out = instance_gradient(model, op, &xs[i], ys[i]);
+                    slots.lock().expect("gradient worker panicked")[k] = Some(out);
+                });
+            }
+        });
+        slots.into_inner().expect("gradient worker panicked")
+    };
+
+    let scale = 1.0 / batch.len() as f64;
+    let mut loss_sum = 0.0;
+    let mut grads: Vec<Matrix> = model
+        .params()
+        .iter()
+        .map(|p| Matrix::zeros(p.rows(), p.cols()))
+        .collect();
+    for slot in &mut results {
+        let (loss, gs) = slot.take().expect("every batch slot filled");
+        loss_sum += loss;
+        for (acc, g) in grads.iter_mut().zip(gs) {
+            if let Some(g) = g {
+                acc.axpy(scale, &g);
+            }
+        }
+    }
+    (loss_sum, grads)
 }
 
 /// Trains `model` on instances `(xs[i], ys[i])` sharing the graph operator
 /// `op`. Labels should already be on the scale the model predicts
 /// (log-seconds for the default [`OutputHead::Identity`]).
+///
+/// If a batch produces a non-finite loss or gradient, training stops
+/// immediately *before* applying the poisoned update and the report carries
+/// `diverged: true` — the model keeps its last healthy parameters and the
+/// loss history contains only finite values.
 ///
 /// # Panics
 ///
@@ -74,7 +181,7 @@ pub struct TrainReport {
 /// [`OutputHead::Identity`]: crate::OutputHead::Identity
 pub fn train(
     model: &mut GraphModel,
-    op: &Rc<CsrMatrix>,
+    op: &Arc<CsrMatrix>,
     xs: &[Matrix],
     ys: &[f64],
     config: &TrainConfig,
@@ -87,39 +194,26 @@ pub fn train(
     let mut history = Vec::new();
     let mut best = f64::INFINITY;
     let mut stall = 0usize;
-    let mut converged = false;
 
     for epoch in 0..config.max_epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size.max(1)) {
-            let mut tape = Tape::new();
-            let ids = model.insert_params(&mut tape);
-            // Batch loss: mean of squared residuals (Algorithm 1 lines 10-11).
-            let mut total = None;
-            for &i in batch {
-                let pred = model.forward(&mut tape, &ids, op, &xs[i]);
-                let target = tape.constant(Matrix::scalar(ys[i]));
-                let diff = tape.sub(pred, target);
-                let sq = tape.hadamard(diff, diff);
-                total = Some(match total {
-                    None => sq,
-                    Some(acc) => tape.add(acc, sq),
-                });
+            let (batch_loss, grads) = batch_gradients(model, op, xs, ys, batch, config.jobs);
+            // Divergence guard. NaN compares false against everything, so
+            // without this check a poisoned loss sails through the
+            // convergence test below and training runs all max_epochs
+            // returning NaN parameters with no signal.
+            if !batch_loss.is_finite() || grads.iter().any(|g| !g.is_finite()) {
+                return TrainReport {
+                    epochs_run: epoch + 1,
+                    final_loss: history.last().copied().unwrap_or(f64::INFINITY),
+                    loss_history: history,
+                    converged: false,
+                    diverged: true,
+                };
             }
-            let total = total.expect("non-empty batch");
-            let loss = tape.scale(total, 1.0 / batch.len() as f64);
-            tape.backward(loss);
-            epoch_loss += tape.value(loss).get(0, 0) * batch.len() as f64;
-            let grads: Vec<Matrix> = ids
-                .iter()
-                .zip(model.params())
-                .map(|(&id, p)| {
-                    tape.try_grad(id)
-                        .cloned()
-                        .unwrap_or_else(|| Matrix::zeros(p.rows(), p.cols()))
-                })
-                .collect();
+            epoch_loss += batch_loss;
             optimizer.step(model.params_mut(), &grads);
         }
         epoch_loss /= xs.len() as f64;
@@ -127,12 +221,12 @@ pub fn train(
         if best - epoch_loss < config.tol {
             stall += 1;
             if stall >= config.patience {
-                converged = true;
                 return TrainReport {
                     epochs_run: epoch + 1,
                     final_loss: epoch_loss,
                     loss_history: history,
-                    converged,
+                    converged: true,
+                    diverged: false,
                 };
             }
         } else {
@@ -144,7 +238,8 @@ pub fn train(
         epochs_run: config.max_epochs,
         final_loss: *history.last().expect("at least one epoch"),
         loss_history: history,
-        converged,
+        converged: false,
+        diverged: false,
     }
 }
 
@@ -153,16 +248,16 @@ mod tests {
     use super::*;
     use crate::features::{encode_features, FeatureSet};
     use crate::graph::CircuitGraph;
-    use crate::model::ModelKind;
+    use crate::model::{ModelKind, OutputHead};
     use crate::Aggregation;
     use netlist::GateId;
 
     /// Synthetic task on c17: label = #selected gates (training must drive
     /// the loss down substantially).
-    fn toy_dataset() -> (Rc<CsrMatrix>, Vec<Matrix>, Vec<f64>) {
+    fn toy_dataset() -> (Arc<CsrMatrix>, Vec<Matrix>, Vec<f64>) {
         let circuit = netlist::c17();
         let graph = CircuitGraph::from_circuit(&circuit);
-        let op = Rc::new(ModelKind::ICNet.operator(&graph));
+        let op = Arc::new(ModelKind::ICNet.operator(&graph));
         let logic: Vec<GateId> = circuit
             .iter()
             .filter(|(_, g)| !g.kind().is_input())
@@ -198,6 +293,7 @@ mod tests {
             report.loss_history[0],
             report.final_loss
         );
+        assert!(!report.diverged);
     }
 
     #[test]
@@ -237,5 +333,66 @@ mod tests {
             model.predict(&op, &xs[3])
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_to_serial() {
+        let (op, xs, ys) = toy_dataset();
+        let run = |jobs: usize| {
+            let mut model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 8, 6, 9);
+            let cfg = TrainConfig {
+                jobs,
+                ..TrainConfig::quick()
+            };
+            let report = train(&mut model, &op, &xs, &ys, &cfg);
+            (report.loss_history, model.predict_batch(&op, &xs))
+        };
+        let (serial_history, serial_preds) = run(1);
+        for jobs in [2, 4] {
+            let (history, preds) = run(jobs);
+            assert_eq!(
+                serial_history, history,
+                "loss history differs at jobs={jobs}"
+            );
+            assert_eq!(serial_preds, preds, "predictions differ at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn divergence_is_detected_and_reported() {
+        // An absurd learning rate with the exponential head (the paper's
+        // Eq. 3) overflows on the second epoch: the first ADAM step throws
+        // the logit past ~710, exp(logit) hits +inf and the squared
+        // residual follows. Before the guard this ran all max_epochs and
+        // silently returned NaN parameters.
+        let (op, xs, ys) = toy_dataset();
+        let mut model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 8, 6, 11)
+            .with_output(OutputHead::Exp);
+        let cfg = TrainConfig {
+            lr: 500.0,
+            max_epochs: 50,
+            batch_size: 32, // one batch per epoch: epoch 1 completes cleanly
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &op, &xs, &ys, &cfg);
+        assert!(report.diverged, "lr=500 with Exp head must diverge");
+        assert!(
+            !report.loss_history.is_empty(),
+            "the pre-divergence epoch must be recorded"
+        );
+        assert!(!report.converged);
+        assert!(report.epochs_run < cfg.max_epochs, "must stop immediately");
+        assert!(
+            report.loss_history.iter().all(|l| l.is_finite()),
+            "history may only contain finite losses: {:?}",
+            report.loss_history
+        );
+        assert!(report.final_loss.is_finite() || report.final_loss == f64::INFINITY);
+        assert!(!report.final_loss.is_nan(), "final_loss must never be NaN");
+        // The poisoned update was never applied.
+        assert!(
+            model.params().iter().all(|p| p.is_finite()),
+            "model must keep its last healthy parameters"
+        );
     }
 }

@@ -149,12 +149,33 @@ impl Matrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self * rhs` written into `out`, overwriting its
+    /// contents. Reusing one output buffer across repeated products avoids
+    /// an allocation per call on training hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or when `out` is not
+    /// `rows(self) x cols(rhs)`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul inner dimensions: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul output shape: want {}x{}",
+            self.rows,
+            rhs.cols
+        );
+        out.data.fill(0.0);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -164,6 +185,60 @@ impl Matrix {
                 let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// `self * rhs^T` without materializing the transpose (the backward
+    /// pass of a matmul needs `dC * B^T`; building `B^T` would allocate a
+    /// full copy of `B` per training step).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cols(self) == cols(rhs)`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt inner dimensions: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (o, b_row) in out_row.iter_mut().zip(rhs.data.chunks_exact(rhs.cols)) {
+                *o = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// `self^T * rhs` without materializing the transpose (the backward
+    /// pass of a matmul needs `A^T * dC`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rows(self) == rows(rhs)`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn inner dimensions: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        // Walk self row-major: row k of self contributes a[k][i] * rhs[k][j]
+        // to out[i][j] — sequential access on all three buffers.
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
@@ -293,9 +368,27 @@ impl Matrix {
         self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
     }
 
-    /// Largest absolute element (0.0 for an empty matrix).
+    /// Largest absolute element (0.0 for an empty matrix). NaN entries
+    /// propagate: the result is NaN when any element is NaN, so a magnitude
+    /// check cannot mistake a NaN-poisoned tensor for a healthy one
+    /// (`f64::max` alone would silently discard NaN operands).
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0f64, |m, &a| m.max(a.abs()))
+        self.data.iter().fold(0.0f64, |m, &a| {
+            let a = a.abs();
+            // `a > m` is false for NaN on either side, so NaN is sticky.
+            if a > m || a.is_nan() {
+                a
+            } else {
+                m
+            }
+        })
+    }
+
+    /// Whether every element is finite (no NaN or ±inf). True for an empty
+    /// matrix. This is the divergence guard primitive: losses and gradients
+    /// are checked before they can poison parameters.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
     }
 }
 
@@ -358,6 +451,52 @@ mod tests {
         assert_eq!(a.scale(2.0).get(1, 1), 8.0);
         assert_eq!(a.max_abs(), 4.0);
         assert!((a.norm() - 30.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, -1.0], &[0.5, 0.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 1.0], &[-1.0, 0.5], &[4.0, -2.0]]);
+        let mut out = Matrix::ones(2, 2); // stale contents must be overwritten
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_nt_tn_match_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.5, 1.5, -1.0], &[2.0, -0.5, 1.0]]);
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+        let c = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let d = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(c.matmul_tn(&d), c.transpose().matmul(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul output shape")]
+    fn matmul_into_rejects_bad_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        a.matmul_into(&b, &mut out);
+    }
+
+    #[test]
+    fn max_abs_propagates_nan() {
+        let healthy = Matrix::from_rows(&[&[1.0, -5.0], &[2.0, 0.0]]);
+        assert_eq!(healthy.max_abs(), 5.0);
+        assert!(healthy.is_finite());
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut m = healthy.clone();
+            m.set(0, 1, poison);
+            assert!(!m.is_finite(), "{poison} must not look healthy");
+        }
+        // NaN anywhere — first, middle, last — surfaces in max_abs.
+        for idx in [(0, 0), (1, 0), (1, 1)] {
+            let mut m = healthy.clone();
+            m.set(idx.0, idx.1, f64::NAN);
+            assert!(m.max_abs().is_nan(), "NaN at {idx:?} was masked");
+        }
     }
 
     #[test]

@@ -32,7 +32,12 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [Matrix], grads: &[Matrix]) {
         assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
-        for (p, g) in params.iter_mut().zip(grads) {
+        for (i, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            assert_eq!(
+                p.shape(),
+                g.shape(),
+                "param/grad shape mismatch at index {i}"
+            );
             p.axpy(-self.lr, g);
         }
     }
@@ -84,6 +89,22 @@ impl Optimizer for Adam {
             params.len(),
             "optimizer bound to other params"
         );
+        // Count-only validation is not enough: two models can have the same
+        // number of parameters with different shapes, and a reused optimizer
+        // would then apply stale moments (or index-panic mid-update, leaving
+        // half the parameters already mutated).
+        for (i, (p, m)) in params.iter().zip(&self.m).enumerate() {
+            assert_eq!(
+                p.shape(),
+                m.shape(),
+                "optimizer bound to other params: moment shape mismatch at index {i}"
+            );
+            assert_eq!(
+                p.shape(),
+                grads[i].shape(),
+                "param/grad shape mismatch at index {i}"
+            );
+        }
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
@@ -153,5 +174,34 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         let mut params = vec![Matrix::scalar(0.0)];
         opt.step(&mut params, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "optimizer bound to other params: moment shape mismatch at index 0")]
+    fn adam_rejects_reuse_across_models_with_different_shapes() {
+        // Same parameter *count*, different shapes: before the per-parameter
+        // shape check this either index-panicked deep in the update loop or
+        // silently applied stale moment tails.
+        let mut opt = Adam::new(0.1);
+        let mut a = vec![Matrix::zeros(2, 3)];
+        opt.step(&mut a, &[Matrix::ones(2, 3)]);
+        let mut b = vec![Matrix::zeros(3, 2)];
+        opt.step(&mut b, &[Matrix::ones(3, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "param/grad shape mismatch at index 0")]
+    fn adam_rejects_mismatched_grad_shape() {
+        let mut opt = Adam::new(0.1);
+        let mut params = vec![Matrix::zeros(2, 2)];
+        opt.step(&mut params, &[Matrix::ones(2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "param/grad shape mismatch at index 0")]
+    fn sgd_rejects_mismatched_grad_shape() {
+        let mut opt = Sgd::new(0.1);
+        let mut params = vec![Matrix::zeros(2, 2)];
+        opt.step(&mut params, &[Matrix::ones(3, 2)]);
     }
 }

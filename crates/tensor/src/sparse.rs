@@ -94,6 +94,19 @@ impl CsrMatrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn spmm(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        self.spmm_into(rhs, &mut out);
+        out
+    }
+
+    /// Sparse × dense product written into `out`, overwriting its contents
+    /// (buffer-reuse variant of [`CsrMatrix::spmm`] for training hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or when `out` is not
+    /// `rows(self) x cols(rhs)`.
+    pub fn spmm_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.rows(),
@@ -103,7 +116,14 @@ impl CsrMatrix {
             rhs.rows(),
             rhs.cols()
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols()),
+            "spmm output shape: want {}x{}",
+            self.rows,
+            rhs.cols()
+        );
+        out.as_mut_slice().fill(0.0);
         let f = rhs.cols();
         let out_data = out.as_mut_slice();
         let rhs_data = rhs.as_slice();
@@ -118,7 +138,6 @@ impl CsrMatrix {
                 }
             }
         }
-        out
     }
 
     /// Transpose (used for the backward pass of [`CsrMatrix::spmm`]).
@@ -194,6 +213,15 @@ mod tests {
         let s = example();
         let d = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         assert_eq!(s.spmm(&d), s.to_dense().matmul(&d));
+    }
+
+    #[test]
+    fn spmm_into_overwrites_stale_output() {
+        let s = example();
+        let d = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut out = Matrix::ones(3, 2);
+        s.spmm_into(&d, &mut out);
+        assert_eq!(out, s.spmm(&d));
     }
 
     #[test]

@@ -5,10 +5,14 @@
 //! order (which is simply reverse insertion order). Models rebuild the tape
 //! on every training step — parameters live outside the tape and are
 //! re-inserted as leaves (see the `icnet` crate's trainer).
+//!
+//! Tapes are `Send`: graph operators are shared as `Arc<CsrMatrix>`, so a
+//! data-parallel trainer can run one tape per worker thread against the
+//! same operator (see `icnet::train`).
 
 use crate::matrix::Matrix;
 use crate::sparse::CsrMatrix;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,9 +20,14 @@ pub struct VarId(usize);
 
 #[derive(Debug, Clone)]
 enum Op {
-    Leaf { requires_grad: bool },
+    Leaf {
+        requires_grad: bool,
+    },
     MatMul(VarId, VarId),
-    SpMM { sparse: Rc<CsrMatrix>, dense: VarId },
+    SpMM {
+        sparse: Arc<CsrMatrix>,
+        dense: VarId,
+    },
     Add(VarId, VarId),
     Sub(VarId, VarId),
     Hadamard(VarId, VarId),
@@ -39,10 +48,72 @@ struct Node {
     op: Op,
 }
 
+fn wants_grad(node: &Node) -> bool {
+    !matches!(
+        node.op,
+        Op::Leaf {
+            requires_grad: false
+        }
+    )
+}
+
+/// Adds an owned gradient contribution to node `v` (moves the matrix into
+/// an empty slot — no copy on the first contribution).
+fn accumulate_owned(nodes: &mut [Node], v: VarId, grad: Matrix) {
+    let node = &mut nodes[v.0];
+    if !wants_grad(node) {
+        return; // constants do not collect gradients
+    }
+    match &mut node.grad {
+        Some(g) => g.axpy(1.0, &grad),
+        slot @ None => *slot = Some(grad),
+    }
+}
+
+/// Adds `c * grad` to node `v` without allocating a scaled temporary when a
+/// gradient buffer already exists (the accumulation hot path of backprop).
+fn accumulate_scaled(nodes: &mut [Node], v: VarId, c: f64, grad: &Matrix) {
+    let node = &mut nodes[v.0];
+    if !wants_grad(node) {
+        return;
+    }
+    match &mut node.grad {
+        Some(g) => g.axpy(c, grad),
+        slot @ None => {
+            *slot = Some(if c == 1.0 {
+                grad.clone()
+            } else {
+                grad.scale(c)
+            });
+        }
+    }
+}
+
+/// Looks up (or computes once) the transpose of a shared sparse operator.
+/// Graph convolutions reuse one operator across every layer and instance,
+/// so its transpose is cached per tape instead of being rebuilt for every
+/// `SpMM` node on every backward pass.
+fn cached_transpose(
+    cache: &mut Vec<(usize, Arc<CsrMatrix>)>,
+    sparse: &Arc<CsrMatrix>,
+) -> Arc<CsrMatrix> {
+    let key = Arc::as_ptr(sparse) as usize;
+    if let Some((_, t)) = cache.iter().find(|(k, _)| *k == key) {
+        return Arc::clone(t);
+    }
+    let t = Arc::new(sparse.transpose());
+    cache.push((key, Arc::clone(&t)));
+    t
+}
+
 /// A reverse-mode autodiff tape. See the [crate docs](crate) for an example.
 #[derive(Debug, Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    // Keyed by the operator allocation's address; the entry holds its own
+    // Arc, which keeps the allocation alive (the address cannot be reused
+    // while the entry exists).
+    sparse_transposes: Vec<(usize, Arc<CsrMatrix>)>,
 }
 
 impl Tape {
@@ -120,7 +191,7 @@ impl Tape {
     }
 
     /// Sparse-constant × dense product (`sparse` receives no gradient).
-    pub fn spmm(&mut self, sparse: Rc<CsrMatrix>, dense: VarId) -> VarId {
+    pub fn spmm(&mut self, sparse: Arc<CsrMatrix>, dense: VarId) -> VarId {
         let value = sparse.spmm(self.value(dense));
         self.push(value, Op::SpMM { sparse, dense })
     }
@@ -220,19 +291,6 @@ impl Tape {
         self.mean_all(sq)
     }
 
-    fn accumulate(&mut self, v: VarId, grad: Matrix) {
-        if let Op::Leaf {
-            requires_grad: false,
-        } = self.nodes[v.0].op
-        {
-            return; // constants do not collect gradients
-        }
-        match &mut self.nodes[v.0].grad {
-            Some(g) => g.axpy(1.0, &grad),
-            slot @ None => *slot = Some(grad),
-        }
-    }
-
     /// Runs the backward pass from `target` (which must be `1 x 1`),
     /// accumulating gradients into every reachable node.
     ///
@@ -251,74 +309,90 @@ impl Tape {
         self.nodes[target.0].grad = Some(Matrix::scalar(1.0));
 
         for i in (0..=target.0).rev() {
-            let Some(grad) = self.nodes[i].grad.clone() else {
+            // Every operand of node `i` has a smaller index (push order), so
+            // splitting at `i` lets the node's gradient be read while the
+            // operands' gradients are written — no per-node clone.
+            let (head, tail) = self.nodes.split_at_mut(i);
+            let node = &tail[0];
+            let Some(grad) = node.grad.as_ref() else {
                 continue;
             };
-            match self.nodes[i].op.clone() {
+            match &node.op {
                 Op::Leaf { .. } => {}
-                Op::MatMul(a, b) => {
-                    let da = grad.matmul(&self.value(b).transpose());
-                    let db = self.value(a).transpose().matmul(&grad);
-                    self.accumulate(a, da);
-                    self.accumulate(b, db);
+                &Op::MatMul(a, b) => {
+                    let da = grad.matmul_nt(&head[b.0].value);
+                    let db = head[a.0].value.matmul_tn(grad);
+                    accumulate_owned(head, a, da);
+                    accumulate_owned(head, b, db);
                 }
                 Op::SpMM { sparse, dense } => {
-                    let dd = sparse.transpose().spmm(&grad);
-                    self.accumulate(dense, dd);
+                    let st = cached_transpose(&mut self.sparse_transposes, sparse);
+                    let dd = st.spmm(grad);
+                    accumulate_owned(head, *dense, dd);
                 }
-                Op::Add(a, b) => {
-                    self.accumulate(a, grad.clone());
-                    self.accumulate(b, grad);
+                &Op::Add(a, b) => {
+                    accumulate_scaled(head, a, 1.0, grad);
+                    accumulate_scaled(head, b, 1.0, grad);
                 }
-                Op::Sub(a, b) => {
-                    self.accumulate(a, grad.clone());
-                    self.accumulate(b, grad.scale(-1.0));
+                &Op::Sub(a, b) => {
+                    accumulate_scaled(head, a, 1.0, grad);
+                    accumulate_scaled(head, b, -1.0, grad);
                 }
-                Op::Hadamard(a, b) => {
-                    let da = grad.hadamard(self.value(b));
-                    let db = grad.hadamard(self.value(a));
-                    self.accumulate(a, da);
-                    self.accumulate(b, db);
+                &Op::Hadamard(a, b) => {
+                    let da = grad.hadamard(&head[b.0].value);
+                    let db = grad.hadamard(&head[a.0].value);
+                    accumulate_owned(head, a, da);
+                    accumulate_owned(head, b, db);
                 }
-                Op::Scale(a, c) => self.accumulate(a, grad.scale(c)),
-                Op::AddBiasRow(x, bias) => {
-                    self.accumulate(x, grad.clone());
-                    self.accumulate(bias, grad.col_sums());
+                &Op::Scale(a, c) => accumulate_scaled(head, a, c, grad),
+                &Op::AddBiasRow(x, bias) => {
+                    accumulate_scaled(head, x, 1.0, grad);
+                    accumulate_owned(head, bias, grad.col_sums());
                 }
-                Op::Relu(a) => {
-                    let mask = self.value(a).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                    self.accumulate(a, grad.hadamard(&mask));
+                &Op::Relu(a) => {
+                    let da = grad.zip(&head[a.0].value, |g, v| if v > 0.0 { g } else { 0.0 });
+                    accumulate_owned(head, a, da);
                 }
-                Op::Exp(a) => {
-                    let y = self.nodes[i].value.clone();
-                    self.accumulate(a, grad.hadamard(&y));
+                &Op::Exp(a) => {
+                    let da = grad.hadamard(&node.value);
+                    accumulate_owned(head, a, da);
                 }
-                Op::Transpose(a) => self.accumulate(a, grad.transpose()),
-                Op::SumAll(a) => {
-                    let (r, c) = self.value(a).shape();
-                    self.accumulate(a, Matrix::ones(r, c).scale(grad.get(0, 0)));
+                &Op::Transpose(a) => accumulate_owned(head, a, grad.transpose()),
+                &Op::SumAll(a) => {
+                    let (r, c) = head[a.0].value.shape();
+                    let g = grad.get(0, 0);
+                    accumulate_owned(head, a, Matrix::from_vec(r, c, vec![g; r * c]));
                 }
-                Op::MeanAll(a) => {
-                    let (r, c) = self.value(a).shape();
-                    let n = (r * c) as f64;
-                    self.accumulate(a, Matrix::ones(r, c).scale(grad.get(0, 0) / n));
+                &Op::MeanAll(a) => {
+                    let (r, c) = head[a.0].value.shape();
+                    let g = grad.get(0, 0) / (r * c) as f64;
+                    accumulate_owned(head, a, Matrix::from_vec(r, c, vec![g; r * c]));
                 }
-                Op::SoftmaxCol(a) => {
+                &Op::SoftmaxCol(a) => {
                     // dx = y ⊙ (dy - <y, dy>)
-                    let y = self.nodes[i].value.clone();
+                    let y = &node.value;
                     let dot: f64 = y
                         .as_slice()
                         .iter()
                         .zip(grad.as_slice())
                         .map(|(&yi, &gi)| yi * gi)
                         .sum();
-                    let dx = y.zip(&grad, |yi, gi| yi * (gi - dot));
-                    self.accumulate(a, dx);
+                    let dx = y.zip(grad, |yi, gi| yi * (gi - dot));
+                    accumulate_owned(head, a, dx);
                 }
             }
         }
     }
 }
+
+// The training engine moves tapes across scoped worker threads; a compile
+// error here means an `!Send` type (e.g. `Rc`) crept back into the tape.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Tape>();
+    assert_send::<Matrix>();
+    assert_send::<CsrMatrix>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -400,14 +474,37 @@ mod tests {
 
     #[test]
     fn spmm_grad() {
-        let s = Rc::new(CsrMatrix::from_triplets(
+        let s = Arc::new(CsrMatrix::from_triplets(
             3,
             3,
             &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, -1.0), (2, 2, 0.5)],
         ));
         let build = move |tape: &mut Tape, x: VarId| {
-            let h = tape.spmm(Rc::clone(&s), x);
+            let h = tape.spmm(Arc::clone(&s), x);
             let sq = tape.hadamard(h, h);
+            tape.mean_all(sq)
+        };
+        check_grads(
+            &build,
+            Matrix::from_rows(&[&[1.0, 2.0], &[-1.0, 0.5], &[0.3, 0.7]]),
+        );
+    }
+
+    #[test]
+    fn stacked_spmm_layers_share_one_cached_transpose() {
+        // Two convolution layers on the same operator — the shape of every
+        // GNN in this repo; gradients must still match finite differences
+        // when the backward pass reuses one cached transpose.
+        let s = Arc::new(CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, -1.0), (1, 1, 0.5)],
+        ));
+        let build = move |tape: &mut Tape, x: VarId| {
+            let h1 = tape.spmm(Arc::clone(&s), x);
+            let r1 = tape.relu(h1);
+            let h2 = tape.spmm(Arc::clone(&s), r1);
+            let sq = tape.hadamard(h2, h2);
             tape.mean_all(sq)
         };
         check_grads(
@@ -494,5 +591,20 @@ mod tests {
         let v = tape.value(s);
         assert!(v.as_slice().iter().all(|x| x.is_finite()));
         assert!((v.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tapes_move_across_threads() {
+        let s = Arc::new(CsrMatrix::identity(2));
+        let handle = std::thread::spawn(move || {
+            let mut tape = Tape::new();
+            let x = tape.leaf(Matrix::ones(2, 1));
+            let h = tape.spmm(s, x);
+            let l = tape.sum_all(h);
+            tape.backward(l);
+            tape.grad(x).clone()
+        });
+        let grad = handle.join().expect("worker thread");
+        assert_eq!(grad, Matrix::ones(2, 1));
     }
 }

@@ -8,13 +8,13 @@
 use dataset::{generate, graph_features, DatasetConfig};
 use icnet::{Aggregation, CircuitGraph, FeatureSet, GraphModel, ModelKind, TrainConfig};
 use std::error::Error;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn Error>> {
     // Train.
     let data = generate(&DatasetConfig::quick_demo())?;
     let graph = CircuitGraph::from_circuit(&data.circuit);
-    let op = Rc::new(ModelKind::ICNet.operator(&graph));
+    let op = Arc::new(ModelKind::ICNet.operator(&graph));
     let xs = graph_features(&data.circuit, &data.instances, FeatureSet::All);
     let ys = data.labels();
     let mut model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 16, 16, 11);

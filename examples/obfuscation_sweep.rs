@@ -18,7 +18,7 @@ use obfuscate::{lut_lock, overhead::overhead, select_gates, SchemeKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let scheme = SchemeKind::LutLock { lut_size: 2 };
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     let graph = CircuitGraph::from_circuit(&data.circuit);
-    let op = Rc::new(ModelKind::ICNet.operator(&graph));
+    let op = Arc::new(ModelKind::ICNet.operator(&graph));
     let xs = graph_features(&data.circuit, &data.instances, FeatureSet::All);
     let ys = data.labels();
     let mut model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 16, 16, 9);
