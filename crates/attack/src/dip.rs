@@ -253,6 +253,12 @@ pub fn attack(
         }
         let deadline = query_deadline(attack_deadline);
         solver.set_deadline(deadline);
+        // Observation-only: snapshot counters/clock around the query so the
+        // trace can attribute work per DIP iteration. Reads never feed back
+        // into the attack, so tracing cannot perturb labels.
+        let observing = obs::enabled();
+        let query_started = observing.then(Instant::now);
+        let work_before = if observing { solver.stats().work() } else { 0 };
         match solver.solve_with_assumptions(&[miter.diff_lit()]) {
             SolveResult::Unknown => {
                 ended = Some(classify_unknown(attack_deadline, deadline));
@@ -277,6 +283,18 @@ pub fn attack(
                     fix_vars(&mut solver, &enc.output_vars(locked), &response);
                 }
                 iterations += 1;
+                if observing {
+                    obs::emit(obs::EventKind::AttackIteration {
+                        iteration: iterations as u64,
+                        query_work: solver.stats().work() - work_before,
+                        total_work: solver.stats().work(),
+                        miter_vars: solver.num_vars() as u64,
+                        miter_clauses: solver.num_clauses_total() as u64,
+                        wall_ns: query_started
+                            .map(|t| t.elapsed().as_nanos() as u64)
+                            .unwrap_or(0),
+                    });
+                }
                 if config.record_dips {
                     dips.push(dip);
                 }

@@ -96,6 +96,42 @@ mod tests {
     }
 
     #[test]
+    fn log_seconds_flooring_boundary() {
+        // The 1e-6 s floor corresponds to exactly 20 work units at the
+        // calibration constant: everything at or below collapses to
+        // ln(1e-6); everything above is the exact logarithm. The CSV layer
+        // round-trips the floored value bit-exactly (see dataset::csv).
+        let floor = (1e-6f64).ln();
+        for work in [0u64, 1, 19, 20] {
+            let rt = AttackRuntime {
+                work,
+                wall: Duration::ZERO,
+            };
+            assert_eq!(rt.log_seconds(RuntimeMeasure::SolverWork), floor);
+        }
+        let above = AttackRuntime {
+            work: 21,
+            wall: Duration::ZERO,
+        };
+        let got = above.log_seconds(RuntimeMeasure::SolverWork);
+        assert_eq!(got, (21.0 / WORK_UNITS_PER_SECOND).ln());
+        assert!(got > floor);
+
+        // Sub-microsecond wall clocks collapse to the same floor; anything
+        // at or above a microsecond is exact.
+        let sub = AttackRuntime {
+            work: 0,
+            wall: Duration::from_nanos(999),
+        };
+        assert_eq!(sub.log_seconds(RuntimeMeasure::WallClock), floor);
+        let exact = AttackRuntime {
+            work: 0,
+            wall: Duration::from_micros(2),
+        };
+        assert!((exact.log_seconds(RuntimeMeasure::WallClock) - 2e-6f64.ln()).abs() < 1e-15);
+    }
+
+    #[test]
     fn display_shows_both() {
         let rt = AttackRuntime {
             work: 100,

@@ -39,6 +39,7 @@ impl Ablation<'_> {
         conv_layers: usize,
         head: OutputHead,
     ) {
+        let _stage = obs::stage(label);
         let graph = icnet::CircuitGraph::from_circuit(&self.data.circuit);
         let op = Arc::new(kind.operator(&graph));
         let xs = graph_features(&self.data.circuit, &self.data.instances, fs);
@@ -96,16 +97,19 @@ impl Ablation<'_> {
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_observability();
     let mut config = DatasetConfig::dataset1(&opts.profile, opts.instances);
     opts.configure(&mut config);
     config.key_range = (1, opts.keys_max);
     println!("# Ablations — held-out MSE on log-runtime");
+    let generate_stage = obs::stage("generate");
     let data = bench::harness::load_or_generate_parallel(
         &config,
         &opts.out_dir,
         opts.jobs,
         opts.resume.as_deref(),
     );
+    drop(generate_stage);
     println!(
         "# profile={} instances={} ({:.0}% censored)\n",
         opts.profile,
@@ -247,4 +251,5 @@ fn main() {
     let path = format!("{}/ablation.csv", opts.out_dir);
     std::fs::write(&path, ab.report).expect("write csv");
     println!("\n# wrote {path}");
+    bench::cli::finish_observability();
 }

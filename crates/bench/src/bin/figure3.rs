@@ -21,16 +21,19 @@ use std::fmt::Write as _;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_observability();
     let mut config = DatasetConfig::dataset1(&opts.profile, opts.instances);
     opts.configure(&mut config);
     config.key_range = (1, opts.keys_max);
     println!("# Figure 3 — predictions vs real values (all-feature setting)");
+    let generate_stage = obs::stage("generate");
     let data = bench::harness::load_or_generate_parallel(
         &config,
         &opts.out_dir,
         opts.jobs,
         opts.resume.as_deref(),
     );
+    drop(generate_stage);
     let split = train_test_split(data.instances.len(), 0.25, opts.seed);
     let y = data.labels();
     let y_test = take(&y, &split.test);
@@ -38,8 +41,10 @@ fn main() {
     std::fs::create_dir_all(format!("{}/figure3", opts.out_dir)).expect("create output dir");
     let write_series = |name: &str, pred: &[f64]| {
         // Sort points by real value so the series reads like the figure.
+        // total_cmp keeps the ordering well-defined even if a diverged
+        // model produced non-finite predictions (NaN sorts last).
         let mut order: Vec<usize> = (0..y_test.len()).collect();
-        order.sort_by(|&a, &b| y_test[a].partial_cmp(&y_test[b]).expect("no NaN"));
+        order.sort_by(|&a, &b| y_test[a].total_cmp(&y_test[b]));
         let mut csv = String::from("index,real_log_seconds,predicted_log_seconds\n");
         for (rank, &i) in order.iter().enumerate() {
             let _ = writeln!(csv, "{rank},{},{}", y_test[i], pred[i]);
@@ -51,6 +56,7 @@ fn main() {
     };
 
     // Baseline panels: all-features, sum aggregation.
+    let baselines_stage = obs::stage("baselines");
     let x = flat_features(
         &data.circuit,
         &data.instances,
@@ -79,8 +85,10 @@ fn main() {
             Err(e) => println!("  {name:<10} N/A ({e})"),
         }
     }
+    drop(baselines_stage);
 
     // ICNet-NN panel.
+    let icnet_stage = obs::stage("icnet");
     let (_, model) = evaluate_gnn(
         &data,
         &split,
@@ -93,4 +101,6 @@ fn main() {
     let xs = graph_features(&data.circuit, &data.instances, FeatureSet::All);
     let pred: Vec<f64> = split.test.iter().map(|&i| model.predict(&xs[i])).collect();
     write_series("ICNet_NN", &pred);
+    drop(icnet_stage);
+    bench::cli::finish_observability();
 }

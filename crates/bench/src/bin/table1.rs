@@ -12,6 +12,7 @@ use std::time::Instant;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_observability();
     let mut config = DatasetConfig::dataset1(&opts.profile, opts.instances);
     opts.configure(&mut config);
     config.key_range = (1, opts.keys_max);
@@ -22,12 +23,14 @@ fn main() {
     );
 
     let t0 = Instant::now();
+    let generate_stage = obs::stage("generate");
     let data = bench::harness::load_or_generate_parallel(
         &config,
         &opts.out_dir,
         opts.jobs,
         opts.resume.as_deref(),
     );
+    drop(generate_stage);
     println!(
         "# generated {} instances in {:.1}s ({:.0}% censored)",
         data.instances.len(),
@@ -36,6 +39,7 @@ fn main() {
     );
 
     let t1 = Instant::now();
+    let suite_stage = obs::stage("suite");
     let results = run_mse_suite_jobs(
         &data,
         &BaselineKind::table1(),
@@ -43,6 +47,7 @@ fn main() {
         opts.seed,
         opts.jobs,
     );
+    drop(suite_stage);
     println!(
         "# evaluated {} cells in {:.1}s\n",
         results.len(),
@@ -54,4 +59,5 @@ fn main() {
     let path = format!("{}/table1.csv", opts.out_dir);
     std::fs::write(&path, results_to_csv(&results)).expect("write csv");
     println!("\n# wrote {path}");
+    bench::cli::finish_observability();
 }

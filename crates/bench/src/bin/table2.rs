@@ -13,6 +13,7 @@ use std::time::Instant;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_observability();
     let mut config = DatasetConfig::dataset2(&opts.profile, opts.instances);
     opts.configure(&mut config);
     // Dataset 2 draws from a different stream than Dataset 1 on purpose.
@@ -24,12 +25,14 @@ fn main() {
     );
 
     let t0 = Instant::now();
+    let generate_stage = obs::stage("generate");
     let data = bench::harness::load_or_generate_parallel(
         &config,
         &opts.out_dir,
         opts.jobs,
         opts.resume.as_deref(),
     );
+    drop(generate_stage);
     println!(
         "# generated {} instances in {:.1}s ({:.0}% censored)",
         data.instances.len(),
@@ -38,6 +41,7 @@ fn main() {
     );
 
     let t1 = Instant::now();
+    let suite_stage = obs::stage("suite");
     let results = run_mse_suite_jobs(
         &data,
         &BaselineKind::table2(),
@@ -45,6 +49,7 @@ fn main() {
         opts.seed,
         opts.jobs,
     );
+    drop(suite_stage);
     println!(
         "# evaluated {} cells in {:.1}s\n",
         results.len(),
@@ -56,4 +61,5 @@ fn main() {
     let path = format!("{}/table2.csv", opts.out_dir);
     std::fs::write(&path, results_to_csv(&results)).expect("write csv");
     println!("\n# wrote {path}");
+    bench::cli::finish_observability();
 }

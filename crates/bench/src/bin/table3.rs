@@ -14,8 +14,19 @@ use icnet::{Aggregation, FeatureSet, ModelKind};
 use regress::metrics::{pearson, spearman};
 use std::fmt::Write as _;
 
+/// Renders a correlation coefficient, or `n/a` when it is undefined (NaN
+/// from non-finite inputs — a diverged model or degenerate labels).
+fn fmt_corr(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "n/a".to_owned()
+    }
+}
+
 fn main() {
     let opts = Options::from_env();
+    opts.init_observability();
     // The paper's case-study circuits (c7553/c1335 in the paper's text are
     // the c7552/c1355 ISCAS-85 profiles).
     let circuits: Vec<&str> = if opts.quick {
@@ -37,6 +48,7 @@ fn main() {
         "circuit,gate_mask_attention,gate_type_attention,pearson,spearman,linear_param\n",
     );
     for profile in circuits {
+        let _circuit_stage = obs::stage(&format!("circuit {profile}"));
         let mut config = DatasetConfig::dataset1(profile, opts.instances.min(60));
         config.key_range = (1, 30.min(config.key_range.1));
         opts.configure(&mut config);
@@ -80,12 +92,12 @@ fn main() {
         };
 
         println!(
-            "{:<8} {:>7.2}% {:>9.2}% {:>12.4} {:>12.4} {:>12.4}",
+            "{:<8} {:>7.2}% {:>9.2}% {:>12} {:>12} {:>12.4}",
             profile,
             mask_share * 100.0,
             type_share * 100.0,
-            p,
-            s,
+            fmt_corr(p),
+            fmt_corr(s),
             slope
         );
         let _ = writeln!(csv, "{profile},{mask_share},{type_share},{p},{s},{slope}");
@@ -95,4 +107,5 @@ fn main() {
     let path = format!("{}/table3.csv", opts.out_dir);
     std::fs::write(&path, csv).expect("write csv");
     println!("\n# wrote {path}");
+    bench::cli::finish_observability();
 }

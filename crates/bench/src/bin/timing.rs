@@ -8,27 +8,31 @@
 //! ```
 
 use bench::cli::Options;
-use bench::harness::evaluate_gnn;
+use bench::harness::{evaluate_gnn, percent_saved};
 use dataset::{graph_features, train_test_split, DatasetConfig};
 use icnet::{Aggregation, FeatureSet, ModelKind};
 use std::time::Instant;
 
 fn main() {
     let opts = Options::from_env();
+    opts.init_observability();
     let mut config = DatasetConfig::dataset1(&opts.profile, opts.instances);
     opts.configure(&mut config);
     config.key_range = (1, opts.keys_max);
     println!("# Timing — ICNet inference vs actual SAT attack");
     let t_gen = Instant::now();
+    let generate_stage = obs::stage("generate");
     let data = bench::harness::load_or_generate_parallel(
         &config,
         &opts.out_dir,
         opts.jobs,
         opts.resume.as_deref(),
     );
+    drop(generate_stage);
     let attack_wall = t_gen.elapsed();
 
     let split = train_test_split(data.instances.len(), 0.25, opts.seed);
+    let train_stage = obs::stage("train");
     let (_, model) = evaluate_gnn(
         &data,
         &split,
@@ -38,15 +42,18 @@ fn main() {
         opts.epochs,
         opts.seed,
     );
+    drop(train_stage);
 
     let xs = graph_features(&data.circuit, &data.instances, FeatureSet::All);
 
     // Inference latency, averaged over every instance.
+    let inference_stage = obs::stage("inference");
     let t_inf = Instant::now();
     for x in &xs {
         let _ = model.predict(x);
     }
     let per_inference = t_inf.elapsed().as_secs_f64() / xs.len() as f64;
+    drop(inference_stage);
 
     let hardest = data
         .instances
@@ -55,7 +62,7 @@ fn main() {
         .fold(0.0f64, f64::max);
     let mean_attack =
         data.instances.iter().map(|i| i.seconds).sum::<f64>() / data.instances.len() as f64;
-    let saved = 100.0 * (1.0 - per_inference / hardest.max(1e-12));
+    let saved = percent_saved(per_inference, hardest);
 
     println!("instances attacked            : {}", data.instances.len());
     println!(
@@ -70,4 +77,5 @@ fn main() {
         "speedup vs hardest instance   : {:.0}x",
         hardest / per_inference.max(1e-12)
     );
+    bench::cli::finish_observability();
 }

@@ -41,6 +41,11 @@ pub struct Options {
     /// Keep sweeping past quarantined instances (default). With
     /// `--no-keep-going` the first quarantine aborts the whole sweep.
     pub keep_going: bool,
+    /// Write a structured JSONL event trace to this path (see `crates/obs`).
+    pub trace: Option<String>,
+    /// Echo coarse progress events (instances, cells, stages) to stderr as
+    /// they happen.
+    pub progress: bool,
 }
 
 impl Default for Options {
@@ -59,6 +64,8 @@ impl Default for Options {
             deadline: None,
             retries: dataset::RetryPolicy::default().max_attempts - 1,
             keep_going: true,
+            trace: None,
+            progress: false,
         }
     }
 }
@@ -102,13 +109,16 @@ impl Options {
                 "--retries" => opts.retries = value("--retries").parse().expect("usize retries"),
                 "--keep-going" => opts.keep_going = true,
                 "--no-keep-going" => opts.keep_going = false,
+                "--trace" => opts.trace = Some(value("--trace")),
+                "--progress" => opts.progress = true,
                 "--quick" => opts.quick = true,
                 other => {
                     eprintln!(
                         "unknown flag `{other}`\nflags: --profile <name> --instances <n> \
                          --budget <work> --epochs <n> --seed <n> --keys-max <n> \
                          --out <dir> --jobs <n> --resume <path> --deadline <secs> \
-                         --retries <n> --keep-going --no-keep-going --quick"
+                         --retries <n> --keep-going --no-keep-going \
+                         --trace <path> --progress --quick"
                     );
                     std::process::exit(2);
                 }
@@ -129,6 +139,17 @@ impl Options {
         Options::parse(std::env::args().skip(1))
     }
 
+    /// Starts the observability sink for this run: always collects (so the
+    /// end-of-run profile is available), writes a JSONL trace when `--trace`
+    /// was given, echoes live progress under `--progress`. Pair with
+    /// [`finish_observability`] at the end of `main`.
+    pub fn init_observability(&self) {
+        obs::init(obs::ObsConfig {
+            trace: self.trace.clone(),
+            progress: self.progress,
+        });
+    }
+
     /// Applies the shared attack and supervision flags to a dataset
     /// configuration: work budget, per-solve conflict cap, wall-clock
     /// deadline, master seed, retry policy, and keep-going. Fields with
@@ -141,6 +162,15 @@ impl Options {
         config.seed = self.seed;
         config.retry.max_attempts = self.retries + 1;
         config.keep_going = self.keep_going;
+    }
+}
+
+/// Flushes the observability sink and prints the end-of-run profile (top
+/// stages by wall time and by solver work) to stderr. No-op if
+/// [`Options::init_observability`] was never called.
+pub fn finish_observability() {
+    if let Some(summary) = obs::finish() {
+        eprint!("{}", summary.render());
     }
 }
 
@@ -222,6 +252,16 @@ mod tests {
         assert_eq!(config.retry.max_attempts, 3);
         assert!(!config.keep_going);
         assert_eq!(config.key_range, key_range, "key range untouched");
+    }
+
+    #[test]
+    fn trace_and_progress_flags_parse() {
+        let o = parse(&["--trace", "out/trace.jsonl", "--progress"]);
+        assert_eq!(o.trace.as_deref(), Some("out/trace.jsonl"));
+        assert!(o.progress);
+        let o = parse(&[]);
+        assert_eq!(o.trace, None);
+        assert!(!o.progress);
     }
 
     #[test]

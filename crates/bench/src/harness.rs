@@ -22,6 +22,24 @@ pub fn load_or_generate(config: &dataset::DatasetConfig, out_dir: &str) -> Datas
     load_or_generate_parallel(config, out_dir, 1, None)
 }
 
+/// The CSV cache path [`load_or_generate_parallel`] uses for `config` under
+/// `out_dir`: the pipeline is deterministic, so the cache key is the
+/// label-relevant configuration.
+pub fn dataset_cache_path(config: &dataset::DatasetConfig, out_dir: &str) -> String {
+    let key = format!(
+        "{}_{}_{}_{}_{}_{}_{}_{}",
+        config.profile,
+        config.circuit_seed,
+        config.scheme,
+        config.num_instances,
+        config.key_range.0,
+        config.key_range.1,
+        config.seed,
+        config.attack.work_budget.unwrap_or(0),
+    );
+    format!("{out_dir}/dataset_{key}.csv")
+}
+
 /// [`load_or_generate`] with a worker count and an optional checkpoint log
 /// (the `--jobs` / `--resume` flags). The dataset is byte-identical for
 /// every `jobs` value and for any interrupted-then-resumed schedule; the
@@ -34,37 +52,45 @@ pub fn load_or_generate(config: &dataset::DatasetConfig, out_dir: &str) -> Datas
 /// `config.num_instances`, so the next run misses the cache and retries
 /// via the checkpoint log (which skips known-bad instances cheaply).
 ///
+/// An unreadable or torn cache file is a logged cache miss, not an error:
+/// the dataset regenerates and the cache is rewritten atomically (temp file
+/// + rename), so a crash mid-write can never poison the next run.
+///
 /// # Panics
 ///
-/// Panics when generation fails or a cache/checkpoint file is corrupt —
-/// both are setup errors for an experiment binary.
+/// Panics when generation fails or a checkpoint file is corrupt — both are
+/// setup errors for an experiment binary.
 pub fn load_or_generate_parallel(
     config: &dataset::DatasetConfig,
     out_dir: &str,
     jobs: usize,
     resume: Option<&str>,
 ) -> Dataset {
-    let key = format!(
-        "{}_{}_{}_{}_{}_{}_{}_{}",
-        config.profile,
-        config.circuit_seed,
-        config.scheme,
-        config.num_instances,
-        config.key_range.0,
-        config.key_range.1,
-        config.seed,
-        config.attack.work_budget.unwrap_or(0),
-    );
-    let path = format!("{out_dir}/dataset_{key}.csv");
+    let path = dataset_cache_path(config, out_dir);
     let circuit =
         synth::iscas::circuit(&config.profile, config.circuit_seed).expect("known circuit profile");
     if let Ok(text) = std::fs::read_to_string(&path) {
-        let instances = dataset::dataset_from_csv(&text).expect("valid dataset cache");
-        if instances.len() == config.num_instances {
-            eprintln!("# reusing cached dataset {path}");
-            return Dataset { circuit, instances };
+        match dataset::dataset_from_csv(&text) {
+            Ok(instances) if instances.len() == config.num_instances => {
+                eprintln!("# reusing cached dataset {path}");
+                obs::emit(obs::EventKind::Cache {
+                    hit: true,
+                    path: path.clone(),
+                });
+                return Dataset { circuit, instances };
+            }
+            Ok(_) => {} // partial dataset from a keep-going run: regenerate
+            Err(e) => {
+                // Torn file from a crash mid-write (pre-atomic-rename cache)
+                // or manual editing: regenerating is always safe.
+                eprintln!("# WARNING: ignoring corrupt dataset cache {path}: {e}");
+            }
         }
     }
+    obs::emit(obs::EventKind::Cache {
+        hit: false,
+        path: path.clone(),
+    });
     let mut checkpoint = resume.map(|p| {
         let log = dataset::CheckpointLog::open(p).expect("usable checkpoint log");
         if !log.is_empty() {
@@ -89,8 +115,22 @@ pub fn load_or_generate_parallel(
          add --retries, or inspect the failures above"
     );
     let _ = std::fs::create_dir_all(out_dir);
-    let _ = std::fs::write(&path, dataset::dataset_to_csv(&data.instances));
+    if let Err(e) = write_atomic(&path, &dataset::dataset_to_csv(&data.instances)) {
+        eprintln!("# WARNING: could not write dataset cache {path}: {e}");
+    }
     data
+}
+
+/// Writes `contents` to `path` atomically: a unique temp file in the same
+/// directory (same filesystem, so the rename cannot cross devices) followed
+/// by a rename. Readers either see the old file or the complete new one,
+/// never a torn prefix.
+fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// One cell of a results table.
@@ -328,6 +368,19 @@ impl SuiteCell {
         cells
     }
 
+    /// Human-readable cell label (method / feature set / aggregation), used
+    /// in progress lines and per-cell observability events.
+    fn label(self) -> String {
+        match self {
+            SuiteCell::Baselines { fs, agg } => {
+                format!("baselines {} / {}", fs.label(), agg.label())
+            }
+            SuiteCell::Gnn { kind, fs, agg } => {
+                format!("{} {} / {}", kind.label(), fs.label(), agg.label())
+            }
+        }
+    }
+
     fn evaluate(
         self,
         data: &Dataset,
@@ -336,17 +389,31 @@ impl SuiteCell {
         epochs: usize,
         seed: u64,
     ) -> Vec<EvalResult> {
-        match self {
-            SuiteCell::Baselines { fs, agg } => {
-                eprintln!("#   baselines {} / {} ...", fs.label(), agg.label());
-                evaluate_baselines(data, split, roster, fs, agg)
-            }
+        let label = self.label();
+        eprintln!("#   {label} ...");
+        let observing = obs::enabled();
+        let cell_started = observing.then(std::time::Instant::now);
+        if observing {
+            obs::emit(obs::EventKind::CellStarted {
+                label: label.clone(),
+            });
+        }
+        let results = match self {
+            SuiteCell::Baselines { fs, agg } => evaluate_baselines(data, split, roster, fs, agg),
             SuiteCell::Gnn { kind, fs, agg } => {
-                eprintln!("#   {} {} / {} ...", kind.label(), fs.label(), agg.label());
                 let (result, _) = evaluate_gnn(data, split, kind, agg, fs, epochs, seed);
                 vec![result]
             }
+        };
+        if observing {
+            obs::emit(obs::EventKind::CellFinished {
+                label,
+                wall_ns: cell_started
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0),
+            });
         }
+        results
     }
 }
 
@@ -403,6 +470,20 @@ pub fn run_mse_suite_jobs(
         .map(|slot| slot.expect("every suite cell evaluated"))
         .collect::<Vec<_>>()
         .concat()
+}
+
+/// Percentage of attack runtime saved by predicting it instead of running
+/// the attack: `100 * (1 - inference / attack)`, the paper's §IV-C claim
+/// (~1.13 s of inference against up to 2411 s of solver time ≈ 99.95 %).
+///
+/// Returns 0.0 when `attack_seconds` is not a positive finite number — a
+/// zero-cost attack has nothing to save, and NaN must not leak into report
+/// output.
+pub fn percent_saved(inference_seconds: f64, attack_seconds: f64) -> f64 {
+    if attack_seconds <= 0.0 || !attack_seconds.is_finite() || !inference_seconds.is_finite() {
+        return 0.0;
+    }
+    100.0 * (1.0 - inference_seconds / attack_seconds)
 }
 
 /// Formats an MSE value the way the paper's tables do.
@@ -581,6 +662,58 @@ mod tests {
             );
             assert_eq!(a.note, b.note);
         }
+    }
+
+    #[test]
+    fn corrupt_cache_is_a_miss_not_a_panic() {
+        // A crash mid-write used to leave a torn CSV that the next run
+        // `expect`ed into a panic; now it must log, regenerate, and replace
+        // the cache atomically.
+        let mut config = DatasetConfig::quick_demo();
+        config.num_instances = 4;
+        let out_dir = std::env::temp_dir()
+            .join(format!("bench-cache-test-{}", std::process::id()))
+            .display()
+            .to_string();
+        std::fs::create_dir_all(&out_dir).unwrap();
+        let path = dataset_cache_path(&config, &out_dir);
+        std::fs::write(&path, "selected,key_bits,iter").unwrap(); // torn header
+
+        let data = load_or_generate_parallel(&config, &out_dir, 1, None);
+        assert_eq!(data.instances.len(), 4);
+        // The cache was rewritten with a complete, parseable dataset...
+        let reloaded = dataset::dataset_from_csv(&std::fs::read_to_string(&path).unwrap())
+            .expect("rewritten cache parses");
+        assert_eq!(reloaded, data.instances);
+        // ...and a second load is a clean cache hit with identical labels.
+        let again = load_or_generate_parallel(&config, &out_dir, 1, None);
+        assert_eq!(again.instances, data.instances);
+        // No temp file left behind by the atomic write.
+        assert!(!std::path::Path::new(&format!("{path}.tmp.{}", std::process::id())).exists());
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn percent_saved_matches_paper_claim() {
+        // §IV-C: ~1.13 s of inference against 2411 s of attack ≈ 99.95 %.
+        let saved = percent_saved(1.13, 2411.0);
+        assert!((saved - 99.95).abs() < 0.005, "saved = {saved}");
+        assert_eq!(percent_saved(0.0, 100.0), 100.0);
+        assert_eq!(percent_saved(100.0, 100.0), 0.0);
+        // Inference slower than the attack: negative savings, not clamped.
+        assert!(percent_saved(2.0, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn percent_saved_degenerate_inputs_yield_zero() {
+        // Instant or unmeasured attacks and non-finite inputs must not
+        // produce NaN/inf in report output.
+        assert_eq!(percent_saved(1.0, 0.0), 0.0);
+        assert_eq!(percent_saved(1.0, -5.0), 0.0);
+        assert_eq!(percent_saved(1.0, f64::NAN), 0.0);
+        assert_eq!(percent_saved(f64::NAN, 10.0), 0.0);
+        assert_eq!(percent_saved(1.0, f64::INFINITY), 0.0);
+        assert!(percent_saved(1e-9, 1e-9).abs() < 1e-6);
     }
 
     #[test]

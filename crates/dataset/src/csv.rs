@@ -155,6 +155,52 @@ mod tests {
     }
 
     #[test]
+    fn sub_microsecond_labels_round_trip_bit_exactly() {
+        // `AttackRuntime::log_seconds` floors seconds at 1e-6 before taking
+        // the log, so a sub-microsecond attack produces the irrational label
+        // ln(1e-6) alongside an *unfloored* seconds column. Both must
+        // survive the CSV round trip bit-for-bit (f64 `to_string` emits the
+        // shortest representation that re-parses to the same bits), and the
+        // floored label must stay consistent with re-deriving it from the
+        // parsed seconds column.
+        let measure = attack::RuntimeMeasure::SolverWork;
+        for work in [0u64, 1, 7, 19, 20, 21, 12345] {
+            let runtime = attack::AttackRuntime {
+                work,
+                wall: std::time::Duration::ZERO,
+            };
+            let inst = Instance {
+                selected: vec![GateId::from_index(1)],
+                key_bits: 1,
+                iterations: 0,
+                work,
+                seconds: runtime.seconds(measure),
+                log_seconds: runtime.log_seconds(measure),
+                censored: false,
+            };
+            let parsed = dataset_from_csv(&dataset_to_csv(std::slice::from_ref(&inst))).unwrap();
+            assert_eq!(parsed.len(), 1);
+            assert_eq!(
+                parsed[0].seconds.to_bits(),
+                inst.seconds.to_bits(),
+                "seconds for work={work}"
+            );
+            assert_eq!(
+                parsed[0].log_seconds.to_bits(),
+                inst.log_seconds.to_bits(),
+                "log_seconds for work={work}"
+            );
+            // Flooring commutes with the round trip: re-deriving the label
+            // from the parsed seconds gives back the stored label.
+            assert_eq!(
+                parsed[0].seconds.max(1e-6).ln().to_bits(),
+                parsed[0].log_seconds.to_bits(),
+                "re-derived label for work={work}"
+            );
+        }
+    }
+
+    #[test]
     fn missing_header_is_error() {
         assert!(matches!(
             dataset_from_csv("1;2,3,4,5,6,7,true\n"),

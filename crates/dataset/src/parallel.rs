@@ -198,6 +198,12 @@ pub fn generate_parallel_with(
                         .record_failure(key, index, supervision, &failure)?;
                 }
             }
+            obs::emit(obs::EventKind::InstanceQuarantined {
+                index: index as u64,
+                kind: failure.kind.tag(),
+                attempts: failure.attempts as u64,
+                reused,
+            });
             failures.lock().unwrap().push(SweepFailure {
                 index,
                 failure,
@@ -212,7 +218,6 @@ pub fn generate_parallel_with(
         // token, so a fatal failure stops the others mid-attack.
         let mut cfg = config.clone();
         cfg.attack = cfg.attack.clone().with_cancel(cancel.clone());
-        let _ = wid;
         loop {
             if cancel.is_cancelled() {
                 break;
@@ -222,6 +227,13 @@ pub fn generate_parallel_with(
                 break;
             }
             let begun = Instant::now();
+            obs::emit(obs::EventKind::InstanceStarted {
+                index: index as u64,
+                worker: wid as u64,
+            });
+            // Attach the instance index to every event (solver snapshots,
+            // attack iterations, retries) emitted while working on it.
+            let _ctx = obs::context(index as u64);
             // Ok(None) = instance quarantined under keep-going; the sweep
             // continues without a label for it.
             let outcome: Result<Option<(Instance, bool)>, DatasetError> = (|| {
@@ -265,6 +277,13 @@ pub fn generate_parallel_with(
                         stats.work += instance.work;
                     }
                     stats.busy += begun.elapsed();
+                    obs::emit(obs::EventKind::InstanceFinished {
+                        index: index as u64,
+                        worker: wid as u64,
+                        reused,
+                        wall_ns: begun.elapsed().as_nanos() as u64,
+                        work: instance.work,
+                    });
                     slots.lock().unwrap()[index] = Some(instance);
                 }
                 Ok(None) => {

@@ -250,6 +250,14 @@ pub fn supervise_attack(
                 work: 0,
             },
         };
+        if attempt + 1 < max_attempts {
+            obs::emit(obs::EventKind::InstanceRetry {
+                index: index as u64,
+                // 1-based number of the attempt about to run.
+                attempt: (attempt + 2) as u64,
+                reason: failure.kind.tag(),
+            });
+        }
         last_failure = Some(failure);
     }
     Supervised::Failed(last_failure.expect("max_attempts >= 1 ran at least one attempt"))

@@ -196,6 +196,12 @@ pub fn train(
     let mut stall = 0usize;
 
     for epoch in 0..config.max_epochs {
+        // Observation-only instrumentation: the clock and the gradient-norm
+        // accumulator are reads; neither feeds back into the update, so
+        // tracing cannot change the trained parameters.
+        let observing = obs::enabled();
+        let epoch_started = observing.then(std::time::Instant::now);
+        let mut grad_sq = 0.0;
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size.max(1)) {
@@ -214,9 +220,28 @@ pub fn train(
                 };
             }
             epoch_loss += batch_loss;
+            if observing {
+                grad_sq += grads
+                    .iter()
+                    .map(|g| {
+                        let n = g.norm();
+                        n * n
+                    })
+                    .sum::<f64>();
+            }
             optimizer.step(model.params_mut(), &grads);
         }
         epoch_loss /= xs.len() as f64;
+        if observing {
+            obs::emit(obs::EventKind::TrainEpoch {
+                epoch: epoch as u64,
+                loss: epoch_loss,
+                grad_norm: grad_sq.sqrt(),
+                wall_ns: epoch_started
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0),
+            });
+        }
         history.push(epoch_loss);
         if best - epoch_loss < config.tol {
             stall += 1;

@@ -1,0 +1,461 @@
+//! Typed observability events and their JSONL serialization.
+//!
+//! Every event is one line of JSON in the trace file. The envelope carries a
+//! monotonic timestamp (nanoseconds since `obs::init`), the id of the emitting
+//! thread, and the instance index from the ambient [`crate::context`] guard if
+//! one was active. Serialization is hand-rolled so the crate stays free of
+//! external dependencies; non-finite floats are written as `null` because JSON
+//! has no NaN/Inf literals.
+
+/// One recorded event: envelope plus payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the sink was initialised (monotonic clock).
+    pub ts_ns: u64,
+    /// Registration id of the emitting thread (dense, starts at 0).
+    pub thread: u32,
+    /// Instance index from the ambient context guard, if any.
+    pub ctx: Option<u64>,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+/// The typed event payloads emitted across the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Periodic `sat::Solver` counter snapshot (also emitted once per solve).
+    SolverProgress {
+        decisions: u64,
+        propagations: u64,
+        conflicts: u64,
+        restarts: u64,
+        /// Live learnt clauses (learnt minus deleted).
+        learnt_live: u64,
+    },
+    /// One DIP iteration of the oracle-guided attack.
+    AttackIteration {
+        iteration: u64,
+        /// Solver work spent on this iteration's distinguishing query.
+        query_work: u64,
+        /// Cumulative solver work across the attack so far.
+        total_work: u64,
+        /// Miter size when the iteration finished (vars / clause slots).
+        miter_vars: u64,
+        miter_clauses: u64,
+        wall_ns: u64,
+    },
+    /// A sweep worker picked up an instance.
+    InstanceStarted { index: u64, worker: u64 },
+    /// A sweep worker finished an instance (freshly attacked or reused).
+    InstanceFinished {
+        index: u64,
+        worker: u64,
+        reused: bool,
+        wall_ns: u64,
+        /// Deterministic solver work recorded in the instance label.
+        work: u64,
+    },
+    /// A supervised attempt failed and will be retried.
+    InstanceRetry {
+        index: u64,
+        /// 1-based attempt number that is about to run.
+        attempt: u64,
+        reason: &'static str,
+    },
+    /// An instance exhausted its retry budget and was quarantined.
+    InstanceQuarantined {
+        index: u64,
+        kind: &'static str,
+        attempts: u64,
+        /// True when the quarantine record was replayed from a checkpoint.
+        reused: bool,
+    },
+    /// One training epoch completed.
+    TrainEpoch {
+        epoch: u64,
+        loss: f64,
+        grad_norm: f64,
+        wall_ns: u64,
+    },
+    /// A cell of the Table I/II evaluation grid started.
+    CellStarted { label: String },
+    /// A cell of the Table I/II evaluation grid finished.
+    CellFinished { label: String, wall_ns: u64 },
+    /// Dataset cache probe outcome in `bench::harness`.
+    Cache { hit: bool, path: String },
+    /// A named coarse stage (RAII timer) finished.
+    StageFinished { stage: String, wall_ns: u64 },
+}
+
+impl EventKind {
+    /// Stable machine-readable tag written to the `kind` JSON field.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::SolverProgress { .. } => "solver.progress",
+            EventKind::AttackIteration { .. } => "attack.iteration",
+            EventKind::InstanceStarted { .. } => "dataset.instance.start",
+            EventKind::InstanceFinished { .. } => "dataset.instance.finish",
+            EventKind::InstanceRetry { .. } => "dataset.instance.retry",
+            EventKind::InstanceQuarantined { .. } => "dataset.instance.quarantine",
+            EventKind::TrainEpoch { .. } => "train.epoch",
+            EventKind::CellStarted { .. } => "bench.cell.start",
+            EventKind::CellFinished { .. } => "bench.cell.finish",
+            EventKind::Cache { .. } => "bench.cache",
+            EventKind::StageFinished { .. } => "stage",
+        }
+    }
+
+    /// Human-readable one-liner for the live progress sink, or `None` for
+    /// high-frequency kinds that would flood a terminal.
+    pub fn progress_line(&self) -> Option<String> {
+        match self {
+            EventKind::InstanceStarted { index, worker } => {
+                Some(format!("instance {index} started (worker {worker})"))
+            }
+            EventKind::InstanceFinished {
+                index,
+                worker,
+                reused,
+                wall_ns,
+                work,
+            } => Some(format!(
+                "instance {index} {} in {} (worker {worker}, work {work})",
+                if *reused { "reused" } else { "done" },
+                fmt_wall(*wall_ns),
+            )),
+            EventKind::InstanceRetry {
+                index,
+                attempt,
+                reason,
+            } => Some(format!("instance {index} retry #{attempt} after {reason}")),
+            EventKind::InstanceQuarantined {
+                index,
+                kind,
+                attempts,
+                reused,
+            } => Some(format!(
+                "instance {index} quarantined ({kind}, {attempts} attempts{})",
+                if *reused { ", replayed" } else { "" },
+            )),
+            EventKind::TrainEpoch {
+                epoch,
+                loss,
+                grad_norm,
+                ..
+            } if epoch % 50 == 0 => Some(format!(
+                "epoch {epoch}: loss {loss:.6}, |grad| {grad_norm:.4}"
+            )),
+            EventKind::CellStarted { label } => Some(format!("cell {label} started")),
+            EventKind::CellFinished { label, wall_ns } => {
+                Some(format!("cell {label} finished in {}", fmt_wall(*wall_ns)))
+            }
+            EventKind::Cache { hit, path } => Some(format!(
+                "dataset cache {}: {path}",
+                if *hit { "hit" } else { "miss" },
+            )),
+            EventKind::StageFinished { stage, wall_ns } => {
+                Some(format!("stage {stage} finished in {}", fmt_wall(*wall_ns)))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Event {
+    /// Serialize as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push('{');
+        push_u64(&mut out, "ts", self.ts_ns);
+        out.push(',');
+        push_u64(&mut out, "thread", u64::from(self.thread));
+        if let Some(ctx) = self.ctx {
+            out.push(',');
+            push_u64(&mut out, "ctx", ctx);
+        }
+        out.push(',');
+        push_str(&mut out, "kind", self.kind.tag());
+        match &self.kind {
+            EventKind::SolverProgress {
+                decisions,
+                propagations,
+                conflicts,
+                restarts,
+                learnt_live,
+            } => {
+                for (k, v) in [
+                    ("decisions", decisions),
+                    ("propagations", propagations),
+                    ("conflicts", conflicts),
+                    ("restarts", restarts),
+                    ("learnt_live", learnt_live),
+                ] {
+                    out.push(',');
+                    push_u64(&mut out, k, *v);
+                }
+            }
+            EventKind::AttackIteration {
+                iteration,
+                query_work,
+                total_work,
+                miter_vars,
+                miter_clauses,
+                wall_ns,
+            } => {
+                for (k, v) in [
+                    ("iteration", iteration),
+                    ("query_work", query_work),
+                    ("total_work", total_work),
+                    ("miter_vars", miter_vars),
+                    ("miter_clauses", miter_clauses),
+                    ("wall_ns", wall_ns),
+                ] {
+                    out.push(',');
+                    push_u64(&mut out, k, *v);
+                }
+            }
+            EventKind::InstanceStarted { index, worker } => {
+                out.push(',');
+                push_u64(&mut out, "index", *index);
+                out.push(',');
+                push_u64(&mut out, "worker", *worker);
+            }
+            EventKind::InstanceFinished {
+                index,
+                worker,
+                reused,
+                wall_ns,
+                work,
+            } => {
+                out.push(',');
+                push_u64(&mut out, "index", *index);
+                out.push(',');
+                push_u64(&mut out, "worker", *worker);
+                out.push(',');
+                push_bool(&mut out, "reused", *reused);
+                out.push(',');
+                push_u64(&mut out, "wall_ns", *wall_ns);
+                out.push(',');
+                push_u64(&mut out, "work", *work);
+            }
+            EventKind::InstanceRetry {
+                index,
+                attempt,
+                reason,
+            } => {
+                out.push(',');
+                push_u64(&mut out, "index", *index);
+                out.push(',');
+                push_u64(&mut out, "attempt", *attempt);
+                out.push(',');
+                push_str(&mut out, "reason", reason);
+            }
+            EventKind::InstanceQuarantined {
+                index,
+                kind,
+                attempts,
+                reused,
+            } => {
+                out.push(',');
+                push_u64(&mut out, "index", *index);
+                out.push(',');
+                push_str(&mut out, "failure", kind);
+                out.push(',');
+                push_u64(&mut out, "attempts", *attempts);
+                out.push(',');
+                push_bool(&mut out, "reused", *reused);
+            }
+            EventKind::TrainEpoch {
+                epoch,
+                loss,
+                grad_norm,
+                wall_ns,
+            } => {
+                out.push(',');
+                push_u64(&mut out, "epoch", *epoch);
+                out.push(',');
+                push_f64(&mut out, "loss", *loss);
+                out.push(',');
+                push_f64(&mut out, "grad_norm", *grad_norm);
+                out.push(',');
+                push_u64(&mut out, "wall_ns", *wall_ns);
+            }
+            EventKind::CellStarted { label } => {
+                out.push(',');
+                push_str(&mut out, "label", label);
+            }
+            EventKind::CellFinished { label, wall_ns } => {
+                out.push(',');
+                push_str(&mut out, "label", label);
+                out.push(',');
+                push_u64(&mut out, "wall_ns", *wall_ns);
+            }
+            EventKind::Cache { hit, path } => {
+                out.push(',');
+                push_bool(&mut out, "hit", *hit);
+                out.push(',');
+                push_str(&mut out, "path", path);
+            }
+            EventKind::StageFinished { stage, wall_ns } => {
+                out.push(',');
+                push_str(&mut out, "stage", stage);
+                out.push(',');
+                push_u64(&mut out, "wall_ns", *wall_ns);
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_key(out: &mut String, key: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+}
+
+fn push_u64(out: &mut String, key: &str, value: u64) {
+    push_key(out, key);
+    out.push_str(&value.to_string());
+}
+
+fn push_bool(out: &mut String, key: &str, value: bool) {
+    push_key(out, key);
+    out.push_str(if value { "true" } else { "false" });
+}
+
+fn push_f64(out: &mut String, key: &str, value: f64) {
+    push_key(out, key);
+    if value.is_finite() {
+        // `to_string` produces the shortest representation that round-trips.
+        out.push_str(&value.to_string());
+        // Bare integers like `3` are valid JSON numbers; keep them as-is.
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_str(out: &mut String, key: &str, value: &str) {
+    push_key(out, key);
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render a wall-clock duration in nanoseconds as a short human string.
+pub fn fmt_wall(ns: u64) -> String {
+    let secs = ns as f64 / 1e9;
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.0}\u{b5}s", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_envelope_and_payload() {
+        let ev = Event {
+            ts_ns: 42,
+            thread: 1,
+            ctx: Some(7),
+            kind: EventKind::InstanceFinished {
+                index: 7,
+                worker: 1,
+                reused: false,
+                wall_ns: 1_500_000,
+                work: 999,
+            },
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ts\":42,\"thread\":1,\"ctx\":7,\"kind\":\"dataset.instance.finish\",\
+             \"index\":7,\"worker\":1,\"reused\":false,\"wall_ns\":1500000,\"work\":999}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings_and_nan_floats() {
+        let ev = Event {
+            ts_ns: 0,
+            thread: 0,
+            ctx: None,
+            kind: EventKind::StageFinished {
+                stage: "we\"ird\\st\nage".into(),
+                wall_ns: 5,
+            },
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ts\":0,\"thread\":0,\"kind\":\"stage\",\
+             \"stage\":\"we\\\"ird\\\\st\\nage\",\"wall_ns\":5}"
+        );
+
+        let nan = Event {
+            ts_ns: 0,
+            thread: 0,
+            ctx: None,
+            kind: EventKind::TrainEpoch {
+                epoch: 3,
+                loss: f64::NAN,
+                grad_norm: 0.5,
+                wall_ns: 10,
+            },
+        };
+        assert!(nan.to_json().contains("\"loss\":null"));
+        assert!(nan.to_json().contains("\"grad_norm\":0.5"));
+    }
+
+    #[test]
+    fn progress_lines_skip_hot_kinds() {
+        let hot = EventKind::SolverProgress {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            restarts: 0,
+            learnt_live: 0,
+        };
+        assert!(hot.progress_line().is_none());
+        let attack = EventKind::AttackIteration {
+            iteration: 1,
+            query_work: 1,
+            total_work: 1,
+            miter_vars: 1,
+            miter_clauses: 1,
+            wall_ns: 1,
+        };
+        assert!(attack.progress_line().is_none());
+        let cell = EventKind::CellFinished {
+            label: "gcn d=2".into(),
+            wall_ns: 2_000_000_000,
+        };
+        assert_eq!(
+            cell.progress_line().unwrap(),
+            "cell gcn d=2 finished in 2.00s"
+        );
+    }
+
+    #[test]
+    fn wall_formatting() {
+        assert_eq!(fmt_wall(2_500_000_000), "2.50s");
+        assert_eq!(fmt_wall(2_500_000), "2.50ms");
+        assert_eq!(fmt_wall(900), "1\u{b5}s");
+    }
+}

@@ -1,0 +1,200 @@
+//! End-of-run profile: aggregate events into per-stage wall / solver-work
+//! totals and render the "top stages" report every binary prints on exit.
+
+use crate::event::{fmt_wall, Event, EventKind};
+
+/// Aggregated totals for one named stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    pub name: String,
+    /// Number of spans (events) aggregated into this row.
+    pub spans: u64,
+    /// Total wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Total deterministic solver work attributed to this stage.
+    pub work: u64,
+}
+
+/// The end-of-run profile returned by [`crate::finish`].
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Total events recorded (all kinds).
+    pub events: u64,
+    /// Number of distinct threads that emitted at least one event.
+    pub threads: u64,
+    /// Per-stage aggregates, unsorted.
+    pub stages: Vec<StageRow>,
+    /// Path the JSONL trace was written to, if a trace sink was configured.
+    pub trace_path: Option<String>,
+    /// Error encountered while writing the trace, if any.
+    pub trace_error: Option<String>,
+}
+
+impl Summary {
+    /// Build a profile from the merged, time-ordered event list.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut stages: Vec<StageRow> = Vec::new();
+        let mut add = |name: &str, wall_ns: u64, work: u64| {
+            if let Some(row) = stages.iter_mut().find(|r| r.name == name) {
+                row.spans += 1;
+                row.wall_ns += wall_ns;
+                row.work += work;
+            } else {
+                stages.push(StageRow {
+                    name: name.to_string(),
+                    spans: 1,
+                    wall_ns,
+                    work,
+                });
+            }
+        };
+        let mut threads = Vec::new();
+        for ev in events {
+            if !threads.contains(&ev.thread) {
+                threads.push(ev.thread);
+            }
+            match &ev.kind {
+                EventKind::AttackIteration {
+                    query_work,
+                    wall_ns,
+                    ..
+                } => add("attack.query", *wall_ns, *query_work),
+                EventKind::InstanceFinished { wall_ns, work, .. } => {
+                    add("dataset.instance", *wall_ns, *work)
+                }
+                EventKind::TrainEpoch { wall_ns, .. } => add("train.epoch", *wall_ns, 0),
+                EventKind::CellFinished { wall_ns, .. } => add("bench.cell", *wall_ns, 0),
+                EventKind::StageFinished { stage, wall_ns } => add(stage, *wall_ns, 0),
+                _ => {}
+            }
+        }
+        Summary {
+            events: events.len() as u64,
+            threads: threads.len() as u64,
+            stages,
+            trace_path: None,
+            trace_error: None,
+        }
+    }
+
+    /// Render the human-readable profile printed at the end of every run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# ---- observability profile ----\n");
+        out.push_str(&format!(
+            "# events: {} across {} thread{}\n",
+            self.events,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        ));
+        if let Some(path) = &self.trace_path {
+            match &self.trace_error {
+                None => out.push_str(&format!("# trace written to {path}\n")),
+                Some(err) => out.push_str(&format!("# trace write to {path} FAILED: {err}\n")),
+            }
+        }
+        let mut by_wall = self.stages.clone();
+        by_wall.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns).then(a.name.cmp(&b.name)));
+        if !by_wall.is_empty() {
+            out.push_str("# top stages by wall time:\n");
+            for row in by_wall.iter().take(8) {
+                out.push_str(&format!(
+                    "#   {:<24} {:>10}  ({} span{})\n",
+                    row.name,
+                    fmt_wall(row.wall_ns),
+                    row.spans,
+                    if row.spans == 1 { "" } else { "s" },
+                ));
+            }
+        }
+        let mut by_work: Vec<&StageRow> = self.stages.iter().filter(|r| r.work > 0).collect();
+        by_work.sort_by(|a, b| b.work.cmp(&a.work).then(a.name.cmp(&b.name)));
+        if !by_work.is_empty() {
+            out.push_str("# top stages by solver work:\n");
+            for row in by_work.iter().take(8) {
+                out.push_str(&format!(
+                    "#   {:<24} {:>14} work  ({} span{})\n",
+                    row.name,
+                    row.work,
+                    row.spans,
+                    if row.spans == 1 { "" } else { "s" },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: u32, kind: EventKind) -> Event {
+        Event {
+            ts_ns: 0,
+            thread,
+            ctx: None,
+            kind,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_stage_and_counts_threads() {
+        let events = vec![
+            ev(
+                0,
+                EventKind::AttackIteration {
+                    iteration: 1,
+                    query_work: 100,
+                    total_work: 100,
+                    miter_vars: 10,
+                    miter_clauses: 20,
+                    wall_ns: 1_000,
+                },
+            ),
+            ev(
+                1,
+                EventKind::AttackIteration {
+                    iteration: 2,
+                    query_work: 50,
+                    total_work: 150,
+                    miter_vars: 10,
+                    miter_clauses: 25,
+                    wall_ns: 500,
+                },
+            ),
+            ev(
+                0,
+                EventKind::StageFinished {
+                    stage: "generate".into(),
+                    wall_ns: 9_000,
+                },
+            ),
+            ev(
+                0,
+                EventKind::SolverProgress {
+                    decisions: 1,
+                    propagations: 1,
+                    conflicts: 0,
+                    restarts: 0,
+                    learnt_live: 0,
+                },
+            ),
+        ];
+        let summary = Summary::from_events(&events);
+        assert_eq!(summary.events, 4);
+        assert_eq!(summary.threads, 2);
+        let attack = summary
+            .stages
+            .iter()
+            .find(|r| r.name == "attack.query")
+            .unwrap();
+        assert_eq!(attack.spans, 2);
+        assert_eq!(attack.wall_ns, 1_500);
+        assert_eq!(attack.work, 150);
+        let rendered = summary.render();
+        assert!(rendered.contains("top stages by wall time"));
+        assert!(rendered.contains("generate"));
+        assert!(rendered.contains("top stages by solver work"));
+    }
+}

@@ -54,12 +54,19 @@ pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
 
 /// Pearson correlation coefficient, or 0.0 when either side is constant.
 ///
+/// Returns NaN if either input contains a non-finite value (a diverged
+/// model's predictions, say) — callers render that as "n/a" rather than
+/// aborting mid-report.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths or are empty.
 pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "length mismatch");
     assert!(!a.is_empty(), "empty inputs");
+    if has_non_finite(a) || has_non_finite(b) {
+        return f64::NAN;
+    }
     let n = a.len() as f64;
     let ma = a.iter().sum::<f64>() / n;
     let mb = b.iter().sum::<f64>() / n;
@@ -79,17 +86,34 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 
 /// Spearman rank correlation (Pearson on average-ranked data).
 ///
+/// Returns NaN if either input contains a non-finite value: NaN has no
+/// rank, so the coefficient is undefined. (The previous behaviour was a
+/// panic inside the rank sort, which aborted whole report binaries when a
+/// diverged model's predictions reached them.)
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths or are empty.
 pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    if has_non_finite(a) || has_non_finite(b) {
+        return f64::NAN;
+    }
     pearson(&ranks(a), &ranks(b))
 }
 
+fn has_non_finite(values: &[f64]) -> bool {
+    values.iter().any(|v| !v.is_finite())
+}
+
 /// Average ranks (1-based), ties receive the mean of their rank range.
+/// Callers must filter non-finite values first — see [`spearman`].
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("no NaN"));
+    order.sort_by(|&i, &j| {
+        values[i]
+            .partial_cmp(&values[j])
+            .expect("non-finite values are rejected before ranking")
+    });
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < order.len() {
@@ -151,5 +175,22 @@ mod tests {
         let b = [1.0, 1.0, 2.0, 3.0];
         assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
         assert_eq!(ranks(&[5.0, 5.0]), vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn correlations_return_nan_instead_of_panicking_on_non_finite() {
+        // A diverged model emits NaN/inf predictions; the coefficients must
+        // report "undefined", not abort the whole report binary.
+        let good = [1.0, 2.0, 3.0];
+        for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let bad = [1.0, poison, 3.0];
+            assert!(spearman(&bad, &good).is_nan());
+            assert!(spearman(&good, &bad).is_nan());
+            assert!(pearson(&bad, &good).is_nan());
+            assert!(pearson(&good, &bad).is_nan());
+        }
+        // Finite inputs are unaffected.
+        assert!((spearman(&good, &good) - 1.0).abs() < 1e-12);
+        assert!((pearson(&good, &good) - 1.0).abs() < 1e-12);
     }
 }

@@ -47,6 +47,18 @@ const LUBY_UNIT: u64 = 100;
 /// queries; every 64 conflicts the overhead is noise while a runaway solve
 /// still stops within milliseconds of its deadline.
 const DEADLINE_CHECK_INTERVAL: u64 = 64;
+/// Propagations between wall-clock deadline checks. A propagation-dominated
+/// solve (large miters driven almost entirely by unit propagation) can
+/// generate arbitrarily few conflicts, so the conflict-interval check above
+/// may never fire; the main loop therefore also polls the clock every this
+/// many propagations. At tens of millions of propagations per second the
+/// poll amortises to noise while bounding overshoot to milliseconds.
+const DEADLINE_CHECK_PROPS: u64 = 8192;
+/// Emit one `solver.progress` observability snapshot every this many
+/// propagation-axis deadline polls (~1M propagations between snapshots).
+const SNAPSHOT_POLL_INTERVAL: u64 = 128;
+/// Also snapshot every this many conflicts within a single solve.
+const SNAPSHOT_CONFLICT_INTERVAL: u64 = 4096;
 
 /// An incremental CDCL SAT solver. See the [crate docs](crate) for the
 /// feature list and an example.
@@ -137,6 +149,13 @@ impl Solver {
         self.clauses.iter().filter(|c| !c.deleted).count()
     }
 
+    /// Total clause slots including tombstoned (deleted) clauses — O(1),
+    /// cheap enough for per-iteration observability snapshots where
+    /// [`Solver::num_clauses`]'s O(n) scan would not be.
+    pub fn num_clauses_total(&self) -> usize {
+        self.clauses.len()
+    }
+
     /// Accumulated work counters.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
@@ -151,10 +170,11 @@ impl Solver {
 
     /// Installs a wall-clock deadline for future [`Solver::solve`] calls;
     /// `None` removes it. The deadline is polled once at solve entry and
-    /// then every few conflicts (the conflict budget's cadence), so it costs
-    /// nothing on the hot path; when it passes, the in-flight call returns
-    /// [`SolveResult::Unknown`] — exactly the budget-exhausted verdict — and
-    /// the solver remains usable.
+    /// then periodically on both work axes — every few conflicts and every
+    /// few thousand propagations, so even a conflict-free solve stops within
+    /// a bounded interval — and costs nothing on the hot path; when it
+    /// passes, the in-flight call returns [`SolveResult::Unknown`] — exactly
+    /// the budget-exhausted verdict — and the solver remains usable.
     pub fn set_deadline(&mut self, deadline: Option<Instant>) {
         self.deadline = deadline;
     }
@@ -604,6 +624,27 @@ impl Solver {
     /// them, and the solver state remains reusable afterwards (clauses can be
     /// added and `solve*` called again).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let result = self.solve_inner(assumptions);
+        // One snapshot per solve keeps short solves visible in traces that
+        // never reach the periodic in-loop snapshot thresholds.
+        if obs::enabled() {
+            self.emit_snapshot();
+        }
+        result
+    }
+
+    /// Record a `solver.progress` observability snapshot of the counters.
+    fn emit_snapshot(&self) {
+        obs::emit(obs::EventKind::SolverProgress {
+            decisions: self.stats.decisions,
+            propagations: self.stats.propagations,
+            conflicts: self.stats.conflicts,
+            restarts: self.stats.restarts,
+            learnt_live: self.num_learnt_live as u64,
+        });
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solves += 1;
         if !self.ok {
             return SolveResult::Unsat;
@@ -624,8 +665,25 @@ impl Solver {
         let mut restart_count = 0u64;
         let mut conflicts_until_restart = luby(restart_count) * LUBY_UNIT;
         let mut conflicts_this_restart = 0u64;
+        let mut next_deadline_poll = self.stats.propagations + DEADLINE_CHECK_PROPS;
+        let mut deadline_polls = 0u64;
 
         loop {
+            // Wall-clock poll on the propagation axis: a conflict-free solve
+            // never reaches the conflict-interval check below, so the
+            // deadline must also be enforced here or a propagation-dominated
+            // query can overshoot it without bound.
+            if self.stats.propagations >= next_deadline_poll {
+                next_deadline_poll = self.stats.propagations + DEADLINE_CHECK_PROPS;
+                deadline_polls += 1;
+                if self.past_deadline() {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+                if deadline_polls.is_multiple_of(SNAPSHOT_POLL_INTERVAL) && obs::enabled() {
+                    self.emit_snapshot();
+                }
+            }
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_this_restart += 1;
@@ -663,6 +721,11 @@ impl Solver {
                 {
                     self.cancel_until(0);
                     return SolveResult::Unknown;
+                }
+                if (self.stats.conflicts - budget_start).is_multiple_of(SNAPSHOT_CONFLICT_INTERVAL)
+                    && obs::enabled()
+                {
+                    self.emit_snapshot();
                 }
                 if self.num_learnt_live > self.max_learnts {
                     self.reduce_db();
@@ -945,6 +1008,72 @@ mod tests {
         s.set_deadline(None);
         let mut easy = pigeonhole(3, 2);
         assert!(easy.solve().is_unsat());
+    }
+
+    #[test]
+    fn propagation_dominated_deadline_stops_without_conflicts() {
+        // XOR-equivalence chains (v_i <-> v_{i+1}): deciding any variable
+        // propagates its entire chain in either phase, and the all-false
+        // model is consistent, so the solve is pure unit propagation with
+        // zero conflicts. The conflict-interval deadline check can therefore
+        // never fire; only the propagation-interval check can stop it.
+        fn equivalence_chains(chains: i64, len: i64) -> Solver {
+            let mut s = solver_with_vars((chains * len) as usize);
+            for c in 0..chains {
+                let base = c * len;
+                for i in 0..len - 1 {
+                    let a = lit(base + i + 1);
+                    let b = lit(base + i + 2);
+                    s.add_clause([!a, b]);
+                    s.add_clause([a, !b]);
+                }
+            }
+            s
+        }
+        const CHAINS: i64 = 800;
+        const LEN: i64 = 500;
+
+        // Reference: the unbounded solve is satisfiable and conflict-free.
+        let mut reference = equivalence_chains(CHAINS, LEN);
+        let unbounded_start = std::time::Instant::now();
+        assert!(matches!(reference.solve(), SolveResult::Sat(_)));
+        let unbounded = unbounded_start.elapsed();
+        assert_eq!(reference.stats().conflicts, 0, "chains never conflict");
+        assert!(reference.stats().propagations >= (CHAINS * (LEN - 1)) as u64);
+
+        // Bounded: a deadline far shorter than the full solve must stop it
+        // even though no conflict ever happens. Before the propagation-axis
+        // check existed this ran to completion (elapsed ≈ unbounded).
+        let deadline = (unbounded / 20).max(std::time::Duration::from_micros(500));
+        let mut bounded = equivalence_chains(CHAINS, LEN);
+        bounded.set_deadline(Some(std::time::Instant::now() + deadline));
+        let verdict = bounded.solve();
+        // Only meaningful when the machine isn't so fast that the whole
+        // solve fits inside the minimum deadline; skip silently otherwise.
+        if unbounded >= deadline * 10 {
+            // Pre-fix behaviour: zero conflicts means the conflict-interval
+            // check never fires, so the solve runs to completion and returns
+            // Sat. Unknown proves the propagation-axis check stopped it.
+            assert_eq!(verdict, SolveResult::Unknown);
+            assert_eq!(
+                bounded.stats().conflicts,
+                0,
+                "stopped on the propagation axis, not via a conflict check"
+            );
+            // Bounded overshoot, asserted on the work axis rather than wall
+            // clock (parallel test load makes wall-time bounds flaky): with
+            // a deadline of ~1/20 of the full solve, finishing even half the
+            // propagations would mean a 10x overshoot.
+            assert!(
+                bounded.stats().propagations < reference.stats().propagations / 2,
+                "deadline {deadline:?} overshot: {} of {} propagations done",
+                bounded.stats().propagations,
+                reference.stats().propagations,
+            );
+            // The solver remains usable after an expired deadline.
+            bounded.set_deadline(None);
+            assert!(matches!(bounded.solve(), SolveResult::Sat(_)));
+        }
     }
 
     #[test]

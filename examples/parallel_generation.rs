@@ -5,13 +5,27 @@
 //! dataset. Usage:
 //!
 //! ```text
-//! cargo run --release --example parallel_generation
+//! cargo run --release --example parallel_generation [-- --trace t.jsonl] [--progress]
 //! ```
 
 use dataset::{generate, generate_parallel_with, CheckpointLog, DatasetConfig};
 use std::time::Instant;
 
 fn main() {
+    // Minimal flag handling: the example only understands the two
+    // observability switches shared with the bench binaries.
+    let mut trace = None;
+    let mut progress = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => trace = Some(args.next().expect("--trace needs a path")),
+            "--progress" => progress = true,
+            other => panic!("unknown argument {other:?} (expected --trace <path> | --progress)"),
+        }
+    }
+    obs::init(obs::ObsConfig { trace, progress });
+
     let mut config = DatasetConfig::quick_demo();
     config.num_instances = 16;
 
@@ -62,4 +76,8 @@ fn main() {
     assert_eq!(serial, resumed, "resume must reproduce the full sweep");
     println!("byte-identical to the uninterrupted sweep");
     let _ = std::fs::remove_file(&path);
+
+    if let Some(summary) = obs::finish() {
+        eprint!("{}", summary.render());
+    }
 }
