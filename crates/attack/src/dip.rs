@@ -22,6 +22,9 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// Flags of ancestor tokens; cancellation flows down through them but
+    /// never back up.
+    parents: Vec<Arc<AtomicBool>>,
 }
 
 impl CancelToken {
@@ -31,14 +34,29 @@ impl CancelToken {
     }
 
     /// Raises the flag; every attack polling a clone stops at its next
-    /// iteration boundary.
+    /// iteration boundary. Children observe the cancellation too; parents
+    /// (see [`CancelToken::child`]) do not.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    /// Whether [`CancelToken::cancel`] has been called on any clone of this
+    /// token or of an ancestor it was derived from.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Relaxed) || self.parents.iter().any(|p| p.load(Ordering::Relaxed))
+    }
+
+    /// Derives a child token: cancelling `self` cancels the child, but
+    /// cancelling the child leaves `self` untouched. This lets a sweep abort
+    /// its own workers on an internal error without tripping an
+    /// operator-level interrupt token it was handed.
+    pub fn child(&self) -> CancelToken {
+        let mut parents = self.parents.clone();
+        parents.push(Arc::clone(&self.flag));
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parents,
+        }
     }
 }
 

@@ -39,7 +39,12 @@ impl Ablation<'_> {
         conv_layers: usize,
         head: OutputHead,
     ) {
+        bench::cli::exit_if_interrupted();
         let _stage = obs::stage(label);
+        let control = icnet::TrainControl {
+            cancel: Some(bench::cli::interrupt_token().clone()),
+            checkpoint: None,
+        };
         let graph = icnet::CircuitGraph::from_circuit(&self.data.circuit);
         let op = Arc::new(kind.operator(&graph));
         let xs = graph_features(&self.data.circuit, &self.data.instances, fs);
@@ -69,7 +74,7 @@ impl Ablation<'_> {
                     .sqrt()
                     .max(1e-9);
                 let y_train: Vec<f64> = y_train_raw.iter().map(|v| (v - mean) / std).collect();
-                icnet::train(&mut model, &op, &xs_train, &y_train, &config);
+                icnet::train_with(&mut model, &op, &xs_train, &y_train, &config, &control);
                 let pred: Vec<f64> = test_idx
                     .iter()
                     .map(|&i| model.predict(&op, &xs[i]) * std + mean)
@@ -78,7 +83,7 @@ impl Ablation<'_> {
             }
             OutputHead::Exp => {
                 let y_train = take(&raw_y, &train_idx);
-                icnet::train(&mut model, &op, &xs_train, &y_train, &config);
+                icnet::train_with(&mut model, &op, &xs_train, &y_train, &config, &control);
                 // Compare on the log scale so all rows are commensurate.
                 let pred: Vec<f64> = test_idx
                     .iter()
@@ -97,7 +102,7 @@ impl Ablation<'_> {
 
 fn main() {
     let opts = Options::from_env();
-    opts.init_observability();
+    opts.init_runtime();
     let mut config = DatasetConfig::dataset1(&opts.profile, opts.instances);
     opts.configure(&mut config);
     config.key_range = (1, opts.keys_max);

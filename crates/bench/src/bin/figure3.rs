@@ -10,7 +10,7 @@
 //! ```
 
 use bench::cli::Options;
-use bench::harness::{evaluate_gnn, take, take_rows};
+use bench::harness::{evaluate_gnn_ctl, take, take_rows};
 use bench::methods::BaselineKind;
 use dataset::{
     flat_features, graph_features, train_test_split, DatasetConfig, FlatAggregation,
@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 
 fn main() {
     let opts = Options::from_env();
-    opts.init_observability();
+    opts.init_runtime();
     let mut config = DatasetConfig::dataset1(&opts.profile, opts.instances);
     opts.configure(&mut config);
     config.key_range = (1, opts.keys_max);
@@ -89,15 +89,26 @@ fn main() {
 
     // ICNet-NN panel.
     let icnet_stage = obs::stage("icnet");
-    let (_, model) = evaluate_gnn(
+    let config = icnet::TrainConfig {
+        max_epochs: opts.epochs,
+        lr: 5e-3,
+        ..icnet::TrainConfig::default()
+    };
+    let control = icnet::TrainControl {
+        cancel: Some(bench::cli::interrupt_token().clone()),
+        checkpoint: None,
+    };
+    let (_, model) = evaluate_gnn_ctl(
         &data,
         &split,
         ModelKind::ICNet,
         Aggregation::Nn,
         FeatureSet::All,
-        opts.epochs,
+        &config,
         opts.seed,
+        &control,
     );
+    bench::cli::exit_if_interrupted();
     let xs = graph_features(&data.circuit, &data.instances, FeatureSet::All);
     let pred: Vec<f64> = split.test.iter().map(|&i| model.predict(&xs[i])).collect();
     write_series("ICNet_NN", &pred);

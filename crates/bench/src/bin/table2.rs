@@ -6,14 +6,14 @@
 //! ```
 
 use bench::cli::Options;
-use bench::harness::{format_table, results_to_csv, run_mse_suite_jobs};
+use bench::harness::{format_table, results_to_csv, run_mse_suite_ctl, SuiteControl};
 use bench::methods::BaselineKind;
 use dataset::DatasetConfig;
 use std::time::Instant;
 
 fn main() {
     let opts = Options::from_env();
-    opts.init_observability();
+    opts.init_runtime();
     let mut config = DatasetConfig::dataset2(&opts.profile, opts.instances);
     opts.configure(&mut config);
     // Dataset 2 draws from a different stream than Dataset 1 on purpose.
@@ -42,14 +42,22 @@ fn main() {
 
     let t1 = Instant::now();
     let suite_stage = obs::stage("suite");
-    let results = run_mse_suite_jobs(
+    // Training checkpoints ride the --resume flag: the dataset log at the
+    // given path, per-cell training state under `<path>.train/`.
+    let suite_ctl = SuiteControl {
+        cancel: Some(bench::cli::interrupt_token().clone()),
+        train_checkpoint_dir: opts.resume.as_ref().map(|p| format!("{p}.train")),
+    };
+    let results = run_mse_suite_ctl(
         &data,
         &BaselineKind::table2(),
         opts.epochs,
         opts.seed,
         opts.jobs,
+        &suite_ctl,
     );
     drop(suite_stage);
+    bench::cli::exit_if_interrupted();
     println!(
         "# evaluated {} cells in {:.1}s\n",
         results.len(),

@@ -8,7 +8,7 @@
 //! ```
 
 use bench::cli::Options;
-use bench::harness::evaluate_gnn;
+use bench::harness::evaluate_gnn_ctl;
 use dataset::{generate, train_test_split, DatasetConfig};
 use icnet::{Aggregation, FeatureSet, ModelKind};
 use regress::metrics::{pearson, spearman};
@@ -26,7 +26,7 @@ fn fmt_corr(v: f64) -> String {
 
 fn main() {
     let opts = Options::from_env();
-    opts.init_observability();
+    opts.init_runtime();
     // The paper's case-study circuits (c7553/c1335 in the paper's text are
     // the c7552/c1355 ISCAS-85 profiles).
     let circuits: Vec<&str> = if opts.quick {
@@ -55,15 +55,26 @@ fn main() {
         let data = generate(&config).expect("dataset generation");
 
         let split = train_test_split(data.instances.len(), 0.25, opts.seed);
-        let (_, model) = evaluate_gnn(
+        let config = icnet::TrainConfig {
+            max_epochs: opts.epochs,
+            lr: 5e-3,
+            ..icnet::TrainConfig::default()
+        };
+        let control = icnet::TrainControl {
+            cancel: Some(bench::cli::interrupt_token().clone()),
+            checkpoint: None,
+        };
+        let (_, model) = evaluate_gnn_ctl(
             &data,
             &split,
             ModelKind::ICNet,
             Aggregation::Nn,
             FeatureSet::All,
-            opts.epochs,
+            &config,
             opts.seed,
+            &control,
         );
+        bench::cli::exit_if_interrupted();
         let attn = model.feature_attention().expect("NN model has Θfeat");
         let mask_share = attn[0];
         let type_share: f64 = attn[1..].iter().sum();

@@ -8,14 +8,14 @@
 //! ```
 
 use bench::cli::Options;
-use bench::harness::{evaluate_gnn, percent_saved};
+use bench::harness::{evaluate_gnn_ctl, percent_saved};
 use dataset::{graph_features, train_test_split, DatasetConfig};
 use icnet::{Aggregation, FeatureSet, ModelKind};
 use std::time::Instant;
 
 fn main() {
     let opts = Options::from_env();
-    opts.init_observability();
+    opts.init_runtime();
     let mut config = DatasetConfig::dataset1(&opts.profile, opts.instances);
     opts.configure(&mut config);
     config.key_range = (1, opts.keys_max);
@@ -33,16 +33,27 @@ fn main() {
 
     let split = train_test_split(data.instances.len(), 0.25, opts.seed);
     let train_stage = obs::stage("train");
-    let (_, model) = evaluate_gnn(
+    let config = icnet::TrainConfig {
+        max_epochs: opts.epochs,
+        lr: 5e-3,
+        ..icnet::TrainConfig::default()
+    };
+    let control = icnet::TrainControl {
+        cancel: Some(bench::cli::interrupt_token().clone()),
+        checkpoint: None,
+    };
+    let (_, model) = evaluate_gnn_ctl(
         &data,
         &split,
         ModelKind::ICNet,
         Aggregation::Nn,
         FeatureSet::All,
-        opts.epochs,
+        &config,
         opts.seed,
+        &control,
     );
     drop(train_stage);
+    bench::cli::exit_if_interrupted();
 
     let xs = graph_features(&data.circuit, &data.instances, FeatureSet::All);
 

@@ -46,6 +46,10 @@ pub struct Options {
     /// Echo coarse progress events (instances, cells, stages) to stderr as
     /// they happen.
     pub progress: bool,
+    /// Deterministic fault-injection plan (see `crates/faults`), e.g.
+    /// `seed=7;checkpoint.append:torn@o2;dataset.worker:die@c5`. Faults are
+    /// disabled entirely when absent.
+    pub fault_plan: Option<String>,
 }
 
 impl Default for Options {
@@ -66,6 +70,7 @@ impl Default for Options {
             keep_going: true,
             trace: None,
             progress: false,
+            fault_plan: None,
         }
     }
 }
@@ -111,6 +116,7 @@ impl Options {
                 "--no-keep-going" => opts.keep_going = false,
                 "--trace" => opts.trace = Some(value("--trace")),
                 "--progress" => opts.progress = true,
+                "--fault-plan" => opts.fault_plan = Some(value("--fault-plan")),
                 "--quick" => opts.quick = true,
                 other => {
                     eprintln!(
@@ -118,7 +124,7 @@ impl Options {
                          --budget <work> --epochs <n> --seed <n> --keys-max <n> \
                          --out <dir> --jobs <n> --resume <path> --deadline <secs> \
                          --retries <n> --keep-going --no-keep-going \
-                         --trace <path> --progress --quick"
+                         --trace <path> --progress --fault-plan <spec> --quick"
                     );
                     std::process::exit(2);
                 }
@@ -139,15 +145,32 @@ impl Options {
         Options::parse(std::env::args().skip(1))
     }
 
-    /// Starts the observability sink for this run: always collects (so the
-    /// end-of-run profile is available), writes a JSONL trace when `--trace`
-    /// was given, echoes live progress under `--progress`. Pair with
+    /// Starts the shared binary runtime: the observability sink (always
+    /// collecting, so the end-of-run profile is available; JSONL trace under
+    /// `--trace`, live progress under `--progress`), the `--fault-plan`
+    /// injection plan (surfaced as `fault.injected` obs events), and the
+    /// SIGINT handler (first Ctrl-C trips [`interrupt_token`] for a graceful
+    /// drain-and-checkpoint shutdown; the second hard-exits). Pair with
     /// [`finish_observability`] at the end of `main`.
-    pub fn init_observability(&self) {
+    pub fn init_runtime(&self) {
         obs::init(obs::ObsConfig {
             trace: self.trace.clone(),
             progress: self.progress,
         });
+        if let Some(spec) = &self.fault_plan {
+            let observe: faults::Observer = |site, action, occurrence| {
+                obs::emit(obs::EventKind::FaultInjected {
+                    site: site.to_owned(),
+                    action,
+                    occurrence,
+                });
+            };
+            if let Err(e) = faults::arm_str(spec, Some(observe)) {
+                eprintln!("invalid --fault-plan: {e}");
+                std::process::exit(2);
+            }
+        }
+        install_interrupt_handler();
     }
 
     /// Applies the shared attack and supervision flags to a dataset
@@ -162,6 +185,65 @@ impl Options {
         config.seed = self.seed;
         config.retry.max_attempts = self.retries + 1;
         config.keep_going = self.keep_going;
+        config.cancel = Some(interrupt_token().clone());
+    }
+}
+
+/// Exit status of a run stopped by SIGINT after draining and checkpointing
+/// (the conventional 128 + SIGINT).
+pub const INTERRUPT_EXIT_CODE: i32 = 130;
+
+static INTERRUPT: std::sync::OnceLock<attack::CancelToken> = std::sync::OnceLock::new();
+
+/// The process-wide interrupt token: tripped by the first SIGINT, polled by
+/// the dataset sweep and the training loop. Usable without
+/// [`Options::init_runtime`] (it simply never trips).
+pub fn interrupt_token() -> &'static attack::CancelToken {
+    INTERRUPT.get_or_init(attack::CancelToken::default)
+}
+
+#[cfg(unix)]
+fn install_interrupt_handler() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+    const SIGINT: i32 = 2;
+    static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+    // Async-signal-safety: the handler only touches atomics (the `swap`
+    // below, the token's flag) and `_exit` — no allocation, locks, or stdio.
+    // `interrupt_token()` is forced before `signal` so the handler's
+    // `INTERRUPT.get()` can never race initialization.
+    extern "C" fn on_sigint(_signum: i32) {
+        if SIGINT_SEEN.swap(true, Ordering::SeqCst) {
+            unsafe { _exit(INTERRUPT_EXIT_CODE) }
+        }
+        if let Some(token) = INTERRUPT.get() {
+            token.cancel();
+        }
+    }
+
+    let _ = interrupt_token();
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_interrupt_handler() {}
+
+/// Graceful-interrupt epilogue for the binaries: when the first SIGINT has
+/// tripped [`interrupt_token`], flush the observability sink (trace +
+/// profile) and exit with [`INTERRUPT_EXIT_CODE`]. Call after every stage
+/// that drains on cancellation; a no-op otherwise.
+pub fn exit_if_interrupted() {
+    if interrupt_token().is_cancelled() {
+        eprintln!("# interrupted: progress checkpointed; rerun with the same flags to resume");
+        finish_observability();
+        std::process::exit(INTERRUPT_EXIT_CODE);
     }
 }
 
@@ -252,6 +334,22 @@ mod tests {
         assert_eq!(config.retry.max_attempts, 3);
         assert!(!config.keep_going);
         assert_eq!(config.key_range, key_range, "key range untouched");
+    }
+
+    #[test]
+    fn fault_plan_flag_parses() {
+        let o = parse(&["--fault-plan", "seed=3;sat.solve:panic@o1"]);
+        assert_eq!(o.fault_plan.as_deref(), Some("seed=3;sat.solve:panic@o1"));
+        let o = parse(&[]);
+        assert_eq!(o.fault_plan, None, "faults are off unless requested");
+    }
+
+    #[test]
+    fn configure_wires_the_interrupt_token() {
+        let mut config = dataset::DatasetConfig::quick_demo();
+        parse(&[]).configure(&mut config);
+        let token = config.cancel.expect("interrupt token installed");
+        assert!(!token.is_cancelled());
     }
 
     #[test]

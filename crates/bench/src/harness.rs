@@ -70,7 +70,9 @@ pub fn load_or_generate_parallel(
     let circuit =
         synth::iscas::circuit(&config.profile, config.circuit_seed).expect("known circuit profile");
     if let Ok(text) = std::fs::read_to_string(&path) {
-        match dataset::dataset_from_csv(&text) {
+        let parsed = unseal_csv(&text)
+            .and_then(|body| dataset::dataset_from_csv(body).map_err(|e| e.to_string()));
+        match parsed {
             Ok(instances) if instances.len() == config.num_instances => {
                 eprintln!("# reusing cached dataset {path}");
                 obs::emit(obs::EventKind::Cache {
@@ -98,8 +100,17 @@ pub fn load_or_generate_parallel(
         }
         log
     });
-    let (data, report) = dataset::generate_parallel_with(config, jobs, checkpoint.as_mut())
-        .expect("dataset generation");
+    let (data, report) = match dataset::generate_parallel_with(config, jobs, checkpoint.as_mut()) {
+        Ok(pair) => pair,
+        Err(dataset::DatasetError::Interrupted) => {
+            // First SIGINT: the sweep drained its workers and checkpointed
+            // every finished attack; this is the graceful shutdown path.
+            eprintln!("# interrupted during generation: progress checkpointed; rerun to resume");
+            crate::cli::finish_observability();
+            std::process::exit(crate::cli::INTERRUPT_EXIT_CODE);
+        }
+        Err(e) => panic!("dataset generation: {e}"),
+    };
     eprint!("{}", report.summary());
     if report.quarantined() > 0 {
         eprintln!(
@@ -115,10 +126,41 @@ pub fn load_or_generate_parallel(
          add --retries, or inspect the failures above"
     );
     let _ = std::fs::create_dir_all(out_dir);
-    if let Err(e) = write_atomic(&path, &dataset::dataset_to_csv(&data.instances)) {
+    if let Err(e) = write_atomic(&path, &seal_csv(&dataset::dataset_to_csv(&data.instances))) {
         eprintln!("# WARNING: could not write dataset cache {path}: {e}");
     }
     data
+}
+
+/// Appends the checksum footer (`#fnv <hex>`, the checkpoint-v3 FNV-1a
+/// framing) to a CSV cache body. [`unseal_csv`] is the inverse.
+pub fn seal_csv(body: &str) -> String {
+    let crc = faults::fnv1a(faults::FNV_OFFSET, body.as_bytes());
+    format!("{body}#fnv {crc:016x}\n")
+}
+
+/// Verifies and strips a cache file's checksum footer, returning the CSV
+/// body. A missing or mismatched footer is an error string for the caller
+/// to log as a cache miss — never a panic, since regenerating is always
+/// safe.
+pub fn unseal_csv(text: &str) -> Result<&str, String> {
+    let trimmed = text.strip_suffix('\n').unwrap_or(text);
+    let (body, footer) = match trimmed.rfind('\n') {
+        Some(i) => (&text[..i + 1], &trimmed[i + 1..]),
+        None => ("", trimmed),
+    };
+    let Some(stored) = footer.strip_prefix("#fnv ") else {
+        return Err("missing checksum footer (pre-checksum or truncated cache)".to_owned());
+    };
+    let stored =
+        u64::from_str_radix(stored, 16).map_err(|_| "malformed checksum footer".to_owned())?;
+    let actual = faults::fnv1a(faults::FNV_OFFSET, body.as_bytes());
+    if stored != actual {
+        return Err(format!(
+            "checksum mismatch (stored {stored:016x}, computed {actual:016x})"
+        ));
+    }
+    Ok(body)
 }
 
 /// Writes `contents` to `path` atomically: a unique temp file in the same
@@ -126,6 +168,28 @@ pub fn load_or_generate_parallel(
 /// by a rename. Readers either see the old file or the complete new one,
 /// never a torn prefix.
 fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    if let Some(fault) = faults::inject("cache.write") {
+        let written = match fault.action {
+            faults::Action::Torn => contents.len() / 2,
+            _ => 0,
+        };
+        match fault.action {
+            faults::Action::Io => {}
+            faults::Action::Torn => {
+                // Models the pre-atomic failure mode (a torn prefix at the
+                // final path), which is exactly what the checksum footer
+                // exists to catch on the next load.
+                std::fs::write(path, &contents.as_bytes()[..written])?;
+            }
+            _ => fault.unsupported("cache.write"),
+        }
+        return Err(std::io::Error::other(format!(
+            "injected fault: cache.write {} after {written} of {} bytes (occurrence {})",
+            fault.action,
+            contents.len(),
+            fault.occurrence
+        )));
+    }
     let tmp = format!("{path}.tmp.{}", std::process::id());
     std::fs::write(&tmp, contents)?;
     std::fs::rename(&tmp, path).inspect_err(|_| {
@@ -269,6 +333,33 @@ pub fn evaluate_gnn_with(
     config: &TrainConfig,
     seed: u64,
 ) -> (EvalResult, TrainedGnn) {
+    evaluate_gnn_ctl(
+        data,
+        split,
+        kind,
+        agg,
+        fs,
+        config,
+        seed,
+        &icnet::TrainControl::default(),
+    )
+}
+
+/// [`evaluate_gnn_with`] under runtime controls: cooperative interruption
+/// and crash-safe epoch checkpoints (see [`icnet::train_with`]). An
+/// interrupted cell reports the paper-style N/A — its half-trained
+/// parameters must not masquerade as a converged MSE.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_gnn_ctl(
+    data: &Dataset,
+    split: &Split,
+    kind: ModelKind,
+    agg: Aggregation,
+    fs: FeatureSet,
+    config: &TrainConfig,
+    seed: u64,
+    control: &icnet::TrainControl,
+) -> (EvalResult, TrainedGnn) {
     let graph = icnet::CircuitGraph::from_circuit(&data.circuit);
     let op = Arc::new(kind.operator(&graph));
     let xs = graph_features(&data.circuit, &data.instances, fs);
@@ -287,7 +378,7 @@ pub fn evaluate_gnn_with(
     let hidden = 16;
     let mut model = GraphModel::new(kind, agg, fs.width(), hidden, hidden, seed);
     let xs_train: Vec<Matrix> = split.train.iter().map(|&i| xs[i].clone()).collect();
-    let report = icnet::train(&mut model, &op, &xs_train, &y_train, config);
+    let report = icnet::train_with(&mut model, &op, &xs_train, &y_train, config, control);
 
     let trained = TrainedGnn {
         model,
@@ -298,6 +389,9 @@ pub fn evaluate_gnn_with(
     };
     let suffix = if agg == Aggregation::Nn { "-NN" } else { "" };
     let method = format!("{}{}", kind.label(), suffix);
+    if let Some(e) = &report.checkpoint_error {
+        eprintln!("# WARNING: could not checkpoint {method} training: {e}");
+    }
     // A diverged run has no meaningful test MSE — report the paper-style
     // N/A cell instead of evaluating the (pre-divergence) parameters.
     if report.diverged {
@@ -308,6 +402,18 @@ pub fn evaluate_gnn_with(
                 aggregation: agg.label().to_owned(),
                 mse: None,
                 note: format!("diverged: non-finite loss in epoch {}", report.epochs_run),
+            },
+            trained,
+        );
+    }
+    if report.interrupted {
+        return (
+            EvalResult {
+                method,
+                feature_set: fs,
+                aggregation: agg.label().to_owned(),
+                mse: None,
+                note: format!("interrupted after epoch {}", report.epochs_run),
             },
             trained,
         );
@@ -388,6 +494,7 @@ impl SuiteCell {
         roster: &[BaselineKind],
         epochs: usize,
         seed: u64,
+        control: &SuiteControl,
     ) -> Vec<EvalResult> {
         let label = self.label();
         eprintln!("#   {label} ...");
@@ -401,7 +508,21 @@ impl SuiteCell {
         let results = match self {
             SuiteCell::Baselines { fs, agg } => evaluate_baselines(data, split, roster, fs, agg),
             SuiteCell::Gnn { kind, fs, agg } => {
-                let (result, _) = evaluate_gnn(data, split, kind, agg, fs, epochs, seed);
+                let config = TrainConfig {
+                    max_epochs: epochs,
+                    lr: 5e-3,
+                    ..TrainConfig::default()
+                };
+                let (result, _) = evaluate_gnn_ctl(
+                    data,
+                    split,
+                    kind,
+                    agg,
+                    fs,
+                    &config,
+                    seed,
+                    &control.train_control(&label),
+                );
                 vec![result]
             }
         };
@@ -415,6 +536,48 @@ impl SuiteCell {
         }
         results
     }
+}
+
+/// Runtime controls for the evaluation suite: cooperative interruption (the
+/// workers stop claiming cells, training stops at an epoch boundary) and
+/// per-cell crash-safe training checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteControl {
+    /// Interrupt token polled between cells and between training epochs.
+    pub cancel: Option<attack::CancelToken>,
+    /// Directory receiving one training checkpoint per GNN cell (named by
+    /// the cell's label slug); `None` disables training checkpoints.
+    pub train_checkpoint_dir: Option<String>,
+}
+
+impl SuiteControl {
+    fn train_control(&self, label: &str) -> icnet::TrainControl {
+        icnet::TrainControl {
+            cancel: self.cancel.clone(),
+            checkpoint: self
+                .train_checkpoint_dir
+                .as_ref()
+                .map(|dir| icnet::TrainCheckpointSpec {
+                    path: format!("{dir}/{}.ckpt", slug(label)),
+                    resume: true,
+                }),
+        }
+    }
+}
+
+/// Filesystem-safe slug of a cell label (`"ICNet All feat / NN"` →
+/// `"icnet-all-feat---nn"`).
+fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// The full Table I/II sweep: every baseline and every GNN under both
@@ -443,29 +606,59 @@ pub fn run_mse_suite_jobs(
     seed: u64,
     jobs: usize,
 ) -> Vec<EvalResult> {
+    run_mse_suite_ctl(data, roster, epochs, seed, jobs, &SuiteControl::default())
+}
+
+/// [`run_mse_suite_jobs`] under a [`SuiteControl`]. When the control's
+/// interrupt token trips, workers finish their current cell and stop
+/// claiming new ones; the completed cells are returned in grid order (the
+/// caller decides whether a partial grid is worth rendering — the binaries
+/// exit with the interrupt status instead).
+pub fn run_mse_suite_ctl(
+    data: &Dataset,
+    roster: &[BaselineKind],
+    epochs: usize,
+    seed: u64,
+    jobs: usize,
+    control: &SuiteControl,
+) -> Vec<EvalResult> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
+    if let Some(dir) = &control.train_checkpoint_dir {
+        std::fs::create_dir_all(dir).expect("create training checkpoint dir");
+    }
     let split = train_test_split(data.instances.len(), 0.25, seed);
     let cells = SuiteCell::grid();
     let jobs = jobs.clamp(1, cells.len());
     let slots: Mutex<Vec<Option<Vec<EvalResult>>>> = Mutex::new(vec![None; cells.len()]);
     let next = AtomicUsize::new(0);
+    let interrupted = || {
+        control
+            .cancel
+            .as_ref()
+            .is_some_and(attack::CancelToken::is_cancelled)
+    };
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
+                if interrupted() {
+                    break;
+                }
                 let k = next.fetch_add(1, Ordering::Relaxed);
                 if k >= cells.len() {
                     break;
                 }
-                let out = cells[k].evaluate(data, &split, roster, epochs, seed);
+                let out = cells[k].evaluate(data, &split, roster, epochs, seed, control);
                 slots.lock().expect("suite worker panicked")[k] = Some(out);
             });
         }
     });
+    let slots = slots.into_inner().expect("suite worker panicked");
+    if interrupted() {
+        return slots.into_iter().flatten().collect::<Vec<_>>().concat();
+    }
     slots
-        .into_inner()
-        .expect("suite worker panicked")
         .into_iter()
         .map(|slot| slot.expect("every suite cell evaluated"))
         .collect::<Vec<_>>()
@@ -681,9 +874,10 @@ mod tests {
 
         let data = load_or_generate_parallel(&config, &out_dir, 1, None);
         assert_eq!(data.instances.len(), 4);
-        // The cache was rewritten with a complete, parseable dataset...
-        let reloaded = dataset::dataset_from_csv(&std::fs::read_to_string(&path).unwrap())
-            .expect("rewritten cache parses");
+        // The cache was rewritten with a complete, checksummed dataset...
+        let text = std::fs::read_to_string(&path).unwrap();
+        let body = unseal_csv(&text).expect("rewritten cache is sealed");
+        let reloaded = dataset::dataset_from_csv(body).expect("rewritten cache parses");
         assert_eq!(reloaded, data.instances);
         // ...and a second load is a clean cache hit with identical labels.
         let again = load_or_generate_parallel(&config, &out_dir, 1, None);
@@ -691,6 +885,63 @@ mod tests {
         // No temp file left behind by the atomic write.
         assert!(!std::path::Path::new(&format!("{path}.tmp.{}", std::process::id())).exists());
         let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn seal_round_trips_and_flags_a_flipped_byte() {
+        let body = "method,mse\nLR,0.28\n";
+        let sealed = seal_csv(body);
+        assert_eq!(unseal_csv(&sealed).expect("clean seal verifies"), body);
+        // Flip one payload byte: the footer must catch it.
+        let mut bytes = sealed.into_bytes();
+        bytes[8] ^= 0x01;
+        let torn = String::from_utf8(bytes).unwrap();
+        let err = unseal_csv(&torn).expect_err("flipped byte detected");
+        assert!(err.contains("checksum mismatch"), "err: {err}");
+        // Files that predate the footer (or lost their tail) are a distinct,
+        // equally non-fatal miss.
+        let err = unseal_csv(body).expect_err("missing footer detected");
+        assert!(err.contains("missing checksum footer"), "err: {err}");
+    }
+
+    #[test]
+    fn flipped_cache_byte_is_a_logged_miss_not_a_panic() {
+        // Satellite of the fault-injection PR: a bit flip anywhere in a
+        // cached dataset CSV must downgrade to a cache miss + regeneration
+        // with identical labels, never a wrong-label cache hit.
+        let mut config = DatasetConfig::quick_demo();
+        config.num_instances = 4;
+        let out_dir = std::env::temp_dir()
+            .join(format!("bench-cache-flip-test-{}", std::process::id()))
+            .display()
+            .to_string();
+        std::fs::create_dir_all(&out_dir).unwrap();
+        let data = load_or_generate_parallel(&config, &out_dir, 1, None);
+
+        let path = dataset_cache_path(&config, &out_dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = if bytes[mid] == b'1' { b'2' } else { b'1' };
+        std::fs::write(&path, &bytes).unwrap();
+
+        let again = load_or_generate_parallel(&config, &out_dir, 1, None);
+        assert_eq!(again.instances, data.instances, "regenerated, not trusted");
+        let text = std::fs::read_to_string(&path).unwrap();
+        unseal_csv(&text).expect("cache re-sealed after the miss");
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn suite_control_slugs_cell_labels() {
+        let ctl = SuiteControl {
+            cancel: None,
+            train_checkpoint_dir: Some("out/train".to_owned()),
+        };
+        let tc = ctl.train_control("ICNet All feat / NN");
+        let spec = tc.checkpoint.expect("checkpoint configured");
+        assert_eq!(spec.path, "out/train/icnet-all-feat---nn.ckpt");
+        assert!(spec.resume, "suite checkpoints always resume");
+        assert!(ctl.train_control("x").cancel.is_none());
     }
 
     #[test]

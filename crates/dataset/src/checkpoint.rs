@@ -56,16 +56,10 @@ use std::path::{Path, PathBuf};
 
 const MAGIC: &str = "# icnet-checkpoint v3";
 
-/// 64-bit FNV-1a over `bytes`, folded into `hash`.
-fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
-
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+// The checksum lives in `faults` so every checkpoint format in the
+// workspace (this log, the training checkpoint, the dataset cache footer)
+// shares one implementation with identical corruption-detection behavior.
+use faults::{fnv1a, FNV_OFFSET};
 
 /// Checksum of one record body (the line text before ` #<crc>`).
 fn record_crc(body: &str) -> u64 {
@@ -123,6 +117,13 @@ pub struct CheckpointLog {
     /// it was reached under.
     failures: HashMap<u64, (u64, InstanceFailure)>,
     file: File,
+    /// Set after a failed append. The on-disk tail may then be a *partial*
+    /// line, and a further append — e.g. from another worker still draining
+    /// while the sweep unwinds — would concatenate a valid record onto that
+    /// partial tail, turning recoverable tail damage into unrecoverable
+    /// interior corruption. A poisoned handle refuses all writes; reopening
+    /// the log runs recovery and yields a clean handle.
+    poisoned: bool,
 }
 
 impl CheckpointLog {
@@ -178,10 +179,15 @@ impl CheckpointLog {
                 }
             }
         }
+        // Byte length of the intact prefix that survives recovery.
+        let keep = if complete {
+            existing.len()
+        } else {
+            existing.rfind('\n').map_or(0, |i| i + 1)
+        };
         if !complete {
             // Truncate the partial tail so it does not resurface as a
             // corrupt record on a later open.
-            let keep = existing.rfind('\n').map_or(0, |i| i + 1);
             OpenOptions::new()
                 .write(true)
                 .open(&path)
@@ -193,7 +199,12 @@ impl CheckpointLog {
             .append(true)
             .open(&path)
             .map_err(io_err)?;
-        if existing.is_empty() {
+        // The header must be (re)written whenever the surviving prefix is
+        // empty — either the file is new, or a crash inside the very first
+        // (header) write left a partial line that recovery just dropped.
+        // Checking `existing.is_empty()` alone misses the latter and left a
+        // headerless log that the *next* open rejected loudly.
+        if keep == 0 {
             writeln!(file, "{MAGIC}").map_err(io_err)?;
             file.flush().map_err(io_err)?;
         }
@@ -202,6 +213,7 @@ impl CheckpointLog {
             entries,
             failures,
             file,
+            poisoned: false,
         })
     }
 
@@ -290,12 +302,53 @@ impl CheckpointLog {
     }
 
     fn append(&mut self, body: &str) -> Result<(), DatasetError> {
+        let path = self.path.display().to_string();
+        if self.poisoned {
+            return Err(DatasetError::Io {
+                path,
+                message: "checkpoint log disabled after an earlier failed append \
+                          (the on-disk tail may be partial; reopen to recover)"
+                    .into(),
+            });
+        }
         let io_err = |e: std::io::Error| DatasetError::Io {
-            path: self.path.display().to_string(),
+            path: path.clone(),
             message: e.to_string(),
         };
-        writeln!(self.file, "{body} #{:016x}", record_crc(body)).map_err(io_err)?;
-        self.file.flush().map_err(io_err)
+        let line = format!("{body} #{:016x}\n", record_crc(body));
+        if let Some(fault) = faults::inject("checkpoint.append") {
+            // Simulated crash mid-append: some prefix of the record reaches
+            // disk, then the write "fails". Recovery on the next open must
+            // drop exactly this partial tail.
+            self.poisoned = true;
+            let written = match fault.action {
+                faults::Action::Torn => line.len() / 2,
+                faults::Action::Short => line.len().saturating_sub(4),
+                faults::Action::Io => 0,
+                _ => fault.unsupported("checkpoint.append"),
+            };
+            self.file
+                .write_all(&line.as_bytes()[..written])
+                .and_then(|()| self.file.flush())
+                .map_err(io_err)?;
+            return Err(io_err(std::io::Error::other(format!(
+                "injected fault: checkpoint.append {} after {written} of {} bytes \
+                 (occurrence {})",
+                fault.action,
+                line.len(),
+                fault.occurrence
+            ))));
+        }
+        let result = self
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush());
+        if let Err(e) = result {
+            // A failed write may have put any prefix of the line on disk.
+            self.poisoned = true;
+            return Err(io_err(e));
+        }
+        Ok(())
     }
 }
 

@@ -58,6 +58,17 @@ pub enum DatasetError {
         /// What went wrong.
         message: String,
     },
+    /// The sweep was cancelled by an external interrupt (operator Ctrl-C)
+    /// before every instance was attacked. Work finished so far is already
+    /// persisted in the checkpoint log; rerunning resumes from it.
+    Interrupted,
+    /// Every worker died (injected death or panic escape) before the sweep
+    /// covered all instances, leaving some unattacked with no error and no
+    /// cancellation to explain them.
+    WorkerLoss {
+        /// Instances left neither labeled nor quarantined.
+        unprocessed: usize,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -95,6 +106,16 @@ impl fmt::Display for DatasetError {
             DatasetError::Checkpoint { line, message } => {
                 write!(f, "corrupt checkpoint record at line {line}: {message}")
             }
+            DatasetError::Interrupted => {
+                write!(
+                    f,
+                    "sweep interrupted before completion (progress checkpointed)"
+                )
+            }
+            DatasetError::WorkerLoss { unprocessed } => write!(
+                f,
+                "all sweep workers died with {unprocessed} instance(s) unprocessed"
+            ),
         }
     }
 }

@@ -39,6 +39,12 @@ pub struct DatasetConfig {
     /// Optional replacement attack runner (fault injection in tests);
     /// `None` = the real [`attack::attack_locked`].
     pub attack_hook: Option<AttackHook>,
+    /// External interrupt token (operator Ctrl-C). A parallel sweep derives
+    /// its internal worker token as a *child* of this one, so the sweep can
+    /// abort its own workers on an internal error without tripping the
+    /// operator-level token. `None` = the sweep is not interruptible from
+    /// outside.
+    pub cancel: Option<attack::CancelToken>,
 }
 
 impl fmt::Debug for DatasetConfig {
@@ -55,6 +61,7 @@ impl fmt::Debug for DatasetConfig {
             .field("retry", &self.retry)
             .field("keep_going", &self.keep_going)
             .field("attack_hook", &self.attack_hook.as_ref().map(|_| "<hook>"))
+            .field("cancel", &self.cancel)
             .finish()
     }
 }
@@ -74,6 +81,7 @@ impl DatasetConfig {
             retry: RetryPolicy::default(),
             keep_going: true,
             attack_hook: None,
+            cancel: None,
         }
     }
 
@@ -101,6 +109,7 @@ impl DatasetConfig {
             retry: RetryPolicy::default(),
             keep_going: true,
             attack_hook: None,
+            cancel: None,
         }
     }
 }

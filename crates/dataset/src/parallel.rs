@@ -171,7 +171,15 @@ pub fn generate_parallel_with(
     let slots: Mutex<Vec<Option<Instance>>> = Mutex::new(vec![None; n]);
     let failures: Mutex<Vec<SweepFailure>> = Mutex::new(Vec::new());
     let first_error: Mutex<Option<DatasetError>> = Mutex::new(None);
-    let cancel = CancelToken::new();
+    // The internal worker token is a *child* of the external interrupt
+    // token (when one is configured): an operator interrupt stops the
+    // workers, but a worker aborting the sweep on an internal error never
+    // trips the operator-level token other subsystems share.
+    let cancel = config
+        .cancel
+        .as_ref()
+        .map(CancelToken::child)
+        .unwrap_or_default();
     let log = checkpoint.map(Mutex::new);
     // Quarantine records are only trusted across runs with the same
     // deadlines and retry policy (see `checkpoint::supervision_key`).
@@ -180,37 +188,40 @@ pub fn generate_parallel_with(
     // A quarantine is fatal exactly when the operator opted out of
     // keep-going; everything routes through here so the policy lives in
     // one place.
-    let quarantine =
-        |index: usize, failure: InstanceFailure, reused: bool| -> Result<(), DatasetError> {
-            if !config.keep_going {
-                return Err(DatasetError::Quarantined {
-                    instance: index,
-                    circuit: config.profile.clone(),
-                    failure,
-                });
-            }
-            if !reused {
-                if let Some(log) = &log {
-                    let locked = lock_instance(config, &circuit, index)?;
-                    let key = instance_key(config, &locked);
-                    log.lock()
-                        .unwrap()
-                        .record_failure(key, index, supervision, &failure)?;
-                }
-            }
-            obs::emit(obs::EventKind::InstanceQuarantined {
-                index: index as u64,
-                kind: failure.kind.tag(),
-                attempts: failure.attempts as u64,
-                reused,
-            });
-            failures.lock().unwrap().push(SweepFailure {
-                index,
+    let quarantine = |index: usize,
+                      failure: InstanceFailure,
+                      reused: bool,
+                      persist: bool|
+     -> Result<(), DatasetError> {
+        if !config.keep_going {
+            return Err(DatasetError::Quarantined {
+                instance: index,
+                circuit: config.profile.clone(),
                 failure,
-                reused,
             });
-            Ok(())
-        };
+        }
+        if !reused && persist {
+            if let Some(log) = &log {
+                let locked = lock_instance(config, &circuit, index)?;
+                let key = instance_key(config, &locked);
+                log.lock()
+                    .unwrap()
+                    .record_failure(key, index, supervision, &failure)?;
+            }
+        }
+        obs::emit(obs::EventKind::InstanceQuarantined {
+            index: index as u64,
+            kind: failure.kind.tag(),
+            attempts: failure.attempts as u64,
+            reused,
+        });
+        failures.lock().unwrap().push(SweepFailure {
+            index,
+            failure,
+            reused,
+        });
+        Ok(())
+    };
 
     let worker = |wid: usize| -> WorkerStats {
         let mut stats = WorkerStats::default();
@@ -232,8 +243,47 @@ pub fn generate_parallel_with(
                 worker: wid as u64,
             });
             // Attach the instance index to every event (solver snapshots,
-            // attack iterations, retries) emitted while working on it.
+            // attack iterations, retries) emitted while working on it, and
+            // as the fault-injection context so plans can target one
+            // instance deterministically regardless of worker scheduling.
             let _ctx = obs::context(index as u64);
+            let _fault_ctx = faults::context(index as u64);
+            if let Some(fault) = faults::inject("dataset.worker") {
+                match fault.action {
+                    faults::Action::Die => {
+                        // The worker dies with this instance in flight: the
+                        // instance is quarantined (reported, but *not*
+                        // persisted — a dead worker is no verdict on the
+                        // instance, so a resumed sweep re-attacks it), and
+                        // the worker exits its loop for good. Survivors
+                        // pick up the remaining work.
+                        let failure = InstanceFailure {
+                            kind: crate::supervise::FailureKind::Death,
+                            attempts: 1,
+                            message: format!(
+                                "fault site dataset.worker killed worker {wid} \
+                                 while attacking instance {index}"
+                            ),
+                            iterations: 0,
+                            work: 0,
+                        };
+                        match quarantine(index, failure, false, false) {
+                            Ok(()) => stats.failed += 1,
+                            Err(e) => {
+                                let mut slot = first_error.lock().unwrap();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                drop(slot);
+                                cancel.cancel();
+                            }
+                        }
+                        stats.busy += begun.elapsed();
+                        break;
+                    }
+                    _ => fault.unsupported("dataset.worker"),
+                }
+            }
             // Ok(None) = instance quarantined under keep-going; the sweep
             // continues without a label for it.
             let outcome: Result<Option<(Instance, bool)>, DatasetError> = (|| {
@@ -247,7 +297,7 @@ pub fn generate_parallel_with(
                     if let Some(known_bad) = log.lookup_failure(key, supervision) {
                         let failure = known_bad.clone();
                         drop(log);
-                        quarantine(index, failure, true)?;
+                        quarantine(index, failure, true, true)?;
                         return Ok(None);
                     }
                 }
@@ -260,7 +310,7 @@ pub fn generate_parallel_with(
                         Ok(Some((instance, false)))
                     }
                     Supervised::Failed(failure) => {
-                        quarantine(index, failure, false)?;
+                        quarantine(index, failure, false, true)?;
                         Ok(None)
                     }
                     // Shutdown, not a verdict: another worker's error (or an
@@ -322,22 +372,30 @@ pub fn generate_parallel_with(
     if let Some(error) = first_error.into_inner().unwrap() {
         return Err(error);
     }
+    if config
+        .cancel
+        .as_ref()
+        .is_some_and(CancelToken::is_cancelled)
+    {
+        // Operator interrupt: every finished instance is already in the
+        // checkpoint log (when one is attached); rerunning resumes there.
+        return Err(DatasetError::Interrupted);
+    }
     let mut failures = failures.into_inner().unwrap();
     failures.sort_by_key(|f| f.index);
     let quarantined: std::collections::HashSet<usize> = failures.iter().map(|f| f.index).collect();
-    let instances: Vec<Instance> = slots
-        .into_inner()
-        .unwrap()
-        .into_iter()
+    let slots = slots.into_inner().unwrap();
+    // With no error and no interrupt, every slot must be labeled or
+    // quarantined — unless workers died (injected death) with work left.
+    let unprocessed = slots
+        .iter()
         .enumerate()
-        .filter_map(|(index, slot)| {
-            debug_assert!(
-                slot.is_some() || quarantined.contains(&index),
-                "instance {index} neither labeled nor quarantined"
-            );
-            slot
-        })
-        .collect();
+        .filter(|(index, slot)| slot.is_none() && !quarantined.contains(index))
+        .count();
+    if unprocessed > 0 {
+        return Err(DatasetError::WorkerLoss { unprocessed });
+    }
+    let instances: Vec<Instance> = slots.into_iter().flatten().collect();
     let report = SweepReport {
         workers,
         failures,

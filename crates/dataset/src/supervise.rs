@@ -97,6 +97,9 @@ pub enum FailureKind {
     Panic,
     /// The attack returned a hard error (e.g. an inconsistent oracle).
     Error,
+    /// The worker servicing the instance died mid-attack (injected fault or
+    /// external kill); the instance got no verdict of its own.
+    Death,
 }
 
 impl FailureKind {
@@ -106,6 +109,7 @@ impl FailureKind {
             FailureKind::Timeout => "timeout",
             FailureKind::Panic => "panic",
             FailureKind::Error => "error",
+            FailureKind::Death => "death",
         }
     }
 
@@ -115,6 +119,7 @@ impl FailureKind {
             "timeout" => Some(FailureKind::Timeout),
             "panic" => Some(FailureKind::Panic),
             "error" => Some(FailureKind::Error),
+            "death" => Some(FailureKind::Death),
             _ => None,
         }
     }
@@ -427,7 +432,12 @@ mod tests {
 
     #[test]
     fn failure_kind_tags_round_trip() {
-        for kind in [FailureKind::Timeout, FailureKind::Panic, FailureKind::Error] {
+        for kind in [
+            FailureKind::Timeout,
+            FailureKind::Panic,
+            FailureKind::Error,
+            FailureKind::Death,
+        ] {
             assert_eq!(FailureKind::from_tag(kind.tag()), Some(kind));
         }
         assert_eq!(FailureKind::from_tag("nonsense"), None);

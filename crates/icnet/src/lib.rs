@@ -48,6 +48,7 @@
 //! ```
 
 mod aggregate;
+mod checkpoint;
 mod features;
 mod graph;
 mod model;
@@ -59,4 +60,4 @@ pub use features::{encode_features, FeatureSet, NUM_FEATURES_ALL, NUM_FEATURES_L
 pub use graph::CircuitGraph;
 pub use model::{GraphModel, ModelKind, OutputHead};
 pub use persist::ParseModelError;
-pub use trainer::{train, TrainConfig, TrainReport};
+pub use trainer::{train, train_with, TrainCheckpointSpec, TrainConfig, TrainControl, TrainReport};

@@ -11,7 +11,9 @@
 //! `jobs = 8` produce bit-identical parameters for the same seed (see
 //! DESIGN.md §6d).
 
+use crate::checkpoint::{self, TrainCheckpoint};
 use crate::model::GraphModel;
+use attack::CancelToken;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -65,10 +67,34 @@ impl TrainConfig {
     }
 }
 
+/// Where [`train_with`] persists end-of-epoch state, and whether it should
+/// restore from an existing checkpoint first.
+#[derive(Debug, Clone)]
+pub struct TrainCheckpointSpec {
+    /// Checkpoint file path (rewritten atomically every epoch).
+    pub path: String,
+    /// When true, an existing checkpoint at `path` (with a matching
+    /// hyper-parameter fingerprint) is restored before training continues;
+    /// when false, training starts fresh and overwrites it.
+    pub resume: bool,
+}
+
+/// Runtime controls for [`train_with`] — everything [`train`] defaults off:
+/// cooperative interruption and crash-safe epoch checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct TrainControl {
+    /// Polled at every epoch boundary; when it fires, training returns with
+    /// [`TrainReport::interrupted`] set, the model keeping its end-of-epoch
+    /// parameters (which the checkpoint, when configured, already persists).
+    pub cancel: Option<CancelToken>,
+    /// End-of-epoch checkpointing; `None` = no persistence.
+    pub checkpoint: Option<TrainCheckpointSpec>,
+}
+
 /// What happened during training.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
-    /// Epochs actually run.
+    /// Epochs actually run (including epochs restored from a checkpoint).
     pub epochs_run: usize,
     /// Mean squared error over the training set after the last fully
     /// finite epoch (`f64::INFINITY` if training diverged before completing
@@ -83,6 +109,13 @@ pub struct TrainReport {
     /// or gradient. The model keeps its last healthy parameters — the
     /// poisoned update is never applied.
     pub diverged: bool,
+    /// Whether training stopped at an epoch boundary because the
+    /// [`TrainControl::cancel`] token fired.
+    pub interrupted: bool,
+    /// First checkpoint-save failure, when one occurred. Saving is
+    /// best-effort: a failed save costs durability of that epoch, never the
+    /// training run itself.
+    pub checkpoint_error: Option<String>,
 }
 
 /// Squared-error loss and per-parameter gradients for one training instance
@@ -186,6 +219,37 @@ pub fn train(
     ys: &[f64],
     config: &TrainConfig,
 ) -> TrainReport {
+    train_with(model, op, xs, ys, config, &TrainControl::default())
+}
+
+/// [`train`] with runtime controls: cooperative interruption via an
+/// [`attack::CancelToken`] polled at every epoch boundary, and crash-safe
+/// end-of-epoch checkpoints with bit-identical resume.
+///
+/// # Determinism of resume
+///
+/// A run interrupted after epoch *k* and resumed from its checkpoint
+/// produces parameters bit-identical to an uninterrupted run: each epoch is
+/// a pure function of (parameters, ADAM state, batch order), the checkpoint
+/// serializes parameters and ADAM moments as exact bit patterns, and the
+/// RNG position is restored by replaying the *k* recorded shuffles of the
+/// evolving index vector — the cheapest way to reproduce both the RNG
+/// stream position and the order-vector state without serializing either.
+///
+/// # Panics
+///
+/// Panics (in addition to [`train`]'s conditions) when resuming from a
+/// checkpoint that exists but is corrupt, or whose hyper-parameter
+/// fingerprint does not match `config` — silently training on from the
+/// wrong state would be worse than stopping.
+pub fn train_with(
+    model: &mut GraphModel,
+    op: &Arc<CsrMatrix>,
+    xs: &[Matrix],
+    ys: &[f64],
+    config: &TrainConfig,
+    control: &TrainControl,
+) -> TrainReport {
     assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
     assert!(!xs.is_empty(), "empty training set");
     let mut optimizer = Adam::new(config.lr);
@@ -194,8 +258,94 @@ pub fn train(
     let mut history = Vec::new();
     let mut best = f64::INFINITY;
     let mut stall = 0usize;
+    let mut start_epoch = 0usize;
+    let mut checkpoint_error: Option<String> = None;
+    let fingerprint = checkpoint::fingerprint(config, xs.len(), model.params());
 
-    for epoch in 0..config.max_epochs {
+    if let Some(spec) = control.checkpoint.as_ref().filter(|s| s.resume) {
+        match checkpoint::load(&spec.path) {
+            Ok(None) => {} // nothing saved yet: a fresh run
+            Ok(Some(ckpt)) => {
+                assert_eq!(
+                    ckpt.fingerprint, fingerprint,
+                    "training checkpoint `{}` belongs to different \
+                     hyper-parameters / shapes; refusing to resume from it",
+                    spec.path
+                );
+                for (i, (dst, src)) in model.params_mut().iter_mut().zip(&ckpt.params).enumerate() {
+                    assert_eq!(dst.shape(), src.shape(), "param {i} shape mismatch");
+                    *dst = src.clone();
+                }
+                optimizer.restore(ckpt.adam_t, ckpt.adam_m, ckpt.adam_v);
+                history = ckpt.history;
+                best = ckpt.best;
+                stall = ckpt.stall;
+                start_epoch = ckpt.epochs_done;
+                // Replay the completed epochs' shuffles: this advances the
+                // RNG stream *and* evolves the order vector exactly as the
+                // original run did.
+                for _ in 0..ckpt.epochs_done {
+                    order.shuffle(&mut rng);
+                }
+                if ckpt.converged {
+                    // The checkpointed run already satisfied the tolerance
+                    // criterion; there is nothing left to train.
+                    return TrainReport {
+                        epochs_run: ckpt.epochs_done,
+                        final_loss: *history.last().expect("converged run has epochs"),
+                        loss_history: history,
+                        converged: true,
+                        diverged: false,
+                        interrupted: false,
+                        checkpoint_error: None,
+                    };
+                }
+            }
+            Err(message) => panic!(
+                "unusable training checkpoint `{}`: {message} (delete it to start fresh)",
+                spec.path
+            ),
+        }
+    }
+
+    for epoch in start_epoch..config.max_epochs {
+        // `train.interrupt` models an operator interrupt (or the process
+        // dying) landing exactly at this epoch boundary; it takes the same
+        // drain-and-return path as a real tripped token, so the
+        // crash-then-resume matrix is drivable from a fault plan alone.
+        let injected_interrupt = faults::inject("train.interrupt")
+            .map(|fault| match fault.action {
+                faults::Action::Die => true,
+                _ => fault.unsupported("train.interrupt"),
+            })
+            .unwrap_or(false);
+        if injected_interrupt
+            || control
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+        {
+            // Epoch-boundary interruption: the model holds the end-of-epoch
+            // parameters the checkpoint (when configured) just persisted, so
+            // a resumed run continues bit-identically from here.
+            return TrainReport {
+                epochs_run: epoch,
+                final_loss: history.last().copied().unwrap_or(f64::INFINITY),
+                loss_history: history,
+                converged: false,
+                diverged: false,
+                interrupted: true,
+                checkpoint_error,
+            };
+        }
+        // NaN poisoning fires on the first batch of the epoch, upstream of
+        // the divergence guard it exists to exercise.
+        let mut poison = faults::inject("train.epoch");
+        if let Some(fault) = &poison {
+            if fault.action != faults::Action::Nan {
+                fault.unsupported("train.epoch");
+            }
+        }
         // Observation-only instrumentation: the clock and the gradient-norm
         // accumulator are reads; neither feeds back into the update, so
         // tracing cannot change the trained parameters.
@@ -205,7 +355,10 @@ pub fn train(
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size.max(1)) {
-            let (batch_loss, grads) = batch_gradients(model, op, xs, ys, batch, config.jobs);
+            let (mut batch_loss, grads) = batch_gradients(model, op, xs, ys, batch, config.jobs);
+            if poison.take().is_some() {
+                batch_loss = f64::NAN;
+            }
             // Divergence guard. NaN compares false against everything, so
             // without this check a poisoned loss sails through the
             // convergence test below and training runs all max_epochs
@@ -217,6 +370,8 @@ pub fn train(
                     loss_history: history,
                     converged: false,
                     diverged: true,
+                    interrupted: false,
+                    checkpoint_error,
                 };
             }
             epoch_loss += batch_loss;
@@ -243,21 +398,55 @@ pub fn train(
             });
         }
         history.push(epoch_loss);
+        let mut converged_now = false;
         if best - epoch_loss < config.tol {
             stall += 1;
             if stall >= config.patience {
-                return TrainReport {
-                    epochs_run: epoch + 1,
-                    final_loss: epoch_loss,
-                    loss_history: history,
-                    converged: true,
-                    diverged: false,
-                };
+                converged_now = true;
             }
         } else {
             stall = 0;
         }
-        best = best.min(epoch_loss);
+        if !converged_now {
+            // Matches the historical loop exactly: `best` was only ever
+            // updated on the path that continued to the next epoch.
+            best = best.min(epoch_loss);
+        }
+        if let Some(spec) = control.checkpoint.as_ref() {
+            let state = TrainCheckpoint {
+                fingerprint,
+                epochs_done: epoch + 1,
+                converged: converged_now,
+                stall,
+                best,
+                history: history.clone(),
+                params: model.params().to_vec(),
+                adam_t: optimizer.state().0,
+                adam_m: optimizer.state().1.to_vec(),
+                adam_v: optimizer.state().2.to_vec(),
+            };
+            match checkpoint::save(&spec.path, &state) {
+                Ok(()) => obs::emit(obs::EventKind::TrainCheckpointSaved {
+                    epoch: (epoch + 1) as u64,
+                }),
+                // Best-effort durability: losing this epoch's save costs
+                // resumability, not the run; report the first failure.
+                Err(message) => {
+                    checkpoint_error.get_or_insert(message);
+                }
+            }
+        }
+        if converged_now {
+            return TrainReport {
+                epochs_run: epoch + 1,
+                final_loss: epoch_loss,
+                loss_history: history,
+                converged: true,
+                diverged: false,
+                interrupted: false,
+                checkpoint_error,
+            };
+        }
     }
     TrainReport {
         epochs_run: config.max_epochs,
@@ -265,6 +454,8 @@ pub fn train(
         loss_history: history,
         converged: false,
         diverged: false,
+        interrupted: false,
+        checkpoint_error,
     }
 }
 

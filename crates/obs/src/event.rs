@@ -83,6 +83,14 @@ pub enum EventKind {
     CellFinished { label: String, wall_ns: u64 },
     /// Dataset cache probe outcome in `bench::harness`.
     Cache { hit: bool, path: String },
+    /// A training epoch checkpoint was durably written.
+    TrainCheckpointSaved { epoch: u64 },
+    /// An armed fault plan fired at a named site.
+    FaultInjected {
+        site: String,
+        action: &'static str,
+        occurrence: u64,
+    },
     /// A named coarse stage (RAII timer) finished.
     StageFinished { stage: String, wall_ns: u64 },
 }
@@ -101,6 +109,8 @@ impl EventKind {
             EventKind::CellStarted { .. } => "bench.cell.start",
             EventKind::CellFinished { .. } => "bench.cell.finish",
             EventKind::Cache { .. } => "bench.cache",
+            EventKind::TrainCheckpointSaved { .. } => "train.checkpoint",
+            EventKind::FaultInjected { .. } => "fault.injected",
             EventKind::StageFinished { .. } => "stage",
         }
     }
@@ -152,6 +162,13 @@ impl EventKind {
             EventKind::Cache { hit, path } => Some(format!(
                 "dataset cache {}: {path}",
                 if *hit { "hit" } else { "miss" },
+            )),
+            EventKind::FaultInjected {
+                site,
+                action,
+                occurrence,
+            } => Some(format!(
+                "fault injected at {site}: {action} (occurrence {occurrence})"
             )),
             EventKind::StageFinished { stage, wall_ns } => {
                 Some(format!("stage {stage} finished in {}", fmt_wall(*wall_ns)))
@@ -295,6 +312,22 @@ impl Event {
                 push_bool(&mut out, "hit", *hit);
                 out.push(',');
                 push_str(&mut out, "path", path);
+            }
+            EventKind::TrainCheckpointSaved { epoch } => {
+                out.push(',');
+                push_u64(&mut out, "epoch", *epoch);
+            }
+            EventKind::FaultInjected {
+                site,
+                action,
+                occurrence,
+            } => {
+                out.push(',');
+                push_str(&mut out, "site", site);
+                out.push(',');
+                push_str(&mut out, "action", action);
+                out.push(',');
+                push_u64(&mut out, "occurrence", *occurrence);
             }
             EventKind::StageFinished { stage, wall_ns } => {
                 out.push(',');

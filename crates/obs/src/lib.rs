@@ -220,6 +220,21 @@ pub fn finish() -> Option<Summary> {
 }
 
 fn write_trace(path: &str, events: &[Event]) -> std::io::Result<()> {
+    // Trace emission failures must never take the run down, so the injected
+    // error here only surfaces through `Summary::trace_error`.
+    let injected = faults::inject("obs.trace.write");
+    if let Some(fault) = &injected {
+        match fault.action {
+            faults::Action::Io => {
+                return Err(std::io::Error::other(format!(
+                    "injected fault: obs.trace.write io (occurrence {})",
+                    fault.occurrence
+                )));
+            }
+            faults::Action::Torn => {}
+            _ => fault.unsupported("obs.trace.write"),
+        }
+    }
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -227,7 +242,18 @@ fn write_trace(path: &str, events: &[Event]) -> std::io::Result<()> {
     }
     let file = std::fs::File::create(path)?;
     let mut writer = std::io::BufWriter::new(file);
-    for ev in events {
+    for (i, ev) in events.iter().enumerate() {
+        if let Some(fault) = &injected {
+            // A torn trace: half the events reach disk, then the writer dies.
+            if fault.action == faults::Action::Torn && i >= events.len() / 2 {
+                writer.flush()?;
+                return Err(std::io::Error::other(format!(
+                    "injected fault: obs.trace.write torn after {i} events \
+                     (occurrence {})",
+                    fault.occurrence
+                )));
+            }
+        }
         writer.write_all(ev.to_json().as_bytes())?;
         writer.write_all(b"\n")?;
     }

@@ -624,6 +624,18 @@ impl Solver {
     /// them, and the solver state remains reusable afterwards (clauses can be
     /// added and `solve*` called again).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if let Some(fault) = faults::inject("sat.solve") {
+            match fault.action {
+                faults::Action::Panic => panic!(
+                    "injected fault: sat.solve panic (occurrence {})",
+                    fault.occurrence
+                ),
+                // A spurious indeterminate answer, as a flaky solver or an
+                // external deadline race would produce.
+                faults::Action::Unknown => return SolveResult::Unknown,
+                _ => fault.unsupported("sat.solve"),
+            }
+        }
         let result = self.solve_inner(assumptions);
         // One snapshot per solve keeps short solves visible in traces that
         // never reach the periodic in-loop snapshot thresholds.

@@ -72,6 +72,33 @@ impl Adam {
             v: Vec::new(),
         }
     }
+
+    /// The mutable optimizer state `(t, m, v)`, for checkpointing. Moments
+    /// are empty until the first [`Optimizer::step`].
+    pub fn state(&self) -> (u64, &[Matrix], &[Matrix]) {
+        (self.t, &self.m, &self.v)
+    }
+
+    /// Restores checkpointed state captured by [`Adam::state`]. Resuming
+    /// training is bit-identical only if the restored moments are bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` and `v` differ in length or element shapes — the
+    /// checkpoint would then not belong to the model being restored.
+    pub fn restore(&mut self, t: u64, m: Vec<Matrix>, v: Vec<Matrix>) {
+        assert_eq!(m.len(), v.len(), "adam moment count mismatch");
+        for (i, (mm, vv)) in m.iter().zip(&v).enumerate() {
+            assert_eq!(
+                mm.shape(),
+                vv.shape(),
+                "adam moment shape mismatch at index {i}"
+            );
+        }
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
 }
 
 impl Optimizer for Adam {

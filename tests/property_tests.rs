@@ -436,3 +436,56 @@ proptest! {
         prop_assert_eq!(first, second);
     }
 }
+
+/// A crash (or an injected `checkpoint.append` fault) can truncate the
+/// append-only log after *any* byte. Exhaustively, every prefix must reopen
+/// silently — keeping exactly the records whose lines survived complete —
+/// and stay appendable; torn tails (including a torn header, which once
+/// left the next open failing loudly) are dropped, never misparsed.
+#[test]
+fn every_truncation_offset_recovers_the_intact_prefix() {
+    let full = seeded_checkpoint();
+    let bytes = std::fs::read(&full).unwrap();
+    let newlines: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| (b == b'\n').then_some(i))
+        .collect();
+    let header_end = newlines[0];
+    for k in 0..=bytes.len() {
+        let path = ckpt_tmp();
+        std::fs::write(&path, &bytes[..k]).unwrap();
+        let log = CheckpointLog::open(&path)
+            .unwrap_or_else(|e| panic!("offset {k}: truncation must recover silently: {e}"));
+        let expected = if k <= header_end {
+            0 // torn header: the log restarts fresh
+        } else {
+            newlines.iter().skip(1).filter(|&&n| n < k).count()
+        };
+        assert_eq!(log.len(), expected, "offset {k}: surviving records");
+        drop(log);
+        // Recovery must leave a log that accepts appends and then reopens
+        // cleanly — i.e. the truncated tail was physically removed, not
+        // left to corrupt the next record.
+        let mut log = CheckpointLog::open(&path).unwrap();
+        log.record(
+            0xFFFF,
+            9,
+            &Instance {
+                selected: vec![netlist::GateId::from_index(9)],
+                key_bits: 9,
+                iterations: 1,
+                work: 42,
+                seconds: 0.125,
+                log_seconds: 0.125f64.ln(),
+                censored: false,
+            },
+        )
+        .unwrap();
+        drop(log);
+        let reopened = CheckpointLog::open(&path)
+            .unwrap_or_else(|e| panic!("offset {k}: append after recovery broke the log: {e}"));
+        assert_eq!(reopened.len(), expected + 1, "offset {k}: appended record");
+        let _ = std::fs::remove_file(&path);
+    }
+}
