@@ -209,6 +209,10 @@ pub fn attack(
     let mut solver = Solver::new();
     solver.set_conflict_budget(config.conflicts_per_solve);
     let miter = encode_miter(locked, &mut solver);
+    // One preprocessing pass over the freshly-encoded miter before any DIP
+    // query: Tseitin encodings leave subsumed and strengthenable clauses,
+    // and no assumptions are in flight yet.
+    solver.preprocess();
 
     // Why the loop ended early, when it did. Timeouts are kept distinct
     // from deterministic budget exhaustion because only the latter yields a
@@ -317,9 +321,14 @@ pub fn attack(
                     dips.push(dip);
                 }
                 // Each DIP fixes hundreds of copy inputs/outputs at the root
-                // level; periodically sweep the clauses those units satisfy.
-                if iterations.is_multiple_of(16) {
-                    solver.simplify();
+                // level; periodically preprocess (root sweep, subsumption,
+                // self-subsuming resolution, bounded probing) so the solver
+                // isn't dragging two freshly-encoded circuit copies' worth of
+                // satisfied clauses through every propagation. Safe here:
+                // assumptions are per-solve, and between iterations none are
+                // in flight.
+                if iterations.is_multiple_of(4) {
+                    solver.preprocess();
                 }
             }
         }

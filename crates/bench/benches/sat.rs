@@ -1,0 +1,67 @@
+//! Criterion suite over graded de-obfuscation miter instances — the
+//! workload that dominates ground-truth label generation (`T(G)`).
+//!
+//! Each benchmark runs the full oracle-guided SAT attack on a locked
+//! circuit of increasing size and scheme hardness (c17 → c432-scale,
+//! XOR/MUX/LUT locked), so every solver-core change lands as a measured
+//! number. Results are tracked in `BENCH_sat.json` at the repo root:
+//! run `cargo bench -p bench --bench sat` and append a trajectory entry
+//! whenever the solver core changes.
+//!
+//! The smallest instance (`c17_xor4`) doubles as the CI smoke benchmark;
+//! see the `sat-bench-smoke` job.
+
+use attack::{attack_locked, AttackConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use obfuscate::{lock_random, LockedCircuit, SchemeKind};
+use synth::GeneratorConfig;
+
+/// The graded instance ladder. Seeds are fixed so the miter structure is
+/// identical across runs and across solver versions.
+fn instances() -> Vec<(&'static str, LockedCircuit)> {
+    let mid = synth::generate(&GeneratorConfig::new("sat_bench_mid", 16, 8, 200).with_seed(11));
+    let c432 = synth::iscas::circuit("c432", 0).expect("c432 profile");
+    vec![
+        (
+            "c17_xor4",
+            lock_random(&netlist::c17(), SchemeKind::XorLock, 4, 7).expect("lockable"),
+        ),
+        (
+            "mid200_mux12",
+            lock_random(&mid, SchemeKind::MuxLock, 12, 5).expect("lockable"),
+        ),
+        (
+            "c432_xor16",
+            lock_random(&c432, SchemeKind::XorLock, 16, 3).expect("lockable"),
+        ),
+        (
+            "c432_lut3x6",
+            lock_random(&c432, SchemeKind::LutLock { lut_size: 3 }, 6, 3).expect("lockable"),
+        ),
+    ]
+}
+
+fn bench_miter_attacks(c: &mut Criterion) {
+    // CI smoke mode: run only the smallest instance, once, so the job
+    // proves the bench compiles and the ladder's attacks still converge
+    // without paying for full sample counts on shared runners.
+    let smoke = std::env::var_os("SAT_BENCH_SMOKE").is_some();
+    let mut group = c.benchmark_group("sat_miter");
+    group.sample_size(if smoke { 1 } else { 10 });
+    for (name, locked) in instances() {
+        if smoke && name != "c17_xor4" {
+            continue;
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let result = attack_locked(&locked, &AttackConfig::default()).expect("attack runs");
+                assert!(result.key().is_some(), "{name}: attack must converge");
+                result.solver_stats.work()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miter_attacks);
+criterion_main!(benches);

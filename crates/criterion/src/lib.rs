@@ -107,8 +107,12 @@ fn report(group: &str, id: &str, samples: &[Duration]) {
     let mean = total / samples.len() as u32;
     let min = samples.iter().min().unwrap();
     let max = samples.iter().max().unwrap();
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    // Even counts round down; close enough for trend tracking.
+    let median = sorted[sorted.len() / 2];
     println!(
-        "{group}/{id}: mean {mean:?}  min {min:?}  max {max:?}  ({} samples)",
+        "{group}/{id}: mean {mean:?}  median {median:?}  min {min:?}  max {max:?}  ({} samples)",
         samples.len()
     );
 }

@@ -4,12 +4,18 @@
 //! SAT attack in the `attack` crate drives this solver incrementally. The
 //! implementation follows the MiniSat lineage:
 //!
+//! * an arena-allocated clause store (one flat `u32` buffer addressed by
+//!   `ClauseRef` offsets) with compacting garbage collection instead of
+//!   per-clause heap boxes,
 //! * two-literal watching with blocker literals for fast unit propagation,
 //! * VSIDS variable activity with a binary heap and phase saving,
 //! * first-UIP conflict analysis with clause minimization,
 //! * Luby-sequence restarts,
 //! * learnt-clause database reduction driven by LBD and activity,
-//! * incremental solving under assumptions with a conflict budget.
+//! * incremental solving under assumptions with a conflict budget,
+//! * an inprocessing pass ([`Solver::preprocess`]) doing root-level
+//!   sweeping, subsumption, self-subsuming resolution, and budgeted
+//!   failed-literal probing between incremental solves.
 //!
 //! The solver also exposes deterministic work counters ([`SolverStats`])
 //! which the dataset pipeline uses as a reproducible runtime measure.
@@ -31,11 +37,13 @@
 //! }
 //! ```
 
-mod clause;
+mod arena;
 mod dimacs;
 mod heap;
 mod lit;
 mod model;
+pub mod naive;
+mod simplify;
 mod solver;
 mod stats;
 

@@ -116,24 +116,6 @@ impl fmt::Display for Lit {
     }
 }
 
-/// Tri-state assignment value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum LBool {
-    True,
-    False,
-    Undef,
-}
-
-impl LBool {
-    pub(crate) fn from_bool(b: bool) -> Self {
-        if b {
-            LBool::True
-        } else {
-            LBool::False
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

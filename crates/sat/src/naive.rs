@@ -1,0 +1,247 @@
+//! A deliberately simple DPLL reference solver.
+//!
+//! This module exists for the differential test battery: the CDCL core in
+//! [`Solver`](crate::Solver) is heavily optimised (arena storage, watched
+//! literals, clause learning, inprocessing), so its verdicts are
+//! cross-checked against this independent implementation, which shares no
+//! code or data structures with it. Recursion-free backtracking over a plain
+//! `Vec<Vec<Lit>>` clause list with unit propagation only — slow, but small
+//! enough to audit by eye.
+//!
+//! Not intended for production use; the API is deliberately minimal.
+
+use crate::lit::Lit;
+use crate::model::Model;
+
+/// Verdict of [`solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NaiveResult {
+    /// Satisfiable, with a witness assignment.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The node budget ran out before a verdict.
+    Unknown,
+}
+
+impl NaiveResult {
+    /// Returns the model if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            NaiveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum V {
+    True,
+    False,
+    Undef,
+}
+
+/// Decides satisfiability of `clauses` over `num_vars` variables by plain
+/// DPLL (unit propagation + chronological backtracking), exploring at most
+/// `node_budget` branch nodes. Literals must reference variables with index
+/// `< num_vars`.
+pub fn solve(num_vars: usize, clauses: &[Vec<Lit>], node_budget: u64) -> NaiveResult {
+    // An empty clause is immediately unsatisfiable.
+    if clauses.iter().any(|c| c.is_empty()) {
+        return NaiveResult::Unsat;
+    }
+    let mut assign = vec![V::Undef; num_vars];
+    // Explicit decision stack: (var, tried_second_phase).
+    let mut decisions: Vec<(usize, bool)> = Vec::new();
+    // Trail of assigned vars per depth for backtracking (depth 0 = units
+    // implied before any decision).
+    let mut trail: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut nodes = 0u64;
+
+    fn lit_val(assign: &[V], l: Lit) -> V {
+        match (assign[l.var().index()], l.is_positive()) {
+            (V::Undef, _) => V::Undef,
+            (V::True, true) | (V::False, false) => V::True,
+            _ => V::False,
+        }
+    }
+
+    // Unit propagation to fixpoint; returns false on conflict. Newly
+    // assigned variables are appended to the current trail frame.
+    fn propagate(assign: &mut [V], clauses: &[Vec<Lit>], frame: &mut Vec<usize>) -> bool {
+        loop {
+            let mut changed = false;
+            for clause in clauses {
+                let mut unassigned: Option<Lit> = None;
+                let mut n_unassigned = 0;
+                let mut satisfied = false;
+                for &l in clause {
+                    match lit_val(assign, l) {
+                        V::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        V::Undef => {
+                            n_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                        V::False => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => return false, // all false: conflict
+                    1 => {
+                        let l = unassigned.unwrap();
+                        assign[l.var().index()] = if l.is_positive() { V::True } else { V::False };
+                        frame.push(l.var().index());
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    // Initial propagation of unit clauses.
+    let mut conflict = !propagate(&mut assign, clauses, &mut trail[0]);
+    loop {
+        if conflict {
+            // Backtrack to the most recent decision with an untried phase.
+            loop {
+                match decisions.pop() {
+                    None => return NaiveResult::Unsat,
+                    Some((var, tried_second)) => {
+                        let frame = trail.pop().expect("frame per decision");
+                        for v in frame {
+                            assign[v] = V::Undef;
+                        }
+                        if !tried_second {
+                            // Flip to the second phase (False first, see below).
+                            decisions.push((var, true));
+                            let mut frame = vec![var];
+                            assign[var] = V::True;
+                            conflict = !propagate(&mut assign, clauses, &mut frame);
+                            trail.push(frame);
+                            break;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        // Pick the lowest-index unassigned variable.
+        match (0..num_vars).find(|&v| assign[v] == V::Undef) {
+            None => {
+                let values = assign.iter().map(|&v| v == V::True).collect();
+                return NaiveResult::Sat(Model::new(values));
+            }
+            Some(var) => {
+                nodes += 1;
+                if nodes > node_budget {
+                    return NaiveResult::Unknown;
+                }
+                decisions.push((var, false));
+                let mut frame = vec![var];
+                assign[var] = V::False;
+                conflict = !propagate(&mut assign, clauses, &mut frame);
+                trail.push(frame);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i64) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    fn check_model(clauses: &[Vec<Lit>], m: &Model) {
+        for c in clauses {
+            assert!(c.iter().any(|&l| m.lit_value(l)), "clause {c:?} violated");
+        }
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(matches!(solve(3, &[], 1000), NaiveResult::Sat(_)));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        assert_eq!(solve(1, &[vec![]], 1000), NaiveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_and_implications() {
+        let clauses = vec![vec![lit(1)], vec![lit(-1), lit(2)], vec![lit(-2), lit(3)]];
+        match solve(3, &clauses, 1000) {
+            NaiveResult::Sat(m) => {
+                check_model(&clauses, &m);
+                assert!(m.values().iter().all(|&v| v));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let clauses = vec![vec![lit(1)], vec![lit(-1)]];
+        assert_eq!(solve(1, &clauses, 1000), NaiveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_2_unsat() {
+        // 3 pigeons, 2 holes.
+        let p = |i: i64, j: i64| lit(i * 2 + j + 1);
+        let mut clauses = Vec::new();
+        for i in 0..3 {
+            clauses.push((0..2).map(|j| p(i, j)).collect());
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(solve(6, &clauses, 100_000), NaiveResult::Unsat);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown() {
+        // php(5,4) needs far more than 2 nodes.
+        let p = |i: i64, j: i64| lit(i * 4 + j + 1);
+        let mut clauses = Vec::new();
+        for i in 0..5 {
+            clauses.push((0..4).map(|j| p(i, j)).collect());
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    clauses.push(vec![!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(solve(20, &clauses, 2), NaiveResult::Unknown);
+    }
+
+    #[test]
+    fn xor_cycle_parity() {
+        // x1^x2=1, x2^x3=1, x1^x3=1 is UNSAT (odd cycle).
+        let mut clauses = Vec::new();
+        for (a, b) in [(1, 2), (2, 3), (1, 3)] {
+            clauses.push(vec![lit(a), lit(b)]);
+            clauses.push(vec![lit(-a), lit(-b)]);
+        }
+        assert_eq!(solve(3, &clauses, 100_000), NaiveResult::Unsat);
+    }
+}

@@ -1,8 +1,8 @@
 //! The CDCL search engine.
 
-use crate::clause::{Clause, ClauseRef, Watcher};
+use crate::arena::{ClauseArena, ClauseRef, Watcher};
 use crate::heap::VarHeap;
-use crate::lit::{LBool, Lit, Var};
+use crate::lit::{Lit, Var};
 use crate::model::Model;
 use crate::stats::SolverStats;
 use std::time::Instant;
@@ -38,9 +38,20 @@ impl SolveResult {
     }
 }
 
+/// Tri-state assignment encoding: truth values are per-*variable*, and a
+/// literal's value is the variable's byte XOR the literal's sign bit, so
+/// `value()` is branch-free. Any byte `>= 2` reads as "unassigned"
+/// (`VAL_UNDEF ^ sign` is 2 or 3).
+pub(crate) const VAL_TRUE: u8 = 0;
+pub(crate) const VAL_FALSE: u8 = 1;
+pub(crate) const VAL_UNDEF: u8 = 2;
+
 const VAR_DECAY: f64 = 0.95;
-const CLAUSE_DECAY: f64 = 0.999;
-const RESCALE_LIMIT: f64 = 1e100;
+const CLAUSE_DECAY: f32 = 0.999;
+const VAR_RESCALE_LIMIT: f64 = 1e100;
+/// Clause activities live in the arena as `f32`, so they rescale at a much
+/// lower magnitude than the `f64` variable activities.
+const CLA_RESCALE_LIMIT: f32 = 1e20;
 const LUBY_UNIT: u64 = 100;
 /// Conflicts between wall-clock deadline checks: `Instant::now` costs tens
 /// of nanoseconds, so polling it every conflict would be measurable on easy
@@ -59,31 +70,50 @@ const DEADLINE_CHECK_PROPS: u64 = 8192;
 const SNAPSHOT_POLL_INTERVAL: u64 = 128;
 /// Also snapshot every this many conflicts within a single solve.
 const SNAPSHOT_CONFLICT_INTERVAL: u64 = 4096;
+/// Default arena-compaction trigger: collect once this fraction of the
+/// arena is tombstones or shrunk tails (see [`Solver::set_gc_fraction`]).
+const DEFAULT_GC_FRACTION: f64 = 0.25;
 
 /// An incremental CDCL SAT solver. See the [crate docs](crate) for the
 /// feature list and an example.
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<Watcher>>,
-    assign: Vec<LBool>,
-    level: Vec<u32>,
-    reason: Vec<Option<ClauseRef>>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
+    pub(crate) arena: ClauseArena,
+    pub(crate) watches: Vec<Vec<Watcher>>,
+    pub(crate) assign: Vec<u8>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) reason: Vec<Option<ClauseRef>>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
-    cla_inc: f64,
+    cla_inc: f32,
     order: VarHeap,
     saved_phase: Vec<bool>,
     seen: Vec<bool>,
-    ok: bool,
-    stats: SolverStats,
+    pub(crate) ok: bool,
+    pub(crate) stats: SolverStats,
     conflict_budget: Option<u64>,
     deadline: Option<Instant>,
     max_learnts: usize,
-    num_learnt_live: usize,
+    pub(crate) num_learnt_live: usize,
+    gc_fraction: f64,
+    /// Failed-literal probing budget (propagations) per `preprocess` call.
+    pub(crate) probe_budget: u64,
+    /// Round-robin cursor so successive `preprocess` calls probe different
+    /// variables; advances deterministically.
+    pub(crate) probe_cursor: usize,
+    /// Scratch for `analyze` (kept across conflicts to avoid reallocation).
+    learnt_buf: Vec<Lit>,
+    analyze_clear: Vec<Var>,
+    lbd_buf: Vec<u32>,
+    /// Every clause exactly as the caller passed it, before any in-solver
+    /// simplification. Debug builds check each returned model against this
+    /// list, so no arena, GC, or preprocessing bug can silently ship an
+    /// unsound model (release builds skip both the memory and the check).
+    #[cfg(debug_assertions)]
+    original: Vec<Vec<Lit>>,
 }
 
 impl Default for Solver {
@@ -96,7 +126,7 @@ impl Solver {
     /// Creates an empty solver with no variables or clauses.
     pub fn new() -> Self {
         Solver {
-            clauses: Vec::new(),
+            arena: ClauseArena::new(),
             watches: Vec::new(),
             assign: Vec::new(),
             level: Vec::new(),
@@ -116,13 +146,21 @@ impl Solver {
             deadline: None,
             max_learnts: 4000,
             num_learnt_live: 0,
+            gc_fraction: DEFAULT_GC_FRACTION,
+            probe_budget: 20_000,
+            probe_cursor: 0,
+            learnt_buf: Vec::new(),
+            analyze_clear: Vec::new(),
+            lbd_buf: Vec::new(),
+            #[cfg(debug_assertions)]
+            original: Vec::new(),
         }
     }
 
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var::from_index(self.assign.len());
-        self.assign.push(LBool::Undef);
+        self.assign.push(VAL_UNDEF);
         self.level.push(0);
         self.reason.push(None);
         self.activity.push(0.0);
@@ -146,14 +184,17 @@ impl Solver {
 
     /// Number of clauses currently alive (problem + learnt).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.deleted).count()
+        self.arena
+            .refs()
+            .filter(|&c| !self.arena.is_deleted(c))
+            .count()
     }
 
     /// Total clause slots including tombstoned (deleted) clauses — O(1),
     /// cheap enough for per-iteration observability snapshots where
     /// [`Solver::num_clauses`]'s O(n) scan would not be.
     pub fn num_clauses_total(&self) -> usize {
-        self.clauses.len()
+        self.arena.num_headers()
     }
 
     /// Accumulated work counters.
@@ -179,31 +220,34 @@ impl Solver {
         self.deadline = deadline;
     }
 
+    /// Tunes when the clause arena is compacted: collection runs once the
+    /// wasted (tombstoned/shrunk) fraction of the arena exceeds `fraction`.
+    /// `0.0` collects after every deletion wave; anything `> 1.0` disables
+    /// collection. Compaction only relocates clauses — it never reorders
+    /// them or their watchers — so search behaviour, counters, and models
+    /// are identical for every setting (pinned by the determinism tests).
+    pub fn set_gc_fraction(&mut self, fraction: f64) {
+        self.gc_fraction = fraction;
+    }
+
+    /// Caps the propagation work each [`Solver::preprocess`] call may spend
+    /// on failed-literal probing. `0` disables probing.
+    pub fn set_probe_budget(&mut self, propagations: u64) {
+        self.probe_budget = propagations;
+    }
+
     fn past_deadline(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
-    fn value(&self, lit: Lit) -> LBool {
-        match self.assign[lit.var().index()] {
-            LBool::Undef => LBool::Undef,
-            LBool::True => {
-                if lit.is_positive() {
-                    LBool::True
-                } else {
-                    LBool::False
-                }
-            }
-            LBool::False => {
-                if lit.is_positive() {
-                    LBool::False
-                } else {
-                    LBool::True
-                }
-            }
-        }
+    /// The literal's truth value: [`VAL_TRUE`], [`VAL_FALSE`], or `>= 2`
+    /// for unassigned (see the encoding note on the constants).
+    #[inline]
+    pub(crate) fn value(&self, lit: Lit) -> u8 {
+        self.assign[(lit.0 >> 1) as usize] ^ (lit.0 as u8 & 1)
     }
 
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
@@ -219,6 +263,8 @@ impl Solver {
         }
         self.cancel_until(0);
         let mut lits: Vec<Lit> = lits.into_iter().collect();
+        #[cfg(debug_assertions)]
+        self.original.push(lits.clone());
         lits.sort();
         lits.dedup();
         // Tautology / level-0 simplification.
@@ -228,9 +274,9 @@ impl Solver {
                 return true; // tautology: contains l and !l (adjacent after sort)
             }
             match self.value(l) {
-                LBool::True => return true, // satisfied at level 0
-                LBool::False => continue,   // falsified at level 0: drop
-                LBool::Undef => simplified.push(l),
+                VAL_TRUE => return true, // satisfied at level 0
+                VAL_FALSE => continue,   // falsified at level 0: drop
+                _ => simplified.push(l),
             }
         }
         match simplified.len() {
@@ -246,15 +292,17 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(simplified, false, 0);
+                self.attach_clause(&simplified, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+    pub(crate) fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
-        let cref = ClauseRef(self.clauses.len() as u32);
+        let cref = self.arena.alloc(lits, learnt);
+        self.arena.set_lbd(cref, lbd);
+        self.arena.set_activity(cref, self.cla_inc);
         let w0 = Watcher {
             clause: cref,
             blocker: lits[1],
@@ -265,10 +313,6 @@ impl Solver {
         };
         self.watches[(!lits[0]).code()].push(w0);
         self.watches[(!lits[1]).code()].push(w1);
-        let mut clause = Clause::new(lits, learnt);
-        clause.lbd = lbd;
-        clause.activity = self.cla_inc;
-        self.clauses.push(clause);
         if learnt {
             self.num_learnt_live += 1;
             self.stats.learnt_clauses += 1;
@@ -276,17 +320,28 @@ impl Solver {
         cref
     }
 
-    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
-        debug_assert_eq!(self.value(lit), LBool::Undef);
+    /// Tombstones a clause and keeps the live-clause accounting straight.
+    /// The arena words (and any watchers still pointing at the tombstone)
+    /// are reclaimed by the next [`Solver::maybe_gc`].
+    pub(crate) fn free_clause(&mut self, cref: ClauseRef) {
+        if self.arena.is_learnt(cref) {
+            self.num_learnt_live -= 1;
+        }
+        self.arena.free(cref);
+        self.stats.deleted_clauses += 1;
+    }
+
+    pub(crate) fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert!(self.value(lit) >= VAL_UNDEF);
         let v = lit.var().index();
-        self.assign[v] = LBool::from_bool(lit.is_positive());
+        self.assign[v] = lit.0 as u8 & 1; // positive => VAL_TRUE, negative => VAL_FALSE
         self.level[v] = self.decision_level();
         self.reason[v] = reason;
         self.trail.push(lit);
     }
 
     /// Unit propagation; returns the conflicting clause, if any.
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
         let mut conflict = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
@@ -299,40 +354,37 @@ impl Solver {
             'watchers: while i < ws.len() {
                 let w = ws[i];
                 i += 1;
-                if self.clauses[w.clause.0 as usize].deleted {
-                    continue; // drop tombstoned watcher
-                }
-                if self.value(w.blocker) == LBool::True {
+                if self.value(w.blocker) == VAL_TRUE {
                     ws[j] = w;
                     j += 1;
                     continue;
                 }
                 let cref = w.clause;
+                if self.arena.is_deleted(cref) {
+                    continue; // drop tombstoned watcher
+                }
                 let false_lit = !p;
                 // Normalize so the false literal sits at position 1.
-                let first = {
-                    let c = &mut self.clauses[cref.0 as usize];
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
-                    c.lits[0]
-                };
+                if self.arena.lit(cref, 0) == false_lit {
+                    self.arena.swap_lits(cref, 0, 1);
+                }
+                debug_assert_eq!(self.arena.lit(cref, 1), false_lit);
+                let first = self.arena.lit(cref, 0);
                 let new_watch = Watcher {
                     clause: cref,
                     blocker: first,
                 };
-                if first != w.blocker && self.value(first) == LBool::True {
+                if first != w.blocker && self.value(first) == VAL_TRUE {
                     ws[j] = new_watch;
                     j += 1;
                     continue;
                 }
                 // Search for a non-false literal to watch instead.
-                let len = self.clauses[cref.0 as usize].len();
+                let len = self.arena.len(cref);
                 for k in 2..len {
-                    let lk = self.clauses[cref.0 as usize].lits[k];
-                    if self.value(lk) != LBool::False {
-                        self.clauses[cref.0 as usize].lits.swap(1, k);
+                    let lk = self.arena.lit(cref, k);
+                    if self.value(lk) != VAL_FALSE {
+                        self.arena.swap_lits(cref, 1, k);
                         self.watches[(!lk).code()].push(new_watch);
                         continue 'watchers;
                     }
@@ -340,7 +392,7 @@ impl Solver {
                 // Clause is unit or conflicting under the current trail.
                 ws[j] = new_watch;
                 j += 1;
-                if self.value(first) == LBool::False {
+                if self.value(first) == VAL_FALSE {
                     conflict = Some(cref);
                     self.qhead = self.trail.len();
                     while i < ws.len() {
@@ -361,7 +413,7 @@ impl Solver {
         conflict
     }
 
-    fn cancel_until(&mut self, target_level: u32) {
+    pub(crate) fn cancel_until(&mut self, target_level: u32) {
         if self.decision_level() <= target_level {
             return;
         }
@@ -370,7 +422,7 @@ impl Solver {
             let lit = self.trail[idx];
             let v = lit.var();
             self.saved_phase[v.index()] = lit.is_positive();
-            self.assign[v.index()] = LBool::Undef;
+            self.assign[v.index()] = VAL_UNDEF;
             self.reason[v.index()] = None;
             if !self.order.contains(v) {
                 self.order.insert(v, &self.activity);
@@ -383,7 +435,7 @@ impl Solver {
 
     fn bump_var(&mut self, v: Var) {
         self.activity[v.index()] += self.var_inc;
-        if self.activity[v.index()] > RESCALE_LIMIT {
+        if self.activity[v.index()] > VAR_RESCALE_LIMIT {
             for a in &mut self.activity {
                 *a *= 1e-100;
             }
@@ -393,33 +445,43 @@ impl Solver {
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref.0 as usize];
-        c.activity += self.cla_inc;
-        if c.activity > RESCALE_LIMIT {
-            for cl in &mut self.clauses {
-                cl.activity *= 1e-100;
+        let act = self.arena.activity(cref) + self.cla_inc;
+        self.arena.set_activity(cref, act);
+        if act > CLA_RESCALE_LIMIT {
+            let refs: Vec<ClauseRef> = self.arena.refs().collect();
+            for c in refs {
+                if !self.arena.is_deleted(c) {
+                    let scaled = self.arena.activity(c) * 1e-20;
+                    self.arena.set_activity(c, scaled);
+                }
             }
-            self.cla_inc *= 1e-100;
+            self.cla_inc *= 1e-20;
         }
     }
 
-    /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backtrack level.
-    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
-        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for the asserting literal
+    /// First-UIP conflict analysis. Fills `self.learnt_buf` with the learnt
+    /// clause (asserting literal first) and returns the backtrack level and
+    /// the clause's literal block distance.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (u32, u32) {
+        let mut learnt = std::mem::take(&mut self.learnt_buf);
+        let mut to_clear = std::mem::take(&mut self.analyze_clear);
+        learnt.clear();
+        to_clear.clear();
+        learnt.push(Lit(0)); // placeholder for the asserting literal
+
         let mut path_count = 0u32;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
-        let mut to_clear: Vec<Var> = Vec::new();
         let current_level = self.decision_level();
 
         loop {
-            if self.clauses[conflict.0 as usize].learnt {
+            if self.arena.is_learnt(conflict) {
                 self.bump_clause(conflict);
             }
-            let lits = self.clauses[conflict.0 as usize].lits.clone();
+            let len = self.arena.len(conflict);
             let start = if p.is_none() { 0 } else { 1 };
-            for &q in &lits[start..] {
+            for k in start..len {
+                let q = self.arena.lit(conflict, k);
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.bump_var(v);
@@ -451,15 +513,17 @@ impl Solver {
         learnt[0] = !p.expect("conflict analysis found a UIP");
 
         // Cheap clause minimization: drop literals implied by the rest.
-        let retained: Vec<Lit> = learnt[1..]
-            .iter()
-            .copied()
-            .filter(|&l| !self.literal_redundant(l))
-            .collect();
-        learnt.truncate(1);
-        learnt.extend(retained);
+        let mut w = 1;
+        for r in 1..learnt.len() {
+            let l = learnt[r];
+            if !self.literal_redundant(l) {
+                learnt[w] = l;
+                w += 1;
+            }
+        }
+        learnt.truncate(w);
 
-        for v in to_clear {
+        for &v in &to_clear {
             self.seen[v.index()] = false;
         }
 
@@ -478,12 +542,17 @@ impl Solver {
         };
 
         // Literal block distance = number of distinct decision levels.
-        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
+        let mut levels = std::mem::take(&mut self.lbd_buf);
+        levels.clear();
+        levels.extend(learnt.iter().map(|l| self.level[l.var().index()]));
         levels.sort_unstable();
         levels.dedup();
         let lbd = levels.len() as u32;
+        self.lbd_buf = levels;
 
-        (learnt, backtrack, lbd)
+        self.learnt_buf = learnt;
+        self.analyze_clear = to_clear;
+        (backtrack, lbd)
     }
 
     /// A learnt literal is redundant if its reason clause's other literals
@@ -493,55 +562,94 @@ impl Solver {
         let Some(reason) = self.reason[lit.var().index()] else {
             return false;
         };
-        self.clauses[reason.0 as usize].lits[1..]
-            .iter()
-            .all(|&q| self.seen[q.var().index()] || self.level[q.var().index()] == 0)
+        (1..self.arena.len(reason)).all(|k| {
+            let q = self.arena.lit(reason, k);
+            self.seen[q.var().index()] || self.level[q.var().index()] == 0
+        })
     }
 
     fn reduce_db(&mut self) {
         // Collect live learnt clauses sorted worst-first.
-        let mut candidates: Vec<usize> = (0..self.clauses.len())
-            .filter(|&i| {
-                let c = &self.clauses[i];
-                c.learnt && !c.deleted && c.len() > 2 && !self.is_locked(ClauseRef(i as u32))
+        let mut candidates: Vec<ClauseRef> = self
+            .arena
+            .refs()
+            .filter(|&c| {
+                self.arena.is_learnt(c)
+                    && !self.arena.is_deleted(c)
+                    && self.arena.len(c) > 2
+                    && !self.is_locked(c)
             })
             .collect();
         candidates.sort_by(|&a, &b| {
-            let ca = &self.clauses[a];
-            let cb = &self.clauses[b];
-            cb.lbd.cmp(&ca.lbd).then(
-                ca.activity
-                    .partial_cmp(&cb.activity)
+            self.arena.lbd(b).cmp(&self.arena.lbd(a)).then(
+                self.arena
+                    .activity(a)
+                    .partial_cmp(&self.arena.activity(b))
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
         let to_delete = candidates.len() / 2;
-        for &i in candidates.iter().take(to_delete) {
-            self.clauses[i].deleted = true;
-            self.clauses[i].lits.clear();
-            self.clauses[i].lits.shrink_to_fit();
-            self.num_learnt_live -= 1;
-            self.stats.deleted_clauses += 1;
+        for &c in candidates.iter().take(to_delete) {
+            self.free_clause(c);
         }
         self.max_learnts += self.max_learnts / 10;
     }
 
     fn is_locked(&self, cref: ClauseRef) -> bool {
-        let c = &self.clauses[cref.0 as usize];
-        if c.lits.is_empty() {
-            return false;
-        }
-        let first = c.lits[0];
-        self.value(first) == LBool::True && self.reason[first.var().index()] == Some(cref)
+        let first = self.arena.lit(cref, 0);
+        self.value(first) == VAL_TRUE && self.reason[first.var().index()] == Some(cref)
     }
 
-    fn pick_branch_var(&mut self) -> Option<Var> {
-        while let Some(v) = self.order.pop_max(&self.activity) {
-            if self.assign[v.index()] == LBool::Undef {
-                return Some(v);
+    /// Compacts the clause arena when enough of it is tombstones, rewriting
+    /// every watcher and reason reference through the relocation map.
+    /// Collection preserves clause order, literal order, and watcher order,
+    /// so search behaviour is identical whether or not (and whenever) it
+    /// runs — see the determinism tests.
+    pub(crate) fn maybe_gc(&mut self) {
+        if self.arena.wasted_fraction() <= self.gc_fraction {
+            return;
+        }
+        let map = self.arena.collect();
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| match map.remap(w.clause) {
+                Some(nc) => {
+                    w.clause = nc;
+                    true
+                }
+                None => false,
+            });
+        }
+        for slot in &mut self.reason {
+            if let Some(c) = *slot {
+                // A reason clause can only have been tombstoned for a
+                // level-0 assignment (reduce_db never frees locked clauses),
+                // and level-0 assignments never need their reason again.
+                *slot = map.remap(c);
             }
         }
-        None
+    }
+
+    /// Rebuilds every watch list from the live clauses, in arena order.
+    pub(crate) fn rebuild_watches(&mut self) {
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let Solver { arena, watches, .. } = self;
+        let mut it = arena.refs();
+        for cref in &mut it {
+            if arena.is_deleted(cref) {
+                continue;
+            }
+            let (l0, l1) = (arena.lit(cref, 0), arena.lit(cref, 1));
+            watches[(!l0).code()].push(Watcher {
+                clause: cref,
+                blocker: l1,
+            });
+            watches[(!l1).code()].push(Watcher {
+                clause: cref,
+                blocker: l0,
+            });
+        }
     }
 
     /// Simplifies the clause database using the level-0 assignment: clauses
@@ -551,7 +659,9 @@ impl Solver {
     ///
     /// Useful between incremental solves that add many unit clauses (the
     /// SAT attack fixes hundreds of inputs/outputs per DIP), which otherwise
-    /// leave permanently satisfied clauses clogging propagation.
+    /// leave permanently satisfied clauses clogging propagation. For the
+    /// heavier pass that also subsumes, strengthens, and probes, see
+    /// [`Solver::preprocess`].
     pub fn simplify(&mut self) {
         if !self.ok {
             return;
@@ -561,55 +671,48 @@ impl Solver {
             self.ok = false;
             return;
         }
-        for idx in 0..self.clauses.len() {
-            if self.clauses[idx].deleted {
+        self.root_sweep();
+        self.rebuild_watches();
+        self.maybe_gc();
+    }
+
+    /// Deletes clauses satisfied at level 0 and strips false level-0
+    /// literals in place. Watch lists are stale afterwards; the caller must
+    /// rebuild them before propagating again.
+    pub(crate) fn root_sweep(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let refs: Vec<ClauseRef> = self.arena.refs().collect();
+        for cref in refs {
+            if self.arena.is_deleted(cref) {
                 continue;
             }
-            let lits = self.clauses[idx].lits.clone();
-            if lits
-                .iter()
-                .any(|&l| self.value(l) == LBool::True && self.level[l.var().index()] == 0)
-            {
-                let learnt = self.clauses[idx].learnt;
-                self.clauses[idx].deleted = true;
-                self.clauses[idx].lits.clear();
-                if learnt {
-                    self.num_learnt_live -= 1;
+            let len = self.arena.len(cref);
+            if (0..len).any(|k| {
+                let l = self.arena.lit(cref, k);
+                self.value(l) == VAL_TRUE && self.level[l.var().index()] == 0
+            }) {
+                self.free_clause(cref);
+                continue;
+            }
+            // Compact surviving literals to the front.
+            let mut w = 0;
+            for k in 0..len {
+                let l = self.arena.lit(cref, k);
+                if !(self.value(l) == VAL_FALSE && self.level[l.var().index()] == 0) {
+                    if w != k {
+                        let lw = self.arena.lit(cref, k);
+                        self.arena.set_lit(cref, w, lw);
+                    }
+                    w += 1;
                 }
-                self.stats.deleted_clauses += 1;
-                continue;
             }
-            let surviving: Vec<Lit> = lits
-                .iter()
-                .copied()
-                .filter(|&l| !(self.value(l) == LBool::False && self.level[l.var().index()] == 0))
-                .collect();
-            if surviving.len() < lits.len() {
+            if w < len {
                 debug_assert!(
-                    surviving.len() >= 2,
+                    w >= 2,
                     "unit/empty clauses cannot survive level-0 propagation to fixpoint"
                 );
-                self.clauses[idx].lits = surviving;
+                self.arena.shrink(cref, w);
             }
-        }
-        // Rebuild every watch list from the surviving clauses.
-        for w in &mut self.watches {
-            w.clear();
-        }
-        for idx in 0..self.clauses.len() {
-            if self.clauses[idx].deleted {
-                continue;
-            }
-            let cref = ClauseRef(idx as u32);
-            let (l0, l1) = (self.clauses[idx].lits[0], self.clauses[idx].lits[1]);
-            self.watches[(!l0).code()].push(Watcher {
-                clause: cref,
-                blocker: l1,
-            });
-            self.watches[(!l1).code()].push(Watcher {
-                clause: cref,
-                blocker: l0,
-            });
         }
     }
 
@@ -637,12 +740,51 @@ impl Solver {
             }
         }
         let result = self.solve_inner(assumptions);
+        #[cfg(debug_assertions)]
+        if let SolveResult::Sat(model) = &result {
+            self.assert_model_sound(model, assumptions);
+        }
         // One snapshot per solve keeps short solves visible in traces that
         // never reach the periodic in-loop snapshot thresholds.
         if obs::enabled() {
             self.emit_snapshot();
         }
         result
+    }
+
+    /// Model-soundness invariant (debug builds only): every model returned
+    /// by the solver must satisfy every clause exactly as the caller passed
+    /// it — *before* any dedup, strengthening, subsumption, or arena GC. A
+    /// corrupted arena or an unsound simplification therefore panics here
+    /// instead of shipping a wrong label.
+    #[cfg(debug_assertions)]
+    fn assert_model_sound(&self, model: &Model, assumptions: &[Lit]) {
+        for clause in &self.original {
+            assert!(
+                clause.iter().any(|&l| model.lit_value(l)),
+                "model violates original clause {clause:?} (arena or simplification corruption)"
+            );
+        }
+        for &a in assumptions {
+            assert!(model.lit_value(a), "model violates assumption {a}");
+        }
+    }
+
+    /// Test hook (debug builds only): flips the sign of the first literal of
+    /// the first live clause *without* recording the change in the original
+    /// clause list, simulating arena corruption. The next SAT verdict then
+    /// trips the model-soundness assertion.
+    #[cfg(debug_assertions)]
+    #[doc(hidden)]
+    pub fn debug_corrupt_first_clause(&mut self) {
+        let cref = self
+            .arena
+            .refs()
+            .find(|&c| !self.arena.is_deleted(c))
+            .expect("a live clause to corrupt");
+        let flipped = !self.arena.lit(cref, 0);
+        self.arena.set_lit(cref, 0, flipped);
+        self.rebuild_watches();
     }
 
     /// Record a `solver.progress` observability snapshot of the counters.
@@ -668,7 +810,7 @@ impl Solver {
         // Seed the order heap with every unassigned variable.
         for i in 0..self.assign.len() {
             let v = Var::from_index(i);
-            if self.assign[i] == LBool::Undef && !self.order.contains(v) {
+            if self.assign[i] == VAL_UNDEF && !self.order.contains(v) {
                 self.order.insert(v, &self.activity);
             }
         }
@@ -703,20 +845,25 @@ impl Solver {
                     self.ok = false;
                     return SolveResult::Unsat;
                 }
-                let (learnt, backtrack, lbd) = self.analyze(conflict);
+                let (backtrack, lbd) = self.analyze(conflict);
                 // Never backtrack past the assumption levels.
                 self.cancel_until(backtrack);
-                if learnt.len() == 1 {
+                if self.learnt_buf.len() == 1 {
                     // Asserting unit at level 0 context of its backtrack level.
-                    if self.value(learnt[0]) == LBool::Undef {
-                        self.unchecked_enqueue(learnt[0], None);
-                    } else if self.value(learnt[0]) == LBool::False {
-                        self.ok = false;
-                        return SolveResult::Unsat;
+                    let unit = self.learnt_buf[0];
+                    match self.value(unit) {
+                        VAL_FALSE => {
+                            self.ok = false;
+                            return SolveResult::Unsat;
+                        }
+                        VAL_TRUE => {}
+                        _ => self.unchecked_enqueue(unit, None),
                     }
                 } else {
-                    let asserting = learnt[0];
-                    let cref = self.attach_clause(learnt, true, lbd);
+                    let asserting = self.learnt_buf[0];
+                    let learnt = std::mem::take(&mut self.learnt_buf);
+                    let cref = self.attach_clause(&learnt, true, lbd);
+                    self.learnt_buf = learnt;
                     self.unchecked_enqueue(asserting, Some(cref));
                 }
                 self.var_inc /= VAR_DECAY;
@@ -741,6 +888,7 @@ impl Solver {
                 }
                 if self.num_learnt_live > self.max_learnts {
                     self.reduce_db();
+                    self.maybe_gc();
                 }
                 if conflicts_this_restart >= conflicts_until_restart {
                     self.stats.restarts += 1;
@@ -755,16 +903,16 @@ impl Solver {
                 if dl < assumptions.len() {
                     let p = assumptions[dl];
                     match self.value(p) {
-                        LBool::True => {
+                        VAL_TRUE => {
                             // Already satisfied: open a dummy level so the
                             // assumption index advances.
                             self.trail_lim.push(self.trail.len());
                         }
-                        LBool::False => {
+                        VAL_FALSE => {
                             self.cancel_until(0);
                             return SolveResult::Unsat;
                         }
-                        LBool::Undef => {
+                        _ => {
                             self.trail_lim.push(self.trail.len());
                             self.unchecked_enqueue(p, None);
                         }
@@ -774,7 +922,7 @@ impl Solver {
                 match self.pick_branch_var() {
                     None => {
                         let model =
-                            Model::new(self.assign.iter().map(|&a| a == LBool::True).collect());
+                            Model::new(self.assign.iter().map(|&a| a == VAL_TRUE).collect());
                         self.cancel_until(0);
                         return SolveResult::Sat(model);
                     }
@@ -787,6 +935,22 @@ impl Solver {
                 }
             }
         }
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v.index()] == VAL_UNDEF {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Test-only access to the learnt-clause cap (forces frequent DB
+    /// reductions).
+    #[cfg(test)]
+    pub(crate) fn set_max_learnts(&mut self, n: usize) {
+        self.max_learnts = n;
     }
 }
 
@@ -870,28 +1034,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn pigeonhole_3_into_2_is_unsat() {
-        // p[i][j] = pigeon i in hole j; vars numbered i*2 + j + 1.
-        let mut s = solver_with_vars(6);
-        let p = |i: i64, j: i64| lit(i * 2 + j + 1);
-        for i in 0..3 {
-            s.add_clause([p(i, 0), p(i, 1)]);
-        }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause([!p(i1, j), !p(i2, j)]);
-                }
-            }
-        }
-        assert!(s.solve().is_unsat());
-    }
-
-    #[test]
-    fn pigeonhole_5_into_4_is_unsat() {
-        let n = 5i64;
-        let h = 4i64;
+    fn pigeonhole(n: i64, h: i64) -> Solver {
         let mut s = solver_with_vars((n * h) as usize);
         let p = |i: i64, j: i64| lit(i * h + j + 1);
         for i in 0..n {
@@ -905,6 +1048,17 @@ mod tests {
                 }
             }
         }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        assert!(pigeonhole(3, 2).solve().is_unsat());
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_is_unsat() {
+        let mut s = pigeonhole(5, 4);
         assert!(s.solve().is_unsat());
         assert!(s.stats().conflicts > 0);
     }
@@ -959,42 +1113,11 @@ mod tests {
     #[test]
     fn conflict_budget_yields_unknown() {
         // A hard instance (php 7 into 6) with a tiny budget.
-        let n = 7i64;
-        let h = 6i64;
-        let mut s = solver_with_vars((n * h) as usize);
-        let p = |i: i64, j: i64| lit(i * h + j + 1);
-        for i in 0..n {
-            let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
-            s.add_clause(clause);
-        }
-        for j in 0..h {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause([!p(i1, j), !p(i2, j)]);
-                }
-            }
-        }
+        let mut s = pigeonhole(7, 6);
         s.set_conflict_budget(Some(10));
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
         assert!(s.solve().is_unsat());
-    }
-
-    fn pigeonhole(n: i64, h: i64) -> Solver {
-        let mut s = solver_with_vars((n * h) as usize);
-        let p = |i: i64, j: i64| lit(i * h + j + 1);
-        for i in 0..n {
-            let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
-            s.add_clause(clause);
-        }
-        for j in 0..h {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause([!p(i1, j), !p(i2, j)]);
-                }
-            }
-        }
-        s
     }
 
     #[test]
@@ -1153,23 +1276,9 @@ mod tests {
     fn clause_db_reduction_preserves_soundness() {
         // A formula hard enough to trigger reduce_db (php 8 into 7 learns
         // thousands of clauses), cross-checked for the UNSAT verdict.
-        let n = 8i64;
-        let h = 7i64;
-        let mut s = solver_with_vars((n * h) as usize);
-        let p = |i: i64, j: i64| lit(i * h + j + 1);
-        for i in 0..n {
-            let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
-            s.add_clause(clause);
-        }
-        for j in 0..h {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause([!p(i1, j), !p(i2, j)]);
-                }
-            }
-        }
+        let mut s = pigeonhole(8, 7);
         // Force frequent reductions.
-        s.max_learnts = 50;
+        s.set_max_learnts(50);
         assert!(s.solve().is_unsat());
         assert!(s.stats().deleted_clauses > 0, "reduce_db must have fired");
     }
@@ -1207,25 +1316,7 @@ mod tests {
     fn budget_then_unlimited_is_consistent() {
         // Unknown under a tiny budget must not corrupt state: the later
         // unlimited solve still returns the correct verdict.
-        let n = 6i64;
-        let h = 5i64;
-        let build = || {
-            let mut s = solver_with_vars((n * h) as usize);
-            let p = |i: i64, j: i64| lit(i * h + j + 1);
-            for i in 0..n {
-                let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
-                s.add_clause(clause);
-            }
-            for j in 0..h {
-                for i1 in 0..n {
-                    for i2 in (i1 + 1)..n {
-                        s.add_clause([!p(i1, j), !p(i2, j)]);
-                    }
-                }
-            }
-            s
-        };
-        let mut budgeted = build();
+        let mut budgeted = pigeonhole(6, 5);
         budgeted.set_conflict_budget(Some(5));
         while budgeted.solve() == SolveResult::Unknown {
             // keep re-solving under the same tiny budget; learnt clauses
@@ -1233,7 +1324,7 @@ mod tests {
         }
         budgeted.set_conflict_budget(None);
         assert!(budgeted.solve().is_unsat());
-        let mut reference = build();
+        let mut reference = pigeonhole(6, 5);
         assert!(reference.solve().is_unsat());
     }
 
@@ -1260,22 +1351,8 @@ mod tests {
         }
 
         // UNSAT case must stay UNSAT after simplify.
-        let n = 5i64;
-        let h = 4i64;
-        let mut s = solver_with_vars((n * h) as usize);
-        let p = |i: i64, j: i64| lit(i * h + j + 1);
-        for i in 0..n {
-            let clause: Vec<Lit> = (0..h).map(|j| p(i, j)).collect();
-            s.add_clause(clause);
-        }
-        for j in 0..h {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    s.add_clause([!p(i1, j), !p(i2, j)]);
-                }
-            }
-        }
-        s.add_clause([p(0, 0)]); // fix something so simplify has work
+        let mut s = pigeonhole(5, 4);
+        s.add_clause([lit(1)]); // fix something so simplify has work
         s.simplify();
         assert!(s.solve().is_unsat());
     }
@@ -1306,5 +1383,80 @@ mod tests {
         let after = *s.stats();
         assert_eq!(after.since(&before).solves, 1);
         assert!(after.work() >= before.work());
+    }
+
+    #[test]
+    fn gc_is_behavior_neutral_on_hard_unsat() {
+        // Same instance, arena compaction after every deletion wave vs
+        // never: every counter must match, proving collection only moves
+        // memory. php(7,6) triggers reduce_db via the lowered cap.
+        let run = |gc_fraction: f64| {
+            let mut s = pigeonhole(7, 6);
+            s.set_max_learnts(100);
+            s.set_gc_fraction(gc_fraction);
+            assert!(s.solve().is_unsat());
+            *s.stats()
+        };
+        let eager = run(0.0);
+        let never = run(2.0);
+        assert_eq!(eager, never, "GC timing must not affect search behaviour");
+        assert!(eager.deleted_clauses > 0, "reduce_db must have fired");
+    }
+
+    #[test]
+    fn gc_is_behavior_neutral_on_sat_models() {
+        // A satisfiable instance with enough conflicts to delete clauses:
+        // the returned model must be bit-identical with and without GC.
+        let build = || {
+            let mut state = 0xD1CEu64;
+            let mut next = move |bound: u64| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) % bound
+            };
+            let mut s = solver_with_vars(60);
+            for _ in 0..240 {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = next(60) as i64 + 1;
+                    c.push(lit(if next(2) == 0 { v } else { -v }));
+                }
+                s.add_clause(c);
+            }
+            s.set_max_learnts(20);
+            s
+        };
+        let mut eager = build();
+        eager.set_gc_fraction(0.0);
+        let mut never = build();
+        never.set_gc_fraction(2.0);
+        let (r1, r2) = (eager.solve(), never.solve());
+        assert_eq!(r1, r2, "verdict and model must not depend on GC timing");
+        assert_eq!(eager.stats(), never.stats());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "model violates original clause")]
+    fn corrupted_arena_trips_model_soundness_assert() {
+        // Flipping a stored literal behind the solver's back makes the
+        // search solve a different formula; the debug-build model check
+        // against the original clause list must catch it.
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        s.debug_corrupt_first_clause();
+        let _ = s.solve();
+    }
+
+    #[test]
+    fn deleted_watchers_are_dropped_lazily_and_by_gc() {
+        // After reduce_db tombstones clauses, both the lazy watcher sweep
+        // and an eager GC must leave the solver consistent.
+        let mut s = pigeonhole(7, 6);
+        s.set_max_learnts(50);
+        s.set_gc_fraction(0.0);
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().deleted_clauses > 0);
     }
 }

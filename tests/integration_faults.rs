@@ -81,6 +81,40 @@ fn spurious_unknown_censors_only_the_targeted_instance() {
     }
 }
 
+/// sat.solve × panic on *every* attempt of one instance → the retry policy
+/// runs out and the instance is quarantined with a Panic record, while every
+/// other instance labels identically to a clean sweep. Pins two properties
+/// of the arena-core rewrite: the fault site still fires before any solver
+/// work (first statement of `solve_with_assumptions`), and a panic unwinding
+/// out of arena/preprocessing state is still contained by the supervisor.
+#[test]
+fn persistent_solver_panic_quarantines_only_that_instance() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let config = demo_config(4);
+    let (reference, _) = generate_parallel_with(&config, 1, None).expect("clean sweep");
+
+    let _cleanup = Disarm;
+    faults::arm_str("sat.solve:panic@c1", None).unwrap();
+    let (injected, report) = generate_parallel_with(&config, 1, None).expect("keep-going sweep");
+    assert_eq!(report.quarantined(), 1, "exactly the targeted instance");
+    let failure = &report.failures[0];
+    assert_eq!(failure.index, 1);
+    assert_eq!(failure.failure.kind, FailureKind::Panic);
+    assert!(
+        failure.failure.message.contains("sat.solve"),
+        "quarantine names the fault site: {}",
+        failure.failure.message
+    );
+    let healthy: Vec<_> = reference
+        .instances
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1)
+        .map(|(_, inst)| inst.clone())
+        .collect();
+    assert_eq!(injected.instances, healthy, "other labels untouched");
+}
+
 /// checkpoint.append × torn → the write errors out mid-record (the crash),
 /// the reopened log silently drops the torn tail, and the resumed sweep
 /// rebuilds a dataset byte-identical to a never-crashed run.
