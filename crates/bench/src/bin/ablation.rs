@@ -1,4 +1,4 @@
-//! Ablations of ICNet's design choices (DESIGN.md §8): graph operator,
+//! Ablations of ICNet's design choices (DESIGN.md §9): graph operator,
 //! aggregation stage, convolution depth, output head, and feature set.
 //!
 //! Each row trains on the same Dataset-1-style split and reports held-out

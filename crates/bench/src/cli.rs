@@ -79,6 +79,22 @@ impl Options {
     /// Parses `--flag value` style arguments; unknown flags abort with a
     /// usage message. `--quick` rescales to a small, fast configuration.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Options {
+        Options::parse_extended(args, "", |_, _| false)
+    }
+
+    /// Like [`Options::parse`], but lets a binary register extra flags
+    /// without re-implementing the shared ones (the `--trace` / `--progress`
+    /// / `--fault-plan` / `--jobs` plumbing stays identical everywhere).
+    ///
+    /// `extra` is called for each flag the shared parser does not recognise,
+    /// with the flag text and a value-puller for `--flag value` style; it
+    /// returns whether it consumed the flag. Unconsumed flags abort with the
+    /// shared usage message plus `extra_usage`.
+    pub fn parse_extended(
+        args: impl IntoIterator<Item = String>,
+        extra_usage: &str,
+        mut extra: impl FnMut(&str, &mut dyn FnMut(&str) -> String) -> bool,
+    ) -> Options {
         let mut opts = Options::default();
         let mut args = args.into_iter();
         while let Some(flag) = args.next() {
@@ -119,12 +135,16 @@ impl Options {
                 "--fault-plan" => opts.fault_plan = Some(value("--fault-plan")),
                 "--quick" => opts.quick = true,
                 other => {
+                    if extra(other, &mut value) {
+                        continue;
+                    }
                     eprintln!(
                         "unknown flag `{other}`\nflags: --profile <name> --instances <n> \
                          --budget <work> --epochs <n> --seed <n> --keys-max <n> \
                          --out <dir> --jobs <n> --resume <path> --deadline <secs> \
                          --retries <n> --keep-going --no-keep-going \
-                         --trace <path> --progress --fault-plan <spec> --quick"
+                         --trace <path> --progress --fault-plan <spec> --quick{}{extra_usage}",
+                        if extra_usage.is_empty() { "" } else { " " },
                     );
                     std::process::exit(2);
                 }
@@ -360,6 +380,32 @@ mod tests {
         let o = parse(&[]);
         assert_eq!(o.trace, None);
         assert!(!o.progress);
+    }
+
+    #[test]
+    fn parse_extended_threads_unknown_flags_to_the_binary() {
+        let mut addr = String::new();
+        let mut burst = false;
+        let o = Options::parse_extended(
+            ["--addr", "127.0.0.1:9", "--seed", "11", "--burst"]
+                .iter()
+                .map(|s| s.to_string()),
+            "--addr <host:port> --burst",
+            |flag, value| match flag {
+                "--addr" => {
+                    addr = value("--addr");
+                    true
+                }
+                "--burst" => {
+                    burst = true;
+                    true
+                }
+                _ => false,
+            },
+        );
+        assert_eq!(addr, "127.0.0.1:9");
+        assert!(burst);
+        assert_eq!(o.seed, 11, "shared flags still parse");
     }
 
     #[test]

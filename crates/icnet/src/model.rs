@@ -118,7 +118,7 @@ impl GraphModel {
     }
 
     /// Creates a model with `conv_layers` stacked graph convolutions of
-    /// width `hidden` (the layer-count ablation of `DESIGN.md` §8).
+    /// width `hidden` (the layer-count ablation of `DESIGN.md` §9).
     ///
     /// # Panics
     ///

@@ -29,10 +29,17 @@ impl fmt::Display for ParseModelError {
 
 impl std::error::Error for ParseModelError {}
 
-const FORMAT_VERSION: u32 = 1;
+/// v2 added the mandatory checksum footer; v1 files (no footer) are
+/// rejected as unsupported rather than silently trusted.
+const FORMAT_VERSION: u32 = 2;
 
 impl GraphModel {
     /// Serializes the model (architecture + parameters) to text.
+    ///
+    /// The last line is a `checksum <fnv1a>` footer over every preceding
+    /// byte, so a truncated or bit-flipped file is rejected at load time
+    /// no matter where the damage landed — a prediction service must not
+    /// boot on half a model.
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -65,6 +72,11 @@ impl GraphModel {
             }
             let _ = writeln!(out);
         }
+        let _ = writeln!(
+            out,
+            "checksum {:016x}",
+            faults::fnv1a(faults::FNV_OFFSET, out.as_bytes())
+        );
         out
     }
 
@@ -75,11 +87,48 @@ impl GraphModel {
     /// Returns [`ParseModelError`] for version mismatches, malformed
     /// headers, or parameter shapes inconsistent with the architecture.
     pub fn from_text(text: &str) -> Result<GraphModel, ParseModelError> {
-        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
         let err = |line: usize, message: &str| ParseModelError {
             line,
             message: message.to_owned(),
         };
+        // A complete file ends in a newline; its absence means the tail of
+        // the file (at minimum) was lost to a torn or short write.
+        if !text.ends_with('\n') {
+            return Err(err(
+                text.lines().count().max(1),
+                "missing trailing newline (file truncated?)",
+            ));
+        }
+        // Verify the checksum footer before interpreting anything else:
+        // the last non-empty line must be `checksum <fnv1a of all prior
+        // bytes>`. Truncation at *any* byte offset either damages the
+        // footer itself or changes the bytes it covers — both are caught.
+        let last_line_start = match text.trim_end().rfind('\n') {
+            Some(i) => i + 1,
+            None => 0,
+        };
+        let footer_line_no = text[..last_line_start].lines().count() + 1;
+        let footer = text[last_line_start..].trim();
+        let expected = footer
+            .strip_prefix("checksum ")
+            .filter(|hex| hex.len() == 16)
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| {
+                err(
+                    footer_line_no,
+                    "missing checksum footer (file truncated or predates v2?)",
+                )
+            })?;
+        let actual = faults::fnv1a(faults::FNV_OFFSET, &text.as_bytes()[..last_line_start]);
+        if actual != expected {
+            return Err(err(
+                footer_line_no,
+                &format!("checksum mismatch: footer {expected:016x}, content {actual:016x}"),
+            ));
+        }
+        let body = &text[..last_line_start];
+
+        let mut lines = body.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
         let (l, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
         if header != format!("icnet-model v{FORMAT_VERSION}") {
             return Err(err(l, "unsupported header/version"));
@@ -230,5 +279,46 @@ mod tests {
     fn error_display_mentions_line() {
         let e = GraphModel::from_text("nonsense").unwrap_err();
         assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_is_rejected() {
+        // The exhaustive version of the torn-write test: no prefix of a
+        // valid file may parse, because a torn or short write can stop at
+        // any byte. The format is ASCII, so every offset is a char boundary.
+        let text = GraphModel::new(ModelKind::Gcn, Aggregation::Mean, 7, 4, 4, 11).to_text();
+        assert!(text.is_ascii(), "format must stay ASCII for this test");
+        assert!(GraphModel::from_text(&text).is_ok());
+        for cut in 0..text.len() {
+            assert!(
+                GraphModel::from_text(&text[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must not parse",
+                text.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bitflips_and_legacy_files_are_rejected() {
+        let model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 8, 8, 3);
+        let text = model.to_text();
+        // Flip one digit inside a matrix line: structure still parses, the
+        // checksum catches it.
+        let flipped = text.replacen("matrix 7", "matrix 9", 1);
+        assert_ne!(flipped, text);
+        let e = GraphModel::from_text(&flipped).unwrap_err();
+        assert!(e.message.contains("checksum mismatch"), "{e}");
+        // A v1 file (old header, no footer) is unsupported, not trusted.
+        let mut legacy: Vec<String> = text
+            .lines()
+            .filter(|l| !l.starts_with("checksum "))
+            .map(|l| l.to_owned())
+            .collect();
+        legacy[0] = "icnet-model v1".to_owned();
+        let legacy = legacy.join("\n") + "\n";
+        assert!(GraphModel::from_text(&legacy).is_err());
+        // The footer is the last line and self-consistent.
+        let footer = text.lines().last().unwrap();
+        assert!(footer.starts_with("checksum "), "{footer}");
     }
 }

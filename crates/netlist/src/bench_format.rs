@@ -89,7 +89,10 @@ fn insert_def(
 
 fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
     let upper_len = keyword.len();
-    if line.len() > upper_len && line[..upper_len].eq_ignore_ascii_case(keyword) {
+    // `get` (not indexing) because `upper_len` may fall inside a multi-byte
+    // character of hostile input; a non-boundary prefix is simply no match.
+    let head = line.get(..upper_len)?;
+    if line.len() > upper_len && head.eq_ignore_ascii_case(keyword) {
         let rest = line[upper_len..].trim_start();
         if rest.starts_with('(') {
             return Some(rest);

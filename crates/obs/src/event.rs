@@ -93,6 +93,22 @@ pub enum EventKind {
     },
     /// A named coarse stage (RAII timer) finished.
     StageFinished { stage: String, wall_ns: u64 },
+    /// One request handled (or shed) by the prediction service.
+    ServeRequest {
+        /// Connection sequence number assigned at accept time.
+        seq: u64,
+        /// Admission-queue depth observed when the outcome was recorded.
+        queue_depth: u64,
+        /// Time spent queued before a worker picked the request up.
+        wait_ns: u64,
+        /// Wall time of the inference pipeline (zero for shed requests).
+        infer_ns: u64,
+        /// Total request wall time (queue wait + inference + reply).
+        wall_ns: u64,
+        /// Outcome tag: `"ok"` or a `serve::ErrorCode` tag such as
+        /// `"overloaded"` / `"deadline_exceeded"`.
+        outcome: &'static str,
+    },
 }
 
 impl EventKind {
@@ -112,6 +128,7 @@ impl EventKind {
             EventKind::TrainCheckpointSaved { .. } => "train.checkpoint",
             EventKind::FaultInjected { .. } => "fault.injected",
             EventKind::StageFinished { .. } => "stage",
+            EventKind::ServeRequest { .. } => "serve.request",
         }
     }
 
@@ -173,6 +190,16 @@ impl EventKind {
             EventKind::StageFinished { stage, wall_ns } => {
                 Some(format!("stage {stage} finished in {}", fmt_wall(*wall_ns)))
             }
+            // Successful predictions are the hot path and would flood the
+            // terminal; degraded outcomes are rare and worth a line each.
+            EventKind::ServeRequest {
+                seq,
+                queue_depth,
+                outcome,
+                ..
+            } if *outcome != "ok" => Some(format!(
+                "request {seq} -> {outcome} (queue depth {queue_depth})"
+            )),
             _ => None,
         }
     }
@@ -334,6 +361,27 @@ impl Event {
                 push_str(&mut out, "stage", stage);
                 out.push(',');
                 push_u64(&mut out, "wall_ns", *wall_ns);
+            }
+            EventKind::ServeRequest {
+                seq,
+                queue_depth,
+                wait_ns,
+                infer_ns,
+                wall_ns,
+                outcome,
+            } => {
+                for (k, v) in [
+                    ("seq", seq),
+                    ("queue_depth", queue_depth),
+                    ("wait_ns", wait_ns),
+                    ("infer_ns", infer_ns),
+                    ("wall_ns", wall_ns),
+                ] {
+                    out.push(',');
+                    push_u64(&mut out, k, *v);
+                }
+                out.push(',');
+                push_str(&mut out, "outcome", outcome);
             }
         }
         out.push('}');

@@ -65,6 +65,9 @@ impl Summary {
                 EventKind::TrainEpoch { wall_ns, .. } => add("train.epoch", *wall_ns, 0),
                 EventKind::CellFinished { wall_ns, .. } => add("bench.cell", *wall_ns, 0),
                 EventKind::StageFinished { stage, wall_ns } => add(stage, *wall_ns, 0),
+                EventKind::ServeRequest {
+                    wall_ns, outcome, ..
+                } => add(&format!("serve.{outcome}"), *wall_ns, 0),
                 _ => {}
             }
         }

@@ -32,6 +32,13 @@ const SUB_CLAUSE_MAX: usize = 16;
 /// Occurrence lists longer than this are skipped when gathering subsumption
 /// candidates, bounding the classic quadratic blowup on frequent literals.
 const OCC_CAP: usize = 400;
+/// Targets (subsumption) / probes (failed-literal) between wall-clock
+/// deadline polls. Inprocessing honours the same [`Solver::set_deadline`]
+/// contract as search: a caller that asked for a 2-second solve must not
+/// first spend 10 seconds inside `preprocess`. Same rationale as the main
+/// loop's conflict-axis interval: `Instant::now` every iteration would be
+/// measurable, every 64 it is noise.
+const DEADLINE_POLL_INTERVAL: usize = 64;
 
 impl Solver {
     /// Simplifies the clause database in place: root-level sweep,
@@ -73,7 +80,9 @@ impl Solver {
             self.root_sweep();
             self.rebuild_watches();
         }
-        if self.probe_budget > 0 && !self.probe_pass() {
+        // Probing is pure propagation work; skip it entirely once the
+        // deadline has passed (subsume_pass above already stops early).
+        if self.probe_budget > 0 && !self.past_deadline() && !self.probe_pass() {
             return;
         }
         self.maybe_gc();
@@ -117,6 +126,12 @@ impl Solver {
         // strengthening satisfies unless D is a unit (impossible here: units
         // live on the trail, not in the clause database).
         for ci in 0..list.len() {
+            // Stopping between targets is sound: the pass is a pure
+            // optimisation and every completed deletion/strengthening
+            // stands on its own (the caller rebuilds watches either way).
+            if ci % DEADLINE_POLL_INTERVAL == 0 && self.past_deadline() {
+                break;
+            }
             let c = list[ci];
             if self.arena.is_deleted(c) {
                 continue;
@@ -222,6 +237,12 @@ impl Solver {
         let start_props = self.stats.propagations;
         let mut checked = 0usize;
         while checked < nv && self.stats.propagations - start_props < self.probe_budget {
+            // The propagation budget is deterministic but wall-clock-blind;
+            // a huge budget on a slow instance must still respect the
+            // solver's deadline (same contract as the search loop).
+            if checked.is_multiple_of(DEADLINE_POLL_INTERVAL) && self.past_deadline() {
+                break;
+            }
             let v = self.probe_cursor % nv;
             self.probe_cursor = (self.probe_cursor + 1) % nv;
             checked += 1;
@@ -399,6 +420,53 @@ mod tests {
         s.add_clause([lit(-1)]);
         s.preprocess();
         assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn preprocess_honours_an_expired_deadline() {
+        // Regression guard: `preprocess` must poll the same wall-clock
+        // deadline as search. A long implication chain makes every probe
+        // propagate O(n) literals, so an effectively unlimited probe budget
+        // burns ~n²/2 propagations — unless the (already expired) deadline
+        // stops the pass almost immediately. Propagation counts are
+        // deterministic, so the comparison is machine-independent.
+        let n = 400usize;
+        let fresh = || {
+            let mut s = solver_with_vars(n);
+            // Chain only: any extra clause touching the chain variables
+            // lets self-subsuming resolution derive a unit (e.g. (1,2) with
+            // (-1,2) strengthens to (2)), which fixes the whole chain at the
+            // root and leaves probing nothing to do.
+            for i in 1..n as i64 {
+                s.add_clause([lit(-i), lit(i + 1)]);
+            }
+            s.set_probe_budget(u64::MAX);
+            s
+        };
+
+        let mut unbounded = fresh();
+        unbounded.preprocess();
+        let unbounded_props = unbounded.stats().propagations;
+        assert!(
+            unbounded_props > 10_000,
+            "chain probing should be expensive, got {unbounded_props}"
+        );
+
+        let mut bounded = fresh();
+        bounded.set_deadline(Some(std::time::Instant::now()));
+        bounded.preprocess();
+        let bounded_props = bounded.stats().propagations;
+        assert!(
+            bounded_props < unbounded_props / 10,
+            "expired deadline must stop probing: {bounded_props} vs {unbounded_props}"
+        );
+
+        // The half-finished pass leaves the solver sound and usable.
+        bounded.set_deadline(None);
+        assert!(bounded.solve().is_sat());
+        bounded.add_clause([lit(1)]);
+        bounded.add_clause([lit(-(n as i64))]);
+        assert!(bounded.solve().is_unsat(), "x1 forces the whole chain");
     }
 
     #[test]

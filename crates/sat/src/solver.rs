@@ -236,7 +236,7 @@ impl Solver {
         self.probe_budget = propagations;
     }
 
-    fn past_deadline(&self) -> bool {
+    pub(crate) fn past_deadline(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 

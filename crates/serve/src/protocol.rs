@@ -1,0 +1,655 @@
+//! The length-prefixed wire protocol of the prediction service.
+//!
+//! Every message — request or reply — is one **frame**:
+//!
+//! ```text
+//! [0..4)  magic  b"ICN1"
+//! [4]     frame type (see [`FrameType`])
+//! [5..9)  payload length, u32 little-endian (capped by the server)
+//! [9..]   payload
+//! ```
+//!
+//! A `Predict` payload carries the model name, an optional client deadline,
+//! the selected-gate mask, and the `.bench` netlist text (see
+//! [`Request::encode`]). Replies are either a prediction
+//! ([`Reply::Prediction`]) or a typed error ([`Reply::Error`]) whose
+//! [`ErrorCode`] is the service's whole robustness contract: a client can
+//! always tell *why* it was refused (shed, deadline, malformed input, ...)
+//! and the server never answers a bad frame with silence or a hang.
+//!
+//! All integers are little-endian. Strings are UTF-8. The frame layout is
+//! documented normatively in `DESIGN.md` §8.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: rejects non-protocol peers (HTTP probes, port scans) at the
+/// first four bytes instead of misinterpreting their traffic as a length.
+pub const MAGIC: [u8; 4] = *b"ICN1";
+
+/// Bytes before the payload: magic, frame type, payload length.
+pub const FRAME_HEADER_LEN: usize = 9;
+
+/// Default cap on a frame payload (4 MiB — an order of magnitude above the
+/// largest ISCAS-class `.bench` text). Oversized frames are refused without
+/// reading the payload, so a hostile length prefix cannot balloon memory.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 4 << 20;
+
+/// The message kinds that travel in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Client → server: predict the de-obfuscation runtime of one netlist.
+    Predict,
+    /// Client → server: liveness probe (used by the load generator to wait
+    /// for a booting server).
+    Ping,
+    /// Server → client: successful prediction.
+    Prediction,
+    /// Server → client: typed refusal.
+    Error,
+    /// Server → client: answer to [`FrameType::Ping`].
+    Pong,
+}
+
+impl FrameType {
+    /// Wire byte of this frame type.
+    pub fn byte(self) -> u8 {
+        match self {
+            FrameType::Predict => 0x01,
+            FrameType::Ping => 0x02,
+            FrameType::Prediction => 0x81,
+            FrameType::Error => 0x82,
+            FrameType::Pong => 0x83,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_byte(b: u8) -> Option<FrameType> {
+        match b {
+            0x01 => Some(FrameType::Predict),
+            0x02 => Some(FrameType::Ping),
+            0x81 => Some(FrameType::Prediction),
+            0x82 => Some(FrameType::Error),
+            0x83 => Some(FrameType::Pong),
+            _ => None,
+        }
+    }
+}
+
+/// Typed refusal codes. Stable on the wire (`code`) and in obs traces
+/// (`tag`); new codes may be appended but existing values never change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The bounded admission queue was full; the request was shed without
+    /// occupying a worker. Retry later, ideally with backoff.
+    Overloaded,
+    /// The server-side deadline expired before a prediction was produced
+    /// (including time spent queued).
+    DeadlineExceeded,
+    /// The frame or request payload was malformed (bad magic, unknown frame
+    /// type, truncated payload structure).
+    BadFrame,
+    /// The frame's declared payload length exceeds the server's cap.
+    PayloadTooLarge,
+    /// The `.bench` netlist text failed to parse; the message carries the
+    /// parser's line-numbered diagnosis.
+    BadNetlist,
+    /// The request names a model that is not in the registry.
+    UnknownModel,
+    /// The gate mask names a signal absent from the parsed netlist.
+    UnknownGate,
+    /// The request is structurally valid but unusable (e.g. the model's
+    /// feature width has no matching encoder).
+    BadRequest,
+    /// The server is draining for shutdown and no longer admits work.
+    ShuttingDown,
+    /// The prediction pipeline failed internally; the worker survived and
+    /// the connection was closed.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 1,
+            ErrorCode::DeadlineExceeded => 2,
+            ErrorCode::BadFrame => 3,
+            ErrorCode::PayloadTooLarge => 4,
+            ErrorCode::BadNetlist => 5,
+            ErrorCode::UnknownModel => 6,
+            ErrorCode::UnknownGate => 7,
+            ErrorCode::BadRequest => 8,
+            ErrorCode::ShuttingDown => 9,
+            ErrorCode::Internal => 10,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_code(code: u8) -> Option<ErrorCode> {
+        match code {
+            1 => Some(ErrorCode::Overloaded),
+            2 => Some(ErrorCode::DeadlineExceeded),
+            3 => Some(ErrorCode::BadFrame),
+            4 => Some(ErrorCode::PayloadTooLarge),
+            5 => Some(ErrorCode::BadNetlist),
+            6 => Some(ErrorCode::UnknownModel),
+            7 => Some(ErrorCode::UnknownGate),
+            8 => Some(ErrorCode::BadRequest),
+            9 => Some(ErrorCode::ShuttingDown),
+            10 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase tag used as the `outcome` of `serve.request` obs
+    /// events and in load-generator reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::PayloadTooLarge => "payload_too_large",
+            ErrorCode::BadNetlist => "bad_netlist",
+            ErrorCode::UnknownModel => "unknown_model",
+            ErrorCode::UnknownGate => "unknown_gate",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One prediction request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Registry name of the model to run.
+    pub model: String,
+    /// Client-requested deadline in milliseconds; 0 defers to the server
+    /// default. The server clamps it to its own maximum either way.
+    pub deadline_ms: u32,
+    /// Names of the selected (obfuscation-candidate) gates — the `1` rows
+    /// of the feature mask.
+    pub mask: Vec<String>,
+    /// The `.bench` netlist text.
+    pub bench: String,
+}
+
+/// One server reply, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The prediction, plus server-side timing for the client's telemetry.
+    Prediction {
+        /// Predicted (log-)runtime, exactly as the model emitted it.
+        value: f64,
+        /// Wall time of the inference pipeline (parse → predict).
+        infer_ns: u64,
+        /// Time the request spent queued before a worker picked it up.
+        wait_ns: u64,
+    },
+    /// A typed refusal.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail (parser line numbers etc.).
+        message: String,
+    },
+    /// Liveness answer.
+    Pong,
+}
+
+/// Why reading a frame failed. Distinguishes the cases the server must
+/// treat differently: a clean EOF ends the connection quietly, a mid-frame
+/// disconnect or timeout is reported loudly, and protocol violations are
+/// answered with a typed error before closing.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// Peer closed the connection before any byte of a new frame.
+    Eof,
+    /// Peer disappeared mid-frame.
+    Disconnect,
+    /// No bytes arrived within the socket timeout.
+    TimedOut,
+    /// Transport error.
+    Io(io::Error),
+    /// First four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unknown frame-type byte.
+    BadType(u8),
+    /// Declared payload length exceeds the cap.
+    TooLarge(u32),
+}
+
+impl FrameReadError {
+    fn from_io(e: io::Error, started: bool) -> FrameReadError {
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => {
+                if started {
+                    FrameReadError::Disconnect
+                } else {
+                    FrameReadError::Eof
+                }
+            }
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameReadError::TimedOut,
+            _ => FrameReadError::Io(e),
+        }
+    }
+}
+
+/// Reads one frame. `max_payload` bounds the declared length *before* any
+/// payload allocation, so a hostile prefix cannot balloon memory.
+///
+/// # Errors
+///
+/// See [`FrameReadError`]; no error variant leaves the reader mid-frame in
+/// a recoverable position, so callers should close the connection on any
+/// of them except deciding how loudly to report it.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_payload: u32,
+) -> Result<(FrameType, Vec<u8>), FrameReadError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    FrameReadError::Eof
+                } else {
+                    FrameReadError::Disconnect
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameReadError::from_io(e, filled > 0)),
+        }
+    }
+    if header[..4] != MAGIC {
+        return Err(FrameReadError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
+    }
+    let frame_type = FrameType::from_byte(header[4]).ok_or(FrameReadError::BadType(header[4]))?;
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+    if len > max_payload {
+        return Err(FrameReadError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| FrameReadError::from_io(e, true))?;
+    Ok((frame_type, payload))
+}
+
+/// Writes one frame (header + payload) in a single buffered write.
+///
+/// # Errors
+///
+/// Propagates the transport error.
+pub fn write_frame(w: &mut impl Write, frame_type: FrameType, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(frame_type.byte());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Field-level payload decoding error; the server reports it as
+/// [`ErrorCode::BadFrame`] with this message.
+pub type DecodeError = String;
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| format!("payload truncated reading {what}"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, DecodeError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn string(&mut self, len: usize, what: &str) -> Result<String, DecodeError> {
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not UTF-8"))
+    }
+}
+
+impl Request {
+    /// Serializes the request payload (the bytes after the frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.bench.len());
+        out.extend_from_slice(&(self.model.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.model.as_bytes());
+        out.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        out.extend_from_slice(&(self.mask.len() as u32).to_le_bytes());
+        for name in &self.mask {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        out.extend_from_slice(&(self.bench.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.bench.as_bytes());
+        out
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field; nothing panics on any
+    /// byte sequence (the server feeds this bytes straight off a socket).
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let mut c = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let model_len = c.u16("model name length")? as usize;
+        let model = c.string(model_len, "model name")?;
+        let deadline_ms = c.u32("deadline")?;
+        let mask_count = c.u32("mask count")? as usize;
+        // A hostile count cannot pre-allocate: every entry must actually be
+        // present in the payload, so the loop below bounds the allocation.
+        if mask_count > payload.len() {
+            return Err(format!(
+                "mask count {mask_count} exceeds payload size {}",
+                payload.len()
+            ));
+        }
+        let mut mask = Vec::with_capacity(mask_count.min(1024));
+        for i in 0..mask_count {
+            let len = c.u16("mask entry length")? as usize;
+            mask.push(c.string(len, &format!("mask entry {i}"))?);
+        }
+        let bench_len = c.u32("netlist length")? as usize;
+        let bench = c.string(bench_len, "netlist text")?;
+        if c.pos != payload.len() {
+            return Err(format!(
+                "{} trailing bytes after the netlist",
+                payload.len() - c.pos
+            ));
+        }
+        Ok(Request {
+            model,
+            deadline_ms,
+            mask,
+            bench,
+        })
+    }
+}
+
+impl Reply {
+    /// Serializes the reply into `(frame type, payload)`.
+    pub fn encode(&self) -> (FrameType, Vec<u8>) {
+        match self {
+            Reply::Prediction {
+                value,
+                infer_ns,
+                wait_ns,
+            } => {
+                let mut out = Vec::with_capacity(24);
+                out.extend_from_slice(&value.to_bits().to_le_bytes());
+                out.extend_from_slice(&infer_ns.to_le_bytes());
+                out.extend_from_slice(&wait_ns.to_le_bytes());
+                (FrameType::Prediction, out)
+            }
+            Reply::Error { code, message } => {
+                let msg = message.as_bytes();
+                let msg = &msg[..msg.len().min(u16::MAX as usize)];
+                let mut out = Vec::with_capacity(3 + msg.len());
+                out.push(code.code());
+                out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+                out.extend_from_slice(msg);
+                (FrameType::Error, out)
+            }
+            Reply::Pong => (FrameType::Pong, Vec::new()),
+        }
+    }
+
+    /// Decodes a reply from its frame type and payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed field.
+    pub fn decode(frame_type: FrameType, payload: &[u8]) -> Result<Reply, DecodeError> {
+        let mut c = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        match frame_type {
+            FrameType::Prediction => {
+                let value = f64::from_bits(c.u64("prediction bits")?);
+                let infer_ns = c.u64("inference wall")?;
+                let wait_ns = c.u64("queue wait")?;
+                Ok(Reply::Prediction {
+                    value,
+                    infer_ns,
+                    wait_ns,
+                })
+            }
+            FrameType::Error => {
+                let code_byte = c.take(1, "error code")?[0];
+                let code = ErrorCode::from_code(code_byte)
+                    .ok_or_else(|| format!("unknown error code {code_byte}"))?;
+                let len = c.u16("error message length")? as usize;
+                let message = c.string(len, "error message")?;
+                Ok(Reply::Error { code, message })
+            }
+            FrameType::Pong => Ok(Reply::Pong),
+            other => Err(format!("{other:?} is not a reply frame")),
+        }
+    }
+}
+
+/// Client helper: send `request` on `stream` and read the reply.
+///
+/// # Errors
+///
+/// Transport errors come back as `io::Error`; protocol violations by the
+/// server are folded into `io::ErrorKind::InvalidData`.
+pub fn call(stream: &mut (impl Read + Write), request: &Request) -> io::Result<Reply> {
+    write_frame(stream, FrameType::Predict, &request.encode())?;
+    read_reply(stream)
+}
+
+/// Client helper: read and decode one reply frame.
+///
+/// # Errors
+///
+/// Same contract as [`call`].
+pub fn read_reply(stream: &mut impl Read) -> io::Result<Reply> {
+    let (frame_type, payload) = read_frame(stream, DEFAULT_MAX_PAYLOAD).map_err(|e| match e {
+        FrameReadError::Io(e) => e,
+        FrameReadError::TimedOut => io::Error::new(io::ErrorKind::TimedOut, "reply timed out"),
+        FrameReadError::Eof | FrameReadError::Disconnect => io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection before replying",
+        ),
+        other => io::Error::new(io::ErrorKind::InvalidData, format!("{other:?}")),
+    })?;
+    Reply::decode(frame_type, &payload)
+        .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+}
+
+/// Client helper: one liveness round trip.
+///
+/// # Errors
+///
+/// Same contract as [`call`].
+pub fn ping(stream: &mut (impl Read + Write)) -> io::Result<()> {
+    write_frame(stream, FrameType::Ping, &[])?;
+    match read_reply(stream)? {
+        Reply::Pong => Ok(()),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Pong, got {other:?}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request {
+            model: "icnet-demo".into(),
+            deadline_ms: 250,
+            mask: vec!["n10".into(), "n22".into()],
+            bench: "INPUT(a)\nOUTPUT(a)\n".into(),
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = sample_request();
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        let empty = Request {
+            model: String::new(),
+            deadline_ms: 0,
+            mask: vec![],
+            bench: String::new(),
+        };
+        assert_eq!(Request::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in [
+            Reply::Prediction {
+                value: -3.25,
+                infer_ns: 1_234_567,
+                wait_ns: 89,
+            },
+            Reply::Error {
+                code: ErrorCode::BadNetlist,
+                message: "line 3: unknown gate kind `FROB`".into(),
+            },
+            Reply::Pong,
+        ] {
+            let (ft, payload) = reply.encode();
+            assert_eq!(Reply::decode(ft, &payload).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let req = sample_request();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Predict, &req.encode()).unwrap();
+        let (ft, payload) = read_frame(&mut wire.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(ft, FrameType::Predict);
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    #[test]
+    fn truncated_request_payloads_are_typed_errors() {
+        let full = sample_request().encode();
+        for cut in 0..full.len() {
+            let err = Request::decode(&full[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+        }
+        // A trailing garnish is also rejected: request frames are exact.
+        let mut long = full.clone();
+        long.push(0);
+        assert!(Request::decode(&long).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn hostile_mask_count_is_rejected_without_allocation() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&2u16.to_le_bytes());
+        payload.extend_from_slice(b"ok");
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // mask count
+        let err = Request::decode(&payload).unwrap_err();
+        assert!(err.contains("mask count"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_type_and_length_are_distinct_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Ping, &[]).unwrap();
+        wire[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut wire.as_slice(), 1024),
+            Err(FrameReadError::BadMagic(_))
+        ));
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Ping, &[]).unwrap();
+        wire[4] = 0x7f;
+        assert!(matches!(
+            read_frame(&mut wire.as_slice(), 1024),
+            Err(FrameReadError::BadType(0x7f))
+        ));
+
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Predict, &[0u8; 64]).unwrap();
+        assert!(matches!(
+            read_frame(&mut wire.as_slice(), 16),
+            Err(FrameReadError::TooLarge(64))
+        ));
+    }
+
+    #[test]
+    fn eof_vs_disconnect_is_positional() {
+        assert!(matches!(
+            read_frame(&mut (&[][..]), 1024),
+            Err(FrameReadError::Eof)
+        ));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Ping, &[]).unwrap();
+        assert!(matches!(
+            read_frame(&mut (&wire[..5]), 1024),
+            Err(FrameReadError::Disconnect)
+        ));
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::BadFrame,
+            ErrorCode::PayloadTooLarge,
+            ErrorCode::BadNetlist,
+            ErrorCode::UnknownModel,
+            ErrorCode::UnknownGate,
+            ErrorCode::BadRequest,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_code(code.code()), Some(code));
+            assert!(!code.tag().is_empty());
+        }
+        assert_eq!(ErrorCode::from_code(0), None);
+        assert_eq!(ErrorCode::from_code(200), None);
+    }
+}

@@ -5,26 +5,19 @@
 //! dataset. Usage:
 //!
 //! ```text
-//! cargo run --release --example parallel_generation [-- --trace t.jsonl] [--progress]
+//! cargo run --release --example parallel_generation [-- --trace t.jsonl] [--progress] [--fault-plan <spec>]
 //! ```
 
+use bench::cli;
 use dataset::{generate, generate_parallel_with, CheckpointLog, DatasetConfig};
 use std::time::Instant;
 
 fn main() {
-    // Minimal flag handling: the example only understands the two
-    // observability switches shared with the bench binaries.
-    let mut trace = None;
-    let mut progress = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--trace" => trace = Some(args.next().expect("--trace needs a path")),
-            "--progress" => progress = true,
-            other => panic!("unknown argument {other:?} (expected --trace <path> | --progress)"),
-        }
-    }
-    obs::init(obs::ObsConfig { trace, progress });
+    // The shared CLI plumbing (`--trace` / `--progress` / `--fault-plan` /
+    // SIGINT handling) comes from `bench::cli`, same as every binary — the
+    // example no longer re-implements flag parsing.
+    let opts = cli::Options::from_env();
+    opts.init_runtime();
 
     let mut config = DatasetConfig::quick_demo();
     config.num_instances = 16;
@@ -77,7 +70,6 @@ fn main() {
     println!("byte-identical to the uninterrupted sweep");
     let _ = std::fs::remove_file(&path);
 
-    if let Some(summary) = obs::finish() {
-        eprint!("{}", summary.render());
-    }
+    cli::exit_if_interrupted();
+    cli::finish_observability();
 }

@@ -1,0 +1,134 @@
+//! Fuzz-hardening of the `.bench` netlist parser: whatever bytes arrive —
+//! random garbage, bench-flavoured token soup, or a valid file that was
+//! truncated/spliced in flight — `parse_bench` must return a typed
+//! [`netlist::NetlistError`] or a valid circuit, and never panic or hang.
+//!
+//! This is the parser the prediction service feeds straight off a socket
+//! (`crates/serve`), so "attacker-controlled input" is its normal diet, not
+//! a corner case.
+
+use netlist::{parse_bench, Circuit};
+use proptest::prelude::*;
+
+/// A small but representative valid netlist: plain gates, a key input, the
+/// LUT extension, comments — every syntactic feature the writer emits.
+const SEED_TEXT: &str = "\
+# seed circuit
+INPUT(a)
+INPUT(b)
+INPUT(keyinput0)
+OUTPUT(y)
+OUTPUT(z)
+w = NAND(a, b)
+v = XOR(w, keyinput0)  # locked
+y = LUT 0x8 (v, a)
+z = NOT(v)
+";
+
+/// If parsing succeeds, the circuit must uphold its structural invariants;
+/// if it fails, the error must be a typed variant (guaranteed by the return
+/// type). Either way: no panic, no hang.
+fn parse_is_total(text: &str) {
+    if let Ok(circuit) = parse_bench("fuzz", text) {
+        // Light sanity: every output resolves and the gate count is
+        // consistent (exercises the accessors on whatever parsed).
+        for &out in circuit.outputs() {
+            let _ = circuit.gate(out).name();
+        }
+        assert!(circuit.num_gates() >= circuit.outputs().len().min(circuit.num_gates()));
+        // A parsed circuit must also re-serialize and re-parse.
+        let text2 = circuit.to_bench();
+        let again = Circuit::from_bench("fuzz2", &text2).expect("writer output parses");
+        assert_eq!(again.num_gates(), circuit.num_gates());
+    }
+}
+
+fn garbage_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..512)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Bench-flavoured token soup: characters weighted toward the grammar so
+/// mutations reach deep parser states (directives, `=`, parens, hex, LUT)
+/// instead of dying at the first unrecognized line. Multi-byte characters
+/// are included deliberately — a byte-indexing bug turns them into panics.
+fn benchish_strategy() -> impl Strategy<Value = String> {
+    let pool: Vec<char> = "INPUTOUTLANDXORMUXBF=(),#\n\t 0123456789xabyz_\u{c0}\u{20ac}\u{7f}"
+        .chars()
+        .collect();
+    let n = pool.len();
+    proptest::collection::vec(0usize..n, 0..256)
+        .prop_map(move |picks| picks.into_iter().map(|i| pool[i]).collect())
+}
+
+/// Truncate the seed file at an arbitrary char boundary, then splice a few
+/// arbitrary bytes at an arbitrary position — the shape of torn uploads and
+/// bit rot.
+fn mutated_seed_strategy() -> impl Strategy<Value = String> {
+    (
+        0usize..=SEED_TEXT.len(),
+        0usize..=SEED_TEXT.len(),
+        proptest::collection::vec(any::<u8>(), 0..8),
+    )
+        .prop_map(|(cut, splice_at, splice)| {
+            let mut cut = cut;
+            while !SEED_TEXT.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            let mut text = SEED_TEXT[..cut].to_owned();
+            let at = splice_at.min(text.len());
+            let mut at = at;
+            while !text.is_char_boundary(at) {
+                at -= 1;
+            }
+            let tail = text.split_off(at);
+            text.push_str(&String::from_utf8_lossy(&splice));
+            text.push_str(&tail);
+            text
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_garbage_never_panics(text in garbage_strategy()) {
+        parse_is_total(&text);
+    }
+
+    #[test]
+    fn bench_flavoured_soup_never_panics(text in benchish_strategy()) {
+        parse_is_total(&text);
+    }
+
+    #[test]
+    fn mutated_valid_files_never_panic(text in mutated_seed_strategy()) {
+        parse_is_total(&text);
+    }
+}
+
+#[test]
+fn seed_text_parses() {
+    let c = parse_bench("seed", SEED_TEXT).expect("seed netlist is valid");
+    assert_eq!(c.outputs().len(), 2);
+    assert_eq!(c.keys().len(), 1);
+}
+
+/// The regression that motivated the hardening: a directive-length prefix
+/// falling inside a multi-byte character used to slice at a non-boundary
+/// and panic. These inputs must now be ordinary parse errors.
+#[test]
+fn multibyte_directives_are_typed_errors() {
+    for text in [
+        "\u{c0}\u{c0}\u{c0}\u{c0}\u{c0}(x)\n",
+        "\u{20ac}NPUT(a)\n",
+        "INPUT(\u{c0})\nOUTPUT(\u{c0})\n",
+        "\u{c0} = AND(a, b)\n",
+        "IN\u{20ac}UT(a)\n",
+    ] {
+        let _ = parse_bench("mb", text);
+    }
+    // And a fully valid non-ASCII signal name still works.
+    let ok = parse_bench("mb", "INPUT(\u{c0})\nOUTPUT(\u{c0})\n");
+    assert!(ok.is_ok(), "non-ASCII signal names are legal: {ok:?}");
+}

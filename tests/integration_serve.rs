@@ -1,0 +1,396 @@
+//! End-to-end degradation matrix for the prediction service (`crates/serve`).
+//!
+//! Each test drives a real multi-threaded server over real TCP through one
+//! row of the robustness contract: overload sheds without blocking the
+//! acceptor, expired deadlines come back typed with the worker surviving,
+//! malformed/oversized/truncated input gets a typed refusal, an injected
+//! worker death self-heals, and cancellation drains in-flight work before
+//! refusing new requests.
+//!
+//! The fault-injection registry is process-global, and every server hits
+//! the `serve.*` sites on its hot path — so *every* test here serializes on
+//! [`FAULT_LOCK`], not just the ones that arm a plan.
+
+use serve::protocol::{self, write_frame, FrameType, MAGIC};
+use serve::{
+    ErrorCode, LoadgenConfig, ModelRegistry, Reply, Request, ServeConfig, Server, Workload,
+};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Disarms the fault plan when a test exits, pass or panic.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        faults::disarm();
+    }
+}
+
+fn demo_registry() -> ModelRegistry {
+    let model = icnet::GraphModel::new(
+        icnet::ModelKind::Gcn,
+        icnet::Aggregation::Sum,
+        icnet::NUM_FEATURES_ALL,
+        8,
+        8,
+        7,
+    );
+    ModelRegistry::from_models([("demo".to_owned(), model)]).expect("demo registry")
+}
+
+fn start_server(config: ServeConfig) -> Server {
+    Server::start(demo_registry(), config).expect("server binds")
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+}
+
+fn valid_request(deadline_ms: u32) -> Request {
+    Request {
+        model: "demo".to_owned(),
+        deadline_ms,
+        mask: vec!["n10".to_owned()],
+        bench: netlist::c17().to_bench(),
+    }
+}
+
+fn expect_prediction(reply: Reply) -> f64 {
+    match reply {
+        Reply::Prediction { value, .. } => {
+            assert!(value.is_finite(), "prediction must be finite: {value}");
+            value
+        }
+        other => panic!("expected a prediction, got {other:?}"),
+    }
+}
+
+fn expect_error(reply: Reply, code: ErrorCode) -> String {
+    match reply {
+        Reply::Error { code: got, message } => {
+            assert_eq!(got, code, "wrong error code: {message}");
+            message
+        }
+        other => panic!("expected {code:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn predictions_flow_over_tcp_and_connections_are_reusable() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 3,
+        ..ServeConfig::default()
+    });
+
+    let mut stream = connect(&server);
+    protocol::ping(&mut stream).expect("ping answers");
+    let first = expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+    // Same connection, second request: workers serve frames, not sockets.
+    let second = expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+    assert_eq!(first, second, "identical requests predict identically");
+    drop(stream);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.worker_deaths, 0);
+}
+
+#[test]
+fn overload_sheds_typed_errors_and_the_acceptor_never_blocks() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+
+    // Occupy the only worker: an open connection that sends nothing keeps
+    // it parked in read_frame until we hang up.
+    let busy = connect(&server);
+    std::thread::sleep(Duration::from_millis(100));
+    // Fill the one queue slot.
+    let mut queued = connect(&server);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Everything beyond the queue must shed *promptly* with a typed error —
+    // if the acceptor were blocked behind the stuck worker, these reads
+    // would time out instead.
+    for _ in 0..3 {
+        let mut extra = connect(&server);
+        let shed_started = Instant::now();
+        write_frame(&mut extra, FrameType::Predict, &valid_request(0).encode()).unwrap();
+        let reply = protocol::read_reply(&mut extra).expect("shed reply arrives");
+        let message = expect_error(reply, ErrorCode::Overloaded);
+        assert!(message.contains("queue"), "{message}");
+        assert!(
+            shed_started.elapsed() < Duration::from_secs(2),
+            "shedding must not wait on the busy worker"
+        );
+    }
+
+    // Release the worker: the queued connection gets served, proving the
+    // queue drained rather than wedged.
+    drop(busy);
+    protocol::ping(&mut queued).expect("queued connection is served after the worker frees up");
+    expect_prediction(protocol::call(&mut queued, &valid_request(0)).unwrap());
+
+    let stats = server.shutdown();
+    assert!(stats.shed >= 3, "shed {} connections", stats.shed);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn expired_deadlines_are_typed_and_the_worker_survives() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+
+    let mut stream = connect(&server);
+    // The first request's deadline clock starts at admission, so aging the
+    // connection before sending a 1 ms-deadline request guarantees expiry.
+    std::thread::sleep(Duration::from_millis(80));
+    let reply = protocol::call(&mut stream, &valid_request(1)).unwrap();
+    let message = expect_error(reply, ErrorCode::DeadlineExceeded);
+    assert!(message.contains("deadline"), "{message}");
+
+    // Same connection, same worker: a fresh request with the server default
+    // deadline succeeds. Deadline refusal is per-request, not per-worker.
+    expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert!(stats.errors >= 1);
+    assert_eq!(stats.worker_deaths, 0);
+}
+
+#[test]
+fn malformed_input_gets_typed_refusals_and_the_server_stays_healthy() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 2,
+        max_payload: 64 * 1024,
+        ..ServeConfig::default()
+    });
+
+    // Bad magic: an HTTP probe, say.
+    let mut stream = connect(&server);
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let reply = protocol::read_reply(&mut stream).expect("typed reply to bad magic");
+    expect_error(reply, ErrorCode::BadFrame);
+
+    // Unknown frame type.
+    let mut stream = connect(&server);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(0x7f);
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    stream.write_all(&frame).unwrap();
+    let reply = protocol::read_reply(&mut stream).expect("typed reply to bad type");
+    expect_error(reply, ErrorCode::BadFrame);
+
+    // Hostile length prefix: refused without reading (or allocating) it.
+    let mut stream = connect(&server);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(FrameType::Predict.byte());
+    frame.extend_from_slice(&(512u32 * 1024 * 1024).to_le_bytes());
+    stream.write_all(&frame).unwrap();
+    let reply = protocol::read_reply(&mut stream).expect("typed reply to oversized frame");
+    let message = expect_error(reply, ErrorCode::PayloadTooLarge);
+    assert!(message.contains("cap"), "{message}");
+
+    // Structurally broken request payload.
+    let mut stream = connect(&server);
+    write_frame(&mut stream, FrameType::Predict, &[0xff; 3]).unwrap();
+    let reply = protocol::read_reply(&mut stream).expect("typed reply to garbage payload");
+    expect_error(reply, ErrorCode::BadFrame);
+
+    // Truncated .bench text: the parser's diagnosis travels to the client.
+    let mut stream = connect(&server);
+    let mut request = valid_request(0);
+    request.bench.truncate(request.bench.len() / 2);
+    request.bench.push_str("\nz = FROB(");
+    let reply = protocol::call(&mut stream, &request).unwrap();
+    expect_error(reply, ErrorCode::BadNetlist);
+
+    // Unknown model and unknown gate are distinct refusals.
+    let mut stream = connect(&server);
+    let mut request = valid_request(0);
+    request.model = "nonexistent".to_owned();
+    let message = expect_error(
+        protocol::call(&mut stream, &request).unwrap(),
+        ErrorCode::UnknownModel,
+    );
+    assert!(
+        message.contains("demo"),
+        "names the available models: {message}"
+    );
+    let mut request = valid_request(0);
+    request.mask = vec!["no_such_gate".to_owned()];
+    let reply = protocol::call(&mut stream, &request).unwrap();
+    expect_error(reply, ErrorCode::UnknownGate);
+
+    // Mid-frame disconnect: write half a header and vanish.
+    let mut stream = connect(&server);
+    stream.write_all(&MAGIC[..2]).unwrap();
+    drop(stream);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // After the whole gauntlet, the server still predicts.
+    let mut stream = connect(&server);
+    expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+
+    let stats = server.shutdown();
+    assert!(stats.errors >= 7, "typed errors recorded: {}", stats.errors);
+    assert_eq!(stats.worker_deaths, 0, "no worker died on bad input");
+}
+
+#[test]
+fn injected_worker_death_self_heals() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _cleanup = Disarm;
+    faults::arm_str("serve.worker:die@o0", None).unwrap();
+
+    let server = start_server(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    // The first admitted connection kills its worker: the client sees a
+    // dropped connection (no reply), never a hang.
+    let mut stream = connect(&server);
+    write_frame(&mut stream, FrameType::Predict, &valid_request(0).encode()).unwrap();
+    let err = protocol::read_reply(&mut stream).expect_err("connection dies with the worker");
+    assert!(
+        matches!(
+            err.kind(),
+            // EOF if the socket closed cleanly, RST if it was dropped with
+            // the request bytes still unread — both are a dead connection,
+            // neither is a hang.
+            std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::ConnectionReset
+        ),
+        "{err}"
+    );
+
+    // The monitor restores the pool to full strength.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().respawns < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "monitor never respawned a worker"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Both workers (the survivor and the respawn) serve fine afterwards.
+    for _ in 0..4 {
+        let mut stream = connect(&server);
+        expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.worker_deaths, 1);
+    assert!(stats.respawns >= 1);
+    assert_eq!(stats.completed, 4);
+}
+
+#[test]
+fn cancellation_drains_in_flight_work_then_refuses_new_requests() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cancel = attack::CancelToken::new();
+    let server = start_server(ServeConfig {
+        workers: 1,
+        cancel: cancel.clone(),
+        ..ServeConfig::default()
+    });
+
+    // One connection being served, one admitted and waiting in the queue.
+    let mut active = connect(&server);
+    expect_prediction(protocol::call(&mut active, &valid_request(0)).unwrap());
+    let mut queued = connect(&server);
+    std::thread::sleep(Duration::from_millis(100));
+
+    cancel.cancel();
+
+    // The in-flight connection's next request is still answered — then the
+    // worker refuses further work on it with a typed ShuttingDown.
+    expect_prediction(protocol::call(&mut active, &valid_request(0)).unwrap());
+    let reply = protocol::read_reply(&mut active).expect("drain notice");
+    expect_error(reply, ErrorCode::ShuttingDown);
+    drop(active);
+
+    // The queued connection was admitted before cancel: its request is
+    // honoured as part of the drain, not dropped.
+    expect_prediction(protocol::call(&mut queued, &valid_request(0)).unwrap());
+    let reply = protocol::read_reply(&mut queued).expect("drain notice");
+    expect_error(reply, ErrorCode::ShuttingDown);
+    drop(queued);
+
+    // join() returns only once the drain is complete.
+    let stats = server.join();
+    assert_eq!(stats.completed, 3, "every admitted request was answered");
+}
+
+#[test]
+fn saturating_load_sheds_instead_of_collapsing() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 2,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    });
+
+    let workload = Workload {
+        model: "demo".to_owned(),
+        bench: netlist::c17().to_bench(),
+        mask: vec!["n10".to_owned()],
+        deadline_ms: 0,
+    };
+    let config = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        rates: vec![50.0, 5000.0],
+        requests: 60,
+        clients: 6,
+        timeout: Duration::from_secs(5),
+    };
+    let reports = serve::run_levels(&config, &workload);
+
+    for report in &reports {
+        assert_eq!(
+            report.ok + report.overloaded + report.deadline_exceeded + report.other_error,
+            report.sent,
+            "every offered request is accounted for at {} rps",
+            report.offered_rps
+        );
+        assert!(
+            report.ok > 0,
+            "the server keeps completing work at {} rps (got {:?})",
+            report.offered_rps,
+            report
+        );
+    }
+    // The moderate level should be essentially all-success; the saturating
+    // level may shed but must not collapse to zero goodput (asserted above).
+    assert!(
+        reports[0].ok >= reports[0].sent * 9 / 10,
+        "50 rps is comfortably under capacity: {:?}",
+        reports[0]
+    );
+
+    server.shutdown();
+}
