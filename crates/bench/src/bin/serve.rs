@@ -21,12 +21,14 @@ fn main() {
     let mut models_dir = "models".to_owned();
     let mut queue_depth = 64usize;
     let mut max_payload = serve::protocol::DEFAULT_MAX_PAYLOAD;
+    let mut batch_window_ms = 1.0f64;
+    let mut max_batch = 16usize;
     let mut write_demo: Option<String> = None;
 
     let opts = Options::parse_extended(
         std::env::args().skip(1),
         "--addr <host:port> --models <dir> --queue <n> --max-payload <bytes> \
-         --write-demo-model <name>",
+         --batch-window-ms <ms> --max-batch <n> --write-demo-model <name>",
         |flag, value| match flag {
             "--addr" => {
                 addr = value("--addr");
@@ -42,6 +44,14 @@ fn main() {
             }
             "--max-payload" => {
                 max_payload = value("--max-payload").parse().expect("u32 max-payload");
+                true
+            }
+            "--batch-window-ms" => {
+                batch_window_ms = value("--batch-window-ms").parse().expect("f64 window");
+                true
+            }
+            "--max-batch" => {
+                max_batch = value("--max-batch").parse().expect("usize max-batch");
                 true
             }
             "--write-demo-model" => {
@@ -97,6 +107,8 @@ fn main() {
             .deadline
             .map(Duration::from_secs_f64)
             .unwrap_or(Duration::from_secs(5)),
+        batch_window: Duration::from_secs_f64(batch_window_ms.max(0.0) / 1e3),
+        max_batch: max_batch.max(1),
         cancel: cli::interrupt_token().clone(),
         ..Default::default()
     };
@@ -116,13 +128,16 @@ fn main() {
     // drains: admitted requests finish, late connections get ShuttingDown.
     let stats = server.join();
     eprintln!(
-        "# drained: {} admitted, {} ok, {} shed, {} errors, {} worker deaths ({} respawned)",
+        "# drained: {} admitted, {} ok, {} shed, {} errors, {} worker deaths ({} respawned), \
+         {} inference batches ({} requests micro-batched)",
         stats.admitted,
         stats.completed,
         stats.shed,
         stats.errors,
         stats.worker_deaths,
         stats.respawns,
+        stats.infer_batches,
+        stats.batched_requests,
     );
     cli::exit_if_interrupted();
     cli::finish_observability();

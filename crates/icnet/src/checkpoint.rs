@@ -17,10 +17,16 @@
 //!
 //! A checkpoint is only valid for the exact training run that wrote it:
 //! the `fingerprint` line hashes every hyper-parameter that feeds the
-//! update sequence (seed, lr, batch size, tolerance, patience, epoch cap,
-//! training-set size, parameter shapes). `jobs` is deliberately excluded —
-//! parallel gradient accumulation is bit-identical to serial (DESIGN.md
-//! §6d), so a run checkpointed at `--jobs 8` may resume at `--jobs 1`.
+//! update sequence (a trajectory-semantics version tag, seed, lr, batch
+//! size, tolerance, patience, epoch cap, training-set size, parameter
+//! shapes). `jobs` and the gradient engine are deliberately excluded —
+//! parallel and batched gradient accumulation are bit-identical to the
+//! serial per-instance reference (DESIGN.md §6d/§10), so a run checkpointed
+//! at `--jobs 8` may resume at `--jobs 1` and an engine switch is equally
+//! safe. The version tag (`v2` since the partial-final-batch weighting fix)
+//! changes whenever the update rule itself changes, so checkpoints written
+//! under older trajectory semantics are refused loudly instead of silently
+//! continuing on a different loss surface.
 
 use crate::trainer::TrainConfig;
 use faults::{fnv1a, FNV_OFFSET};
@@ -59,7 +65,7 @@ pub(crate) struct TrainCheckpoint {
 /// hyper-parameters, the training-set size, and the parameter shapes.
 pub(crate) fn fingerprint(config: &TrainConfig, num_instances: usize, params: &[Matrix]) -> u64 {
     let mut text = format!(
-        "seed={};lr={:016x};batch={};tol={:016x};patience={};max_epochs={};n={}",
+        "v2;seed={};lr={:016x};batch={};tol={:016x};patience={};max_epochs={};n={}",
         config.seed,
         config.lr.to_bits(),
         config.batch_size,
@@ -467,6 +473,14 @@ mod tests {
             base,
             fingerprint(&jobs, 32, &params),
             "parallel training is bit-identical to serial, so jobs must not invalidate"
+        );
+
+        let mut engine = config.clone();
+        engine.engine = crate::trainer::GradEngine::PerInstance;
+        assert_eq!(
+            base,
+            fingerprint(&engine, 32, &params),
+            "the engines are bit-identical, so switching must not invalidate"
         );
 
         let mut seeded = config.clone();

@@ -48,16 +48,21 @@
 //! ```
 
 mod aggregate;
+mod batch;
 mod checkpoint;
 mod features;
 mod graph;
 mod model;
 mod persist;
+mod pool_lease;
 mod trainer;
 
 pub use aggregate::Aggregation;
+pub use batch::BatchedGraph;
 pub use features::{encode_features, FeatureSet, NUM_FEATURES_ALL, NUM_FEATURES_LOCATION};
 pub use graph::CircuitGraph;
 pub use model::{GraphModel, ModelKind, OutputHead};
 pub use persist::ParseModelError;
-pub use trainer::{train, train_with, TrainCheckpointSpec, TrainConfig, TrainControl, TrainReport};
+pub use trainer::{
+    train, train_with, GradEngine, TrainCheckpointSpec, TrainConfig, TrainControl, TrainReport,
+};

@@ -1,10 +1,12 @@
 //! The graph regressor family: GCN, ChebNet, and ICNet.
 
 use crate::aggregate::Aggregation;
+use crate::batch::BatchedGraph;
 use crate::graph::CircuitGraph;
+use crate::pool_lease::PoolLease;
 use std::fmt;
 use std::sync::Arc;
-use tensor::{init, CsrMatrix, Matrix, Tape, VarId};
+use tensor::{init, CsrMatrix, Matrix, Segments, Tape, VarId};
 
 /// Which graph operator (and hence which model of the paper) to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -302,8 +304,148 @@ impl GraphModel {
         tape.relu(mixed)
     }
 
+    /// One graph-convolution layer over a stacked batch: identical math to
+    /// [`conv`](Self::conv), with the dense products routed through
+    /// segment-aware matmuls so weight gradients fold per graph in batch
+    /// order (the reduction the per-instance trainer performs explicitly).
+    fn conv_batched(
+        &self,
+        tape: &mut Tape,
+        op: &Arc<CsrMatrix>,
+        segments: &Arc<Segments>,
+        grad_scale: f64,
+        input: VarId,
+        weights: &[VarId],
+    ) -> VarId {
+        let mixed = match self.kind {
+            ModelKind::Gcn | ModelKind::ICNet => {
+                let propagated = tape.spmm(Arc::clone(op), input);
+                tape.matmul_seg(propagated, weights[0], Arc::clone(segments), grad_scale)
+            }
+            ModelKind::ChebNet { k } => {
+                let mut terms: Vec<VarId> = Vec::with_capacity(k);
+                terms.push(input);
+                if k > 1 {
+                    terms.push(tape.spmm(Arc::clone(op), input));
+                }
+                for j in 2..k {
+                    let prop = tape.spmm(Arc::clone(op), terms[j - 1]);
+                    let doubled = tape.scale(prop, 2.0);
+                    let t = tape.sub(doubled, terms[j - 2]);
+                    terms.push(t);
+                }
+                let mut acc =
+                    tape.matmul_seg(terms[0], weights[0], Arc::clone(segments), grad_scale);
+                for (j, &t) in terms.iter().enumerate().skip(1) {
+                    let contrib = tape.matmul_seg(t, weights[j], Arc::clone(segments), grad_scale);
+                    acc = tape.add(acc, contrib);
+                }
+                acc
+            }
+        };
+        tape.relu(mixed)
+    }
+
+    /// Builds the forward graph for a whole mini-batch on one tape: the
+    /// block-diagonal operator propagates every instance at once and the
+    /// per-graph stages (pooling, softmax attention, head) walk the batch
+    /// via its [`Segments`]. Returns a `B x 1` prediction node.
+    ///
+    /// `grad_scale` is the weight each instance's parameter gradient carries
+    /// in the backward fold (`1/batch_size` during training, `1.0` for pure
+    /// inference); the fold order is the batch order, exactly matching the
+    /// per-instance reference engine so both produce bit-identical
+    /// gradients (DESIGN.md §10).
+    pub(crate) fn forward_batched(
+        &self,
+        tape: &mut Tape,
+        param_ids: &[VarId],
+        batch: &BatchedGraph,
+        x: Matrix,
+        grad_scale: f64,
+    ) -> VarId {
+        assert_eq!(
+            x.cols(),
+            self.num_features,
+            "feature width mismatch: model expects {}",
+            self.num_features
+        );
+        assert_eq!(
+            x.rows(),
+            batch.total_nodes(),
+            "stacked features must cover every node in the batch"
+        );
+        let seg = Arc::clone(batch.segments());
+        let op = batch.operator();
+        let k = self.kind.cheb_order();
+        let b = seg.len();
+        let mut x_node = tape.constant(x);
+
+        let mut idx = self.conv_layers * k;
+        let (theta_f, theta_g) = if self.aggregation == Aggregation::Nn {
+            let tf = param_ids[idx];
+            let tg = param_ids[idx + 1];
+            idx += 2;
+            (Some(tf), Some(tg))
+        } else {
+            (None, None)
+        };
+        let w_out = param_ids[idx];
+        let bias = param_ids[idx + 1];
+
+        // Θfeat: one softmax row broadcast over every stacked node row.
+        if let Some(tf) = theta_f {
+            let spread = tape.broadcast_softmax_seg(tf, Arc::clone(&seg), grad_scale);
+            x_node = tape.hadamard(x_node, spread);
+        }
+
+        let mut h2 = x_node;
+        for layer in 0..self.conv_layers {
+            h2 = self.conv_batched(
+                tape,
+                op,
+                &seg,
+                grad_scale,
+                h2,
+                &param_ids[layer * k..(layer + 1) * k],
+            );
+        }
+
+        // Pool each graph's node rows into one row of a B x hidden matrix.
+        let pooled = match self.aggregation {
+            Aggregation::Sum | Aggregation::Mean => {
+                let summed = tape.segment_sum(h2, Arc::clone(&seg)); // B x h
+                if self.aggregation == Aggregation::Mean {
+                    let inv =
+                        Matrix::from_fn(b, self.hidden, |g, _| 1.0 / seg.range(g).len() as f64);
+                    let invc = tape.constant(inv);
+                    tape.hadamard(summed, invc)
+                } else {
+                    summed
+                }
+            }
+            Aggregation::Nn => {
+                let tg = theta_g.expect("Nn aggregation carries Θgate");
+                let scores = tape.matmul_seg(h2, tg, Arc::clone(&seg), grad_scale); // n x 1
+                let attn = tape.segment_softmax_col(scores, Arc::clone(&seg));
+                tape.segment_weighted_sum(h2, attn, Arc::clone(&seg)) // B x h
+            }
+        };
+
+        let head_seg = Arc::new(Segments::units(b));
+        let lin = tape.matmul_seg(pooled, w_out, head_seg, grad_scale); // B x 1
+        let out = tape.add_bias_row_seg(lin, bias, grad_scale);
+        match self.output {
+            OutputHead::Identity => out,
+            OutputHead::Exp => tape.exp(out),
+        }
+    }
+
     /// Builds the forward graph on `tape`; `param_ids` must be leaves of the
-    /// model's parameters in order. Returns the scalar prediction node.
+    /// model's parameters in order. This is the per-instance reference path
+    /// (one graph per tape); batched training and inference use
+    /// [`forward_batched`](Self::forward_batched), which is bit-identical.
+    /// Returns the scalar prediction node.
     pub(crate) fn forward(
         &self,
         tape: &mut Tape,
@@ -413,15 +555,35 @@ impl GraphModel {
 
     /// Predicts the (log-)runtime of one instance.
     pub fn predict(&self, op: &Arc<CsrMatrix>, x: &Matrix) -> f64 {
-        let mut tape = Tape::new();
-        let ids = self.insert_params(&mut tape);
-        let out = self.forward(&mut tape, &ids, op, x);
-        tape.value(out).get(0, 0)
+        let batch = BatchedGraph::single(Arc::clone(op));
+        self.predict_batched(&batch, &[x])[0]
     }
 
-    /// Predicts a batch of instances.
+    /// Predicts every instance of a pre-packed batch in one forward pass.
+    pub fn predict_batched(&self, batch: &BatchedGraph, xs: &[&Matrix]) -> Vec<f64> {
+        if xs.is_empty() && batch.num_graphs() == 0 {
+            return Vec::new();
+        }
+        // Lease the thread's standing buffer pool so repeated inference
+        // (the serve loop, evaluation sweeps) reuses one set of buffers.
+        let mut lease = PoolLease::acquire();
+        let x = batch.stack_features_pooled(xs, lease.pool());
+        let mut tape = Tape::with_pool(std::mem::take(lease.pool()));
+        let ids = self.insert_params(&mut tape);
+        let out = self.forward_batched(&mut tape, &ids, batch, x, 1.0);
+        let values = tape.value(out).as_slice().to_vec();
+        *lease.pool() = tape.into_pool();
+        values
+    }
+
+    /// Predicts a batch of instances sharing one graph operator.
     pub fn predict_batch(&self, op: &Arc<CsrMatrix>, xs: &[Matrix]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(op, x)).collect()
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let batch = BatchedGraph::replicate(op, xs.len());
+        let refs: Vec<&Matrix> = xs.iter().collect();
+        self.predict_batched(&batch, &refs)
     }
 }
 
@@ -516,6 +678,44 @@ mod tests {
         let (op, x, model) = setup(ModelKind::ICNet, Aggregation::Nn);
         let batch = model.predict_batch(&op, std::slice::from_ref(&x));
         assert_eq!(batch[0], model.predict(&op, &x));
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_per_instance() {
+        let circuit = netlist::c17();
+        let graph = CircuitGraph::from_circuit(&circuit);
+        let a = encode_features(&circuit, &[circuit.find("n10").unwrap()], FeatureSet::All);
+        let b = encode_features(
+            &circuit,
+            &[circuit.find("n22").unwrap(), circuit.find("n23").unwrap()],
+            FeatureSet::All,
+        );
+        let c = encode_features(&circuit, &[], FeatureSet::All);
+        let xs = vec![a, b, c];
+        for kind in [
+            ModelKind::Gcn,
+            ModelKind::ChebNet { k: 3 },
+            ModelKind::ICNet,
+        ] {
+            let op = Arc::new(kind.operator(&graph));
+            for agg in [Aggregation::Sum, Aggregation::Mean, Aggregation::Nn] {
+                for output in [OutputHead::Identity, OutputHead::Exp] {
+                    let model = GraphModel::new(kind, agg, 7, 8, 6, 42).with_output(output);
+                    let batched = model.predict_batch(&op, &xs);
+                    // The reference path: one tape per instance.
+                    let reference: Vec<f64> = xs
+                        .iter()
+                        .map(|x| {
+                            let mut tape = Tape::new();
+                            let ids = model.insert_params(&mut tape);
+                            let out = model.forward(&mut tape, &ids, &op, x);
+                            tape.value(out).get(0, 0)
+                        })
+                        .collect();
+                    assert_eq!(batched, reference, "{kind} {agg} {output:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! A thread-local standing [`BufferPool`] shared by consecutive tapes.
+//!
+//! One training run recycles buffers across its batches via the pool a tape
+//! surrenders on completion — but a *fresh* pool per run still pays the
+//! kernel for every large buffer once (mmap plus first-touch page faults),
+//! which on short runs rivals the arithmetic itself. The serve loop and the
+//! evaluation harness call [`train`](crate::train) and
+//! [`GraphModel::predict_batched`](crate::GraphModel) over and over, so the
+//! pool is parked in a thread-local between calls: the first run on a thread
+//! warms it, every later run allocates nothing on the hot path.
+//!
+//! Pooling never changes what is computed — buffers only change provenance,
+//! and every kernel writing into them is write-once (see
+//! [`tensor::BufferPool`]).
+
+use std::cell::RefCell;
+use tensor::BufferPool;
+
+thread_local! {
+    static STANDING_POOL: RefCell<BufferPool> = RefCell::new(BufferPool::new());
+}
+
+/// Exclusive use of the thread's standing pool for the duration of one
+/// training or inference call; returns the (grown) pool on drop, including
+/// on panic and early-return paths.
+///
+/// A nested lease on the same thread finds the pool already taken and runs
+/// cold — correct, merely unwarmed; the outer lease's buffers win on
+/// restore.
+pub(crate) struct PoolLease(Option<BufferPool>);
+
+impl PoolLease {
+    /// Takes the thread's pool (empty if another lease holds it).
+    pub(crate) fn acquire() -> Self {
+        PoolLease(Some(
+            STANDING_POOL.with(|p| std::mem::take(&mut *p.borrow_mut())),
+        ))
+    }
+
+    /// The leased pool.
+    pub(crate) fn pool(&mut self) -> &mut BufferPool {
+        self.0.as_mut().expect("pool present until drop")
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        if let Some(pool) = self.0.take() {
+            STANDING_POOL.with(|p| *p.borrow_mut() = pool);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Matrix;
+
+    #[test]
+    fn lease_restores_the_pool_on_drop() {
+        {
+            let mut lease = PoolLease::acquire();
+            lease.pool().absorb(Matrix::zeros(64, 64));
+        }
+        let mut lease = PoolLease::acquire();
+        assert_eq!(lease.pool().len(), 1, "buffer survived the first lease");
+        let m = lease.pool().alloc(64, 64);
+        assert_eq!(m.shape(), (64, 64));
+    }
+
+    #[test]
+    fn nested_lease_runs_cold_and_outer_restore_wins() {
+        let mut outer = PoolLease::acquire();
+        outer.pool().absorb(Matrix::zeros(64, 64));
+        {
+            let mut inner = PoolLease::acquire();
+            assert!(inner.pool().is_empty(), "inner lease sees a taken pool");
+        }
+        drop(outer);
+        let mut lease = PoolLease::acquire();
+        assert_eq!(lease.pool().len(), 1, "outer pool restored last");
+    }
+}

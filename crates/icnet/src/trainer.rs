@@ -1,25 +1,58 @@
 //! Mini-batch training loop (the paper's Algorithm 1: ADAM, random batches,
-//! stop on loss convergence) with deterministic data-parallel gradient
-//! accumulation.
+//! stop on loss convergence) with two interchangeable gradient engines.
+//!
+//! [`GradEngine::Batched`] (the default) packs each mini-batch into one
+//! block-diagonal [`BatchedGraph`] and runs a single forward/backward tape
+//! for the whole batch; [`GradEngine::PerInstance`] is the reference engine
+//! — one tape per instance, gradients reduced in batch-position order. Both
+//! produce **bit-identical** parameters: the batched tape's segment ops fold
+//! per-graph gradient contributions in exactly the batch order the reference
+//! reduction uses (DESIGN.md §10).
 //!
 //! # Determinism
 //!
-//! With `jobs > 1` each instance of a mini-batch gets its own [`Tape`]
-//! forward/backward on a worker thread, and the per-instance gradients are
-//! reduced strictly in batch-position order afterwards. The floating-point
-//! operations are therefore identical for every job count — `jobs = 1` and
-//! `jobs = 8` produce bit-identical parameters for the same seed (see
-//! DESIGN.md §6d).
+//! With `jobs > 1` the work is parallelized over row bands (batched engine)
+//! or instances (reference engine), and in both cases every f64 addition
+//! happens in an order fixed by the batch, not by thread scheduling —
+//! `jobs = 1` and `jobs = 8` produce bit-identical parameters for the same
+//! seed (see DESIGN.md §6d).
+//!
+//! # Batch weighting
+//!
+//! Every optimizer step scales the summed batch gradient by
+//! `1 / min(batch_size, n)` — the *nominal* batch size — including the final
+//! partial batch of an epoch when `n` is not divisible by `batch_size`. An
+//! earlier revision scaled each chunk by `1 / chunk_len`, which made a
+//! leftover instance in a size-1 final chunk weigh as much as an entire full
+//! batch; the fix changes trajectories for such datasets, so the checkpoint
+//! fingerprint is versioned and stale checkpoints are refused loudly.
 
+use crate::batch::BatchedGraph;
 use crate::checkpoint::{self, TrainCheckpoint};
 use crate::model::GraphModel;
+use crate::pool_lease::PoolLease;
 use attack::CancelToken;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use tensor::{Adam, CsrMatrix, Matrix, Optimizer, Tape};
+use tensor::{Adam, BufferPool, CsrMatrix, Matrix, Optimizer, Tape};
+
+/// Which gradient engine [`train_with`] runs each mini-batch through.
+///
+/// The two engines are bit-identical (test-enforced); `Batched` amortizes
+/// the per-tape overhead (parameter insertion, operator transpose, node
+/// bookkeeping) over the whole batch and is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GradEngine {
+    /// One tape per mini-batch over a block-diagonal [`BatchedGraph`].
+    #[default]
+    Batched,
+    /// One tape per instance, gradients reduced in batch-position order —
+    /// the reference engine the batched path is validated against.
+    PerInstance,
+}
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone)]
@@ -40,6 +73,8 @@ pub struct TrainConfig {
     /// Worker threads for gradient computation; `0` and `1` both mean
     /// serial. Every value produces bit-identical parameters.
     pub jobs: usize,
+    /// Gradient engine; both variants are bit-identical, see [`GradEngine`].
+    pub engine: GradEngine,
 }
 
 impl Default for TrainConfig {
@@ -52,6 +87,7 @@ impl Default for TrainConfig {
             patience: 10,
             seed: 0,
             jobs: 1,
+            engine: GradEngine::Batched,
         }
     }
 }
@@ -119,14 +155,17 @@ pub struct TrainReport {
 }
 
 /// Squared-error loss and per-parameter gradients for one training instance
-/// (its own tape; `None` where no gradient reached a parameter).
+/// (its own tape; `None` where no gradient reached a parameter). The tape
+/// allocates from `pool` and surrenders its buffers back on completion, so
+/// a loop over instances reuses one set of buffers.
 fn instance_gradient(
     model: &GraphModel,
     op: &Arc<CsrMatrix>,
     x: &Matrix,
     y: f64,
+    pool: &mut BufferPool,
 ) -> (f64, Vec<Option<Matrix>>) {
-    let mut tape = Tape::new();
+    let mut tape = Tape::with_pool(std::mem::take(pool));
     let ids = model.insert_params(&mut tape);
     let pred = model.forward(&mut tape, &ids, op, x);
     let target = tape.constant(Matrix::scalar(y));
@@ -135,51 +174,70 @@ fn instance_gradient(
     tape.backward(sq);
     let loss = tape.value(sq).get(0, 0);
     let grads = ids.iter().map(|&id| tape.try_grad(id).cloned()).collect();
+    *pool = tape.into_pool();
     (loss, grads)
 }
 
-/// Summed batch loss and mean per-parameter gradients for one mini-batch,
-/// computed with `jobs` worker threads.
+/// The gradient weight each instance carries in an optimizer step: the
+/// reciprocal of the *nominal* batch size, `min(batch_size, n)`. A final
+/// partial chunk uses the same scale as a full one, so every instance of an
+/// epoch has equal influence regardless of which chunk it lands in.
+fn batch_scale(batch_size: usize, num_instances: usize) -> f64 {
+    1.0 / batch_size.max(1).min(num_instances.max(1)) as f64
+}
+
+/// Summed batch loss and scaled per-parameter gradients for one mini-batch
+/// — the per-instance reference engine, computed with `jobs` worker
+/// threads. Each instance's gradient enters the sum with weight `scale`
+/// (see [`batch_scale`]).
 ///
 /// Workers drop each instance's result into the slot of its batch position;
 /// the reduction then walks the slots in order. The sequence of f64
 /// additions is thus fixed by the batch, not by thread scheduling, which is
 /// what makes parallel training bit-identical to serial.
+#[allow(clippy::too_many_arguments)]
 fn batch_gradients(
     model: &GraphModel,
     op: &Arc<CsrMatrix>,
     xs: &[Matrix],
     ys: &[f64],
     batch: &[usize],
+    scale: f64,
     jobs: usize,
+    pool: &mut BufferPool,
 ) -> (f64, Vec<Matrix>) {
     type InstanceResult = Option<(f64, Vec<Option<Matrix>>)>;
     let jobs = jobs.clamp(1, batch.len());
     let mut results: Vec<InstanceResult> = if jobs <= 1 {
         batch
             .iter()
-            .map(|&i| Some(instance_gradient(model, op, &xs[i], ys[i])))
+            .map(|&i| Some(instance_gradient(model, op, &xs[i], ys[i], pool)))
             .collect()
     } else {
         let slots: Mutex<Vec<InstanceResult>> = Mutex::new(vec![None; batch.len()]);
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= batch.len() {
-                        break;
+                scope.spawn(|| {
+                    // Worker-local pool: buffers recycle across the
+                    // instances this worker processes (pooling never
+                    // changes results, so work stealing stays safe).
+                    let mut pool = BufferPool::new();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= batch.len() {
+                            break;
+                        }
+                        let i = batch[k];
+                        let out = instance_gradient(model, op, &xs[i], ys[i], &mut pool);
+                        slots.lock().expect("gradient worker panicked")[k] = Some(out);
                     }
-                    let i = batch[k];
-                    let out = instance_gradient(model, op, &xs[i], ys[i]);
-                    slots.lock().expect("gradient worker panicked")[k] = Some(out);
                 });
             }
         });
         slots.into_inner().expect("gradient worker panicked")
     };
 
-    let scale = 1.0 / batch.len() as f64;
     let mut loss_sum = 0.0;
     let mut grads: Vec<Matrix> = model
         .params()
@@ -195,6 +253,53 @@ fn batch_gradients(
             }
         }
     }
+    (loss_sum, grads)
+}
+
+/// Summed batch loss and scaled per-parameter gradients for one mini-batch
+/// via the batched engine: the chunk's instances are stacked onto the
+/// block-diagonal `layout` and one tape computes the whole batch. The tape's
+/// segment ops apply `scale` per graph in batch order, reproducing the
+/// reference engine's reduction bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn batched_gradients(
+    model: &GraphModel,
+    layout: &BatchedGraph,
+    xs: &[Matrix],
+    ys: &[f64],
+    batch: &[usize],
+    scale: f64,
+    jobs: usize,
+    pool: &mut BufferPool,
+) -> (f64, Vec<Matrix>) {
+    let refs: Vec<&Matrix> = batch.iter().map(|&i| &xs[i]).collect();
+    let x = layout.stack_features_pooled(&refs, pool);
+    let targets = Matrix::from_vec(batch.len(), 1, batch.iter().map(|&i| ys[i]).collect());
+    let mut tape = Tape::with_pool(std::mem::take(pool));
+    tape.set_jobs(jobs);
+    tape.seed_transpose(layout.operator(), layout.operator_transpose());
+    let ids = model.insert_params(&mut tape);
+    let pred = model.forward_batched(&mut tape, &ids, layout, x, scale);
+    let target = tape.constant(targets);
+    let diff = tape.sub(pred, target);
+    let sq = tape.hadamard(diff, diff);
+    // Summing the per-row squared errors walks them in batch order — the
+    // same fold the reference engine's `loss_sum += loss` performs — and
+    // seeds every row of the backward pass with gradient 1.0, exactly like
+    // `backward(sq)` on a per-instance 1 x 1 tape.
+    let total = tape.sum_all(sq);
+    tape.backward(total);
+    let loss_sum = tape.value(total).get(0, 0);
+    let grads = ids
+        .iter()
+        .zip(model.params())
+        .map(|(&id, p)| {
+            tape.try_grad(id)
+                .cloned()
+                .unwrap_or_else(|| Matrix::zeros(p.rows(), p.cols()))
+        })
+        .collect();
+    *pool = tape.into_pool();
     (loss_sum, grads)
 }
 
@@ -252,6 +357,19 @@ pub fn train_with(
 ) -> TrainReport {
     assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
     assert!(!xs.is_empty(), "empty training set");
+    let scale = batch_scale(config.batch_size, xs.len());
+    // Batched engine: one block-diagonal layout (operator + transpose) per
+    // distinct chunk length, built once and reused across every epoch. An
+    // epoch sees at most two lengths: the nominal batch size and the final
+    // partial chunk.
+    let mut layouts: Vec<(usize, BatchedGraph)> = Vec::new();
+    // One buffer pool for the whole run: every step's tape hands its node
+    // buffers back, so steady-state training allocates nothing per batch.
+    // The pool itself is leased from a thread-local that outlives this call,
+    // so back-to-back runs (serve retraining, evaluation sweeps) skip even
+    // the first-batch warm-up.
+    let mut lease = PoolLease::acquire();
+    let pool = lease.pool();
     let mut optimizer = Adam::new(config.lr);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut order: Vec<usize> = (0..xs.len()).collect();
@@ -355,7 +473,21 @@ pub fn train_with(
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size.max(1)) {
-            let (mut batch_loss, grads) = batch_gradients(model, op, xs, ys, batch, config.jobs);
+            let (mut batch_loss, grads) = match config.engine {
+                GradEngine::Batched => {
+                    let layout = match layouts.iter().position(|(len, _)| *len == batch.len()) {
+                        Some(pos) => &layouts[pos].1,
+                        None => {
+                            layouts.push((batch.len(), BatchedGraph::replicate(op, batch.len())));
+                            &layouts.last().expect("just pushed").1
+                        }
+                    };
+                    batched_gradients(model, layout, xs, ys, batch, scale, config.jobs, pool)
+                }
+                GradEngine::PerInstance => {
+                    batch_gradients(model, op, xs, ys, batch, scale, config.jobs, pool)
+                }
+            };
             if poison.take().is_some() {
                 batch_loss = f64::NAN;
             }
@@ -572,6 +704,157 @@ mod tests {
             );
             assert_eq!(serial_preds, preds, "predictions differ at jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn batched_engine_is_bit_identical_to_per_instance() {
+        let (op, xs, ys) = toy_dataset();
+        // batch_size 12 over 32 instances: every epoch ends in a partial
+        // chunk of 8, so the equivalence covers both layouts.
+        let run = |engine: GradEngine| {
+            let mut model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 8, 6, 13);
+            let cfg = TrainConfig {
+                engine,
+                batch_size: 12,
+                ..TrainConfig::quick()
+            };
+            let report = train(&mut model, &op, &xs, &ys, &cfg);
+            (report.loss_history, model.predict_batch(&op, &xs))
+        };
+        let (batched_history, batched_preds) = run(GradEngine::Batched);
+        let (reference_history, reference_preds) = run(GradEngine::PerInstance);
+        assert_eq!(batched_history, reference_history, "loss history differs");
+        assert_eq!(batched_preds, reference_preds, "predictions differ");
+    }
+
+    #[test]
+    fn batched_engine_is_bit_identical_for_all_model_kinds() {
+        let circuit = netlist::c17();
+        let graph = CircuitGraph::from_circuit(&circuit);
+        let (_, xs, ys) = toy_dataset();
+        for kind in [
+            ModelKind::Gcn,
+            ModelKind::ChebNet { k: 3 },
+            ModelKind::ICNet,
+        ] {
+            let op = Arc::new(kind.operator(&graph));
+            for agg in [Aggregation::Sum, Aggregation::Mean, Aggregation::Nn] {
+                let run = |engine: GradEngine| {
+                    let mut model = GraphModel::new(kind, agg, 7, 8, 6, 17);
+                    let cfg = TrainConfig {
+                        engine,
+                        max_epochs: 3,
+                        batch_size: 5, // partial final chunk of 2
+                        ..TrainConfig::default()
+                    };
+                    let report = train(&mut model, &op, &xs, &ys, &cfg);
+                    (report.loss_history, model.predict_batch(&op, &xs))
+                };
+                assert_eq!(
+                    run(GradEngine::Batched),
+                    run(GradEngine::PerInstance),
+                    "{kind} {agg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batched_training_is_bit_identical_to_serial() {
+        let (op, xs, ys) = toy_dataset();
+        let run = |jobs: usize| {
+            let mut model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 8, 6, 9);
+            let cfg = TrainConfig {
+                jobs,
+                batch_size: 12, // partial final chunk exercises both layouts
+                ..TrainConfig::quick()
+            };
+            let report = train(&mut model, &op, &xs, &ys, &cfg);
+            (report.loss_history, model.predict_batch(&op, &xs))
+        };
+        let serial = run(1);
+        for jobs in [2, 4] {
+            assert_eq!(serial, run(jobs), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn partial_final_batch_is_weighted_by_nominal_batch_size() {
+        // 2-instance-overlap construction: the dataset's last instance
+        // duplicates its first, so whichever chunk each copy lands in, their
+        // per-step gradient contributions must be interchangeable. Under
+        // `batch_size == n` every instance carries weight 1/n; under
+        // `batch_size == n - 1` the epoch splits into a full chunk and a
+        // size-1 leftover, and the leftover must carry 1/(n-1) — not the
+        // full instance gradient the old `1/chunk_len` scaling gave it.
+        let (op, xs, ys) = toy_dataset();
+        let n = 5usize;
+        let mut xs: Vec<Matrix> = xs[..n - 1].to_vec();
+        let mut ys: Vec<f64> = ys[..n - 1].to_vec();
+        xs.push(xs[0].clone());
+        ys.push(ys[0]);
+        let model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 8, 6, 19);
+
+        // The raw (unweighted) gradient of the duplicated instance.
+        let mut pool = BufferPool::new();
+        let (_, raw) = batch_gradients(&model, &op, &xs, &ys, &[n - 1], 1.0, 1, &mut pool);
+
+        // The leftover chunk under batch_size = n - 1.
+        let scale = batch_scale(n - 1, n);
+        let (_, leftover) = batch_gradients(&model, &op, &xs, &ys, &[n - 1], scale, 1, &mut pool);
+        let expected: Vec<Matrix> = raw
+            .iter()
+            .map(|g| {
+                let mut acc = Matrix::zeros(g.rows(), g.cols());
+                acc.axpy(scale, g);
+                acc
+            })
+            .collect();
+        assert_eq!(
+            leftover, expected,
+            "a size-1 leftover chunk must scale by 1/(n-1), not 1/1"
+        );
+        // And the batched engine agrees bit for bit.
+        let layout = BatchedGraph::replicate(&op, 1);
+        let (_, batched) =
+            batched_gradients(&model, &layout, &xs, &ys, &[n - 1], scale, 1, &mut pool);
+        assert_eq!(batched, leftover, "engines disagree on the leftover chunk");
+
+        // Under batch_size == n the duplicate pair each carry 1/n: the
+        // full-batch gradient equals the sum of all five instance gradients
+        // at that weight, so the pair's joint weight is exactly 2/n.
+        let full_scale = batch_scale(n, n);
+        assert_eq!(full_scale, 1.0 / n as f64);
+        let (_, full) = batch_gradients(
+            &model,
+            &op,
+            &xs,
+            &ys,
+            &[0, 1, 2, 3, 4],
+            full_scale,
+            1,
+            &mut pool,
+        );
+        let mut summed: Vec<Matrix> = model
+            .params()
+            .iter()
+            .map(|p| Matrix::zeros(p.rows(), p.cols()))
+            .collect();
+        for i in 0..n {
+            let (_, g) = batch_gradients(&model, &op, &xs, &ys, &[i], 1.0, 1, &mut pool);
+            for (acc, g) in summed.iter_mut().zip(&g) {
+                acc.axpy(full_scale, g);
+            }
+        }
+        assert_eq!(full, summed);
+    }
+
+    #[test]
+    fn batch_scale_uses_the_nominal_batch_size() {
+        assert_eq!(batch_scale(16, 100), 1.0 / 16.0);
+        assert_eq!(batch_scale(16, 10), 1.0 / 10.0, "clamped to the set size");
+        assert_eq!(batch_scale(0, 10), 1.0, "batch_size 0 means 1");
+        assert_eq!(batch_scale(4, 0), 1.0, "degenerate empty set");
     }
 
     #[test]

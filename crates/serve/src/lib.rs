@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod loadgen;
+mod microbatch;
 pub mod protocol;
 pub mod registry;
 pub mod server;

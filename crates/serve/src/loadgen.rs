@@ -177,13 +177,8 @@ fn run_level(config: &LoadgenConfig, workload: &Workload, rate: f64) -> LevelRep
     let wall_s = t0.elapsed().as_secs_f64();
     let mut tally = tally.into_inner().unwrap_or_else(|e| e.into_inner());
     tally.latencies_ns.sort_unstable();
-    let pct = |p: f64| -> f64 {
-        if tally.latencies_ns.is_empty() {
-            return 0.0;
-        }
-        let idx = ((tally.latencies_ns.len() as f64 - 1.0) * p).round() as usize;
-        tally.latencies_ns[idx] as f64 / 1e6
-    };
+    let pct =
+        |p: f64| -> f64 { nearest_rank(&tally.latencies_ns, p).map_or(0.0, |ns| ns as f64 / 1e6) };
     LevelReport {
         offered_rps: rate,
         sent: config.requests,
@@ -200,6 +195,20 @@ fn run_level(config: &LoadgenConfig, workload: &Workload, rate: f64) -> LevelRep
         p99_ms: pct(0.99),
         wall_s,
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample: the smallest
+/// value with at least `p·n` of the observations at or below it, i.e. the
+/// sample at 1-based rank `⌈p·n⌉`. With one sample every percentile is that
+/// sample; with two, the p50 is the *first* (half the mass sits at or below
+/// it). An earlier revision used `round((n-1)·p)`, which reported the 51st
+/// of 100 samples as the median.
+fn nearest_rank(sorted: &[u64], p: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (p * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
 }
 
 fn fire_once(config: &LoadgenConfig, workload: &Workload) -> std::io::Result<Reply> {
@@ -288,15 +297,37 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_come_from_sorted_latencies() {
-        // White-box check of the index arithmetic via a tiny fake tally.
-        let mut lat: Vec<u64> = (1..=100).map(|n| n * 1_000_000).collect();
-        lat.sort_unstable();
-        let pct = |p: f64| -> f64 {
-            let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
-            lat[idx] as f64 / 1e6
-        };
-        assert!((pct(0.5) - 51.0).abs() < 1.5);
-        assert!((pct(0.99) - 99.0).abs() < 1.5);
+    fn nearest_rank_of_one_sample_is_that_sample() {
+        let lat = vec![7u64];
+        assert_eq!(nearest_rank(&lat, 0.50), Some(7));
+        assert_eq!(nearest_rank(&lat, 0.99), Some(7));
+        assert_eq!(nearest_rank(&lat, 1.0), Some(7));
+    }
+
+    #[test]
+    fn nearest_rank_of_two_samples_splits_at_the_median() {
+        // p50 of two samples is the first: 50% of the mass is at or below
+        // it. The old `round((n-1)·p)` arithmetic reported the second.
+        let lat = vec![10u64, 20];
+        assert_eq!(nearest_rank(&lat, 0.50), Some(10));
+        assert_eq!(nearest_rank(&lat, 0.99), Some(20));
+    }
+
+    #[test]
+    fn nearest_rank_of_a_hundred_samples_is_exact() {
+        let lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(
+            nearest_rank(&lat, 0.50),
+            Some(50),
+            "median of 100 is the 50th"
+        );
+        assert_eq!(nearest_rank(&lat, 0.99), Some(99));
+        assert_eq!(nearest_rank(&lat, 0.01), Some(1));
+        assert_eq!(nearest_rank(&lat, 1.0), Some(100));
+    }
+
+    #[test]
+    fn nearest_rank_of_nothing_is_none() {
+        assert_eq!(nearest_rank(&[], 0.5), None);
     }
 }

@@ -1,0 +1,314 @@
+//! Deadline-aware micro-batching of GNN inference.
+//!
+//! Workers still do the per-request work that is cheap and independent —
+//! frame decode, registry lookup, netlist parse, feature encoding — and then
+//! hand an [`InferJob`] (operator + features + deadline + reply channel) to
+//! one batcher thread. The batcher collects concurrent jobs inside a bounded
+//! window, packs same-model jobs into one [`BatchedGraph`], and answers the
+//! whole group with a single batched forward pass — so under concurrency the
+//! expensive stage runs once per group instead of once per request.
+//!
+//! The window is deadline-aware twice over: collection never waits past the
+//! earliest deadline of a job already in hand, and a job whose deadline
+//! passed while it waited is answered `Expired` without inference. A request
+//! arriving on an idle server (the common light-load case) waits at most
+//! `window` before running alone; `window = 0` degenerates to sequential
+//! inference through the same code path.
+
+use icnet::{BatchedGraph, GraphModel};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tensor::{CsrMatrix, Matrix};
+
+/// What the batcher tells the waiting worker about one job.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum InferOutcome {
+    /// The model's prediction.
+    Value(f64),
+    /// The job's deadline passed before inference started.
+    Expired,
+    /// The model produced a non-finite value for this job.
+    NonFinite(String),
+    /// The batched forward pass panicked; nobody in the group got a value.
+    Panicked,
+}
+
+/// One inference handed from a worker to the batcher.
+pub(crate) struct InferJob {
+    /// Registry name — the grouping key (same name ⇒ same model ⇒ same
+    /// feature width, so the group stacks cleanly).
+    pub model_name: String,
+    /// The model to run (shared with the registry).
+    pub model: Arc<GraphModel>,
+    /// This request's graph operator.
+    pub op: Arc<CsrMatrix>,
+    /// This request's node features.
+    pub x: Matrix,
+    /// Absolute deadline (admission time + budget).
+    pub deadline: Instant,
+    /// Where the worker blocks for the outcome.
+    pub reply: Sender<InferOutcome>,
+}
+
+/// Lifetime counters of the batcher thread.
+#[derive(Debug, Default)]
+pub(crate) struct BatchStats {
+    /// Batched forward passes executed (groups, including singletons).
+    pub batches: AtomicU64,
+    /// Jobs answered through a group of size ≥ 2.
+    pub batched_jobs: AtomicU64,
+}
+
+/// The batcher thread: collect a window of jobs, flush, repeat until every
+/// sender is gone.
+pub(crate) fn run_batcher(
+    receiver: Receiver<InferJob>,
+    window: Duration,
+    max_batch: usize,
+    stats: Arc<BatchStats>,
+) {
+    while let Some(jobs) = collect_window(&receiver, window, max_batch) {
+        flush(jobs, &stats);
+    }
+}
+
+/// Blocks for the next job, then gathers whatever else arrives inside the
+/// batching window. Returns `None` once the channel is closed and drained.
+fn collect_window(
+    receiver: &Receiver<InferJob>,
+    window: Duration,
+    max_batch: usize,
+) -> Option<Vec<InferJob>> {
+    let first = receiver.recv().ok()?;
+    // Never hold a job past its own deadline waiting for company.
+    let mut window_end = (Instant::now() + window).min(first.deadline);
+    let mut jobs = vec![first];
+    while jobs.len() < max_batch.max(1) {
+        let now = Instant::now();
+        if now >= window_end {
+            break;
+        }
+        match receiver.recv_timeout(window_end - now) {
+            Ok(job) => {
+                window_end = window_end.min(job.deadline);
+                jobs.push(job);
+            }
+            Err(RecvTimeoutError::Timeout) => break,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Some(jobs)
+}
+
+/// Groups the collected jobs by model (preserving arrival order within each
+/// group) and answers every one.
+fn flush(jobs: Vec<InferJob>, stats: &BatchStats) {
+    let mut groups: Vec<(String, Vec<InferJob>)> = Vec::new();
+    for job in jobs {
+        match groups.iter_mut().find(|(name, _)| *name == job.model_name) {
+            Some((_, group)) => group.push(job),
+            None => groups.push((job.model_name.clone(), vec![job])),
+        }
+    }
+    for (_, group) in groups {
+        run_group(group, stats);
+    }
+}
+
+/// One batched forward pass for a same-model group of jobs.
+fn run_group(group: Vec<InferJob>, stats: &BatchStats) {
+    // Jobs that aged out while waiting are answered without inference and
+    // never enter the forward pass.
+    let now = Instant::now();
+    let (live, dead): (Vec<InferJob>, Vec<InferJob>) =
+        group.into_iter().partition(|job| job.deadline > now);
+    for job in dead {
+        let _ = job.reply.send(InferOutcome::Expired);
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    if live.len() >= 2 {
+        stats
+            .batched_jobs
+            .fetch_add(live.len() as u64, Ordering::Relaxed);
+    }
+
+    let model = Arc::clone(&live[0].model);
+    let batch = if live.len() == 1 {
+        BatchedGraph::single(Arc::clone(&live[0].op))
+    } else {
+        let ops: Vec<&CsrMatrix> = live.iter().map(|job| job.op.as_ref()).collect();
+        BatchedGraph::from_ops(&ops)
+    };
+    let xs: Vec<&Matrix> = live.iter().map(|job| &job.x).collect();
+    // A panic (malformed shapes slipping through, a model bug) must cost
+    // this group a typed error, not the batcher thread.
+    let values = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        model.predict_batched(&batch, &xs)
+    }));
+    match values {
+        Ok(values) => {
+            for (job, value) in live.into_iter().zip(values) {
+                let outcome = if value.is_finite() {
+                    InferOutcome::Value(value)
+                } else {
+                    InferOutcome::NonFinite(format!(
+                        "model `{}` produced a non-finite prediction",
+                        job.model_name
+                    ))
+                };
+                let _ = job.reply.send(outcome);
+            }
+        }
+        Err(_) => {
+            for job in live {
+                let _ = job.reply.send(InferOutcome::Panicked);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icnet::{Aggregation, CircuitGraph, FeatureSet, GraphModel, ModelKind};
+
+    fn job_parts() -> (Arc<GraphModel>, Arc<CsrMatrix>, Matrix) {
+        let circuit = netlist::c17();
+        let graph = CircuitGraph::from_circuit(&circuit);
+        let op = Arc::new(ModelKind::ICNet.operator(&graph));
+        let x = icnet::encode_features(&circuit, &[circuit.find("n10").unwrap()], FeatureSet::All);
+        let model = Arc::new(GraphModel::new(
+            ModelKind::ICNet,
+            Aggregation::Nn,
+            7,
+            8,
+            6,
+            42,
+        ));
+        (model, op, x)
+    }
+
+    fn make_job(
+        name: &str,
+        model: &Arc<GraphModel>,
+        op: &Arc<CsrMatrix>,
+        x: &Matrix,
+        deadline: Instant,
+    ) -> (InferJob, Receiver<InferOutcome>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (
+            InferJob {
+                model_name: name.to_owned(),
+                model: Arc::clone(model),
+                op: Arc::clone(op),
+                x: x.clone(),
+                deadline,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn grouped_jobs_get_the_same_answers_as_sequential_inference() {
+        let (model, op, x) = job_parts();
+        let direct = model.predict(&op, &x);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let stats = BatchStats::default();
+        let (a, rx_a) = make_job("m", &model, &op, &x, deadline);
+        let (b, rx_b) = make_job("m", &model, &op, &x, deadline);
+        let (c, rx_c) = make_job("m", &model, &op, &x, deadline);
+        flush(vec![a, b, c], &stats);
+        for rx in [rx_a, rx_b, rx_c] {
+            assert_eq!(rx.recv().unwrap(), InferOutcome::Value(direct));
+        }
+        assert_eq!(stats.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.batched_jobs.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn different_models_flush_as_separate_groups() {
+        let (model, op, x) = job_parts();
+        let other = Arc::new(GraphModel::new(
+            ModelKind::ICNet,
+            Aggregation::Sum,
+            7,
+            8,
+            6,
+            7,
+        ));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let stats = BatchStats::default();
+        let (a, rx_a) = make_job("alpha", &model, &op, &x, deadline);
+        let (b, rx_b) = make_job("beta", &other, &op, &x, deadline);
+        flush(vec![a, b], &stats);
+        assert_eq!(
+            rx_a.recv().unwrap(),
+            InferOutcome::Value(model.predict(&op, &x))
+        );
+        assert_eq!(
+            rx_b.recv().unwrap(),
+            InferOutcome::Value(other.predict(&op, &x))
+        );
+        assert_eq!(stats.batches.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            stats.batched_jobs.load(Ordering::Relaxed),
+            0,
+            "singleton groups are not counted as batched"
+        );
+    }
+
+    #[test]
+    fn expired_jobs_are_answered_without_inference() {
+        let (model, op, x) = job_parts();
+        let stats = BatchStats::default();
+        let past = Instant::now() - Duration::from_millis(1);
+        let future = Instant::now() + Duration::from_secs(5);
+        let (stale, rx_stale) = make_job("m", &model, &op, &x, past);
+        let (fresh, rx_fresh) = make_job("m", &model, &op, &x, future);
+        flush(vec![stale, fresh], &stats);
+        assert_eq!(rx_stale.recv().unwrap(), InferOutcome::Expired);
+        assert!(matches!(rx_fresh.recv().unwrap(), InferOutcome::Value(_)));
+    }
+
+    #[test]
+    fn a_poisoned_group_gets_typed_panics_not_a_dead_thread() {
+        let (model, op, x) = job_parts();
+        let stats = BatchStats::default();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let bad = Matrix::zeros(3, 7); // wrong node count for the c17 op
+        let (a, rx_a) = make_job("m", &model, &op, &bad, deadline);
+        let (b, rx_b) = make_job("m", &model, &op, &x, deadline);
+        flush(vec![a, b], &stats);
+        assert_eq!(rx_a.recv().unwrap(), InferOutcome::Panicked);
+        assert_eq!(rx_b.recv().unwrap(), InferOutcome::Panicked);
+    }
+
+    #[test]
+    fn collect_window_respects_max_batch_and_disconnect() {
+        let (model, op, x) = job_parts();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let (tx, rx) = std::sync::mpsc::channel::<InferJob>();
+        let mut keep = Vec::new();
+        for _ in 0..3 {
+            let (job, out) = make_job("m", &model, &op, &x, deadline);
+            tx.send(job).unwrap();
+            keep.push(out);
+        }
+        let batch = collect_window(&rx, Duration::from_millis(50), 2).expect("jobs queued");
+        assert_eq!(batch.len(), 2, "window caps at max_batch");
+        drop(tx);
+        let rest = collect_window(&rx, Duration::from_millis(50), 2).expect("one job left");
+        assert_eq!(rest.len(), 1);
+        assert!(
+            collect_window(&rx, Duration::from_millis(1), 2).is_none(),
+            "closed and drained"
+        );
+    }
+}

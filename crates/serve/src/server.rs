@@ -28,11 +28,12 @@
 //! [`ErrorCode::ShuttingDown`]), workers finish every admitted request at a
 //! request boundary, and `join` returns only when the pool is idle.
 
+use crate::microbatch::{self, BatchStats, InferJob, InferOutcome};
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameReadError, FrameType, Reply, Request,
     DEFAULT_MAX_PAYLOAD,
 };
-use crate::registry::{ModelEntry, ModelRegistry};
+use crate::registry::ModelRegistry;
 use attack::CancelToken;
 use icnet::{encode_features, CircuitGraph};
 use netlist::Circuit;
@@ -61,6 +62,12 @@ pub struct ServeConfig {
     /// Socket read/write timeout — bounds how long a slow or vanished
     /// client can hold a worker.
     pub io_timeout: Duration,
+    /// How long the inference micro-batcher holds the first queued request
+    /// while it waits for company (never past any held request's deadline).
+    /// `0` runs every request alone through the same path.
+    pub batch_window: Duration,
+    /// Most requests one batched forward pass may serve.
+    pub max_batch: usize,
     /// Cooperative shutdown token (the binaries pass the SIGINT token).
     pub cancel: CancelToken,
 }
@@ -75,6 +82,8 @@ impl Default for ServeConfig {
             default_deadline: Duration::from_secs(5),
             max_deadline: Duration::from_secs(60),
             io_timeout: Duration::from_secs(2),
+            batch_window: Duration::from_millis(1),
+            max_batch: 16,
             cancel: CancelToken::default(),
         }
     }
@@ -106,6 +115,11 @@ pub struct ServeStats {
     pub worker_deaths: u64,
     /// Replacement workers spawned by the monitor.
     pub respawns: u64,
+    /// Batched forward passes the micro-batcher executed (including
+    /// singleton groups).
+    pub infer_batches: u64,
+    /// Requests answered through a micro-batch of size ≥ 2.
+    pub batched_requests: u64,
 }
 
 struct Shared {
@@ -113,6 +127,10 @@ struct Shared {
     config: ServeConfig,
     queue_len: AtomicUsize,
     counters: Counters,
+    batch_stats: Arc<BatchStats>,
+    /// Sender side of the micro-batcher queue; `join` takes it to let the
+    /// batcher thread drain and exit.
+    infer_tx: Mutex<Option<SyncSender<InferJob>>>,
 }
 
 impl Shared {
@@ -124,6 +142,8 @@ impl Shared {
             errors: self.counters.errors.load(Ordering::Relaxed),
             worker_deaths: self.counters.worker_deaths.load(Ordering::Relaxed),
             respawns: self.counters.respawns.load(Ordering::Relaxed),
+            infer_batches: self.batch_stats.batches.load(Ordering::Relaxed),
+            batched_requests: self.batch_stats.batched_jobs.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,6 +164,7 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: std::thread::JoinHandle<()>,
     monitor: std::thread::JoinHandle<()>,
+    batcher: std::thread::JoinHandle<()>,
 }
 
 impl Server {
@@ -158,11 +179,19 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let cancel = config.cancel.clone();
+        // The inference queue: every worker blocks on its own reply before
+        // sending another job, so a bound of one slot per worker can never
+        // stall the pool.
+        let (infer_sender, infer_receiver) =
+            std::sync::mpsc::sync_channel::<InferJob>(config.workers.max(1));
+        let batch_stats = Arc::new(BatchStats::default());
         let shared = Arc::new(Shared {
             registry,
             config,
             queue_len: AtomicUsize::new(0),
             counters: Counters::default(),
+            batch_stats: Arc::clone(&batch_stats),
+            infer_tx: Mutex::new(Some(infer_sender)),
         });
         let (sender, receiver) =
             std::sync::mpsc::sync_channel::<Job>(shared.config.queue_depth.max(1));
@@ -172,6 +201,17 @@ impl Server {
         for id in 0..shared.config.workers.max(1) {
             workers.push(spawn_worker(id, Arc::clone(&shared), Arc::clone(&receiver)));
         }
+
+        let batcher = {
+            let window = shared.config.batch_window;
+            let max_batch = shared.config.max_batch.max(1);
+            std::thread::Builder::new()
+                .name("serve-batcher".into())
+                .spawn(move || {
+                    microbatch::run_batcher(infer_receiver, window, max_batch, batch_stats)
+                })
+                .expect("spawn batcher")
+        };
 
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -195,6 +235,7 @@ impl Server {
             shared,
             acceptor,
             monitor,
+            batcher,
         })
     }
 
@@ -220,6 +261,16 @@ impl Server {
     pub fn join(self) -> ServeStats {
         let _ = self.acceptor.join();
         let _ = self.monitor.join();
+        // Workers are all gone now; dropping the last sender lets the
+        // batcher drain its queue and exit.
+        drop(
+            self.shared
+                .infer_tx
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take(),
+        );
+        let _ = self.batcher.join();
         self.shared.snapshot()
     }
 }
@@ -678,6 +729,12 @@ fn handle_predict(shared: &Shared, payload: &[u8], request_start: Instant) -> Re
             format!("deadline of {budget:?} expired (includes queue wait)"),
         )
     };
+    // A request that is already past its deadline on arrival — it aged out
+    // in the admission queue, or the client asked for a budget smaller than
+    // its own send latency — fails fast before any pipeline stage runs.
+    if deadline.expired() {
+        return expired();
+    }
 
     let Some(entry) = shared.registry.get(&request.model) else {
         return error(
@@ -717,39 +774,86 @@ fn handle_predict(shared: &Shared, payload: &[u8], request_start: Instant) -> Re
         return expired();
     }
 
-    let prediction = predict(entry, &circuit, &selected);
+    // The cheap per-request stages stay on this worker; the expensive GNN
+    // forward pass goes through the micro-batcher, which packs concurrent
+    // same-model requests into one batched inference.
+    let graph = CircuitGraph::from_circuit(&circuit);
+    let op = Arc::new(entry.model.kind.operator(&graph));
+    let x = encode_features(&circuit, &selected, entry.features);
+    if deadline.expired() {
+        return expired();
+    }
+
+    let sender = shared
+        .infer_tx
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    let Some(tx) = sender else {
+        // The batcher is gone (shutdown drain); in-flight requests still
+        // deserve an answer, so fall back to a direct forward pass.
+        let value = entry.model.predict(&op, &x);
+        return finish_prediction(value, &entry.name, &deadline, expired);
+    };
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    let job = InferJob {
+        model_name: entry.name.clone(),
+        model: Arc::clone(&entry.model),
+        op,
+        x,
+        deadline: deadline.0,
+        reply: reply_tx,
+    };
+    if let Err(std::sync::mpsc::SendError(job)) = tx.send(job) {
+        // The batcher hung up between the clone and the send; same fallback.
+        let value = entry.model.predict(&job.op, &job.x);
+        return finish_prediction(value, &entry.name, &deadline, expired);
+    }
+
+    // The batcher answers within deadline + window by construction; the
+    // extra slack only guards against a wedged thread.
+    let wait = deadline
+        .0
+        .saturating_duration_since(Instant::now())
+        .saturating_add(shared.config.batch_window)
+        .saturating_add(Duration::from_secs(1));
+    match reply_rx.recv_timeout(wait) {
+        Ok(InferOutcome::Value(value)) => finish_prediction(value, &entry.name, &deadline, expired),
+        Ok(InferOutcome::Expired) => expired(),
+        Ok(InferOutcome::NonFinite(message)) => error(ErrorCode::BadRequest, message),
+        Ok(InferOutcome::Panicked) => error(
+            ErrorCode::Internal,
+            "prediction pipeline panicked; the worker survived".into(),
+        ),
+        Err(_) => error(
+            ErrorCode::Internal,
+            "inference batcher did not answer".into(),
+        ),
+    }
+}
+
+/// Stamps the post-inference deadline check and wraps the value.
+fn finish_prediction(
+    value: f64,
+    model_name: &str,
+    deadline: &Deadline,
+    expired: impl Fn() -> Reply,
+) -> Reply {
     if deadline.expired() {
         // The work finished but too late; an honest deadline error beats a
         // stale answer the client has already given up on.
         return expired();
     }
-    match prediction {
-        Ok(value) => Reply::Prediction {
+    if value.is_finite() {
+        Reply::Prediction {
             value,
             infer_ns: 0, // stamped by the caller with the measured wall
             wait_ns: 0,
-        },
-        Err(message) => error(ErrorCode::BadRequest, message),
-    }
-}
-
-/// One inference: operator from the request circuit, features from the
-/// mask, forward pass of the registry model.
-fn predict(
-    entry: &ModelEntry,
-    circuit: &Circuit,
-    selected: &[netlist::GateId],
-) -> Result<f64, String> {
-    let graph = CircuitGraph::from_circuit(circuit);
-    let op = Arc::new(entry.model.kind.operator(&graph));
-    let x = encode_features(circuit, selected, entry.features);
-    let value = entry.model.predict(&op, &x);
-    if value.is_finite() {
-        Ok(value)
+        }
     } else {
-        Err(format!(
-            "model `{}` produced a non-finite prediction",
-            entry.name
-        ))
+        Reply::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("model `{model_name}` produced a non-finite prediction"),
+        }
     }
 }

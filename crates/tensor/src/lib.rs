@@ -37,10 +37,14 @@ pub mod init;
 pub mod linalg;
 mod matrix;
 mod optim;
+mod pool;
+mod segments;
 mod sparse;
 mod tape;
 
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
+pub use pool::BufferPool;
+pub use segments::Segments;
 pub use sparse::CsrMatrix;
 pub use tape::{Tape, VarId};

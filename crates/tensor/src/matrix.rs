@@ -1,4 +1,103 @@
 use std::fmt;
+use std::ops::Range;
+
+/// Column-tile width for the blocked matmul kernel: 256 columns keep the
+/// active output/right-hand rows within L1 while the k loop streams the
+/// left operand. Tiling only reorders independent output columns, so
+/// results stay bit-identical to the untiled loop (each element still
+/// accumulates in ascending-k order).
+const MATMUL_COL_TILE: usize = 256;
+
+/// Shared matmul row-band kernel: `out = a_rows * b`, where `a_rows` holds
+/// whole rows of the left operand (row-major, `ak` columns), `b` is the full
+/// right operand (`bc` columns) and `out` holds the matching output rows.
+/// Every output element is written exactly once (accumulation happens in a
+/// stack scratch tile), so `out` may hold arbitrary stale contents on entry.
+/// The per-element accumulation order is unchanged from the read-modify-write
+/// form — ascending `k`, zero terms skipped — so results are bit-identical.
+fn matmul_rows(a_rows: &[f64], ak: usize, b: &[f64], bc: usize, out: &mut [f64]) {
+    debug_assert!(ak > 0 && bc > 0, "degenerate shapes handled by callers");
+    // The GNN layers multiply tall-skinny matrices whose widths are small
+    // compile-time-friendly constants (features and hidden sizes); a
+    // register-resident accumulator is worth ~3x over the stack tile there.
+    match bc {
+        1 => return matmul_rows_w::<1>(a_rows, ak, b, out),
+        2 => return matmul_rows_w::<2>(a_rows, ak, b, out),
+        4 => return matmul_rows_w::<4>(a_rows, ak, b, out),
+        7 => return matmul_rows_w::<7>(a_rows, ak, b, out),
+        8 => return matmul_rows_w::<8>(a_rows, ak, b, out),
+        16 => return matmul_rows_w::<16>(a_rows, ak, b, out),
+        32 => return matmul_rows_w::<32>(a_rows, ak, b, out),
+        _ => {}
+    }
+    let mut scratch = [0.0f64; MATMUL_COL_TILE];
+    for tile in (0..bc).step_by(MATMUL_COL_TILE) {
+        let width = (bc - tile).min(MATMUL_COL_TILE);
+        let acc = &mut scratch[..width];
+        for (a_row, out_row) in a_rows.chunks_exact(ak).zip(out.chunks_exact_mut(bc)) {
+            acc.fill(0.0);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_tile = &b[k * bc + tile..k * bc + tile + width];
+                for (o, &bv) in acc.iter_mut().zip(b_tile) {
+                    *o += a * bv;
+                }
+            }
+            out_row[tile..tile + width].copy_from_slice(acc);
+        }
+    }
+}
+
+/// [`matmul_rows`] specialized to a compile-time column count `W`: the
+/// accumulator lives in registers instead of a stack slice, and rows are
+/// processed in pairs so the independent FMA chains hide each other's
+/// latency. Neither change touches any output element's accumulation order
+/// — still ascending `k`, zero terms skipped, starting from 0.0 — so the
+/// result is bit-identical to the generic kernel.
+fn matmul_rows_w<const W: usize>(a_rows: &[f64], ak: usize, b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a_rows.len() / ak * W, out.len());
+    let mut a_pairs = a_rows.chunks_exact(2 * ak);
+    let mut o_pairs = out.chunks_exact_mut(2 * W);
+    for (a2, o2) in (&mut a_pairs).zip(&mut o_pairs) {
+        let (a0, a1) = a2.split_at(ak);
+        let mut acc0 = [0.0f64; W];
+        let mut acc1 = [0.0f64; W];
+        for k in 0..ak {
+            let b_row: &[f64; W] = b[k * W..(k + 1) * W].try_into().expect("W-wide row");
+            let (av0, av1) = (a0[k], a1[k]);
+            if av0 != 0.0 {
+                for (o, &bv) in acc0.iter_mut().zip(b_row) {
+                    *o += av0 * bv;
+                }
+            }
+            if av1 != 0.0 {
+                for (o, &bv) in acc1.iter_mut().zip(b_row) {
+                    *o += av1 * bv;
+                }
+            }
+        }
+        let (o0, o1) = o2.split_at_mut(W);
+        o0.copy_from_slice(&acc0);
+        o1.copy_from_slice(&acc1);
+    }
+    let a_rem = a_pairs.remainder();
+    let o_rem = o_pairs.into_remainder();
+    for (a_row, out_row) in a_rem.chunks_exact(ak).zip(o_rem.chunks_exact_mut(W)) {
+        let mut acc = [0.0f64; W];
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_row: &[f64; W] = b[k * W..(k + 1) * W].try_into().expect("W-wide row");
+            for (o, &bv) in acc.iter_mut().zip(b_row) {
+                *o += a * bv;
+            }
+        }
+        out_row.copy_from_slice(&acc);
+    }
+}
 
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -128,6 +227,13 @@ impl Matrix {
         &self.data
     }
 
+    /// Consumes the matrix, returning its flat row-major buffer (the
+    /// inverse of [`Matrix::from_vec`]; lets a [`crate::BufferPool`]
+    /// recycle the allocation).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Mutable flat row-major data.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
@@ -158,11 +264,30 @@ impl Matrix {
     /// contents. Reusing one output buffer across repeated products avoids
     /// an allocation per call on training hot paths.
     ///
+    /// Degenerate shapes (zero rows, zero columns, empty inner dimension)
+    /// are well-defined: the asserts reject any mismatched combination with
+    /// a typed message, and every matching combination yields the
+    /// mathematically correct (possibly empty or all-zero) product. Output
+    /// aliasing is impossible by construction: `rhs: &Matrix` and
+    /// `out: &mut Matrix` cannot refer to the same allocation.
+    ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch or when `out` is not
     /// `rows(self) x cols(rhs)`.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_into_jobs(rhs, out, 1);
+    }
+
+    /// [`Matrix::matmul_into`] with the output rows partitioned across
+    /// `jobs` scoped worker threads. Each thread owns a disjoint contiguous
+    /// row band of `out`, so the result is bit-identical for any `jobs`
+    /// value (the per-element accumulation order never changes).
+    ///
+    /// # Panics
+    ///
+    /// Same shape panics as [`Matrix::matmul_into`].
+    pub fn matmul_into_jobs(&self, rhs: &Matrix, out: &mut Matrix, jobs: usize) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul inner dimensions: {}x{} * {}x{}",
@@ -175,44 +300,113 @@ impl Matrix {
             self.rows,
             rhs.cols
         );
-        out.data.fill(0.0);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
+        let (ak, bc) = (self.cols, rhs.cols);
+        if self.rows == 0 || bc == 0 {
+            return; // no output elements at all
         }
+        if ak == 0 {
+            out.data.fill(0.0); // empty inner dimension: all-zero product
+            return;
+        }
+        let jobs = jobs.max(1).min(self.rows);
+        if jobs == 1 {
+            matmul_rows(&self.data, ak, &rhs.data, bc, &mut out.data);
+            return;
+        }
+        let band = self.rows.div_ceil(jobs);
+        std::thread::scope(|scope| {
+            for (a_band, out_band) in self
+                .data
+                .chunks(band * ak)
+                .zip(out.data.chunks_mut(band * bc))
+            {
+                let b = &rhs.data;
+                scope.spawn(move || matmul_rows(a_band, ak, b, bc, out_band));
+            }
+        });
     }
 
-    /// `self * rhs^T` without materializing the transpose (the backward
-    /// pass of a matmul needs `dC * B^T`; building `B^T` would allocate a
-    /// full copy of `B` per training step).
+    /// [`Matrix::matmul`] with row-banded parallelism (see
+    /// [`Matrix::matmul_into_jobs`]).
+    pub fn matmul_jobs(&self, rhs: &Matrix, jobs: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into_jobs(rhs, &mut out, jobs);
+        out
+    }
+
+    /// `self * rhs^T` (the backward pass of a matmul needs `dC * B^T`,
+    /// where `B` is a small parameter block).
     ///
     /// # Panics
     ///
     /// Panics unless `cols(self) == cols(rhs)`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_nt_jobs(rhs, 1)
+    }
+
+    /// [`Matrix::matmul_nt`] with the output rows partitioned across `jobs`
+    /// scoped worker threads; bit-identical for any `jobs` value (each
+    /// output element is one independent dot product).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cols(self) == cols(rhs)`.
+    pub fn matmul_nt_jobs(&self, rhs: &Matrix, jobs: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into_jobs(rhs, &mut out, jobs);
+        out
+    }
+
+    /// [`Matrix::matmul_nt_jobs`] written into `out`, overwriting its
+    /// contents (buffer-reuse variant for training hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cols(self) == cols(rhs)` and `out` is
+    /// `rows(self) x rows(rhs)`.
+    pub fn matmul_nt_into_jobs(&self, rhs: &Matrix, out: &mut Matrix, jobs: usize) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt inner dimensions: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
-            for (o, b_row) in out_row.iter_mut().zip(rhs.data.chunks_exact(rhs.cols)) {
-                *o = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
-            }
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.rows),
+            "matmul_nt output shape: want {}x{}",
+            self.rows,
+            rhs.rows
+        );
+        if self.rows == 0 || rhs.rows == 0 {
+            return; // no output elements at all
         }
-        out
+        if self.cols == 0 {
+            out.data.fill(0.0); // every dot product is empty
+            return;
+        }
+        // Materializing rhs^T costs one pass over rhs — in the backward
+        // passes that call this, rhs is a small parameter block — and lets
+        // the product run through the register-blocked row kernel instead
+        // of latency-bound scalar dot products. Each output element still
+        // accumulates in ascending-k order from 0.0.
+        let bt = rhs.transpose();
+        let (ak, bc) = (self.cols, rhs.rows);
+        let jobs = jobs.max(1).min(self.rows);
+        if jobs == 1 {
+            matmul_rows(&self.data, ak, &bt.data, bc, &mut out.data);
+            return;
+        }
+        let band = self.rows.div_ceil(jobs);
+        std::thread::scope(|scope| {
+            for (a_band, out_band) in self
+                .data
+                .chunks(band * ak)
+                .zip(out.data.chunks_mut(band * bc))
+            {
+                let b = &bt.data;
+                scope.spawn(move || matmul_rows(a_band, ak, b, bc, out_band));
+            }
+        });
     }
 
     /// `self^T * rhs` without materializing the transpose (the backward
@@ -231,6 +425,44 @@ impl Matrix {
         // Walk self row-major: row k of self contributes a[k][i] * rhs[k][j]
         // to out[i][j] — sequential access on all three buffers.
         for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self[rows]^T * rhs[rows]` — the [`Matrix::matmul_tn`] product
+    /// restricted to one contiguous row segment of both operands. The
+    /// batched backward pass uses this to reproduce, segment by segment,
+    /// exactly the per-instance `A_i^T * dC_i` products (same ascending-k
+    /// accumulation within the segment, so the result is bit-identical to
+    /// slicing the rows out first).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rows(self) == rows(rhs)` and `rows` is within range.
+    pub fn matmul_tn_rows(&self, rhs: &Matrix, rows: Range<usize>) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn inner dimensions: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert!(
+            rows.start <= rows.end && rows.end <= self.rows,
+            "matmul_tn_rows segment {rows:?} out of range for {} rows",
+            self.rows
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in rows {
             let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
             let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
             for (i, &a) in a_row.iter().enumerate() {
@@ -303,12 +535,47 @@ impl Matrix {
         }
     }
 
+    /// [`Matrix::zip`] written into `out`, overwriting its contents
+    /// (buffer-reuse variant for training hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self`, `rhs` and `out` all share one shape.
+    pub fn zip_into(&self, rhs: &Matrix, out: &mut Matrix, mut f: impl FnMut(f64, f64) -> f64) {
+        assert_eq!(self.shape(), rhs.shape(), "element-wise shape mismatch");
+        assert_eq!(
+            self.shape(),
+            out.shape(),
+            "element-wise output shape mismatch"
+        );
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = f(a, b);
+        }
+    }
+
     /// Element-wise map.
     pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|&a| f(a)).collect(),
+        }
+    }
+
+    /// [`Matrix::map`] written into `out`, overwriting its contents
+    /// (buffer-reuse variant for training hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch with `out`.
+    pub fn map_into(&self, out: &mut Matrix, mut f: impl FnMut(f64) -> f64) {
+        assert_eq!(
+            self.shape(),
+            out.shape(),
+            "element-wise output shape mismatch"
+        );
+        for (o, &a) in out.data.iter_mut().zip(&self.data) {
+            *o = f(a);
         }
     }
 
@@ -470,6 +737,113 @@ mod tests {
         let c = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let d = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         assert_eq!(c.matmul_tn(&d), c.transpose().matmul(&d));
+    }
+
+    #[test]
+    fn matmul_into_degenerate_shapes_are_well_defined() {
+        // 0xk * kx0 -> 0x0: legal, empty.
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 0);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), (0, 0));
+        // mxk with k=0: the empty inner dimension yields an all-zero product
+        // and must overwrite stale output contents.
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut out = Matrix::ones(2, 3);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, Matrix::zeros(2, 3));
+        // 1x1 * 1x1 -> 1x1.
+        let a = Matrix::scalar(3.0);
+        let b = Matrix::scalar(-2.0);
+        let mut out = Matrix::scalar(99.0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, Matrix::scalar(-6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_into_rejects_zero_dim_mismatch() {
+        // Degenerate dims must not slip past the shape check.
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(4, 0);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+    }
+
+    #[test]
+    fn matmul_nt_tn_degenerate_shapes() {
+        // (0x2) * (3x2)^T -> 0x3 and the k=0 empty-dot case -> zeros.
+        assert_eq!(
+            Matrix::zeros(0, 2).matmul_nt(&Matrix::ones(3, 2)).shape(),
+            (0, 3)
+        );
+        assert_eq!(
+            Matrix::ones(2, 0).matmul_nt(&Matrix::ones(3, 0)),
+            Matrix::zeros(2, 3)
+        );
+        // (0x2)^T * 0x3 -> 2x3 zeros; (2x0)^T * 2x3 -> 0x3 empty.
+        assert_eq!(
+            Matrix::zeros(0, 2).matmul_tn(&Matrix::zeros(0, 3)),
+            Matrix::zeros(2, 3)
+        );
+        assert_eq!(
+            Matrix::ones(2, 0).matmul_tn(&Matrix::ones(2, 3)).shape(),
+            (0, 3)
+        );
+        // 1x1 cases.
+        assert_eq!(
+            Matrix::scalar(3.0).matmul_nt(&Matrix::scalar(4.0)),
+            Matrix::scalar(12.0)
+        );
+        assert_eq!(
+            Matrix::scalar(3.0).matmul_tn(&Matrix::scalar(4.0)),
+            Matrix::scalar(12.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt inner dimensions")]
+    fn matmul_nt_rejects_zero_dim_mismatch() {
+        let _ = Matrix::zeros(2, 0).matmul_nt(&Matrix::zeros(3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_tn inner dimensions")]
+    fn matmul_tn_rejects_zero_dim_mismatch() {
+        let _ = Matrix::zeros(0, 2).matmul_tn(&Matrix::zeros(1, 3));
+    }
+
+    #[test]
+    fn matmul_jobs_is_bit_identical_to_serial() {
+        let a = Matrix::from_fn(17, 13, |r, c| ((r * 31 + c * 7) % 11) as f64 - 5.0);
+        let b = Matrix::from_fn(13, 9, |r, c| ((r * 13 + c * 3) % 7) as f64 - 3.0);
+        let serial = a.matmul(&b);
+        for jobs in [1, 2, 3, 8, 64] {
+            assert_eq!(a.matmul_jobs(&b, jobs), serial, "jobs={jobs}");
+            assert_eq!(
+                a.matmul_nt_jobs(&b.transpose(), jobs),
+                serial,
+                "nt jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_tn_rows_matches_sliced_product() {
+        let a = Matrix::from_fn(10, 4, |r, c| ((r * 5 + c) % 9) as f64 - 4.0);
+        let b = Matrix::from_fn(10, 3, |r, c| ((r * 7 + c * 2) % 5) as f64 - 2.0);
+        // Whole range == matmul_tn; sub-range == matmul_tn of the row slice.
+        assert_eq!(a.matmul_tn_rows(&b, 0..10), a.matmul_tn(&b));
+        let sub = |m: &Matrix, lo: usize, hi: usize| {
+            Matrix::from_fn(hi - lo, m.cols(), |r, c| m.get(lo + r, c))
+        };
+        assert_eq!(
+            a.matmul_tn_rows(&b, 3..7),
+            sub(&a, 3, 7).matmul_tn(&sub(&b, 3, 7))
+        );
+        assert_eq!(a.matmul_tn_rows(&b, 5..5), Matrix::zeros(4, 3));
     }
 
     #[test]

@@ -54,6 +54,39 @@ impl CsrMatrix {
         }
     }
 
+    /// Stacks square or rectangular blocks down the diagonal:
+    /// `diag(blocks[0], blocks[1], ...)`. This is how a batch of B graph
+    /// operators becomes one sparse operator — row and column indices of
+    /// block `i` are shifted by the cumulative row/column counts of the
+    /// blocks before it. Row order and within-row column order are
+    /// preserved, so a sparse-dense product against the stacked matrix
+    /// accumulates in exactly the same order as B separate products.
+    pub fn block_diag(blocks: &[&CsrMatrix]) -> CsrMatrix {
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        indptr.push(0usize);
+        let mut nnz_offset = 0usize;
+        let mut col_offset = 0u32;
+        for block in blocks {
+            indptr.extend(block.indptr[1..].iter().map(|&p| p + nnz_offset));
+            indices.extend(block.indices.iter().map(|&c| c + col_offset));
+            values.extend_from_slice(&block.values);
+            nnz_offset += block.nnz();
+            col_offset += block.cols as u32;
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
     /// The `n x n` sparse identity.
     pub fn identity(n: usize) -> Self {
         CsrMatrix {
@@ -107,6 +140,27 @@ impl CsrMatrix {
     /// Panics on inner-dimension mismatch or when `out` is not
     /// `rows(self) x cols(rhs)`.
     pub fn spmm_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.spmm_into_jobs(rhs, out, 1);
+    }
+
+    /// [`CsrMatrix::spmm`] with row-banded parallelism (see
+    /// [`CsrMatrix::spmm_into_jobs`]).
+    pub fn spmm_jobs(&self, rhs: &Matrix, jobs: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        self.spmm_into_jobs(rhs, &mut out, jobs);
+        out
+    }
+
+    /// [`CsrMatrix::spmm_into`] with the output rows partitioned across
+    /// `jobs` scoped worker threads. Each thread owns a disjoint contiguous
+    /// row band of `out` (sparse rows are row-exclusive in CSR), so the
+    /// result is bit-identical for any `jobs` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or when `out` is not
+    /// `rows(self) x cols(rhs)`.
+    pub fn spmm_into_jobs(&self, rhs: &Matrix, out: &mut Matrix, jobs: usize) {
         assert_eq!(
             self.cols,
             rhs.rows(),
@@ -123,20 +177,74 @@ impl CsrMatrix {
             self.rows,
             rhs.cols()
         );
-        out.as_mut_slice().fill(0.0);
         let f = rhs.cols();
-        let out_data = out.as_mut_slice();
+        if self.rows == 0 || f == 0 {
+            return; // no output elements at all
+        }
+        let jobs = jobs.max(1).min(self.rows);
+        if jobs == 1 {
+            self.spmm_rows(rhs.as_slice(), f, out.as_mut_slice(), 0);
+            return;
+        }
+        let band = self.rows.div_ceil(jobs);
         let rhs_data = rhs.as_slice();
-        for r in 0..self.rows {
+        std::thread::scope(|scope| {
+            for (chunk_idx, out_band) in out.as_mut_slice().chunks_mut(band * f).enumerate() {
+                let this = &*self;
+                scope.spawn(move || {
+                    this.spmm_rows(rhs_data, f, out_band, chunk_idx * band);
+                });
+            }
+        });
+    }
+
+    /// Kernel shared by the serial and banded spmm paths: fills `out_band`
+    /// with the product rows. Each destination row is zeroed right before
+    /// its accumulation (while it is cache-hot), so `out_band` may hold
+    /// stale contents on entry and no separate whole-matrix zeroing pass is
+    /// needed; the per-element accumulation order is unchanged.
+    fn spmm_rows(&self, rhs_data: &[f64], f: usize, out_band: &mut [f64], row0: usize) {
+        // Register-resident accumulators for the common narrow widths (the
+        // GNN feature/hidden sizes); bit-identical to the generic loop.
+        match f {
+            4 => return self.spmm_rows_w::<4>(rhs_data, out_band, row0),
+            7 => return self.spmm_rows_w::<7>(rhs_data, out_band, row0),
+            8 => return self.spmm_rows_w::<8>(rhs_data, out_band, row0),
+            16 => return self.spmm_rows_w::<16>(rhs_data, out_band, row0),
+            32 => return self.spmm_rows_w::<32>(rhs_data, out_band, row0),
+            _ => {}
+        }
+        for (local, dst) in out_band.chunks_exact_mut(f).enumerate() {
+            let r = row0 + local;
+            dst.fill(0.0);
             for i in self.indptr[r]..self.indptr[r + 1] {
                 let c = self.indices[i] as usize;
                 let v = self.values[i];
                 let src = &rhs_data[c * f..(c + 1) * f];
-                let dst = &mut out_data[r * f..(r + 1) * f];
                 for (o, &x) in dst.iter_mut().zip(src) {
                     *o += v * x;
                 }
             }
+        }
+    }
+
+    /// [`CsrMatrix::spmm_rows`] specialized to a compile-time dense width
+    /// `W`: the destination row accumulates in registers and is stored once.
+    /// Per-element accumulation order (ascending nonzero index from 0.0) is
+    /// unchanged, so results are bit-identical to the generic kernel.
+    fn spmm_rows_w<const W: usize>(&self, rhs_data: &[f64], out_band: &mut [f64], row0: usize) {
+        for (local, dst) in out_band.chunks_exact_mut(W).enumerate() {
+            let r = row0 + local;
+            let mut acc = [0.0f64; W];
+            for i in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[i] as usize;
+                let v = self.values[i];
+                let src: &[f64; W] = rhs_data[c * W..(c + 1) * W].try_into().expect("W-wide row");
+                for (o, &x) in acc.iter_mut().zip(src) {
+                    *o += v * x;
+                }
+            }
+            dst.copy_from_slice(&acc);
         }
     }
 
@@ -275,5 +383,99 @@ mod tests {
     #[test]
     fn display_mentions_nnz() {
         assert!(example().to_string().contains("4 nnz"));
+    }
+
+    #[test]
+    fn block_diag_matches_dense_construction() {
+        let a = example();
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 0, 5.0), (1, 1, -1.0)]);
+        let d = CsrMatrix::block_diag(&[&a, &b]);
+        assert_eq!(d.rows(), 5);
+        assert_eq!(d.cols(), 5);
+        assert_eq!(d.nnz(), a.nnz() + b.nnz());
+        let dense = d.to_dense();
+        for (r, c, v) in a.iter() {
+            assert_eq!(dense.get(r, c), v);
+        }
+        for (r, c, v) in b.iter() {
+            assert_eq!(dense.get(3 + r, 3 + c), v);
+        }
+        // Off-diagonal blocks are structurally zero.
+        assert_eq!(dense.get(0, 4), 0.0);
+        assert_eq!(dense.get(4, 0), 0.0);
+    }
+
+    #[test]
+    fn block_diag_spmm_equals_per_block_spmm() {
+        let a = example();
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 0.5), (1, 1, 1.5)]);
+        let d = CsrMatrix::block_diag(&[&a, &b]);
+        let xa = Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5], &[0.0, 3.0]]);
+        let xb = Matrix::from_rows(&[&[4.0, 1.0], &[-2.0, 2.0]]);
+        let mut stacked = xa.as_slice().to_vec();
+        stacked.extend_from_slice(xb.as_slice());
+        let out = d.spmm(&Matrix::from_vec(5, 2, stacked));
+        let (oa, ob) = (a.spmm(&xa), b.spmm(&xb));
+        for r in 0..3 {
+            assert_eq!(out.row(r), oa.row(r));
+        }
+        for r in 0..2 {
+            assert_eq!(out.row(3 + r), ob.row(r));
+        }
+    }
+
+    #[test]
+    fn block_diag_of_nothing_is_empty() {
+        let d = CsrMatrix::block_diag(&[]);
+        assert_eq!((d.rows(), d.cols(), d.nnz()), (0, 0, 0));
+    }
+
+    #[test]
+    fn spmm_jobs_is_bit_identical_to_serial() {
+        let s = CsrMatrix::from_triplets(
+            7,
+            7,
+            &[
+                (0, 1, 1.5),
+                (1, 0, -2.0),
+                (2, 2, 0.25),
+                (3, 6, 3.0),
+                (5, 0, 1.0),
+                (5, 5, -0.5),
+                (6, 4, 2.0),
+            ],
+        );
+        let d = Matrix::from_fn(7, 3, |r, c| ((r * 3 + c) % 5) as f64 - 2.0);
+        let serial = s.spmm(&d);
+        for jobs in [1, 2, 3, 16] {
+            assert_eq!(s.spmm_jobs(&d, jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn spmm_into_degenerate_shapes_are_well_defined() {
+        // 0xk sparse * kx0 dense -> 0x0.
+        let s = CsrMatrix::from_triplets(0, 3, &[]);
+        let mut out = Matrix::zeros(0, 0);
+        s.spmm_into(&Matrix::zeros(3, 0), &mut out);
+        assert_eq!(out.shape(), (0, 0));
+        // n x 0 sparse * 0 x f dense -> n x f zeros, overwriting stale data.
+        let s = CsrMatrix::from_triplets(2, 0, &[]);
+        let mut out = Matrix::ones(2, 3);
+        s.spmm_into(&Matrix::zeros(0, 3), &mut out);
+        assert_eq!(out, Matrix::zeros(2, 3));
+        // 1x1 * 1x1.
+        let s = CsrMatrix::from_triplets(1, 1, &[(0, 0, 2.0)]);
+        let mut out = Matrix::scalar(9.0);
+        s.spmm_into(&Matrix::scalar(3.5), &mut out);
+        assert_eq!(out, Matrix::scalar(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm inner dimensions")]
+    fn spmm_into_rejects_zero_dim_mismatch() {
+        let s = CsrMatrix::from_triplets(0, 3, &[]);
+        let mut out = Matrix::zeros(0, 0);
+        s.spmm_into(&Matrix::zeros(4, 0), &mut out);
     }
 }

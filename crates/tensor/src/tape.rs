@@ -11,6 +11,8 @@
 //! same operator (see `icnet::train`).
 
 use crate::matrix::Matrix;
+use crate::pool::BufferPool;
+use crate::segments::Segments;
 use crate::sparse::CsrMatrix;
 use std::sync::Arc;
 
@@ -39,6 +41,51 @@ enum Op {
     SumAll(VarId),
     MeanAll(VarId),
     SoftmaxCol(VarId),
+    /// Matmul over a row-stacked batch whose `b`-side (parameter) gradient
+    /// is reduced per row segment, scaled by `scale`, in segment order —
+    /// reproducing the per-instance trainer's `acc.axpy(scale, g_i)` fold
+    /// bit for bit.
+    MatMulSeg {
+        a: VarId,
+        b: VarId,
+        segments: Arc<Segments>,
+        scale: f64,
+    },
+    /// Per-segment row sum: `(total_rows x C) -> (num_segments x C)`.
+    SegmentSum {
+        a: VarId,
+        segments: Arc<Segments>,
+    },
+    /// Softmax down a stacked column, renormalized per row segment.
+    SegmentSoftmaxCol {
+        a: VarId,
+        segments: Arc<Segments>,
+    },
+    /// Broadcast of `softmax(theta)^T` over every row of a stacked batch;
+    /// theta's gradient is reduced per segment with `scale` (the batched
+    /// form of the ICNet feature-attention spread).
+    BroadcastSoftmaxSeg {
+        theta: VarId,
+        segments: Arc<Segments>,
+        scale: f64,
+    },
+    /// Bias-row add whose bias gradient folds row contributions with
+    /// `scale` in row order (rows are the per-graph outputs of a batch).
+    AddBiasRowSeg {
+        x: VarId,
+        bias: VarId,
+        scale: f64,
+    },
+    /// Attention-weighted per-segment row sum:
+    /// `out[s] = sum_{r in seg s} attn[r] * h[r]` — the fused form of
+    /// spreading `attn` across columns, multiplying into `h` and
+    /// segment-summing, in one pass over `h` instead of three full
+    /// intermediates.
+    SegmentWeightedSum {
+        h: VarId,
+        attn: VarId,
+        segments: Arc<Segments>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -58,21 +105,27 @@ fn wants_grad(node: &Node) -> bool {
 }
 
 /// Adds an owned gradient contribution to node `v` (moves the matrix into
-/// an empty slot — no copy on the first contribution).
-fn accumulate_owned(nodes: &mut [Node], v: VarId, grad: Matrix) {
+/// an empty slot — no copy on the first contribution). Contributions that
+/// are not kept (constants, second-and-later accumulations) surrender their
+/// buffer to `pool`.
+fn accumulate_owned(nodes: &mut [Node], pool: &mut BufferPool, v: VarId, grad: Matrix) {
     let node = &mut nodes[v.0];
     if !wants_grad(node) {
-        return; // constants do not collect gradients
+        pool.absorb(grad); // constants do not collect gradients
+        return;
     }
     match &mut node.grad {
-        Some(g) => g.axpy(1.0, &grad),
+        Some(g) => {
+            g.axpy(1.0, &grad);
+            pool.absorb(grad);
+        }
         slot @ None => *slot = Some(grad),
     }
 }
 
 /// Adds `c * grad` to node `v` without allocating a scaled temporary when a
 /// gradient buffer already exists (the accumulation hot path of backprop).
-fn accumulate_scaled(nodes: &mut [Node], v: VarId, c: f64, grad: &Matrix) {
+fn accumulate_scaled(nodes: &mut [Node], pool: &mut BufferPool, v: VarId, c: f64, grad: &Matrix) {
     let node = &mut nodes[v.0];
     if !wants_grad(node) {
         return;
@@ -80,13 +133,27 @@ fn accumulate_scaled(nodes: &mut [Node], v: VarId, c: f64, grad: &Matrix) {
     match &mut node.grad {
         Some(g) => g.axpy(c, grad),
         slot @ None => {
-            *slot = Some(if c == 1.0 {
-                grad.clone()
+            let (rows, cols) = grad.shape();
+            let mut m = pool.alloc(rows, cols);
+            if c == 1.0 {
+                grad.map_into(&mut m, |g| g);
             } else {
-                grad.scale(c)
-            });
+                grad.map_into(&mut m, |g| g * c);
+            }
+            *slot = Some(m);
         }
     }
+}
+
+/// Numerically stable softmax of a slice. One code path shared by the
+/// per-column and per-segment softmax ops, so a segment of a batched column
+/// produces bit-identical values to the same rows run through
+/// [`Tape::softmax_col`] alone.
+fn softmax_slice(xs: &[f64]) -> Vec<f64> {
+    let max = xs.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+    let exps: Vec<f64> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / total).collect()
 }
 
 /// Looks up (or computes once) the transpose of a shared sparse operator.
@@ -114,12 +181,67 @@ pub struct Tape {
     // Arc, which keeps the allocation alive (the address cannot be reused
     // while the entry exists).
     sparse_transposes: Vec<(usize, Arc<CsrMatrix>)>,
+    // Worker threads for row-banded kernels (0 and 1 both mean serial).
+    // Banding is row-exclusive, so results are bit-identical for any value.
+    jobs: usize,
+    // Recycled buffers for node values and gradients (see [`BufferPool`]).
+    pool: BufferPool,
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
         Tape::default()
+    }
+
+    /// An empty tape that allocates node values and gradients from `pool`.
+    /// Training loops pass the pool from tape to tape (reclaiming it with
+    /// [`Tape::into_pool`]) so steady-state steps reuse the same buffers
+    /// instead of hitting the allocator — results are bit-identical either
+    /// way.
+    pub fn with_pool(pool: BufferPool) -> Self {
+        Tape {
+            pool,
+            ..Tape::default()
+        }
+    }
+
+    /// Consumes the tape, surrendering every node value and gradient buffer
+    /// to the returned pool (the counterpart of [`Tape::with_pool`]).
+    pub fn into_pool(mut self) -> BufferPool {
+        let mut pool = std::mem::take(&mut self.pool);
+        for node in self.nodes.drain(..) {
+            pool.absorb(node.value);
+            if let Some(g) = node.grad {
+                pool.absorb(g);
+            }
+        }
+        pool
+    }
+
+    /// Sets the worker-thread count for row-banded kernels (spmm and the
+    /// batched matmul). Results are bit-identical for any value; the
+    /// default (serial) is right for tapes that are themselves run on
+    /// per-instance worker threads.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs;
+    }
+
+    /// Seeds the sparse-transpose cache with a precomputed transpose, so
+    /// the backward pass of `spmm` nodes on `sparse` skips the per-tape
+    /// transpose rebuild. A batched trainer computes one operator transpose
+    /// per batch layout and re-seeds every fresh tape with it (tapes are
+    /// rebuilt per step; the transpose is not).
+    pub fn seed_transpose(&mut self, sparse: &Arc<CsrMatrix>, transpose: Arc<CsrMatrix>) {
+        assert_eq!(
+            (transpose.rows(), transpose.cols()),
+            (sparse.cols(), sparse.rows()),
+            "seeded transpose shape mismatch"
+        );
+        let key = Arc::as_ptr(sparse) as usize;
+        if !self.sparse_transposes.iter().any(|(k, _)| *k == key) {
+            self.sparse_transposes.push((key, transpose));
+        }
     }
 
     /// Number of recorded nodes.
@@ -186,37 +308,53 @@ impl Tape {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
-        let value = self.value(a).matmul(self.value(b));
+        let (rows, cols) = (self.value(a).rows(), self.value(b).cols());
+        let mut value = self.pool.alloc(rows, cols);
+        self.value(a).matmul_into(self.value(b), &mut value);
         self.push(value, Op::MatMul(a, b))
     }
 
     /// Sparse-constant × dense product (`sparse` receives no gradient).
     pub fn spmm(&mut self, sparse: Arc<CsrMatrix>, dense: VarId) -> VarId {
-        let value = sparse.spmm(self.value(dense));
+        let jobs = self.jobs.max(1);
+        let cols = self.value(dense).cols();
+        let mut value = self.pool.alloc(sparse.rows(), cols);
+        sparse.spmm_into_jobs(self.value(dense), &mut value, jobs);
         self.push(value, Op::SpMM { sparse, dense })
     }
 
     /// Element-wise sum.
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
-        let value = self.value(a).add(self.value(b));
+        let (rows, cols) = self.value(a).shape();
+        let mut value = self.pool.alloc(rows, cols);
+        self.value(a)
+            .zip_into(self.value(b), &mut value, |x, y| x + y);
         self.push(value, Op::Add(a, b))
     }
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
-        let value = self.value(a).sub(self.value(b));
+        let (rows, cols) = self.value(a).shape();
+        let mut value = self.pool.alloc(rows, cols);
+        self.value(a)
+            .zip_into(self.value(b), &mut value, |x, y| x - y);
         self.push(value, Op::Sub(a, b))
     }
 
     /// Element-wise product.
     pub fn hadamard(&mut self, a: VarId, b: VarId) -> VarId {
-        let value = self.value(a).hadamard(self.value(b));
+        let (rows, cols) = self.value(a).shape();
+        let mut value = self.pool.alloc(rows, cols);
+        self.value(a)
+            .zip_into(self.value(b), &mut value, |x, y| x * y);
         self.push(value, Op::Hadamard(a, b))
     }
 
     /// Scalar multiple.
     pub fn scale(&mut self, a: VarId, c: f64) -> VarId {
-        let value = self.value(a).scale(c);
+        let (rows, cols) = self.value(a).shape();
+        let mut value = self.pool.alloc(rows, cols);
+        self.value(a).map_into(&mut value, |v| v * c);
         self.push(value, Op::Scale(a, c))
     }
 
@@ -228,21 +366,36 @@ impl Tape {
     pub fn add_bias_row(&mut self, x: VarId, bias: VarId) -> VarId {
         let (xr, xc) = self.value(x).shape();
         assert_eq!(self.value(bias).shape(), (1, xc), "bias must be 1 x cols");
-        let bias_row: Vec<f64> = self.value(bias).as_slice().to_vec();
-        let xv = self.value(x);
-        let value = Matrix::from_fn(xr, xc, |r, c| xv.get(r, c) + bias_row[c]);
+        let mut value = self.pool.alloc(xr, xc);
+        if xc > 0 {
+            let bias_row = self.value(bias).as_slice();
+            let xv = self.value(x).as_slice();
+            for (orow, xrow) in value
+                .as_mut_slice()
+                .chunks_exact_mut(xc)
+                .zip(xv.chunks_exact(xc))
+            {
+                for ((o, &xe), &be) in orow.iter_mut().zip(xrow).zip(bias_row) {
+                    *o = xe + be;
+                }
+            }
+        }
         self.push(value, Op::AddBiasRow(x, bias))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: VarId) -> VarId {
-        let value = self.value(a).map(|v| v.max(0.0));
+        let (rows, cols) = self.value(a).shape();
+        let mut value = self.pool.alloc(rows, cols);
+        self.value(a).map_into(&mut value, |v| v.max(0.0));
         self.push(value, Op::Relu(a))
     }
 
     /// Element-wise exponential.
     pub fn exp(&mut self, a: VarId) -> VarId {
-        let value = self.value(a).map(f64::exp);
+        let (rows, cols) = self.value(a).shape();
+        let mut value = self.pool.alloc(rows, cols);
+        self.value(a).map_into(&mut value, f64::exp);
         self.push(value, Op::Exp(a))
     }
 
@@ -272,14 +425,218 @@ impl Tape {
     pub fn softmax_col(&mut self, a: VarId) -> VarId {
         let v = self.value(a);
         assert_eq!(v.cols(), 1, "softmax_col expects an n x 1 column");
-        let max = v
-            .as_slice()
-            .iter()
-            .fold(f64::NEG_INFINITY, |m, &x| m.max(x));
-        let exps: Vec<f64> = v.as_slice().iter().map(|&x| (x - max).exp()).collect();
-        let total: f64 = exps.iter().sum();
-        let value = Matrix::column(&exps.iter().map(|&e| e / total).collect::<Vec<_>>());
+        let value = Matrix::column(&softmax_slice(v.as_slice()));
         self.push(value, Op::SoftmaxCol(a))
+    }
+
+    /// Batched matrix product `a * b` where `a` stacks the rows of a batch
+    /// of graphs and `b` is a shared parameter. Forward equals
+    /// [`Tape::matmul`]; the backward pass reduces `b`'s gradient per row
+    /// segment — `sum_over_segments(scale * a[seg]^T dC[seg])`, folded in
+    /// segment order — reproducing the per-instance trainer's scaled
+    /// gradient accumulation bit for bit (DESIGN.md §10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` does not cover exactly the rows of `a`.
+    pub fn matmul_seg(&mut self, a: VarId, b: VarId, segments: Arc<Segments>, scale: f64) -> VarId {
+        assert_eq!(
+            self.value(a).rows(),
+            segments.total_rows(),
+            "matmul_seg segments must cover the stacked rows"
+        );
+        let jobs = self.jobs.max(1);
+        let (rows, cols) = (self.value(a).rows(), self.value(b).cols());
+        let mut value = self.pool.alloc(rows, cols);
+        self.value(a)
+            .matmul_into_jobs(self.value(b), &mut value, jobs);
+        self.push(
+            value,
+            Op::MatMulSeg {
+                a,
+                b,
+                segments,
+                scale,
+            },
+        )
+    }
+
+    /// Per-segment row sum: collapses each graph's rows of a stacked
+    /// `(total_rows x C)` matrix into one row, yielding
+    /// `(num_segments x C)`. This is the batched Sum readout (and, scaled,
+    /// the Mean readout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` does not cover exactly the rows of `a`.
+    pub fn segment_sum(&mut self, a: VarId, segments: Arc<Segments>) -> VarId {
+        assert_eq!(
+            self.value(a).rows(),
+            segments.total_rows(),
+            "segment_sum segments must cover the stacked rows"
+        );
+        let cols = self.value(a).cols();
+        let mut value = self.pool.zeros(segments.len(), cols);
+        {
+            let src = self.value(a).as_slice();
+            let dst = value.as_mut_slice();
+            for (s, range) in segments.iter().enumerate() {
+                for r in range {
+                    let row = &src[r * cols..(r + 1) * cols];
+                    let out = &mut dst[s * cols..(s + 1) * cols];
+                    for (o, &x) in out.iter_mut().zip(row) {
+                        *o += x;
+                    }
+                }
+            }
+        }
+        self.push(value, Op::SegmentSum { a, segments })
+    }
+
+    /// Softmax down a stacked `(total_rows x 1)` column, renormalized per
+    /// row segment — each graph's rows form one independent softmax,
+    /// bit-identical to running [`Tape::softmax_col`] on that graph alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a` is a column covered exactly by `segments`.
+    pub fn segment_softmax_col(&mut self, a: VarId, segments: Arc<Segments>) -> VarId {
+        let rows = {
+            let v = self.value(a);
+            assert_eq!(v.cols(), 1, "segment_softmax_col expects an n x 1 column");
+            assert_eq!(
+                v.rows(),
+                segments.total_rows(),
+                "segment_softmax_col segments must cover the stacked rows"
+            );
+            v.rows()
+        };
+        // The segments cover every row exactly once, so each element of the
+        // pooled buffer is overwritten below.
+        let mut value = self.pool.alloc(rows, 1);
+        {
+            let src = self.value(a).as_slice();
+            let data = value.as_mut_slice();
+            for range in segments.iter() {
+                let y = softmax_slice(&src[range.clone()]);
+                data[range].copy_from_slice(&y);
+            }
+        }
+        self.push(value, Op::SegmentSoftmaxCol { a, segments })
+    }
+
+    /// Broadcasts `softmax(theta)^T` (theta is `F x 1`) over every row of a
+    /// stacked batch, yielding `(total_rows x F)`; theta's gradient is
+    /// reduced per segment with `scale` in segment order. This is the
+    /// batched form of the ICNet feature-attention spread
+    /// (`ones(n,1) * softmax(theta)^T` per instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `theta` is a column vector.
+    pub fn broadcast_softmax_seg(
+        &mut self,
+        theta: VarId,
+        segments: Arc<Segments>,
+        scale: f64,
+    ) -> VarId {
+        let t = self.value(theta);
+        assert_eq!(t.cols(), 1, "broadcast_softmax_seg expects an F x 1 theta");
+        let y = softmax_slice(t.as_slice());
+        let f = y.len();
+        let rows = segments.total_rows();
+        let mut value = self.pool.alloc(rows, f);
+        if f > 0 {
+            for row in value.as_mut_slice().chunks_exact_mut(f) {
+                row.copy_from_slice(&y);
+            }
+        }
+        self.push(
+            value,
+            Op::BroadcastSoftmaxSeg {
+                theta,
+                segments,
+                scale,
+            },
+        )
+    }
+
+    /// Attention-weighted per-segment row sum: collapses each segment's
+    /// rows of `h` (`total_rows x C`) into one row of the
+    /// `(num_segments x C)` output, each row weighted by its `attn` entry
+    /// (`total_rows x 1`). One pass over `h` replaces the
+    /// spread-multiply-pool chain (`hadamard(h, attn * ones^T)` followed by
+    /// [`Tape::segment_sum`]) while accumulating each output element in the
+    /// same ascending-row order from 0.0, so the result is bit-identical to
+    /// the unfused composition — and to the per-instance `h^T * attn`
+    /// readout it batches (DESIGN.md §10).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `attn` is a column whose rows match `h`, covered
+    /// exactly by `segments`.
+    pub fn segment_weighted_sum(
+        &mut self,
+        h: VarId,
+        attn: VarId,
+        segments: Arc<Segments>,
+    ) -> VarId {
+        let (rows, cols) = self.value(h).shape();
+        assert_eq!(
+            self.value(attn).shape(),
+            (rows, 1),
+            "segment_weighted_sum expects an n x 1 attention column"
+        );
+        assert_eq!(
+            rows,
+            segments.total_rows(),
+            "segment_weighted_sum segments must cover the stacked rows"
+        );
+        let mut value = self.pool.zeros(segments.len(), cols);
+        {
+            let hs = self.value(h).as_slice();
+            let avs = self.value(attn).as_slice();
+            let dst = value.as_mut_slice();
+            for (s, range) in segments.iter().enumerate() {
+                let out = &mut dst[s * cols..(s + 1) * cols];
+                for r in range {
+                    let a = avs[r];
+                    let hrow = &hs[r * cols..(r + 1) * cols];
+                    for (o, &hv) in out.iter_mut().zip(hrow) {
+                        *o += a * hv;
+                    }
+                }
+            }
+        }
+        self.push(value, Op::SegmentWeightedSum { h, attn, segments })
+    }
+
+    /// Adds a `1 x cols` bias row to every row of `x`, where each row is
+    /// one graph's output; the bias gradient folds row contributions with
+    /// `scale` in row order (the batched form of the per-instance scalar
+    /// bias add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x cols(x)`.
+    pub fn add_bias_row_seg(&mut self, x: VarId, bias: VarId, scale: f64) -> VarId {
+        let (xr, xc) = self.value(x).shape();
+        assert_eq!(self.value(bias).shape(), (1, xc), "bias must be 1 x cols");
+        let mut value = self.pool.alloc(xr, xc);
+        if xc > 0 {
+            let bias_row = self.value(bias).as_slice();
+            let xv = self.value(x).as_slice();
+            for (orow, xrow) in value
+                .as_mut_slice()
+                .chunks_exact_mut(xc)
+                .zip(xv.chunks_exact(xc))
+            {
+                for ((o, &xe), &be) in orow.iter_mut().zip(xrow).zip(bias_row) {
+                    *o = xe + be;
+                }
+            }
+        }
+        self.push(value, Op::AddBiasRowSeg { x, bias, scale })
     }
 
     /// Mean squared error between `pred` and a constant `target`, as a
@@ -303,16 +660,25 @@ impl Tape {
             (1, 1),
             "backward target must be scalar (1 x 1)"
         );
-        for node in &mut self.nodes {
-            node.grad = None;
+        let Tape {
+            nodes,
+            sparse_transposes,
+            jobs,
+            pool,
+        } = self;
+        let jobs = (*jobs).max(1);
+        for node in nodes.iter_mut() {
+            if let Some(g) = node.grad.take() {
+                pool.absorb(g); // reclaim buffers from a previous backward
+            }
         }
-        self.nodes[target.0].grad = Some(Matrix::scalar(1.0));
+        nodes[target.0].grad = Some(Matrix::scalar(1.0));
 
         for i in (0..=target.0).rev() {
             // Every operand of node `i` has a smaller index (push order), so
             // splitting at `i` lets the node's gradient be read while the
             // operands' gradients are written — no per-node clone.
-            let (head, tail) = self.nodes.split_at_mut(i);
+            let (head, tail) = nodes.split_at_mut(i);
             let node = &tail[0];
             let Some(grad) = node.grad.as_ref() else {
                 continue;
@@ -320,53 +686,89 @@ impl Tape {
             match &node.op {
                 Op::Leaf { .. } => {}
                 &Op::MatMul(a, b) => {
-                    let da = grad.matmul_nt(&head[b.0].value);
-                    let db = head[a.0].value.matmul_tn(grad);
-                    accumulate_owned(head, a, da);
-                    accumulate_owned(head, b, db);
+                    // Either side may be a constant (e.g. a broadcast ones
+                    // row); its gradient would be discarded, so skip
+                    // computing it.
+                    if wants_grad(&head[a.0]) {
+                        let mut da = pool.alloc(grad.rows(), head[b.0].value.rows());
+                        grad.matmul_nt_into_jobs(&head[b.0].value, &mut da, 1);
+                        accumulate_owned(head, pool, a, da);
+                    }
+                    if wants_grad(&head[b.0]) {
+                        let db = head[a.0].value.matmul_tn(grad);
+                        accumulate_owned(head, pool, b, db);
+                    }
                 }
                 Op::SpMM { sparse, dense } => {
-                    let st = cached_transpose(&mut self.sparse_transposes, sparse);
-                    let dd = st.spmm(grad);
-                    accumulate_owned(head, *dense, dd);
+                    let st = cached_transpose(sparse_transposes, sparse);
+                    let mut dd = pool.alloc(st.rows(), grad.cols());
+                    st.spmm_into_jobs(grad, &mut dd, jobs);
+                    accumulate_owned(head, pool, *dense, dd);
                 }
                 &Op::Add(a, b) => {
-                    accumulate_scaled(head, a, 1.0, grad);
-                    accumulate_scaled(head, b, 1.0, grad);
+                    accumulate_scaled(head, pool, a, 1.0, grad);
+                    accumulate_scaled(head, pool, b, 1.0, grad);
                 }
                 &Op::Sub(a, b) => {
-                    accumulate_scaled(head, a, 1.0, grad);
-                    accumulate_scaled(head, b, -1.0, grad);
+                    accumulate_scaled(head, pool, a, 1.0, grad);
+                    accumulate_scaled(head, pool, b, -1.0, grad);
                 }
                 &Op::Hadamard(a, b) => {
-                    let da = grad.hadamard(&head[b.0].value);
-                    let db = grad.hadamard(&head[a.0].value);
-                    accumulate_owned(head, a, da);
-                    accumulate_owned(head, b, db);
+                    let (rows, cols) = grad.shape();
+                    // A constant factor (e.g. gated input features) collects
+                    // no gradient — skip the full-matrix pass producing it.
+                    if wants_grad(&head[a.0]) {
+                        let mut da = pool.alloc(rows, cols);
+                        grad.zip_into(&head[b.0].value, &mut da, |g, v| g * v);
+                        accumulate_owned(head, pool, a, da);
+                    }
+                    if wants_grad(&head[b.0]) {
+                        let mut db = pool.alloc(rows, cols);
+                        grad.zip_into(&head[a.0].value, &mut db, |g, v| g * v);
+                        accumulate_owned(head, pool, b, db);
+                    }
                 }
-                &Op::Scale(a, c) => accumulate_scaled(head, a, c, grad),
+                &Op::Scale(a, c) => accumulate_scaled(head, pool, a, c, grad),
                 &Op::AddBiasRow(x, bias) => {
-                    accumulate_scaled(head, x, 1.0, grad);
-                    accumulate_owned(head, bias, grad.col_sums());
+                    accumulate_scaled(head, pool, x, 1.0, grad);
+                    accumulate_owned(head, pool, bias, grad.col_sums());
                 }
                 &Op::Relu(a) => {
-                    let da = grad.zip(&head[a.0].value, |g, v| if v > 0.0 { g } else { 0.0 });
-                    accumulate_owned(head, a, da);
+                    let (rows, cols) = grad.shape();
+                    let mut da = pool.alloc(rows, cols);
+                    grad.zip_into(
+                        &head[a.0].value,
+                        &mut da,
+                        |g, v| {
+                            if v > 0.0 {
+                                g
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
+                    accumulate_owned(head, pool, a, da);
                 }
                 &Op::Exp(a) => {
-                    let da = grad.hadamard(&node.value);
-                    accumulate_owned(head, a, da);
+                    let (rows, cols) = grad.shape();
+                    let mut da = pool.alloc(rows, cols);
+                    grad.zip_into(&node.value, &mut da, |g, v| g * v);
+                    accumulate_owned(head, pool, a, da);
                 }
-                &Op::Transpose(a) => accumulate_owned(head, a, grad.transpose()),
+                &Op::Transpose(a) => accumulate_owned(head, pool, a, grad.transpose()),
                 &Op::SumAll(a) => {
                     let (r, c) = head[a.0].value.shape();
                     let g = grad.get(0, 0);
-                    accumulate_owned(head, a, Matrix::from_vec(r, c, vec![g; r * c]));
+                    let mut da = pool.alloc(r, c);
+                    da.as_mut_slice().fill(g);
+                    accumulate_owned(head, pool, a, da);
                 }
                 &Op::MeanAll(a) => {
                     let (r, c) = head[a.0].value.shape();
                     let g = grad.get(0, 0) / (r * c) as f64;
-                    accumulate_owned(head, a, Matrix::from_vec(r, c, vec![g; r * c]));
+                    let mut da = pool.alloc(r, c);
+                    da.as_mut_slice().fill(g);
+                    accumulate_owned(head, pool, a, da);
                 }
                 &Op::SoftmaxCol(a) => {
                     // dx = y ⊙ (dy - <y, dy>)
@@ -378,7 +780,157 @@ impl Tape {
                         .map(|(&yi, &gi)| yi * gi)
                         .sum();
                     let dx = y.zip(grad, |yi, gi| yi * (gi - dot));
-                    accumulate_owned(head, a, dx);
+                    accumulate_owned(head, pool, a, dx);
+                }
+                Op::MatMulSeg {
+                    a,
+                    b,
+                    segments,
+                    scale,
+                } => {
+                    let (a, b, scale) = (*a, *b, *scale);
+                    let mut da = pool.alloc(grad.rows(), head[b.0].value.rows());
+                    grad.matmul_nt_into_jobs(&head[b.0].value, &mut da, jobs);
+                    // Parameter gradient: per-segment A_i^T dC_i products,
+                    // folded with `scale` in segment order — the same fold
+                    // the per-instance trainer performs across a batch.
+                    let (br, bc) = head[b.0].value.shape();
+                    let av = &head[a.0].value;
+                    let mut db = Matrix::zeros(br, bc);
+                    for range in segments.iter() {
+                        let g = av.matmul_tn_rows(grad, range);
+                        db.axpy(scale, &g);
+                    }
+                    accumulate_owned(head, pool, a, da);
+                    accumulate_owned(head, pool, b, db);
+                }
+                Op::SegmentSum { a, segments } => {
+                    let (ar, cols) = head[a.0].value.shape();
+                    // Every row of `da` belongs to exactly one segment, so
+                    // the copies below overwrite the whole (pooled) buffer.
+                    let mut da = pool.alloc(ar, cols);
+                    {
+                        let dst = da.as_mut_slice();
+                        let g = grad.as_slice();
+                        for (s, range) in segments.iter().enumerate() {
+                            for r in range {
+                                dst[r * cols..(r + 1) * cols]
+                                    .copy_from_slice(&g[s * cols..(s + 1) * cols]);
+                            }
+                        }
+                    }
+                    accumulate_owned(head, pool, *a, da);
+                }
+                Op::SegmentSoftmaxCol { a, segments } => {
+                    // Per segment: dx = y ⊙ (dy - <y, dy>), exactly the
+                    // SoftmaxCol rule on that segment's rows. The segments
+                    // cover every row, so the pooled buffer is fully
+                    // overwritten.
+                    let y = node.value.as_slice();
+                    let g = grad.as_slice();
+                    let mut da = pool.alloc(y.len(), 1);
+                    {
+                        let dx = da.as_mut_slice();
+                        for range in segments.iter() {
+                            let dot: f64 = y[range.clone()]
+                                .iter()
+                                .zip(&g[range.clone()])
+                                .map(|(&yi, &gi)| yi * gi)
+                                .sum();
+                            for r in range {
+                                dx[r] = y[r] * (g[r] - dot);
+                            }
+                        }
+                    }
+                    accumulate_owned(head, pool, *a, da);
+                }
+                Op::BroadcastSoftmaxSeg {
+                    theta,
+                    segments,
+                    scale,
+                } => {
+                    // Recompute softmax(theta) via the forward code path
+                    // (bit-identical), then fold the per-segment softmax
+                    // jacobian contributions with `scale` in segment order.
+                    let y = softmax_slice(head[theta.0].value.as_slice());
+                    let f = y.len();
+                    let g = grad.as_slice();
+                    let mut acc = Matrix::zeros(f, 1);
+                    for range in segments.iter() {
+                        // Column sums over the segment rows, ascending —
+                        // the per-instance ones^T · d(spread) product.
+                        let mut gseg = vec![0.0; f];
+                        for r in range {
+                            for (o, &gv) in gseg.iter_mut().zip(&g[r * f..(r + 1) * f]) {
+                                *o += gv;
+                            }
+                        }
+                        let dot: f64 = y.iter().zip(&gseg).map(|(&yi, &gi)| yi * gi).sum();
+                        let dtheta: Vec<f64> = y
+                            .iter()
+                            .zip(&gseg)
+                            .map(|(&yi, &gi)| yi * (gi - dot))
+                            .collect();
+                        acc.axpy(*scale, &Matrix::from_vec(f, 1, dtheta));
+                    }
+                    accumulate_owned(head, pool, *theta, acc);
+                }
+                Op::SegmentWeightedSum { h, attn, segments } => {
+                    let (h, attn) = (*h, *attn);
+                    let (n, f) = head[h.0].value.shape();
+                    let mut dh = pool.alloc(n, f);
+                    let mut da = pool.alloc(n, 1);
+                    {
+                        let g = grad.as_slice();
+                        let hs = head[h.0].value.as_slice();
+                        let avs = head[attn.0].value.as_slice();
+                        let dhs = dh.as_mut_slice();
+                        let das = da.as_mut_slice();
+                        // Each stacked row belongs to exactly one segment,
+                        // so both pooled buffers are fully overwritten.
+                        for (s, range) in segments.iter().enumerate() {
+                            let grow = &g[s * f..(s + 1) * f];
+                            for r in range {
+                                let a = avs[r];
+                                let hrow = &hs[r * f..(r + 1) * f];
+                                let drow = &mut dhs[r * f..(r + 1) * f];
+                                for (o, &gv) in drow.iter_mut().zip(grow) {
+                                    *o = gv * a;
+                                }
+                                // d_attn[r] = <h[r], g[s]>, ascending
+                                // columns with exact-zero h terms skipped —
+                                // the per-instance `h^T * grad` product's
+                                // accumulation order.
+                                let mut acc = 0.0;
+                                for (&hv, &gv) in hrow.iter().zip(grow) {
+                                    if hv == 0.0 {
+                                        continue;
+                                    }
+                                    acc += hv * gv;
+                                }
+                                das[r] = acc;
+                            }
+                        }
+                    }
+                    accumulate_owned(head, pool, h, dh);
+                    accumulate_owned(head, pool, attn, da);
+                }
+                &Op::AddBiasRowSeg { x, bias, scale } => {
+                    accumulate_scaled(head, pool, x, 1.0, grad);
+                    let (gr, gc) = grad.shape();
+                    // Fold row contributions with `scale` in row order (the
+                    // per-instance trainer's scaled bias-gradient fold).
+                    let mut acc = Matrix::zeros(1, gc);
+                    {
+                        let a = acc.as_mut_slice();
+                        let g = grad.as_slice();
+                        for r in 0..gr {
+                            for (o, &gv) in a.iter_mut().zip(&g[r * gc..(r + 1) * gc]) {
+                                *o += scale * gv;
+                            }
+                        }
+                    }
+                    accumulate_owned(head, pool, bias, acc);
                 }
             }
         }
@@ -591,6 +1143,244 @@ mod tests {
         let v = tape.value(s);
         assert!(v.as_slice().iter().all(|x| x.is_finite()));
         assert!((v.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_seg_grad_matches_finite_difference() {
+        // Two stacked "graphs" (3 + 2 rows) against one shared parameter;
+        // with scale = 1.0 the segment-reduced gradient is the plain sum,
+        // i.e. the true derivative.
+        let x = Matrix::from_rows(&[
+            &[1.0, -2.0],
+            &[0.5, 3.0],
+            &[2.0, 1.0],
+            &[-1.0, 0.25],
+            &[0.75, -0.5],
+        ]);
+        let seg = Arc::new(Segments::from_lens(&[3, 2]));
+        let build = move |tape: &mut Tape, w: VarId| {
+            let xv = tape.constant(x.clone());
+            let h = tape.matmul_seg(xv, w, Arc::clone(&seg), 1.0);
+            let sq = tape.hadamard(h, h);
+            tape.sum_all(sq)
+        };
+        check_grads(&build, Matrix::from_rows(&[&[0.3, -0.7], &[1.1, 0.2]]));
+    }
+
+    #[test]
+    fn segment_ops_grads_match_finite_difference() {
+        let seg = Arc::new(Segments::from_lens(&[2, 3]));
+        // segment_sum: pool a trainable stacked matrix.
+        let seg2 = Arc::clone(&seg);
+        let build = move |tape: &mut Tape, x: VarId| {
+            let pooled = tape.segment_sum(x, Arc::clone(&seg2));
+            let sq = tape.hadamard(pooled, pooled);
+            tape.sum_all(sq)
+        };
+        check_grads(
+            &build,
+            Matrix::from_rows(&[
+                &[1.0, 2.0],
+                &[-1.0, 0.5],
+                &[0.3, 0.7],
+                &[2.0, -2.0],
+                &[0.1, 0.9],
+            ]),
+        );
+        // segment_softmax_col on trainable scores.
+        let seg3 = Arc::clone(&seg);
+        let build = move |tape: &mut Tape, s: VarId| {
+            let attn = tape.segment_softmax_col(s, Arc::clone(&seg3));
+            let sq = tape.hadamard(attn, attn);
+            tape.sum_all(sq)
+        };
+        check_grads(&build, Matrix::column(&[0.3, -0.2, 1.5, 0.0, -0.7]));
+    }
+
+    #[test]
+    fn broadcast_softmax_and_bias_seg_grads_match_finite_difference() {
+        let seg = Arc::new(Segments::from_lens(&[2, 3]));
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 2.0],
+            &[1.0, 1.0],
+            &[0.5, -0.5],
+            &[2.0, 0.25],
+        ]);
+        let seg2 = Arc::clone(&seg);
+        let build = move |tape: &mut Tape, theta: VarId| {
+            let spread = tape.broadcast_softmax_seg(theta, Arc::clone(&seg2), 1.0);
+            let xv = tape.constant(x.clone());
+            let weighted = tape.hadamard(xv, spread);
+            let sq = tape.hadamard(weighted, weighted);
+            tape.sum_all(sq)
+        };
+        check_grads(&build, Matrix::column(&[0.3, -0.2]));
+        let build = |tape: &mut Tape, b: VarId| {
+            let x = tape.constant(Matrix::column(&[1.0, -2.0, 0.5]));
+            let out = tape.add_bias_row_seg(x, b, 1.0);
+            let sq = tape.hadamard(out, out);
+            tape.sum_all(sq)
+        };
+        check_grads(&build, Matrix::scalar(0.4));
+    }
+
+    #[test]
+    fn segment_ops_are_bit_identical_to_per_instance_ops() {
+        // Run two instances through the classic per-instance ops and the
+        // same two instances stacked through the segment ops; forward
+        // values and parameter gradients must agree to the last bit.
+        let xs = [
+            Matrix::from_rows(&[&[1.0, 0.5], &[-0.25, 2.0], &[0.75, -1.5]]),
+            Matrix::from_rows(&[&[2.0, -1.0], &[0.5, 0.125]]),
+        ];
+        let w = Matrix::from_rows(&[&[0.3, -0.7], &[1.1, 0.2]]);
+        let scale = 1.0 / xs.len() as f64;
+
+        // Per-instance reference: grad fold acc += scale * g_i.
+        let mut ref_grad = Matrix::zeros(2, 2);
+        let mut ref_vals = Vec::new();
+        for x in &xs {
+            let mut tape = Tape::new();
+            let wv = tape.leaf(w.clone());
+            let xv = tape.constant(x.clone());
+            let h = tape.matmul(xv, wv);
+            let r = tape.relu(h);
+            let sq = tape.hadamard(r, r);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            ref_vals.extend_from_slice(tape.value(r).as_slice());
+            ref_grad.axpy(scale, tape.grad(wv));
+        }
+
+        // Batched: one stacked tape with segment-aware reduction.
+        let seg = Arc::new(Segments::from_lens(&[3, 2]));
+        let mut stacked = xs[0].as_slice().to_vec();
+        stacked.extend_from_slice(xs[1].as_slice());
+        let mut tape = Tape::new();
+        let wv = tape.leaf(w.clone());
+        let xv = tape.constant(Matrix::from_vec(5, 2, stacked));
+        let h = tape.matmul_seg(xv, wv, seg, scale);
+        let r = tape.relu(h);
+        let sq = tape.hadamard(r, r);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss);
+        assert_eq!(tape.value(r).as_slice(), &ref_vals[..]);
+        assert_eq!(tape.grad(wv), &ref_grad);
+    }
+
+    #[test]
+    fn segment_weighted_sum_grads_match_finite_difference() {
+        let seg = Arc::new(Segments::from_lens(&[2, 3]));
+        let h = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 2.0],
+            &[1.0, 1.0],
+            &[0.5, -0.5],
+            &[2.0, 0.25],
+        ]);
+        // Gradient through the attention column.
+        let (h2, seg2) = (h.clone(), Arc::clone(&seg));
+        let build = move |tape: &mut Tape, attn: VarId| {
+            let hv = tape.constant(h2.clone());
+            let pooled = tape.segment_weighted_sum(hv, attn, Arc::clone(&seg2));
+            let sq = tape.hadamard(pooled, pooled);
+            tape.sum_all(sq)
+        };
+        check_grads(&build, Matrix::column(&[0.3, -0.2, 1.5, 0.1, -0.7]));
+        // Gradient through the stacked features.
+        let seg3 = Arc::clone(&seg);
+        let attn = Matrix::column(&[0.6, 0.4, 0.2, 0.3, 0.5]);
+        let build = move |tape: &mut Tape, hv: VarId| {
+            let av = tape.constant(attn.clone());
+            let pooled = tape.segment_weighted_sum(hv, av, Arc::clone(&seg3));
+            let sq = tape.hadamard(pooled, pooled);
+            tape.sum_all(sq)
+        };
+        check_grads(&build, h);
+    }
+
+    #[test]
+    fn segment_weighted_sum_is_bit_identical_to_the_unfused_chain() {
+        // The fused readout must reproduce, to the last bit, the
+        // spread-multiply-pool composition it replaces — values and the
+        // gradients reaching both operands.
+        let seg = Arc::new(Segments::from_lens(&[3, 2]));
+        let h = Matrix::from_fn(5, 4, |r, c| ((r * 7 + c * 3) % 11) as f64 * 0.25 - 1.0);
+        let scores = Matrix::column(&[0.3, -0.2, 1.5, 0.0, -0.7]);
+
+        let run = |fused: bool| {
+            let mut tape = Tape::new();
+            let hv = tape.leaf(h.clone());
+            let sv = tape.leaf(scores.clone());
+            let attn = tape.segment_softmax_col(sv, Arc::clone(&seg));
+            let pooled = if fused {
+                tape.segment_weighted_sum(hv, attn, Arc::clone(&seg))
+            } else {
+                let ones_row = tape.constant(Matrix::ones(1, 4));
+                let spread = tape.matmul(attn, ones_row);
+                let weighted = tape.hadamard(hv, spread);
+                tape.segment_sum(weighted, Arc::clone(&seg))
+            };
+            let sq = tape.hadamard(pooled, pooled);
+            let l = tape.sum_all(sq);
+            tape.backward(l);
+            (
+                tape.value(pooled).clone(),
+                tape.grad(hv).clone(),
+                tape.grad(sv).clone(),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn seeded_transpose_is_used_and_correct() {
+        let s = Arc::new(CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, -1.0)],
+        ));
+        let t = Arc::new(s.transpose());
+        let run = |seed: bool| {
+            let mut tape = Tape::new();
+            if seed {
+                tape.seed_transpose(&s, Arc::clone(&t));
+            }
+            let x = tape.leaf(Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+            let h = tape.spmm(Arc::clone(&s), x);
+            let sq = tape.hadamard(h, h);
+            let l = tape.sum_all(sq);
+            tape.backward(l);
+            tape.grad(x).clone()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn jobs_do_not_change_tape_results() {
+        let s = Arc::new(CsrMatrix::from_triplets(
+            4,
+            4,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, -1.0), (3, 3, 0.5)],
+        ));
+        let seg = Arc::new(Segments::from_lens(&[4]));
+        let run = |jobs: usize| {
+            let mut tape = Tape::new();
+            tape.set_jobs(jobs);
+            let w = tape.leaf(Matrix::from_rows(&[&[0.2, -0.4], &[0.6, 0.1]]));
+            let x = tape.constant(Matrix::from_fn(4, 2, |r, c| (r + c) as f64 - 1.5));
+            let h = tape.spmm(Arc::clone(&s), x);
+            let m = tape.matmul_seg(h, w, Arc::clone(&seg), 1.0);
+            let sq = tape.hadamard(m, m);
+            let l = tape.sum_all(sq);
+            tape.backward(l);
+            (tape.value(l).get(0, 0), tape.grad(w).clone())
+        };
+        let base = run(1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(run(jobs), base, "jobs={jobs}");
+        }
     }
 
     #[test]

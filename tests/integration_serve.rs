@@ -347,6 +347,92 @@ fn cancellation_drains_in_flight_work_then_refuses_new_requests() {
 }
 
 #[test]
+fn expired_on_arrival_requests_never_reach_inference() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+
+    // Age the connection past the 1 ms budget before the request is even
+    // sent: the deadline clock starts at admission, so this request is dead
+    // on arrival and must be refused before any pipeline stage runs.
+    let mut stream = connect(&server);
+    std::thread::sleep(Duration::from_millis(80));
+    let reply = protocol::call(&mut stream, &valid_request(1)).unwrap();
+    expect_error(reply, ErrorCode::DeadlineExceeded);
+    assert_eq!(
+        server.stats().infer_batches,
+        0,
+        "an expired-on-arrival request must not trigger a forward pass"
+    );
+
+    // A healthy request afterwards does run inference — proving the counter
+    // above would have moved had the expired request been predicted.
+    expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+    let stats = server.shutdown();
+    assert_eq!(stats.infer_batches, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn micro_batched_neighbors_do_not_change_each_others_answers() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 4,
+        // A generous window so the concurrent requests below reliably land
+        // in one batched forward pass instead of racing it.
+        batch_window: Duration::from_millis(200),
+        max_batch: 8,
+        ..ServeConfig::default()
+    });
+
+    // Solo baseline: one request, alone in its batch.
+    let mut stream = connect(&server);
+    let solo = expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+    drop(stream);
+
+    // Four concurrent requests: whatever grouping the batcher forms, every
+    // answer must equal the solo prediction bit-for-bit.
+    let addr = server.local_addr();
+    let values: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .unwrap();
+                    stream
+                        .set_write_timeout(Some(Duration::from_secs(5)))
+                        .unwrap();
+                    expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for value in &values {
+        assert_eq!(
+            value.to_bits(),
+            solo.to_bits(),
+            "co-batched neighbours changed an answer: {values:?} vs solo {solo}"
+        );
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 5);
+    assert!(
+        stats.batched_requests >= 2,
+        "the 200 ms window must have micro-batched at least one group: {stats:?}"
+    );
+    assert!(
+        stats.infer_batches < 5,
+        "five solo passes means no batching happened: {stats:?}"
+    );
+}
+
+#[test]
 fn saturating_load_sheds_instead_of_collapsing() {
     let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let server = start_server(ServeConfig {
