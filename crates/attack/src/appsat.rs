@@ -11,7 +11,16 @@
 //! exact attack, useful for studying how runtime prediction transfers to a
 //! different attack algorithm (the paper's challenge #1: attackers are
 //! heterogeneous).
+//!
+//! Resource accounting mirrors [`attack`](crate::attack): the deterministic
+//! work budget yields [`AppSatOutcome::BudgetExceeded`] (a reproducible,
+//! censored measurement), while wall-clock deadlines yield
+//! [`AppSatOutcome::TimedOut`] naming the expired bound — a deadline
+//! expiring mid-iteration is never misreported as budget exhaustion, which
+//! matters on SAT-resilient (Anti-SAT) instances where both bounds are
+//! routinely armed at once.
 
+use crate::dip::ExpiredDeadline;
 use crate::error::AttackError;
 use crate::oracle::Oracle;
 use crate::runtime::AttackRuntime;
@@ -21,7 +30,7 @@ use obfuscate::Key;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sat::{SolveResult, Solver, SolverStats};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Parameters of one AppSAT run.
 #[derive(Debug, Clone)]
@@ -34,8 +43,14 @@ pub struct AppSatConfig {
     pub settle_rounds: usize,
     /// Hard cap on rounds.
     pub max_rounds: usize,
-    /// Total solver-work budget.
+    /// Total solver-work budget (deterministic; exhausting it is a
+    /// reproducible, censored measurement).
     pub work_budget: Option<u64>,
+    /// Wall-clock bound on the whole run (machine-dependent; expiring it is
+    /// a timeout, never budget exhaustion).
+    pub deadline: Option<Duration>,
+    /// Wall-clock bound on each individual solver call.
+    pub per_query_deadline: Option<Duration>,
     /// Random-query seed.
     pub seed: u64,
 }
@@ -48,16 +63,37 @@ impl Default for AppSatConfig {
             settle_rounds: 2,
             max_rounds: 100,
             work_budget: None,
+            deadline: None,
+            per_query_deadline: None,
             seed: 0,
         }
     }
 }
 
+/// How an AppSAT run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppSatOutcome {
+    /// The miter became UNSAT — the key is exactly correct.
+    ExactKey,
+    /// The required number of all-correct reinforcement rounds passed; the
+    /// key is approximate but matched every sampled input.
+    Settled,
+    /// The round cap was reached without settling.
+    RoundLimit,
+    /// The deterministic work budget ran out first.
+    BudgetExceeded,
+    /// A wall-clock bound expired — the payload names which one.
+    TimedOut(ExpiredDeadline),
+}
+
 /// Outcome of an AppSAT run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AppSatResult {
-    /// The recovered (possibly approximate) key, or `None` on budget abort.
+    /// The recovered (possibly approximate) key, or `None` on a budget or
+    /// deadline abort.
     pub key: Option<Key>,
+    /// Terminal state of the run.
+    pub outcome: AppSatOutcome,
     /// Rounds executed.
     pub rounds: usize,
     /// True when the miter became UNSAT (the key is exactly correct, as in
@@ -93,10 +129,36 @@ pub fn appsat(
         return Err(AttackError::NoOutputs);
     }
     let start = Instant::now();
+    let attack_deadline = config.deadline.map(|d| start + d);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA995_A700);
     let mut solver = Solver::new();
     let miter = encode_miter(locked, &mut solver);
     let num_inputs = locked.inputs().len();
+
+    // The deadline for the next solver call: the whole-run deadline or the
+    // per-query deadline, whichever falls first (same rule as the exact
+    // attack's DIP loop).
+    let query_deadline = |attack_deadline: Option<Instant>| -> Option<Instant> {
+        let per_query = config.per_query_deadline.map(|d| Instant::now() + d);
+        match (attack_deadline, per_query) {
+            (Some(a), Some(q)) => Some(a.min(q)),
+            (a, q) => a.or(q),
+        }
+    };
+    // Classifies a `SolveResult::Unknown`: past a wall-clock deadline it was
+    // a timeout (the whole-run bound wins attribution when both expired),
+    // otherwise only the deterministic budget can explain the abort.
+    let classify_unknown =
+        |attack_deadline: Option<Instant>, solve_deadline: Option<Instant>| -> AppSatOutcome {
+            let now = Instant::now();
+            if attack_deadline.is_some_and(|d| now >= d) {
+                AppSatOutcome::TimedOut(ExpiredDeadline::Attack)
+            } else if solve_deadline.is_some_and(|d| now >= d) {
+                AppSatOutcome::TimedOut(ExpiredDeadline::PerQuery)
+            } else {
+                AppSatOutcome::BudgetExceeded
+            }
+        };
 
     let add_io_constraint = |solver: &mut Solver, inputs: &[bool], outputs: &[bool]| {
         for key_vars in [&miter.key1, &miter.key2] {
@@ -118,14 +180,16 @@ pub fn appsat(
     let mut error_estimate = 1.0;
     let finish = |solver: &mut Solver,
                   key: Option<Key>,
+                  outcome: AppSatOutcome,
                   rounds: usize,
-                  exact: bool,
                   error_estimate: f64,
                   dips: usize,
                   start: Instant| {
         let solver_stats = *solver.stats();
+        let exact = outcome == AppSatOutcome::ExactKey;
         Ok(AppSatResult {
             key,
+            outcome,
             rounds,
             exact,
             error_estimate,
@@ -136,27 +200,77 @@ pub fn appsat(
     };
 
     for round in 0..config.max_rounds {
+        // Deadline before budget: when both bounds have tripped by a round
+        // boundary, the wall clock is the reason the run must stop *now*,
+        // and reporting it as budget exhaustion would let a machine-speed
+        // artifact masquerade as a reproducible censored label.
+        if attack_deadline.is_some_and(|d| Instant::now() >= d) {
+            let outcome = AppSatOutcome::TimedOut(ExpiredDeadline::Attack);
+            return finish(
+                &mut solver,
+                None,
+                outcome,
+                round,
+                error_estimate,
+                dips,
+                start,
+            );
+        }
         if let Some(budget) = config.work_budget {
             if solver.stats().work() >= budget {
-                return finish(&mut solver, None, round, false, error_estimate, dips, start);
+                let outcome = AppSatOutcome::BudgetExceeded;
+                return finish(
+                    &mut solver,
+                    None,
+                    outcome,
+                    round,
+                    error_estimate,
+                    dips,
+                    start,
+                );
             }
         }
         // Phase 1: a few exact DIP iterations.
         for _ in 0..config.dips_per_round {
+            let deadline = query_deadline(attack_deadline);
+            solver.set_deadline(deadline);
             match solver.solve_with_assumptions(&[miter.diff_lit()]) {
                 SolveResult::Unknown => {
-                    return finish(&mut solver, None, round, false, error_estimate, dips, start)
+                    let outcome = classify_unknown(attack_deadline, deadline);
+                    return finish(
+                        &mut solver,
+                        None,
+                        outcome,
+                        round,
+                        error_estimate,
+                        dips,
+                        start,
+                    );
                 }
                 SolveResult::Unsat => {
-                    // Exact convergence — extract the key like the exact attack.
+                    // Exact convergence — extract the key like the exact
+                    // attack. The extraction solve stays under the whole-run
+                    // deadline only; it is the last call and must not be
+                    // starved by an earlier slow query.
+                    solver.set_deadline(attack_deadline);
                     return match solver.solve() {
                         SolveResult::Sat(model) => {
                             let key: Key = miter.key1.iter().map(|&v| model.value(v)).collect();
-                            finish(&mut solver, Some(key), round + 1, true, 0.0, dips, start)
+                            let outcome = AppSatOutcome::ExactKey;
+                            finish(&mut solver, Some(key), outcome, round + 1, 0.0, dips, start)
                         }
                         SolveResult::Unsat => Err(AttackError::OracleInconsistent),
                         SolveResult::Unknown => {
-                            finish(&mut solver, None, round, false, error_estimate, dips, start)
+                            let outcome = classify_unknown(attack_deadline, None);
+                            finish(
+                                &mut solver,
+                                None,
+                                outcome,
+                                round,
+                                error_estimate,
+                                dips,
+                                start,
+                            )
                         }
                     };
                 }
@@ -169,11 +283,22 @@ pub fn appsat(
             }
         }
         // Phase 2: extract the current key candidate.
+        let deadline = query_deadline(attack_deadline);
+        solver.set_deadline(deadline);
         let candidate: Key = match solver.solve() {
             SolveResult::Sat(model) => miter.key1.iter().map(|&v| model.value(v)).collect(),
             SolveResult::Unsat => return Err(AttackError::OracleInconsistent),
             SolveResult::Unknown => {
-                return finish(&mut solver, None, round, false, error_estimate, dips, start)
+                let outcome = classify_unknown(attack_deadline, deadline);
+                return finish(
+                    &mut solver,
+                    None,
+                    outcome,
+                    round,
+                    error_estimate,
+                    dips,
+                    start,
+                );
             }
         };
         // Phase 3: random-query reinforcement.
@@ -193,11 +318,12 @@ pub fn appsat(
         if mismatches == 0 {
             settled += 1;
             if settled >= config.settle_rounds {
+                let outcome = AppSatOutcome::Settled;
                 return finish(
                     &mut solver,
                     Some(candidate),
+                    outcome,
                     round + 1,
-                    false,
                     0.0,
                     dips,
                     start,
@@ -210,8 +336,8 @@ pub fn appsat(
     finish(
         &mut solver,
         None,
+        AppSatOutcome::RoundLimit,
         config.max_rounds,
-        false,
         error_estimate,
         dips,
         start,
@@ -234,6 +360,11 @@ mod tests {
         (locked, result)
     }
 
+    fn anti_sat_instance(width: usize) -> obfuscate::LockedCircuit {
+        let base = synth::generate(&GeneratorConfig::new("appsat", 16, 8, 150).with_seed(2));
+        lock_random(&base, SchemeKind::AntiSat { key_width: width }, 1, 3).expect("lockable")
+    }
+
     #[test]
     fn appsat_recovers_functionally_correct_keys() {
         for scheme in [SchemeKind::XorLock, SchemeKind::LutLock { lut_size: 3 }] {
@@ -245,6 +376,10 @@ mod tests {
                 result.exact,
                 result.error_estimate
             );
+            assert!(matches!(
+                result.outcome,
+                AppSatOutcome::ExactKey | AppSatOutcome::Settled
+            ));
         }
     }
 
@@ -278,9 +413,90 @@ mod tests {
             )
         };
         assert!(result.key.is_none());
+        assert_eq!(result.outcome, AppSatOutcome::BudgetExceeded);
         // The budget is only checked at round boundaries, so at most one
         // round runs before the abort.
         assert!(result.rounds <= 1);
+    }
+
+    #[test]
+    fn anti_sat_deadline_times_out_not_budget() {
+        // Regression (issue 9): on a SAT-resilient instance with *both* a
+        // work budget and an expired deadline armed, the run must surface as
+        // a timeout naming the bound — never as budget exhaustion.
+        let locked = anti_sat_instance(8);
+        let mut oracle = SimOracle::new(locked.original.clone());
+        let config = AppSatConfig {
+            work_budget: Some(1),
+            deadline: Some(Duration::ZERO),
+            ..AppSatConfig::default()
+        };
+        let result = appsat(&locked.locked, &mut oracle, &config).expect("appsat runs");
+        assert_eq!(
+            result.outcome,
+            AppSatOutcome::TimedOut(ExpiredDeadline::Attack)
+        );
+        assert!(result.key.is_none());
+        if let AppSatOutcome::TimedOut(bound) = result.outcome {
+            assert_eq!(bound.describe(), "deadline");
+        }
+    }
+
+    #[test]
+    fn anti_sat_deadline_mid_iteration_times_out() {
+        // A width-10 Anti-SAT block needs ~1024 DIPs; a few-ms deadline
+        // expires mid-DIP-iteration, inside the solver's wall-clock check,
+        // and must still be attributed to the attack deadline even though an
+        // (unreached) work budget is armed. Settling and the round cap are
+        // pushed out of reach so the timeout is the only possible ending —
+        // on Anti-SAT a disagreeing wrong key passes random reinforcement
+        // almost surely, so a reachable settle threshold would race the
+        // deadline on fast machines.
+        let locked = anti_sat_instance(10);
+        let mut oracle = SimOracle::new(locked.original.clone());
+        let config = AppSatConfig {
+            work_budget: Some(u64::MAX),
+            deadline: Some(Duration::from_millis(5)),
+            settle_rounds: usize::MAX,
+            max_rounds: usize::MAX,
+            ..AppSatConfig::default()
+        };
+        let result = appsat(&locked.locked, &mut oracle, &config).expect("appsat runs");
+        assert_eq!(
+            result.outcome,
+            AppSatOutcome::TimedOut(ExpiredDeadline::Attack),
+            "rounds={} dips={}",
+            result.rounds,
+            result.dips
+        );
+    }
+
+    #[test]
+    fn per_query_deadline_is_attributed_to_the_query_bound() {
+        let locked = anti_sat_instance(8);
+        let mut oracle = SimOracle::new(locked.original.clone());
+        let config = AppSatConfig {
+            per_query_deadline: Some(Duration::ZERO),
+            ..AppSatConfig::default()
+        };
+        let result = appsat(&locked.locked, &mut oracle, &config).expect("appsat runs");
+        assert_eq!(
+            result.outcome,
+            AppSatOutcome::TimedOut(ExpiredDeadline::PerQuery)
+        );
+    }
+
+    #[test]
+    fn generous_deadline_leaves_result_untouched() {
+        let (locked, unlimited) = run(SchemeKind::XorLock, 4);
+        let mut oracle = SimOracle::new(locked.original.clone());
+        let config = AppSatConfig {
+            deadline: Some(Duration::from_secs(600)),
+            ..AppSatConfig::default()
+        };
+        let bounded = appsat(&locked.locked, &mut oracle, &config).expect("appsat runs");
+        assert_eq!(unlimited.outcome, bounded.outcome);
+        assert_eq!(unlimited.dips, bounded.dips);
     }
 
     #[test]

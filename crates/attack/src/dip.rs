@@ -563,6 +563,65 @@ mod tests {
     }
 
     #[test]
+    fn anti_sat_dip_count_grows_exponentially_in_key_width() {
+        // The point-function block admits one distinguishing pattern per
+        // wrong key pair, so every extra tap bit roughly doubles the DIP
+        // count — the property that makes the scheme SAT-resilient.
+        let mut iterations = Vec::new();
+        for width in [3usize, 4, 5] {
+            let locked = lock_random(
+                &netlist::c17(),
+                SchemeKind::AntiSat { key_width: width },
+                1,
+                2,
+            )
+            .unwrap();
+            let result = attack_locked(&locked, &AttackConfig::default()).unwrap();
+            let key = result.key().expect("attack finishes on c17");
+            // Random sampling can miss the single flipped pattern, so check
+            // the recovered key exhaustively against the oracle.
+            let applied = locked.apply_key(key).unwrap();
+            for pat in 0..1u32 << 5 {
+                let ins: Vec<bool> = (0..5).map(|b| pat >> b & 1 == 1).collect();
+                assert_eq!(
+                    applied.simulate_bool(&ins, &[]).unwrap(),
+                    locked.original.simulate_bool(&ins, &[]).unwrap(),
+                    "width {width} pattern {pat}"
+                );
+            }
+            iterations.push(result.iterations);
+        }
+        assert!(
+            iterations[0] >= 4 && iterations[1] > iterations[0] && iterations[2] > iterations[1],
+            "DIP counts must grow with key width: {iterations:?}"
+        );
+    }
+
+    #[test]
+    fn anti_sat_deadline_mid_iteration_times_out_not_budget() {
+        // Regression (issue 9): a resistant instance with an ample *work*
+        // budget and a small wall-clock deadline dies mid-DIP-iteration
+        // inside the solver; the outcome must name the expired deadline and
+        // never degrade into BudgetExceeded.
+        let base = synth::generate(&GeneratorConfig::new("mid", 16, 8, 150).with_seed(2));
+        let locked = lock_random(&base, SchemeKind::AntiSat { key_width: 8 }, 1, 3).unwrap();
+        let config = AttackConfig {
+            work_budget: Some(u64::MAX),
+            ..AttackConfig::default().with_deadline(Duration::from_millis(5))
+        };
+        let result = attack_locked(&locked, &config).unwrap();
+        assert_eq!(
+            result.outcome,
+            AttackOutcome::TimedOut(ExpiredDeadline::Attack),
+            "iterations={}",
+            result.iterations
+        );
+        if let AttackOutcome::TimedOut(bound) = result.outcome {
+            assert_eq!(bound.describe(), "deadline");
+        }
+    }
+
+    #[test]
     fn cancel_token_is_shared_across_clones_and_threads() {
         let token = CancelToken::new();
         let clone = token.clone();

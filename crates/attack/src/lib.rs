@@ -36,7 +36,7 @@ mod error;
 mod oracle;
 mod runtime;
 
-pub use appsat::{appsat, AppSatConfig, AppSatResult};
+pub use appsat::{appsat, AppSatConfig, AppSatOutcome, AppSatResult};
 pub use dip::{
     attack, attack_locked, AttackConfig, AttackOutcome, AttackResult, CancelToken, ExpiredDeadline,
 };

@@ -2,8 +2,7 @@
 
 use crate::methods::BaselineKind;
 use dataset::{
-    flat_features, graph_features, train_test_split, Dataset, FlatAggregation, Split,
-    StructureEncoding,
+    flat_features, train_test_split, Dataset, FlatAggregation, Split, StructureEncoding,
 };
 use icnet::{Aggregation, FeatureSet, GraphModel, ModelKind, TrainConfig};
 use regress::metrics;
@@ -66,6 +65,27 @@ pub fn load_or_generate_parallel(
     jobs: usize,
     resume: Option<&str>,
 ) -> Dataset {
+    let (data, _quarantined) = try_load_or_generate_parallel(config, out_dir, jobs, resume);
+    assert!(
+        !data.instances.is_empty(),
+        "every instance was quarantined — nothing to train on; raise --deadline, \
+         add --retries, or inspect the failures above"
+    );
+    data
+}
+
+/// Quarantine-tolerant variant of [`load_or_generate_parallel`]: returns
+/// the (possibly partial, possibly even empty) dataset together with the
+/// number of quarantined instances (0 on a cache hit). SAT-resilient
+/// schemes under tight deadlines routinely quarantine their whole corpus;
+/// study binaries like `crossgen` render such a scheme as N/A cells instead
+/// of aborting the entire grid.
+pub fn try_load_or_generate_parallel(
+    config: &dataset::DatasetConfig,
+    out_dir: &str,
+    jobs: usize,
+    resume: Option<&str>,
+) -> (Dataset, usize) {
     let path = dataset_cache_path(config, out_dir);
     let circuit =
         synth::iscas::circuit(&config.profile, config.circuit_seed).expect("known circuit profile");
@@ -79,7 +99,7 @@ pub fn load_or_generate_parallel(
                     hit: true,
                     path: path.clone(),
                 });
-                return Dataset { circuit, instances };
+                return (Dataset { circuit, instances }, 0);
             }
             Ok(_) => {} // partial dataset from a keep-going run: regenerate
             Err(e) => {
@@ -120,16 +140,13 @@ pub fn load_or_generate_parallel(
             config.num_instances
         );
     }
-    assert!(
-        !data.instances.is_empty(),
-        "every instance was quarantined — nothing to train on; raise --deadline, \
-         add --retries, or inspect the failures above"
-    );
     let _ = std::fs::create_dir_all(out_dir);
-    if let Err(e) = write_atomic(&path, &seal_csv(&dataset::dataset_to_csv(&data.instances))) {
-        eprintln!("# WARNING: could not write dataset cache {path}: {e}");
+    if !data.instances.is_empty() {
+        if let Err(e) = write_atomic(&path, &seal_csv(&dataset::dataset_to_csv(&data.instances))) {
+            eprintln!("# WARNING: could not write dataset cache {path}: {e}");
+        }
     }
-    data
+    (data, report.quarantined())
 }
 
 /// Appends the checksum footer (`#fnv <hex>`, the checkpoint-v3 FNV-1a
@@ -345,6 +362,82 @@ pub fn evaluate_gnn_with(
     )
 }
 
+/// The reusable training core: fits one GNN configuration on the instances
+/// of `data` indexed by `train_idx`, standardizing labels on that training
+/// set, and returns the fitted model with its training report. Shared by
+/// [`evaluate_gnn_ctl`] (which evaluates on the same dataset's test split)
+/// and the cross-scheme study (which evaluates the returned model on
+/// *other* schemes' datasets via [`eval_gnn_metrics`]).
+#[allow(clippy::too_many_arguments)]
+pub fn train_gnn_ctl(
+    data: &Dataset,
+    train_idx: &[usize],
+    kind: ModelKind,
+    agg: Aggregation,
+    fs: FeatureSet,
+    config: &TrainConfig,
+    seed: u64,
+    control: &icnet::TrainControl,
+) -> (TrainedGnn, icnet::TrainReport) {
+    let graph = icnet::CircuitGraph::from_circuit(&data.circuit);
+    let op = Arc::new(kind.operator(&graph));
+    let y = data.labels();
+
+    let y_train_raw = take(&y, train_idx);
+    let y_mean = y_train_raw.iter().sum::<f64>() / y_train_raw.len() as f64;
+    let y_var = y_train_raw
+        .iter()
+        .map(|v| (v - y_mean) * (v - y_mean))
+        .sum::<f64>()
+        / y_train_raw.len() as f64;
+    let y_std = y_var.sqrt().max(1e-9);
+    let y_train: Vec<f64> = y_train_raw.iter().map(|v| (v - y_mean) / y_std).collect();
+
+    let hidden = 16;
+    let mut model = GraphModel::new(kind, agg, fs.width(), hidden, hidden, seed);
+    let xs_train: Vec<Matrix> = train_idx
+        .iter()
+        .map(|&i| icnet::encode_features(&data.circuit, &data.instances[i].selected, fs))
+        .collect();
+    let report = icnet::train_with(&mut model, &op, &xs_train, &y_train, config, control);
+
+    (
+        TrainedGnn {
+            model,
+            op,
+            feature_set: fs,
+            y_mean,
+            y_std,
+        },
+        report,
+    )
+}
+
+/// Metrics of a trained GNN on the instances of `data` indexed by `idx`:
+/// `(MSE, Pearson r)` in original log-runtime units. The dataset need not
+/// be the one the model was trained on — this is the evaluation half of a
+/// cross-scheme cell — but its circuit must have the same gate count (the
+/// graph operator is baked into the model).
+pub fn eval_gnn_metrics(trained: &TrainedGnn, data: &Dataset, idx: &[usize]) -> (f64, f64) {
+    let y = data.labels();
+    let pred: Vec<f64> = idx
+        .iter()
+        .map(|&i| {
+            let x = icnet::encode_features(
+                &data.circuit,
+                &data.instances[i].selected,
+                trained.feature_set,
+            );
+            trained.predict(&x)
+        })
+        .collect();
+    let y_eval = take(&y, idx);
+    (
+        metrics::mse(&pred, &y_eval),
+        metrics::pearson(&pred, &y_eval),
+    )
+}
+
 /// [`evaluate_gnn_with`] under runtime controls: cooperative interruption
 /// and crash-safe epoch checkpoints (see [`icnet::train_with`]). An
 /// interrupted cell reports the paper-style N/A — its half-trained
@@ -360,33 +453,7 @@ pub fn evaluate_gnn_ctl(
     seed: u64,
     control: &icnet::TrainControl,
 ) -> (EvalResult, TrainedGnn) {
-    let graph = icnet::CircuitGraph::from_circuit(&data.circuit);
-    let op = Arc::new(kind.operator(&graph));
-    let xs = graph_features(&data.circuit, &data.instances, fs);
-    let y = data.labels();
-
-    let y_train_raw = take(&y, &split.train);
-    let y_mean = y_train_raw.iter().sum::<f64>() / y_train_raw.len() as f64;
-    let y_var = y_train_raw
-        .iter()
-        .map(|v| (v - y_mean) * (v - y_mean))
-        .sum::<f64>()
-        / y_train_raw.len() as f64;
-    let y_std = y_var.sqrt().max(1e-9);
-    let y_train: Vec<f64> = y_train_raw.iter().map(|v| (v - y_mean) / y_std).collect();
-
-    let hidden = 16;
-    let mut model = GraphModel::new(kind, agg, fs.width(), hidden, hidden, seed);
-    let xs_train: Vec<Matrix> = split.train.iter().map(|&i| xs[i].clone()).collect();
-    let report = icnet::train_with(&mut model, &op, &xs_train, &y_train, config, control);
-
-    let trained = TrainedGnn {
-        model,
-        op,
-        feature_set: fs,
-        y_mean,
-        y_std,
-    };
+    let (trained, report) = train_gnn_ctl(data, &split.train, kind, agg, fs, config, seed, control);
     let suffix = if agg == Aggregation::Nn { "-NN" } else { "" };
     let method = format!("{}{}", kind.label(), suffix);
     if let Some(e) = &report.checkpoint_error {
@@ -418,18 +485,13 @@ pub fn evaluate_gnn_ctl(
             trained,
         );
     }
-    let pred: Vec<f64> = split
-        .test
-        .iter()
-        .map(|&i| trained.predict(&xs[i]))
-        .collect();
-    let y_test = take(&y, &split.test);
+    let (mse, _pearson) = eval_gnn_metrics(&trained, data, &split.test);
     (
         EvalResult {
             method,
             feature_set: fs,
             aggregation: agg.label().to_owned(),
-            mse: Some(metrics::mse(&pred, &y_test)),
+            mse: Some(mse),
             note: String::new(),
         },
         trained,

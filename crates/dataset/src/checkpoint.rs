@@ -67,33 +67,42 @@ fn record_crc(body: &str) -> u64 {
 }
 
 /// Content hash identifying one attack run: the locked circuit's canonical
-/// `.bench` text, its key bits, and every configuration field that changes
-/// the attack's *deterministic* outcome (work budget, per-solve conflict
-/// cap, runtime measure). Two sweeps produce the same key for an instance
-/// exactly when the attack would produce the same label. Wall-clock
-/// deadlines and the retry policy are deliberately excluded — they decide
-/// whether an attack *finishes*, never what label a finished attack gets —
-/// and are fingerprinted separately by [`supervision_key`] for quarantine
-/// records.
+/// `.bench` text, its key bits, the scheme identity *with its parameters*
+/// (`SchemeKind`'s `Display` carries LUT size / Anti-SAT key width), and
+/// every configuration field that changes the attack's *deterministic*
+/// outcome (work budget, per-solve conflict cap, runtime measure). Two
+/// sweeps produce the same key for an instance exactly when the attack
+/// would produce the same label; changing any scheme parameter changes the
+/// key, so stale labels from a differently-parameterized scheme are never
+/// reused. Wall-clock deadlines and the retry policy are deliberately
+/// excluded — they decide whether an attack *finishes*, never what label a
+/// finished attack gets — and are fingerprinted separately by
+/// [`supervision_key`] for quarantine records.
 pub fn instance_key(config: &DatasetConfig, locked: &LockedCircuit) -> u64 {
     let mut h = fnv1a(FNV_OFFSET, locked.locked.to_bench().as_bytes());
     let key_bits: Vec<u8> = locked.key.bits().iter().map(|&b| b as u8).collect();
     h = fnv1a(h, &key_bits);
     let attack_fingerprint = format!(
-        "budget={:?};conflicts={:?};measure={:?}",
-        config.attack.work_budget, config.attack.conflicts_per_solve, config.measure
+        "scheme={};budget={:?};conflicts={:?};measure={:?}",
+        config.scheme, config.attack.work_budget, config.attack.conflicts_per_solve, config.measure
     );
     fnv1a(h, attack_fingerprint.as_bytes())
 }
 
 /// Fingerprint of the supervision policy a quarantine verdict was reached
-/// under: both wall-clock deadlines and the retry policy. A `fail` record
-/// is only authoritative for runs with the *same* fingerprint — raise the
-/// deadline or add retries and the instance deserves another attack, so
-/// [`CheckpointLog::lookup_failure`] treats the stale record as absent.
+/// under: the scheme (with its parameters), both wall-clock deadlines, and
+/// the retry policy. A `fail` record is only authoritative for runs with
+/// the *same* fingerprint — raise the deadline, add retries, or change a
+/// scheme parameter (e.g. the Anti-SAT key width) and the instance deserves
+/// another attack, so [`CheckpointLog::lookup_failure`] treats the stale
+/// record as absent. The scheme is part of this fingerprint even though it
+/// also shapes [`instance_key`]: a quarantine verdict says "this scheme at
+/// these parameters was too hard under this policy", and neither half of
+/// that statement survives a parameter change.
 pub fn supervision_key(config: &DatasetConfig) -> u64 {
     let fingerprint = format!(
-        "deadline={:?};per_query={:?};attempts={};escalation={}",
+        "scheme={};deadline={:?};per_query={:?};attempts={};escalation={}",
+        config.scheme,
         config.attack.deadline,
         config.attack.per_query_deadline,
         config.retry.max_attempts.max(1),
@@ -684,5 +693,46 @@ mod tests {
         let mut per_query = config.clone();
         per_query.attack.per_query_deadline = Some(std::time::Duration::from_secs(1));
         assert_ne!(base, supervision_key(&per_query));
+    }
+
+    #[test]
+    fn scheme_parameters_fingerprint_both_keys() {
+        // Satellite (issue 9): a resumed sweep under a different key width
+        // must re-attack rather than trust labels or quarantine verdicts
+        // reached under other scheme parameters.
+        let config = DatasetConfig::quick_demo();
+        let circuit = crate::generate::sweep_circuit(&config).unwrap();
+        let locked = crate::generate::lock_instance(&config, &circuit, 0).unwrap();
+
+        let mut widened = config.clone();
+        widened.scheme = obfuscate::SchemeKind::AntiSat { key_width: 4 };
+        assert_ne!(
+            supervision_key(&config),
+            supervision_key(&widened),
+            "scheme identity changes the supervision fingerprint"
+        );
+        assert_ne!(
+            instance_key(&config, &locked),
+            instance_key(&widened, &locked),
+            "scheme identity changes the instance key even for the same netlist"
+        );
+
+        let mut wider = widened.clone();
+        wider.scheme = obfuscate::SchemeKind::AntiSat { key_width: 5 };
+        assert_ne!(
+            supervision_key(&widened),
+            supervision_key(&wider),
+            "a parameter-only change (key width 4 -> 5) changes the fingerprint"
+        );
+        assert_ne!(
+            instance_key(&widened, &locked),
+            instance_key(&wider, &locked)
+        );
+
+        let mut lut = config.clone();
+        lut.scheme = obfuscate::SchemeKind::LutLock { lut_size: 3 };
+        let mut lut4 = config.clone();
+        lut4.scheme = obfuscate::SchemeKind::LutLock { lut_size: 4 };
+        assert_ne!(supervision_key(&lut), supervision_key(&lut4));
     }
 }

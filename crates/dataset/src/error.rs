@@ -37,6 +37,20 @@ pub enum DatasetError {
         /// The typed failure that exhausted the retries.
         failure: InstanceFailure,
     },
+    /// A raw structural feature (gate degree or logic level) exceeded the
+    /// fixed-point range of the feature encoding. Raised instead of
+    /// silently saturating, so corpora whose gate mix outgrows the ISCAS
+    /// assumptions (e.g. wide Anti-SAT comparator trees) fail loudly.
+    FeatureRange {
+        /// Name of the offending gate.
+        gate: String,
+        /// Which feature overflowed ("fan-in degree", ...).
+        feature: &'static str,
+        /// The raw value.
+        value: usize,
+        /// The encoding's inclusive maximum.
+        limit: usize,
+    },
     /// A CSV line could not be parsed.
     ParseCsv {
         /// 1-based line number.
@@ -96,6 +110,15 @@ impl fmt::Display for DatasetError {
             } => write!(
                 f,
                 "instance {instance} of `{circuit}` quarantined: {failure}"
+            ),
+            DatasetError::FeatureRange {
+                gate,
+                feature,
+                value,
+                limit,
+            } => write!(
+                f,
+                "gate `{gate}` has {feature} {value}, beyond the feature encoding limit {limit}"
             ),
             DatasetError::ParseCsv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")

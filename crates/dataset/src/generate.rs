@@ -195,6 +195,9 @@ pub(crate) fn lock_instance(
         SchemeKind::LutLock { lut_size } => lut_lock(circuit, &selected, lut_size, &mut rng)?,
         SchemeKind::XorLock => obfuscate::xor_lock(circuit, &selected, &mut rng)?,
         SchemeKind::MuxLock => obfuscate::mux_lock(circuit, &selected, &mut rng)?,
+        SchemeKind::AntiSat { key_width } => {
+            obfuscate::anti_sat_lock(circuit, &selected, key_width, &mut rng)?
+        }
     };
     Ok(locked)
 }

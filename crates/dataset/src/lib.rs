@@ -41,7 +41,10 @@ mod supervise;
 
 pub use checkpoint::{instance_key, supervision_key, CheckpointLog};
 pub use csv::{dataset_from_csv, dataset_to_csv};
-pub use encode::{flat_features, graph_features, FlatAggregation, StructureEncoding};
+pub use encode::{
+    degree_level_features, flat_features, graph_features, FlatAggregation, StructureEncoding,
+    MAX_STRUCT_FEATURE,
+};
 pub use error::DatasetError;
 pub use generate::{generate, generate_one, instance_seed, sweep_circuit, Dataset, DatasetConfig};
 pub use instance::Instance;

@@ -1,0 +1,261 @@
+//! Anti-SAT-style SAT-resilient locking (Xie & Srivastava).
+//!
+//! Each selected *primary-output* gate `g` is anchored with a point-function
+//! block over `w = key_width` primary-input taps `X` and two `w`-bit key
+//! halves `K1`, `K2`:
+//!
+//! ```text
+//! Y = AND(X ⊕ K1) ∧ NAND(X ⊕ K2)        g_locked = g ⊕ Y
+//! ```
+//!
+//! With the correct key `K1 = K2 = α` the left AND fires only at the single
+//! tap pattern `X = ¬α`, where the right NAND is 0 — so `Y ≡ 0` and the
+//! circuit computes its original function. A functionally wrong key has
+//! `K1 ≠ K2` in some block, making `Y = 1` at exactly the one tap pattern
+//! `X = ¬K1`: each oracle query (DIP) the SAT attack learns can rule out
+//! only the wrong key pairs that misbehave at that single pattern, i.e. a
+//! `2^-w` fraction of the key space, so the attack needs on the order of
+//! `2^w` iterations. Keys with `K1 = K2 = β ≠ α` are also functionally
+//! correct — Anti-SAT has `2^w` correct keys per block by construction.
+
+use crate::error::ObfuscateError;
+use crate::key::Key;
+use crate::locked::LockedCircuit;
+use crate::scheme::{copy_gate, validate_selection, SchemeKind};
+use netlist::{Circuit, GateId, GateKind};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Anchors an Anti-SAT point-function block at each selected gate.
+///
+/// Selected gates must be primary outputs (use
+/// [`eligible_gates`](crate::eligible_gates) /
+/// [`select_gates`](crate::select_gates) with [`SchemeKind::AntiSat`]).
+/// Block `i` (in selected-id order) owns key bits
+/// `[2wi, 2w(i+1))`: the first `w` are `K1`, the next `w` are `K2`, and the
+/// correct key repeats the same random pattern `α` in both halves. Tap
+/// inputs are `w` distinct primary inputs chosen per block.
+///
+/// # Errors
+///
+/// Returns [`ObfuscateError::BadKeyWidth`] for widths outside 2..=16,
+/// [`ObfuscateError::NotEnoughInputs`] when the circuit has fewer than
+/// `key_width` primary inputs, [`ObfuscateError::NotEnoughGates`] if
+/// `original` is already locked, and propagates netlist construction
+/// failures.
+pub fn anti_sat_lock(
+    original: &Circuit,
+    selected: &[GateId],
+    key_width: usize,
+    rng: &mut impl Rng,
+) -> Result<LockedCircuit, ObfuscateError> {
+    if !(2..=16).contains(&key_width) {
+        return Err(ObfuscateError::BadKeyWidth(key_width));
+    }
+    if original.inputs().len() < key_width {
+        return Err(ObfuscateError::NotEnoughInputs {
+            available: original.inputs().len(),
+            required: key_width,
+        });
+    }
+    validate_selection(original, selected)?;
+    for &id in selected {
+        assert!(
+            original.outputs().contains(&id),
+            "Anti-SAT anchors must be primary outputs"
+        );
+    }
+
+    let mut builder = netlist::CircuitBuilder::new(format!("{}_antisat", original.name()));
+    let mut map: Vec<Option<GateId>> = vec![None; original.num_gates()];
+
+    // Pass 1: place every primary input first so any block can tap any
+    // input regardless of where its anchor sits in id order.
+    let mut new_inputs: Vec<GateId> = Vec::with_capacity(original.inputs().len());
+    for (id, gate) in original.iter() {
+        if let GateKind::Input(_) = gate.kind() {
+            let new_id = builder.add_input(gate.name().to_owned())?;
+            map[id.index()] = Some(new_id);
+            new_inputs.push(new_id);
+        }
+    }
+
+    // Pass 2: copy the logic in id order (topological), splicing a point
+    // function behind each anchor.
+    let mut key_bits: Vec<bool> = Vec::with_capacity(selected.len() * 2 * key_width);
+    let mut block = 0usize;
+    for (id, gate) in original.iter() {
+        if gate.kind().is_input() {
+            continue;
+        }
+        let new_id = copy_gate(&mut builder, gate, &map)?;
+        if selected.contains(&id) {
+            let y = build_block(
+                &mut builder,
+                &new_inputs,
+                key_width,
+                block,
+                &mut key_bits,
+                rng,
+            )?;
+            let lock = builder.add_gate(format!("ask{block}"), GateKind::Xor, &[new_id, y])?;
+            map[id.index()] = Some(lock);
+            block += 1;
+        } else {
+            map[id.index()] = Some(new_id);
+        }
+    }
+    for &out in original.outputs() {
+        builder.mark_output(map[out.index()].expect("all gates mapped"));
+    }
+
+    Ok(LockedCircuit {
+        original: original.clone(),
+        locked: builder.finish()?,
+        key: Key::from_bits(key_bits),
+        selected: selected.to_vec(),
+        scheme: SchemeKind::AntiSat { key_width },
+    })
+}
+
+/// Builds one point-function block and returns its output `Y`.
+///
+/// Appends the block's correct key bits (`α` twice) to `key_bits`.
+fn build_block(
+    builder: &mut netlist::CircuitBuilder,
+    inputs: &[GateId],
+    key_width: usize,
+    block: usize,
+    key_bits: &mut Vec<bool>,
+    rng: &mut impl Rng,
+) -> Result<GateId, ObfuscateError> {
+    let taps: Vec<GateId> = inputs.choose_multiple(rng, key_width).copied().collect();
+    let alpha: Vec<bool> = (0..key_width).map(|_| rng.gen::<bool>()).collect();
+    let base = block * 2 * key_width;
+
+    let mut left = Vec::with_capacity(key_width);
+    let mut right = Vec::with_capacity(key_width);
+    for (j, &tap) in taps.iter().enumerate() {
+        let k1 = builder.add_key_input(format!("keyinput{}", base + j))?;
+        left.push(builder.add_gate(format!("asx{block}_{j}"), GateKind::Xor, &[tap, k1])?);
+    }
+    for (j, &tap) in taps.iter().enumerate() {
+        let k2 = builder.add_key_input(format!("keyinput{}", base + key_width + j))?;
+        right.push(builder.add_gate(format!("asz{block}_{j}"), GateKind::Xor, &[tap, k2])?);
+    }
+    key_bits.extend_from_slice(&alpha);
+    key_bits.extend_from_slice(&alpha);
+
+    // g = wide AND over the K1 comparator, ḡ = its NAND complement over K2.
+    let g = builder.add_gate(format!("asg{block}"), GateKind::And, &left)?;
+    let ng = builder.add_gate(format!("asn{block}"), GateKind::Nand, &right)?;
+    Ok(builder.add_gate(format!("asp{block}"), GateKind::And, &[g, ng])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::c17;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lock_c17(blocks: usize, width: usize, seed: u64) -> LockedCircuit {
+        let c = c17();
+        let scheme = SchemeKind::AntiSat { key_width: width };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sel = crate::select_gates(&c, scheme, blocks, &mut rng).unwrap();
+        anti_sat_lock(&c, &sel, width, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn correct_key_restores_function() {
+        for seed in 0..5 {
+            let locked = lock_c17(2, 3, seed);
+            assert!(locked.verify_key(&locked.key).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn key_halves_repeat_alpha() {
+        let locked = lock_c17(2, 4, 9);
+        let bits = locked.key.bits();
+        assert_eq!(bits.len(), 2 * 2 * 4);
+        for block in 0..2 {
+            let base = block * 8;
+            assert_eq!(bits[base..base + 4], bits[base + 4..base + 8]);
+        }
+    }
+
+    #[test]
+    fn disagreeing_halves_break_function() {
+        // A key whose halves differ hits Y = 1 at exactly one tap pattern;
+        // with the block anchored at a primary output the flip is visible.
+        // Exhaustively simulating all 2^5 c17 input patterns must find it.
+        let locked = lock_c17(1, 3, 2);
+        let mut wrong = locked.key.bits().to_vec();
+        wrong[0] = !wrong[0]; // K1 != K2 in block 0
+        let n = locked.original.inputs().len();
+        let flipped = (0..1u32 << n).any(|pat| {
+            let ins: Vec<bool> = (0..n).map(|b| pat >> b & 1 == 1).collect();
+            let expect = locked.original.simulate_bool(&ins, &[]).unwrap();
+            let got = locked.locked.simulate_bool(&ins, &wrong).unwrap();
+            expect != got
+        });
+        assert!(flipped);
+    }
+
+    #[test]
+    fn matching_wrong_alpha_is_still_correct() {
+        // K1 = K2 = β ≠ α is one of the 2^w functionally correct keys.
+        let locked = lock_c17(1, 3, 5);
+        let mut beta = locked.key.bits().to_vec();
+        beta[0] = !beta[0];
+        beta[3] = !beta[3]; // flip the same position in both halves
+        assert!(locked.verify_key(&Key::from_bits(beta)).unwrap());
+    }
+
+    #[test]
+    fn structure_is_as_expected() {
+        let locked = lock_c17(2, 3, 7);
+        assert_eq!(locked.locked.keys().len(), 2 * 2 * 3);
+        assert_eq!(locked.locked.inputs().len(), 5);
+        assert_eq!(locked.locked.outputs().len(), 2);
+        // Per block: 2w comparator XORs + AND + NAND + point AND + anchor XOR.
+        let per_block = 2 * 3 + 4;
+        assert_eq!(
+            locked.locked.num_logic_gates(),
+            c17().num_logic_gates() + 2 * per_block
+        );
+        assert_eq!(locked.key.len(), 12);
+    }
+
+    #[test]
+    fn rejects_bad_width_and_narrow_circuits() {
+        let c = c17();
+        let mut rng = StdRng::seed_from_u64(0);
+        let sel = vec![*c.outputs().first().unwrap()];
+        assert!(matches!(
+            anti_sat_lock(&c, &sel, 1, &mut rng),
+            Err(ObfuscateError::BadKeyWidth(1))
+        ));
+        assert!(matches!(
+            anti_sat_lock(&c, &sel, 6, &mut rng),
+            Err(ObfuscateError::NotEnoughInputs {
+                available: 5,
+                required: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn locked_netlist_round_trips_through_bench() {
+        let locked = lock_c17(1, 4, 11);
+        let text = locked.locked.to_bench();
+        let reparsed = Circuit::from_bench("locked", &text).unwrap();
+        assert_eq!(reparsed.keys().len(), 8);
+        assert!(locked
+            .locked
+            .equiv_random(&reparsed, locked.key.bits(), locked.key.bits(), 4, 7)
+            .unwrap());
+    }
+}

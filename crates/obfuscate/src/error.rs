@@ -13,6 +13,18 @@ pub enum ObfuscateError {
     },
     /// The requested LUT size is outside the supported 1..=6 range.
     BadLutSize(usize),
+    /// The requested Anti-SAT key width is outside the supported 2..=16
+    /// range (the comparator AND/NAND trees need at least two fan-ins, and
+    /// the DIP count 2^w makes widths past 16 unattackable in any sweep).
+    BadKeyWidth(usize),
+    /// The circuit has fewer primary inputs than an Anti-SAT block needs
+    /// tap points.
+    NotEnoughInputs {
+        /// Primary inputs in the circuit.
+        available: usize,
+        /// Tap points one block requires (= the key width).
+        required: usize,
+    },
     /// A key of the wrong length was supplied.
     KeyLengthMismatch {
         /// Key bits the locked circuit expects.
@@ -39,6 +51,16 @@ impl fmt::Display for ObfuscateError {
             ObfuscateError::BadLutSize(k) => {
                 write!(f, "LUT size {k} unsupported (must be 1..=6)")
             }
+            ObfuscateError::BadKeyWidth(w) => {
+                write!(f, "Anti-SAT key width {w} unsupported (must be 2..=16)")
+            }
+            ObfuscateError::NotEnoughInputs {
+                available,
+                required,
+            } => write!(
+                f,
+                "Anti-SAT block needs {required} tap inputs but the circuit has {available}"
+            ),
             ObfuscateError::KeyLengthMismatch { expected, actual } => {
                 write!(
                     f,

@@ -11,7 +11,10 @@
 //!   true signal and a decoy;
 //! * [`lut_lock`] — the paper's scheme: selected gates are replaced by
 //!   key-programmed lookup tables of fixed size (LUT size 4 in the paper),
-//!   realized as MUX trees over `2^k` fresh key inputs.
+//!   realized as MUX trees over `2^k` fresh key inputs;
+//! * [`anti_sat_lock`] — SAT-resilient Anti-SAT point-function blocks
+//!   anchored at primary outputs, forcing ~`2^key_width` DIP iterations out
+//!   of the SAT attack.
 //!
 //! # Example
 //!
@@ -27,6 +30,7 @@
 //! # }
 //! ```
 
+mod anti_sat;
 mod error;
 mod key;
 mod locked;
@@ -36,6 +40,7 @@ pub mod overhead;
 mod scheme;
 mod xor_lock;
 
+pub use anti_sat::anti_sat_lock;
 pub use error::ObfuscateError;
 pub use key::Key;
 pub use locked::LockedCircuit;

@@ -1,6 +1,6 @@
 use crate::error::ObfuscateError;
 use crate::locked::LockedCircuit;
-use crate::{lut_lock, mux_lock, xor_lock};
+use crate::{anti_sat_lock, lut_lock, mux_lock, xor_lock};
 use netlist::{Circuit, CircuitBuilder, Gate, GateId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -20,6 +20,15 @@ pub enum SchemeKind {
         /// Number of LUT data inputs (1..=6).
         lut_size: usize,
     },
+    /// SAT-resilient Anti-SAT point-function block (Xie & Srivastava):
+    /// `Y = AND(X ⊕ K1) ∧ NAND(X ⊕ K2)` XOR-ed into a selected output cone.
+    /// Each selected gate consumes `2 * key_width` key bits and forces the
+    /// SAT attack through ~`2^key_width` distinguishing inputs.
+    AntiSat {
+        /// Tap/comparator width `w` of each block (2..=16); the correct key
+        /// repeats the same `w`-bit pattern in both halves.
+        key_width: usize,
+    },
 }
 
 impl SchemeKind {
@@ -28,6 +37,7 @@ impl SchemeKind {
         match self {
             SchemeKind::XorLock | SchemeKind::MuxLock => 1,
             SchemeKind::LutLock { lut_size } => 1 << lut_size,
+            SchemeKind::AntiSat { key_width } => 2 * key_width,
         }
     }
 }
@@ -38,6 +48,7 @@ impl fmt::Display for SchemeKind {
             SchemeKind::XorLock => f.write_str("xor-lock"),
             SchemeKind::MuxLock => f.write_str("mux-lock"),
             SchemeKind::LutLock { lut_size } => write!(f, "lut{lut_size}-lock"),
+            SchemeKind::AntiSat { key_width } => write!(f, "antisat{key_width}-lock"),
         }
     }
 }
@@ -45,16 +56,19 @@ impl fmt::Display for SchemeKind {
 /// Logic gates of `circuit` that `scheme` can lock.
 ///
 /// All schemes require non-input gates; LUT locking additionally requires
-/// the gate's fan-in count to fit in the LUT.
+/// the gate's fan-in count to fit in the LUT, and Anti-SAT anchors only at
+/// primary-output gates so a flipped point function always reaches an
+/// observable output.
 pub fn eligible_gates(circuit: &Circuit, scheme: SchemeKind) -> Vec<GateId> {
     circuit
         .iter()
         .filter(|(_, g)| !g.kind().is_input())
-        .filter(|(_, g)| match scheme {
+        .filter(|(id, g)| match scheme {
             SchemeKind::XorLock | SchemeKind::MuxLock => true,
             SchemeKind::LutLock { lut_size } => {
                 g.fanin().len() <= lut_size && !g.fanin().is_empty()
             }
+            SchemeKind::AntiSat { .. } => circuit.outputs().contains(id),
         })
         .map(|(id, _)| id)
         .collect()
@@ -76,6 +90,11 @@ pub fn select_gates(
     if let SchemeKind::LutLock { lut_size } = scheme {
         if lut_size == 0 || lut_size > 6 {
             return Err(ObfuscateError::BadLutSize(lut_size));
+        }
+    }
+    if let SchemeKind::AntiSat { key_width } = scheme {
+        if !(2..=16).contains(&key_width) {
+            return Err(ObfuscateError::BadKeyWidth(key_width));
         }
     }
     let eligible = eligible_gates(circuit, scheme);
@@ -109,6 +128,9 @@ pub fn lock_random(
         SchemeKind::XorLock => xor_lock(original, &selected, &mut rng),
         SchemeKind::MuxLock => mux_lock(original, &selected, &mut rng),
         SchemeKind::LutLock { lut_size } => lut_lock(original, &selected, lut_size, &mut rng),
+        SchemeKind::AntiSat { key_width } => {
+            anti_sat_lock(original, &selected, key_width, &mut rng)
+        }
     }
 }
 
@@ -213,11 +235,36 @@ mod tests {
         assert_eq!(SchemeKind::XorLock.key_bits_per_gate(), 1);
         assert_eq!(SchemeKind::MuxLock.key_bits_per_gate(), 1);
         assert_eq!(SchemeKind::LutLock { lut_size: 4 }.key_bits_per_gate(), 16);
+        assert_eq!(SchemeKind::AntiSat { key_width: 5 }.key_bits_per_gate(), 10);
     }
 
     #[test]
     fn scheme_display() {
         assert_eq!(SchemeKind::XorLock.to_string(), "xor-lock");
         assert_eq!(SchemeKind::LutLock { lut_size: 4 }.to_string(), "lut4-lock");
+        assert_eq!(
+            SchemeKind::AntiSat { key_width: 5 }.to_string(),
+            "antisat5-lock"
+        );
+    }
+
+    #[test]
+    fn anti_sat_is_anchored_at_primary_outputs() {
+        let c = c17();
+        let eligible = eligible_gates(&c, SchemeKind::AntiSat { key_width: 3 });
+        assert_eq!(eligible.len(), c.outputs().len());
+        assert!(eligible.iter().all(|id| c.outputs().contains(id)));
+    }
+
+    #[test]
+    fn select_rejects_bad_anti_sat_key_width() {
+        let c = c17();
+        let mut rng = StdRng::seed_from_u64(0);
+        for w in [0, 1, 17] {
+            assert!(matches!(
+                select_gates(&c, SchemeKind::AntiSat { key_width: w }, 1, &mut rng),
+                Err(ObfuscateError::BadKeyWidth(width)) if width == w
+            ));
+        }
     }
 }

@@ -94,6 +94,7 @@ proptest! {
             Just(obfuscate::SchemeKind::MuxLock),
             Just(obfuscate::SchemeKind::LutLock { lut_size: 2 }),
             Just(obfuscate::SchemeKind::LutLock { lut_size: 4 }),
+            Just(obfuscate::SchemeKind::AntiSat { key_width: 3 }),
         ],
     ) {
         let base = synth::generate(
@@ -299,6 +300,135 @@ proptest! {
         let key = obfuscate::Key::from_bits(bits.clone());
         let parsed = obfuscate::Key::from_hex(&key.to_hex(), bits.len()).unwrap();
         prop_assert_eq!(key, parsed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Anti-SAT correctness: SAT-certified equivalence under the right key, a
+// guaranteed observable flip under a wrong one.
+
+use cnf::ClauseSink as _;
+
+/// Encodes an equivalence miter between `original` and `locked` under the
+/// fixed `key`: both circuits share their primary-input variables, the key
+/// variables are pinned to `key`, and the returned literal asserts "some
+/// output pair disagrees". UNSAT with that assumption is a proof of
+/// functional equivalence over *all* 2^n inputs — strictly stronger than any
+/// sampled simulation check.
+fn equivalence_diff_lit(
+    original: &netlist::Circuit,
+    locked: &netlist::Circuit,
+    key: &[bool],
+    solver: &mut Solver,
+) -> (Lit, Vec<sat::Var>) {
+    let inputs: Vec<sat::Var> = (0..original.inputs().len())
+        .map(|_| solver.fresh_var())
+        .collect();
+    let enc_orig = cnf::encode_circuit_with(
+        original,
+        solver,
+        cnf::EncodeOptions {
+            input_vars: Some(inputs.clone()),
+            key_vars: None,
+        },
+    );
+    let key_vars: Vec<sat::Var> = (0..locked.keys().len())
+        .map(|_| solver.fresh_var())
+        .collect();
+    let enc_lock = cnf::encode_circuit_with(
+        locked,
+        solver,
+        cnf::EncodeOptions {
+            input_vars: Some(inputs.clone()),
+            key_vars: Some(key_vars.clone()),
+        },
+    );
+    cnf::fix_vars(solver, &key_vars, key);
+    let diffs: Vec<Lit> = enc_orig
+        .output_vars(original)
+        .iter()
+        .zip(&enc_lock.output_vars(locked))
+        .map(|(&a, &b)| Lit::positive(cnf::encode_xor(solver, Lit::positive(a), Lit::positive(b))))
+        .collect();
+    (Lit::positive(cnf::encode_or(solver, &diffs)), inputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under the correct key, the Anti-SAT-locked circuit is miter-UNSAT
+    /// equivalent to the original: no input whatsoever distinguishes them.
+    #[test]
+    fn anti_sat_correct_key_is_miter_unsat_equivalent(
+        seed in 0u64..2000,
+        key_width in 2usize..6,
+        blocks in 1usize..3,
+    ) {
+        let base = synth::generate(
+            &synth::GeneratorConfig::new("p", 8, 4, 60).with_seed(seed),
+        );
+        let locked = obfuscate::lock_random(
+            &base,
+            obfuscate::SchemeKind::AntiSat { key_width },
+            blocks,
+            seed,
+        ).unwrap();
+        let mut solver = Solver::new();
+        let (diff, _) = equivalence_diff_lit(
+            &locked.original,
+            &locked.locked,
+            locked.key.bits(),
+            &mut solver,
+        );
+        prop_assert!(
+            matches!(solver.solve_with_assumptions(&[diff]), SolveResult::Unsat),
+            "correct key must be UNSAT-equivalent"
+        );
+    }
+
+    /// A key whose K1/K2 halves disagree in one bit flips at least one
+    /// output for some input: the equivalence miter is SAT. (Halves that
+    /// *agree* on a different alpha are functionally correct by design —
+    /// that is the scheme's 2^w-correct-keys property — so the wrong key
+    /// here is always a disagreeing-halves one.)
+    #[test]
+    fn anti_sat_disagreeing_halves_flip_an_output(
+        seed in 0u64..2000,
+        key_width in 2usize..6,
+        flip in 0usize..6,
+    ) {
+        let base = synth::generate(
+            &synth::GeneratorConfig::new("p", 8, 4, 60).with_seed(seed),
+        );
+        let locked = obfuscate::lock_random(
+            &base,
+            obfuscate::SchemeKind::AntiSat { key_width },
+            1,
+            seed,
+        ).unwrap();
+        // Flip one bit of the K1 half only: K1 != K2 breaks Y ≡ 0.
+        let mut bits = locked.key.bits().to_vec();
+        let j = flip % key_width;
+        bits[j] = !bits[j];
+        let mut solver = Solver::new();
+        let (diff, input_vars) =
+            equivalence_diff_lit(&locked.original, &locked.locked, &bits, &mut solver);
+        match solver.solve_with_assumptions(&[diff]) {
+            SolveResult::Sat(model) => {
+                // The model is a concrete witness: replay it through both
+                // simulators and confirm the disagreement is real.
+                let pattern: Vec<bool> = input_vars.iter().map(|&v| model.value(v)).collect();
+                let want = locked.original.simulate_bool(&pattern, &[]).unwrap();
+                let got = locked.locked.simulate_bool(&pattern, &bits).unwrap();
+                prop_assert_ne!(want, got, "SAT witness must replay as a real flip");
+            }
+            SolveResult::Unsat => prop_assert!(false, "disagreeing halves must be detectable"),
+            other => prop_assert!(false, "unexpected solve result: {other:?}"),
+        }
+        prop_assert!(
+            !locked.verify_key(&obfuscate::Key::from_bits(bits)).unwrap(),
+            "verify_key must reject a disagreeing-halves key"
+        );
     }
 }
 
