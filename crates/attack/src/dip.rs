@@ -79,11 +79,22 @@ pub struct AttackConfig {
     /// Wall-clock bound on each individual solver call (guards against one
     /// pathological query eating the whole deadline). `None` = unlimited.
     pub per_query_deadline: Option<Duration>,
+    /// Logical-byte cap on the attack solver's clause storage (see
+    /// [`sat::Solver::set_memory_budget`]). Deterministic and
+    /// machine-independent, but it rides in the *supervision* fingerprint,
+    /// not the instance key: an exceeded budget quarantines rather than
+    /// labels, and raising it re-attacks only the quarantined instances —
+    /// the same contract as deadlines. `None` = uncapped.
+    pub mem_budget: Option<u64>,
     /// Record every DIP found (costs memory on long attacks).
     pub record_dips: bool,
     /// Cross-thread cancellation flag, polled once per DIP iteration.
     /// `None` = not cancellable.
     pub cancel: Option<CancelToken>,
+    /// Watchdog pulse forwarded to the solver (beaten at its deadline-poll
+    /// sites) and beaten once per DIP iteration, so a stall monitor can see
+    /// progress the polled deadlines cannot. `None` = unmonitored.
+    pub heartbeat: Option<budget::Heartbeat>,
 }
 
 impl AttackConfig {
@@ -150,6 +161,11 @@ pub enum AttackOutcome {
     /// which. The partial runtime is machine-dependent, so supervisors
     /// quarantine these instead of labeling them.
     TimedOut(ExpiredDeadline),
+    /// The logical-byte [`AttackConfig::mem_budget`] stayed exhausted even
+    /// after the solver's staged learnt-DB degradation. Deterministic, but
+    /// the partial runtime reflects a degraded search, so supervisors
+    /// quarantine (a raised budget re-attacks) rather than label.
+    MemoryExceeded,
     /// The attack was stopped through its [`CancelToken`] — an operator or
     /// coordinator decision, not a property of the instance. Any partial
     /// result must be discarded.
@@ -170,6 +186,9 @@ pub struct AttackResult {
     pub solver_stats: SolverStats,
     /// Deterministic + wall-clock runtime of the run.
     pub runtime: AttackRuntime,
+    /// Peak logical bytes the attack solver's storage reached (see
+    /// [`budget::MemoryMeter`]) — the per-instance `mem.highwater` figure.
+    pub peak_logical_bytes: u64,
     /// The DIPs, if [`AttackConfig::record_dips`] was set.
     pub dips: Vec<Vec<bool>>,
 }
@@ -208,6 +227,8 @@ pub fn attack(
     let attack_deadline = config.deadline.map(|d| start + d);
     let mut solver = Solver::new();
     solver.set_conflict_budget(config.conflicts_per_solve);
+    solver.set_memory_budget(config.mem_budget);
+    solver.set_heartbeat(config.heartbeat.clone());
     let miter = encode_miter(locked, &mut solver);
     // One preprocessing pass over the freshly-encoded miter before any DIP
     // query: Tseitin encodings leave subsumed and strengthenable clauses,
@@ -221,6 +242,7 @@ pub fn attack(
     enum End {
         Budget,
         Timeout(ExpiredDeadline),
+        Memory,
         Cancelled,
     }
 
@@ -253,6 +275,12 @@ pub fn attack(
     let mut ended: Option<End> = None;
 
     loop {
+        if let Some(hb) = &config.heartbeat {
+            // The solver beats at its deadline-poll sites; easy queries can
+            // finish below those thresholds, so the iteration boundary
+            // beats too.
+            hb.beat();
+        }
         if config.is_cancelled() {
             ended = Some(End::Cancelled);
             break;
@@ -283,7 +311,15 @@ pub fn attack(
         let work_before = if observing { solver.stats().work() } else { 0 };
         match solver.solve_with_assumptions(&[miter.diff_lit()]) {
             SolveResult::Unknown => {
-                ended = Some(classify_unknown(attack_deadline, deadline));
+                // A memory give-up is self-attributed by the solver;
+                // everything else is classified by which bound expired.
+                ended = Some(
+                    if solver.out_of_budget() == Some(sat::OutOfBudget::Memory) {
+                        End::Memory
+                    } else {
+                        classify_unknown(attack_deadline, deadline)
+                    },
+                );
                 break;
             }
             SolveResult::Unsat => break, // no DIP remains
@@ -337,6 +373,7 @@ pub fn attack(
     let outcome = match ended {
         Some(End::Cancelled) => AttackOutcome::Cancelled,
         Some(End::Timeout(which)) => AttackOutcome::TimedOut(which),
+        Some(End::Memory) => AttackOutcome::MemoryExceeded,
         Some(End::Budget) => AttackOutcome::BudgetExceeded,
         None => {
             // No DIP remains: any key satisfying the I/O constraints is
@@ -350,10 +387,16 @@ pub fn attack(
                     AttackOutcome::KeyRecovered(key)
                 }
                 SolveResult::Unsat => return Err(AttackError::OracleInconsistent),
-                SolveResult::Unknown => match classify_unknown(attack_deadline, None) {
-                    End::Timeout(which) => AttackOutcome::TimedOut(which),
-                    _ => AttackOutcome::BudgetExceeded,
-                },
+                SolveResult::Unknown => {
+                    if solver.out_of_budget() == Some(sat::OutOfBudget::Memory) {
+                        AttackOutcome::MemoryExceeded
+                    } else {
+                        match classify_unknown(attack_deadline, None) {
+                            End::Timeout(which) => AttackOutcome::TimedOut(which),
+                            _ => AttackOutcome::BudgetExceeded,
+                        }
+                    }
+                }
             }
         }
     };
@@ -365,6 +408,7 @@ pub fn attack(
         oracle_queries: oracle.num_queries(),
         solver_stats,
         runtime: AttackRuntime::new(&solver_stats, start.elapsed()),
+        peak_logical_bytes: solver.meter().high_water(),
         dips,
     })
 }
@@ -619,6 +663,81 @@ mod tests {
         if let AttackOutcome::TimedOut(bound) = result.outcome {
             assert_eq!(bound.describe(), "deadline");
         }
+    }
+
+    #[test]
+    fn tight_mem_budget_ends_as_memory_exceeded() {
+        let base = synth::generate(&GeneratorConfig::new("mid", 16, 8, 150).with_seed(2));
+        let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 10, 3).unwrap();
+        let config = AttackConfig {
+            mem_budget: Some(1024), // far below the encoded miter itself
+            ..AttackConfig::default()
+        };
+        let result = attack_locked(&locked, &config).unwrap();
+        assert_eq!(result.outcome, AttackOutcome::MemoryExceeded);
+        assert!(result.key().is_none());
+    }
+
+    #[test]
+    fn mem_budget_verdict_is_deterministic_and_attributed_over_deadline() {
+        // Both a memory budget and a (not yet expired) deadline in flight:
+        // the solver's self-attributed memory give-up must win, and two
+        // runs must agree exactly.
+        let base = synth::generate(&GeneratorConfig::new("mid", 16, 8, 150).with_seed(2));
+        let locked = lock_random(&base, SchemeKind::LutLock { lut_size: 4 }, 10, 3).unwrap();
+        let config = AttackConfig {
+            mem_budget: Some(1024),
+            ..AttackConfig::default().with_deadline(Duration::from_secs(600))
+        };
+        let a = attack_locked(&locked, &config).unwrap();
+        let b = attack_locked(&locked, &config).unwrap();
+        assert_eq!(a.outcome, AttackOutcome::MemoryExceeded);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.solver_stats, b.solver_stats);
+        assert_eq!(a.peak_logical_bytes, b.peak_logical_bytes);
+    }
+
+    #[test]
+    fn peak_logical_bytes_is_recorded_on_success() {
+        let (_, result) = run(SchemeKind::XorLock, 3, 2);
+        assert!(result.key().is_some());
+        assert!(
+            result.peak_logical_bytes > 0,
+            "the miter encoding alone is thousands of logical bytes"
+        );
+    }
+
+    #[test]
+    fn generous_mem_budget_leaves_result_untouched() {
+        let locked = lock_random(&netlist::c17(), SchemeKind::XorLock, 3, 1).unwrap();
+        let unlimited = attack_locked(&locked, &AttackConfig::default()).unwrap();
+        let capped = attack_locked(
+            &locked,
+            &AttackConfig {
+                mem_budget: Some(1 << 30),
+                ..AttackConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(unlimited.outcome, capped.outcome);
+        assert_eq!(unlimited.solver_stats, capped.solver_stats);
+    }
+
+    #[test]
+    fn heartbeat_beats_across_the_attack() {
+        let dog = budget::Watchdog::new(budget::WatchdogConfig {
+            stall_after: Duration::from_secs(3600),
+            poll: Duration::from_millis(50),
+        });
+        let hb = dog.watch("attack", |_| {});
+        let locked = lock_random(&netlist::c17(), SchemeKind::XorLock, 3, 1).unwrap();
+        let config = AttackConfig {
+            heartbeat: Some(hb.clone()),
+            ..AttackConfig::default()
+        };
+        let result = attack_locked(&locked, &config).unwrap();
+        assert!(result.key().is_some());
+        assert!(!hb.tripped());
     }
 
     #[test]

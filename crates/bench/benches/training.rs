@@ -43,6 +43,25 @@ fn smoke() -> bool {
     std::env::var_os("TRAIN_BENCH_SMOKE").is_some()
 }
 
+/// One probe run per cell prints the deterministic peak-tape figure for
+/// `BENCH_train.json`'s memory trajectory. Logical bytes are a pure
+/// function of the configuration (see the `budget` crate), so a single run
+/// — not a sampled distribution — is the whole measurement.
+fn report_peak_tape_bytes(
+    cell: &str,
+    op: &Arc<tensor::CsrMatrix>,
+    xs: &[Matrix],
+    ys: &[f64],
+    config: &TrainConfig,
+) {
+    let mut model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 16, 16, 1);
+    let report = train(&mut model, op, xs, ys, config);
+    println!(
+        "# train_epoch_c432/{cell} peak_tape_bytes = {}",
+        report.peak_tape_bytes
+    );
+}
+
 fn bench_train_epoch(c: &mut Criterion) {
     let (op, xs, ys) = c432_task();
     let mut group = c.benchmark_group("train_epoch_c432");
@@ -62,6 +81,7 @@ fn bench_train_epoch(c: &mut Criterion) {
             engine: GradEngine::PerInstance,
             ..TrainConfig::default()
         };
+        report_peak_tape_bytes(&format!("jobs_{jobs}"), &op, &xs, &ys, &config);
         group.bench_function(format!("jobs_{jobs}"), |b| {
             b.iter(|| {
                 let mut model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 16, 16, 1);
@@ -83,6 +103,7 @@ fn bench_train_epoch(c: &mut Criterion) {
             engine: GradEngine::Batched,
             ..TrainConfig::default()
         };
+        report_peak_tape_bytes(&format!("batched_B{batch}"), &op, &xs, &ys, &config);
         group.bench_function(format!("batched_B{batch}"), |b| {
             b.iter(|| {
                 let mut model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 16, 16, 1);

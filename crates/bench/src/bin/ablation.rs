@@ -44,6 +44,7 @@ impl Ablation<'_> {
         let control = icnet::TrainControl {
             cancel: Some(bench::cli::interrupt_token().clone()),
             checkpoint: None,
+            heartbeat: None,
         };
         let graph = icnet::CircuitGraph::from_circuit(&self.data.circuit);
         let op = Arc::new(kind.operator(&graph));

@@ -210,6 +210,7 @@ fn main() {
             path: format!("{dir}/crossgen-{slug}-{n_train}i.ckpt"),
             resume: true,
         }),
+        heartbeat: None,
     };
     // Training is deliberately ICNet-NN on All features — the paper's best
     // cell — so the grid varies only the scheme axis.

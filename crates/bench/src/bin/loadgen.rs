@@ -12,7 +12,9 @@
 //! with the other binaries via `bench::cli`.
 
 use bench::cli::{self, Options};
-use serve::loadgen::{reports_to_json, run_levels, wait_ready, LoadgenConfig, Workload};
+use serve::loadgen::{
+    reports_to_json, run_levels, wait_ready, workload_request_bytes, LoadgenConfig, Workload,
+};
 use std::time::Duration;
 
 fn main() {
@@ -86,9 +88,10 @@ fn main() {
         requests,
         clients,
         timeout: Duration::from_secs(10),
+        probe_timeout: None,
     };
 
-    if let Err(e) = wait_ready(&addr, Duration::from_secs(10)) {
+    if let Err(e) = wait_ready(&config, Duration::from_secs(10)) {
         eprintln!("loadgen: server at {addr} never became ready: {e}");
         std::process::exit(1);
     }
@@ -114,7 +117,14 @@ fn main() {
         cli::exit_if_interrupted();
     }
 
-    let json = reports_to_json(&model, &reports);
+    // The demo server registers Gcn/All models (`serve --write-demo-model`);
+    // logical bytes are a pure function of the workload, so the client can
+    // stamp the per-request figure the server meters (ServeStats).
+    let peak_request_bytes =
+        workload_request_bytes(&workload, icnet::ModelKind::Gcn, icnet::FeatureSet::All)
+            .unwrap_or(0);
+    println!("# peak_request_bytes = {peak_request_bytes}");
+    let json = reports_to_json(&model, &reports, peak_request_bytes);
     std::fs::create_dir_all(&opts.out_dir).expect("create out dir");
     let path = std::path::Path::new(&opts.out_dir).join("BENCH_serve.json");
     std::fs::write(&path, json).expect("write BENCH_serve.json");

@@ -23,12 +23,14 @@ fn main() {
     let mut max_payload = serve::protocol::DEFAULT_MAX_PAYLOAD;
     let mut batch_window_ms = 1.0f64;
     let mut max_batch = 16usize;
+    let mut mem_watermark_mb: Option<u64> = None;
     let mut write_demo: Option<String> = None;
 
     let opts = Options::parse_extended(
         std::env::args().skip(1),
         "--addr <host:port> --models <dir> --queue <n> --max-payload <bytes> \
-         --batch-window-ms <ms> --max-batch <n> --write-demo-model <name>",
+         --batch-window-ms <ms> --max-batch <n> --mem-watermark-mb <mb> \
+         --write-demo-model <name>",
         |flag, value| match flag {
             "--addr" => {
                 addr = value("--addr");
@@ -52,6 +54,11 @@ fn main() {
             }
             "--max-batch" => {
                 max_batch = value("--max-batch").parse().expect("usize max-batch");
+                true
+            }
+            "--mem-watermark-mb" => {
+                mem_watermark_mb =
+                    Some(value("--mem-watermark-mb").parse().expect("u64 watermark"));
                 true
             }
             "--write-demo-model" => {
@@ -109,6 +116,7 @@ fn main() {
             .unwrap_or(Duration::from_secs(5)),
         batch_window: Duration::from_secs_f64(batch_window_ms.max(0.0) / 1e3),
         max_batch: max_batch.max(1),
+        mem_watermark: mem_watermark_mb.map(|mb| mb * 1024 * 1024),
         cancel: cli::interrupt_token().clone(),
         ..Default::default()
     };
@@ -129,7 +137,7 @@ fn main() {
     let stats = server.join();
     eprintln!(
         "# drained: {} admitted, {} ok, {} shed, {} errors, {} worker deaths ({} respawned), \
-         {} inference batches ({} requests micro-batched)",
+         {} inference batches ({} requests micro-batched), peak request {} bytes",
         stats.admitted,
         stats.completed,
         stats.shed,
@@ -138,6 +146,7 @@ fn main() {
         stats.respawns,
         stats.infer_batches,
         stats.batched_requests,
+        stats.peak_request_bytes,
     );
     cli::exit_if_interrupted();
     cli::finish_observability();

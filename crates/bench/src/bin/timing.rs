@@ -41,6 +41,7 @@ fn main() {
     let control = icnet::TrainControl {
         cancel: Some(bench::cli::interrupt_token().clone()),
         checkpoint: None,
+        heartbeat: None,
     };
     let (_, model) = evaluate_gnn_ctl(
         &data,

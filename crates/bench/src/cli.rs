@@ -50,6 +50,16 @@ pub struct Options {
     /// `seed=7;checkpoint.append:torn@o2;dataset.worker:die@c5`. Faults are
     /// disabled entirely when absent.
     pub fault_plan: Option<String>,
+    /// Per-attack logical-byte budget (see the `budget` crate). An attack
+    /// that exceeds it degrades (learnt-DB pressure first) and, failing
+    /// that, is quarantined `MemoryExceeded` — never labeled, because a
+    /// budget-perturbed work count is not the unbudgeted ground truth.
+    pub mem_budget: Option<u64>,
+    /// Watchdog stall window in seconds: a worker whose progress heartbeat
+    /// stops advancing for this long is cancelled and its instance
+    /// quarantined `Stalled` (catches non-polling hangs that deadlines
+    /// cannot see).
+    pub watchdog_stall: Option<f64>,
 }
 
 impl Default for Options {
@@ -71,6 +81,8 @@ impl Default for Options {
             trace: None,
             progress: false,
             fault_plan: None,
+            mem_budget: None,
+            watchdog_stall: None,
         }
     }
 }
@@ -133,6 +145,19 @@ impl Options {
                 "--trace" => opts.trace = Some(value("--trace")),
                 "--progress" => opts.progress = true,
                 "--fault-plan" => opts.fault_plan = Some(value("--fault-plan")),
+                "--mem-budget" => {
+                    let bytes: u64 = value("--mem-budget").parse().expect("bytes mem-budget");
+                    assert!(bytes > 0, "--mem-budget must be a positive byte count");
+                    opts.mem_budget = Some(bytes);
+                }
+                "--watchdog-stall" => {
+                    let secs: f64 = value("--watchdog-stall").parse().expect("seconds stall");
+                    assert!(
+                        secs.is_finite() && secs > 0.0,
+                        "--watchdog-stall must be a positive number of seconds"
+                    );
+                    opts.watchdog_stall = Some(secs);
+                }
                 "--quick" => opts.quick = true,
                 other => {
                     if extra(other, &mut value) {
@@ -143,6 +168,7 @@ impl Options {
                          --budget <work> --epochs <n> --seed <n> --keys-max <n> \
                          --out <dir> --jobs <n> --resume <path> --deadline <secs> \
                          --retries <n> --keep-going --no-keep-going \
+                         --mem-budget <bytes> --watchdog-stall <secs> \
                          --trace <path> --progress --fault-plan <spec> --quick{}{extra_usage}",
                         if extra_usage.is_empty() { "" } else { " " },
                     );
@@ -202,6 +228,8 @@ impl Options {
         config.attack.work_budget = Some(self.budget);
         config.attack.conflicts_per_solve = Some(200_000);
         config.attack.deadline = self.deadline.map(std::time::Duration::from_secs_f64);
+        config.attack.mem_budget = self.mem_budget;
+        config.watchdog_stall = self.watchdog_stall.map(std::time::Duration::from_secs_f64);
         config.seed = self.seed;
         config.retry.max_attempts = self.retries + 1;
         config.keep_going = self.keep_going;
@@ -354,6 +382,23 @@ mod tests {
         assert_eq!(config.retry.max_attempts, 3);
         assert!(!config.keep_going);
         assert_eq!(config.key_range, key_range, "key range untouched");
+    }
+
+    #[test]
+    fn memory_and_watchdog_flags_parse_and_configure() {
+        let o = parse(&["--mem-budget", "8000000", "--watchdog-stall", "30"]);
+        assert_eq!(o.mem_budget, Some(8_000_000));
+        assert_eq!(o.watchdog_stall, Some(30.0));
+        let mut config = dataset::DatasetConfig::quick_demo();
+        o.configure(&mut config);
+        assert_eq!(config.attack.mem_budget, Some(8_000_000));
+        assert_eq!(
+            config.watchdog_stall,
+            Some(std::time::Duration::from_secs(30))
+        );
+        let o = parse(&[]);
+        assert_eq!(o.mem_budget, None, "no budget unless requested");
+        assert_eq!(o.watchdog_stall, None, "no watchdog unless requested");
     }
 
     #[test]

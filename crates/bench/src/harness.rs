@@ -583,7 +583,7 @@ impl SuiteCell {
                     fs,
                     &config,
                     seed,
-                    &control.train_control(&label),
+                    &control.train_control(&label, dataset_tag(data)),
                 );
                 vec![result]
             }
@@ -608,23 +608,42 @@ pub struct SuiteControl {
     /// Interrupt token polled between cells and between training epochs.
     pub cancel: Option<attack::CancelToken>,
     /// Directory receiving one training checkpoint per GNN cell (named by
-    /// the cell's label slug); `None` disables training checkpoints.
+    /// the cell's label slug plus a dataset tag); `None` disables training
+    /// checkpoints.
     pub train_checkpoint_dir: Option<String>,
 }
 
 impl SuiteControl {
-    fn train_control(&self, label: &str) -> icnet::TrainControl {
+    fn train_control(&self, label: &str, dataset_tag: u64) -> icnet::TrainControl {
         icnet::TrainControl {
             cancel: self.cancel.clone(),
             checkpoint: self
                 .train_checkpoint_dir
                 .as_ref()
                 .map(|dir| icnet::TrainCheckpointSpec {
-                    path: format!("{dir}/{}.ckpt", slug(label)),
+                    // The tag keys the file to the exact training set. A
+                    // resumed sweep whose dataset changed under it — e.g.
+                    // a raised memory budget turned quarantined instances
+                    // into fresh labels — starts those cells from scratch
+                    // instead of tripping the trainer's fingerprint guard
+                    // on a checkpoint from the smaller dataset.
+                    path: format!("{dir}/{}-{dataset_tag:016x}.ckpt", slug(label)),
                     resume: true,
                 }),
+            heartbeat: None,
         }
     }
+}
+
+/// Deterministic tag of a dataset's supervision: instance count plus every
+/// log-runtime label, in order. Two runs see the same tag iff training
+/// would see the same targets.
+fn dataset_tag(data: &Dataset) -> u64 {
+    let mut h = faults::fnv1a(faults::FNV_OFFSET, &data.instances.len().to_le_bytes());
+    for label in data.labels() {
+        h = faults::fnv1a(h, &label.to_bits().to_le_bytes());
+    }
+    h
 }
 
 /// Filesystem-safe slug of a cell label (`"ICNet All feat / NN"` →
@@ -999,11 +1018,14 @@ mod tests {
             cancel: None,
             train_checkpoint_dir: Some("out/train".to_owned()),
         };
-        let tc = ctl.train_control("ICNet All feat / NN");
+        let tc = ctl.train_control("ICNet All feat / NN", 0xDEAD_BEEF);
         let spec = tc.checkpoint.expect("checkpoint configured");
-        assert_eq!(spec.path, "out/train/icnet-all-feat---nn.ckpt");
+        assert_eq!(
+            spec.path,
+            "out/train/icnet-all-feat---nn-00000000deadbeef.ckpt"
+        );
         assert!(spec.resume, "suite checkpoints always resume");
-        assert!(ctl.train_control("x").cancel.is_none());
+        assert!(ctl.train_control("x", 0).cancel.is_none());
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Logical-byte memory accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    current: AtomicU64,
+    high: AtomicU64,
+}
+
+impl Inner {
+    fn add(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.high.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        // Saturate rather than wrap: a component that over-frees (a bug)
+        // must not turn the meter into a ~2^64 reading that trips every
+        // budget in the process. Debug builds still catch the imbalance.
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            debug_assert!(cur >= bytes, "meter underflow: freeing {bytes} of {cur}");
+            let next = cur.saturating_sub(bytes);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A shared meter of *logical* bytes: the sum of what registered components
+/// asked for, not what the allocator reserved.
+///
+/// Cloning is cheap and every clone reads and writes the same tally, so a
+/// solver, its clause arena, and the attack loop driving them can all hold
+/// handles to one meter. All operations are lock-free; readings taken at
+/// deterministic points of a single-threaded computation are themselves
+/// deterministic (the solver's budget checks rely on this).
+///
+/// ```
+/// let meter = budget::MemoryMeter::new();
+/// meter.alloc(4096);
+/// meter.resize(4096, 1024);
+/// assert_eq!(meter.current(), 1024);
+/// assert_eq!(meter.high_water(), 4096);
+/// meter.free(1024);
+/// assert_eq!(meter.current(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryMeter {
+    inner: Arc<Inner>,
+}
+
+impl MemoryMeter {
+    /// A fresh meter reading zero.
+    pub fn new() -> Self {
+        MemoryMeter::default()
+    }
+
+    /// Records `bytes` newly requested.
+    pub fn alloc(&self, bytes: u64) {
+        self.inner.add(bytes);
+    }
+
+    /// Records `bytes` released. Saturates at zero (debug builds assert the
+    /// balance instead of wrapping).
+    pub fn free(&self, bytes: u64) {
+        self.inner.sub(bytes);
+    }
+
+    /// Re-records a component whose footprint changed from `old` to `new`
+    /// bytes — the idiom for growable buffers that track one total rather
+    /// than individual allocations.
+    pub fn resize(&self, old: u64, new: u64) {
+        if new > old {
+            self.inner.add(new - old);
+        } else {
+            self.inner.sub(old - new);
+        }
+    }
+
+    /// Bytes currently accounted.
+    pub fn current(&self) -> u64 {
+        self.inner.current.load(Ordering::Relaxed)
+    }
+
+    /// The largest reading the meter has ever held.
+    pub fn high_water(&self) -> u64 {
+        self.inner.high.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current reading (per-instance
+    /// peaks: reset between instances, read after each).
+    pub fn reset_high_water(&self) {
+        self.inner.high.store(self.current(), Ordering::Relaxed);
+    }
+
+    /// Opens an RAII scope: bytes accounted through the scope are balanced
+    /// automatically when it drops, so a component cannot leak meter state
+    /// even on early return or unwind.
+    pub fn scope(&self) -> MeterScope {
+        MeterScope {
+            meter: self.clone(),
+            held: 0,
+            high: 0,
+        }
+    }
+}
+
+/// An RAII accounting scope from [`MemoryMeter::scope`].
+///
+/// Tracks the net bytes it has accounted (`held`) and its own high-water
+/// mark; dropping the scope frees its net balance from the meter, so after
+/// every scope drops the meter reads exactly what non-scoped callers put
+/// there (zero, if everything went through scopes).
+#[derive(Debug)]
+pub struct MeterScope {
+    meter: MemoryMeter,
+    held: u64,
+    high: u64,
+}
+
+impl MeterScope {
+    /// Records `bytes` newly requested within this scope.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.meter.alloc(bytes);
+        self.held += bytes;
+        self.high = self.high.max(self.held);
+    }
+
+    /// Records `bytes` released within this scope. Saturates at this
+    /// scope's balance: a scope can never free more from the meter than it
+    /// put there.
+    pub fn free(&mut self, bytes: u64) {
+        let freed = bytes.min(self.held);
+        debug_assert!(
+            freed == bytes,
+            "scope underflow: freeing {bytes} of {}",
+            self.held
+        );
+        self.meter.free(freed);
+        self.held -= freed;
+    }
+
+    /// Re-records a component growing from `old` to `new` bytes.
+    pub fn resize(&mut self, old: u64, new: u64) {
+        if new > old {
+            self.alloc(new - old);
+        } else {
+            self.free(old - new);
+        }
+    }
+
+    /// Net bytes this scope currently holds on the meter.
+    pub fn held(&self) -> u64 {
+        self.held
+    }
+
+    /// The largest net balance this scope has held. Monotone over the
+    /// scope's lifetime.
+    pub fn high_water(&self) -> u64 {
+        self.high
+    }
+}
+
+impl Drop for MeterScope {
+    fn drop(&mut self) {
+        self.meter.free(self.held);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_balance() {
+        let m = MemoryMeter::new();
+        m.alloc(100);
+        m.alloc(50);
+        m.free(100);
+        assert_eq!(m.current(), 50);
+        assert_eq!(m.high_water(), 150);
+    }
+
+    #[test]
+    fn resize_moves_both_directions() {
+        let m = MemoryMeter::new();
+        m.resize(0, 1000);
+        m.resize(1000, 250);
+        assert_eq!(m.current(), 250);
+        m.resize(250, 600);
+        assert_eq!(m.current(), 600);
+        assert_eq!(m.high_water(), 1000);
+    }
+
+    #[test]
+    fn clones_share_the_tally() {
+        let a = MemoryMeter::new();
+        let b = a.clone();
+        a.alloc(64);
+        b.alloc(36);
+        assert_eq!(a.current(), 100);
+        assert_eq!(b.high_water(), 100);
+    }
+
+    #[test]
+    fn high_water_resets_to_current() {
+        let m = MemoryMeter::new();
+        m.alloc(500);
+        m.free(400);
+        m.reset_high_water();
+        assert_eq!(m.high_water(), 100);
+        m.alloc(50);
+        assert_eq!(m.high_water(), 150);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "debug builds assert on underflow")]
+    fn free_saturates_instead_of_wrapping() {
+        let m = MemoryMeter::new();
+        m.alloc(10);
+        m.free(1000);
+        assert_eq!(m.current(), 0);
+    }
+
+    #[test]
+    fn scope_balances_on_drop() {
+        let m = MemoryMeter::new();
+        {
+            let mut s = m.scope();
+            s.alloc(4096);
+            s.resize(4096, 8192);
+            assert_eq!(m.current(), 8192);
+            assert_eq!(s.high_water(), 8192);
+            s.free(192);
+            assert_eq!(s.held(), 8000);
+            assert_eq!(s.high_water(), 8192, "scope high-water is monotone");
+        }
+        assert_eq!(m.current(), 0, "dropping the scope frees its balance");
+        assert_eq!(m.high_water(), 8192, "the meter's peak survives");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Interleaved alloc/free/resize sequences keep the meter equal
+            /// to a reference model: the balance never goes negative (free
+            /// clamps, never wraps) and the high-water mark tracks the true
+            /// peak exactly.
+            #[test]
+            fn meter_matches_a_reference_model(
+                ops in proptest::collection::vec((0u8..3u8, 0u64..10_000u64), 1..60)
+            ) {
+                let meter = MemoryMeter::new();
+                let mut model = 0u64;
+                let mut peak = 0u64;
+                for &(op, bytes) in &ops {
+                    match op {
+                        0 => {
+                            meter.alloc(bytes);
+                            model += bytes;
+                        }
+                        1 => {
+                            // Over-freeing is a debug-asserted bug; the
+                            // property drives only balanced sequences.
+                            let freed = bytes.min(model);
+                            meter.free(freed);
+                            model -= freed;
+                        }
+                        _ => {
+                            meter.resize(model, bytes);
+                            model = bytes;
+                        }
+                    }
+                    peak = peak.max(model);
+                    prop_assert_eq!(meter.current(), model);
+                    prop_assert_eq!(meter.high_water(), peak);
+                }
+            }
+
+            /// Scopes: per-scope high water is monotone over the scope's
+            /// lifetime, the meter always reads the sum of live scope
+            /// balances, and once every scope drops the meter is back to
+            /// zero with its peak preserved.
+            #[test]
+            fn scope_high_water_is_monotone_and_drops_balance(
+                ops in proptest::collection::vec((0u8..3u8, 0u64..10_000u64), 1..60)
+            ) {
+                let meter = MemoryMeter::new();
+                let mut observed_peak = 0u64;
+                {
+                    let mut a = meter.scope();
+                    let mut b = meter.scope();
+                    let mut last_high = [0u64; 2];
+                    for (i, &(op, bytes)) in ops.iter().enumerate() {
+                        let which = i % 2;
+                        let scope = if which == 0 { &mut a } else { &mut b };
+                        match op {
+                            0 => scope.alloc(bytes),
+                            1 => {
+                                let freed = bytes.min(scope.held());
+                                scope.free(freed);
+                            }
+                            // Treat the scope's whole balance as one
+                            // growable buffer.
+                            _ => {
+                                let old = scope.held();
+                                scope.resize(old, bytes);
+                            }
+                        }
+                        let high = scope.high_water();
+                        prop_assert!(
+                            high >= last_high[which],
+                            "scope high water regressed: {} -> {}",
+                            last_high[which],
+                            high
+                        );
+                        prop_assert!(high >= scope.held());
+                        last_high[which] = high;
+                        prop_assert_eq!(meter.current(), a.held() + b.held());
+                        observed_peak = observed_peak.max(meter.current());
+                    }
+                }
+                prop_assert_eq!(
+                    meter.current(),
+                    0,
+                    "meter must read zero after every scope drops"
+                );
+                prop_assert!(meter.high_water() >= observed_peak);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_scopes_compose() {
+        let m = MemoryMeter::new();
+        let mut outer = m.scope();
+        outer.alloc(100);
+        {
+            let mut inner = m.scope();
+            inner.alloc(200);
+            assert_eq!(m.current(), 300);
+        }
+        assert_eq!(m.current(), 100);
+        drop(outer);
+        assert_eq!(m.current(), 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Stall detection for workers the polling deadlines can't see.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// Watchdog tuning.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// How long a heartbeat may go without advancing before its worker is
+    /// declared stalled.
+    pub stall_after: Duration,
+    /// Monitor wake interval. Detection latency is `stall_after` plus at
+    /// most one poll.
+    pub poll: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_after: Duration::from_secs(30),
+            poll: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Monitor-thread bookkeeping: the tick count last observed and when it
+/// last changed. Touched only under the mutex, by the monitor and by
+/// [`Heartbeat::rearm`].
+#[derive(Debug)]
+struct Seen {
+    ticks: u64,
+    at: Instant,
+}
+
+struct HeartbeatInner {
+    label: String,
+    ticks: AtomicU64,
+    /// Only armed heartbeats are stall-checked; workers disarm while idle
+    /// (waiting for work is not a stall).
+    armed: AtomicBool,
+    tripped: AtomicBool,
+    on_stall: Box<dyn Fn(&str) + Send + Sync>,
+    seen: Mutex<Seen>,
+}
+
+impl std::fmt::Debug for HeartbeatInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeartbeatInner")
+            .field("label", &self.label)
+            .field("ticks", &self.ticks)
+            .field("armed", &self.armed)
+            .field("tripped", &self.tripped)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A per-worker progress pulse, from [`Watchdog::watch`].
+///
+/// The worker calls [`beat`](Heartbeat::beat) whenever it makes progress —
+/// from the solver's conflict-poll sites, per training epoch, per request
+/// stage. If the count stops advancing for the configured window while the
+/// heartbeat is armed, the watchdog marks it tripped and runs the worker's
+/// stall hook (which conventionally cancels the worker's current attempt).
+///
+/// Cloning shares the pulse: any clone's beat feeds the same watchdog
+/// entry.
+#[derive(Debug, Clone)]
+pub struct Heartbeat {
+    inner: Arc<HeartbeatInner>,
+}
+
+impl Heartbeat {
+    /// Records progress. Lock-free; call as often as you like.
+    pub fn beat(&self) {
+        self.inner.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total beats recorded so far (diagnostic; the watchdog itself only
+    /// cares whether the count advances).
+    pub fn ticks(&self) -> u64 {
+        self.inner.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Whether the watchdog has declared this worker stalled.
+    pub fn tripped(&self) -> bool {
+        self.inner.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Stops stall-checking (the worker is idle between work items).
+    pub fn disarm(&self) {
+        self.inner.armed.store(false, Ordering::Relaxed);
+    }
+
+    /// Resumes stall-checking with a fresh window and a cleared trip flag
+    /// (the worker picked up its next work item).
+    pub fn rearm(&self) {
+        let mut seen = self.inner.seen.lock().unwrap_or_else(|e| e.into_inner());
+        seen.ticks = self.inner.ticks.load(Ordering::Relaxed);
+        seen.at = Instant::now();
+        self.inner.tripped.store(false, Ordering::Relaxed);
+        self.inner.armed.store(true, Ordering::Relaxed);
+    }
+}
+
+struct Shared {
+    config: WatchdogConfig,
+    stop: Mutex<bool>,
+    wake: Condvar,
+    watched: Mutex<Vec<Weak<HeartbeatInner>>>,
+}
+
+/// The stall monitor: one background thread sweeping every registered
+/// [`Heartbeat`] (see the [module docs](self) and `DESIGN.md` §12 for how
+/// this complements — rather than replaces — polled deadlines).
+///
+/// ```
+/// use std::sync::atomic::{AtomicBool, Ordering};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let dog = budget::Watchdog::new(budget::WatchdogConfig {
+///     stall_after: Duration::from_millis(20),
+///     poll: Duration::from_millis(5),
+/// });
+/// let cancelled = Arc::new(AtomicBool::new(false));
+/// let hook = Arc::clone(&cancelled);
+/// let hb = dog.watch("worker-0", move |_| hook.store(true, Ordering::Relaxed));
+/// // The worker never beats: the watchdog trips it.
+/// while !hb.tripped() {
+///     std::thread::sleep(Duration::from_millis(5));
+/// }
+/// assert!(cancelled.load(Ordering::Relaxed));
+/// ```
+pub struct Watchdog {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Watchdog")
+            .field("config", &self.shared.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Watchdog {
+    /// Starts the monitor thread.
+    pub fn new(config: WatchdogConfig) -> Self {
+        let shared = Arc::new(Shared {
+            config,
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+            watched: Mutex::new(Vec::new()),
+        });
+        let monitor = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("watchdog".to_owned())
+            .spawn(move || monitor_loop(&monitor))
+            .expect("spawn watchdog thread");
+        Watchdog {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Registers a worker. `on_stall` runs (once per arming) on the monitor
+    /// thread when the heartbeat stops advancing for the stall window; it
+    /// receives `label`. The returned heartbeat starts armed.
+    pub fn watch(&self, label: &str, on_stall: impl Fn(&str) + Send + Sync + 'static) -> Heartbeat {
+        let inner = Arc::new(HeartbeatInner {
+            label: label.to_owned(),
+            ticks: AtomicU64::new(0),
+            armed: AtomicBool::new(true),
+            tripped: AtomicBool::new(false),
+            on_stall: Box::new(on_stall),
+            seen: Mutex::new(Seen {
+                ticks: 0,
+                at: Instant::now(),
+            }),
+        });
+        self.shared
+            .watched
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::downgrade(&inner));
+        Heartbeat { inner }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        *self.shared.stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.shared.wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn monitor_loop(shared: &Shared) {
+    let mut stop = shared.stop.lock().unwrap_or_else(|e| e.into_inner());
+    while !*stop {
+        let (guard, _) = shared
+            .wake
+            .wait_timeout(stop, shared.config.poll)
+            .unwrap_or_else(|e| e.into_inner());
+        stop = guard;
+        if *stop {
+            return;
+        }
+        drop(stop);
+        sweep(shared);
+        stop = shared.stop.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+fn sweep(shared: &Shared) {
+    let mut watched = shared.watched.lock().unwrap_or_else(|e| e.into_inner());
+    watched.retain(|weak| weak.strong_count() > 0);
+    let live: Vec<Arc<HeartbeatInner>> = watched.iter().filter_map(Weak::upgrade).collect();
+    drop(watched);
+    let now = Instant::now();
+    for hb in live {
+        if !hb.armed.load(Ordering::Relaxed) || hb.tripped.load(Ordering::Relaxed) {
+            continue;
+        }
+        let ticks = hb.ticks.load(Ordering::Relaxed);
+        let mut seen = hb.seen.lock().unwrap_or_else(|e| e.into_inner());
+        if ticks != seen.ticks {
+            seen.ticks = ticks;
+            seen.at = now;
+            continue;
+        }
+        if now.duration_since(seen.at) >= shared.config.stall_after {
+            drop(seen);
+            hb.tripped.store(true, Ordering::Relaxed);
+            (hb.on_stall)(&hb.label);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn fast() -> WatchdogConfig {
+        WatchdogConfig {
+            stall_after: Duration::from_millis(30),
+            poll: Duration::from_millis(5),
+        }
+    }
+
+    fn wait_for(mut cond: impl FnMut() -> bool) {
+        let start = Instant::now();
+        while !cond() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "condition never held"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn silent_worker_trips() {
+        let dog = Watchdog::new(fast());
+        let stalls = Arc::new(AtomicUsize::new(0));
+        let count = Arc::clone(&stalls);
+        let hb = dog.watch("w0", move |label| {
+            assert_eq!(label, "w0");
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        wait_for(|| hb.tripped());
+        // The hook fires exactly once per arming, even across later sweeps.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(stalls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn beating_worker_never_trips() {
+        let dog = Watchdog::new(fast());
+        let hb = dog.watch("w0", |_| {});
+        for _ in 0..20 {
+            hb.beat();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!hb.tripped());
+    }
+
+    #[test]
+    fn disarmed_worker_is_ignored_and_rearm_resets() {
+        let dog = Watchdog::new(fast());
+        let hb = dog.watch("w0", |_| {});
+        hb.disarm();
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!hb.tripped(), "idle workers are not stalls");
+        hb.rearm();
+        wait_for(|| hb.tripped());
+        hb.rearm();
+        assert!(!hb.tripped(), "rearm clears the trip");
+    }
+
+    #[test]
+    fn dropping_the_watchdog_joins_cleanly() {
+        let dog = Watchdog::new(fast());
+        let _hb = dog.watch("w0", |_| {});
+        drop(dog);
+    }
+}

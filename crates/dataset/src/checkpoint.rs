@@ -90,23 +90,33 @@ pub fn instance_key(config: &DatasetConfig, locked: &LockedCircuit) -> u64 {
 }
 
 /// Fingerprint of the supervision policy a quarantine verdict was reached
-/// under: the scheme (with its parameters), both wall-clock deadlines, and
-/// the retry policy. A `fail` record is only authoritative for runs with
-/// the *same* fingerprint — raise the deadline, add retries, or change a
-/// scheme parameter (e.g. the Anti-SAT key width) and the instance deserves
-/// another attack, so [`CheckpointLog::lookup_failure`] treats the stale
-/// record as absent. The scheme is part of this fingerprint even though it
-/// also shapes [`instance_key`]: a quarantine verdict says "this scheme at
-/// these parameters was too hard under this policy", and neither half of
-/// that statement survives a parameter change.
+/// under: the scheme (with its parameters), both wall-clock deadlines, the
+/// retry policy, the logical-byte memory budget, and the watchdog stall
+/// window. A `fail` record is only authoritative for runs with the *same*
+/// fingerprint — raise the deadline, add retries, raise `--mem-budget`, or
+/// change a scheme parameter (e.g. the Anti-SAT key width) and the instance
+/// deserves another attack, so [`CheckpointLog::lookup_failure`] treats the
+/// stale record as absent. The scheme is part of this fingerprint even
+/// though it also shapes [`instance_key`]: a quarantine verdict says "this
+/// scheme at these parameters was too hard under this policy", and neither
+/// half of that statement survives a parameter change.
+///
+/// The memory budget rides here and *not* in [`instance_key`] for the same
+/// reason the deadlines do: it decides whether an attack finishes, and an
+/// attack that finished under one budget would have produced the same label
+/// under any roomier one (degradation only trades search speed for bytes,
+/// never the verdict of a completed run). Completed labels therefore
+/// survive a budget change; only quarantine verdicts are invalidated.
 pub fn supervision_key(config: &DatasetConfig) -> u64 {
     let fingerprint = format!(
-        "scheme={};deadline={:?};per_query={:?};attempts={};escalation={}",
+        "scheme={};deadline={:?};per_query={:?};attempts={};escalation={};mem={:?};stall={:?}",
         config.scheme,
         config.attack.deadline,
         config.attack.per_query_deadline,
         config.retry.max_attempts.max(1),
         config.retry.escalation,
+        config.attack.mem_budget,
+        config.watchdog_stall,
     );
     fnv1a(FNV_OFFSET, fingerprint.as_bytes())
 }

@@ -36,6 +36,15 @@ pub struct DatasetConfig {
     /// a failure report; when false, the first such failure aborts the
     /// sweep with [`DatasetError::Quarantined`].
     pub keep_going: bool,
+    /// When set, a parallel sweep runs a [`budget::Watchdog`] and gives each
+    /// worker a heartbeat the solver beats from inside its search loop; a
+    /// worker whose heartbeat stops advancing for this long has hung
+    /// somewhere deadline polling cannot reach (a stuck oracle, a livelocked
+    /// hook) and its instance is quarantined as
+    /// [`crate::supervise::FailureKind::Stalled`]. Wall-clock by nature —
+    /// like the deadlines, it decides whether an attack finishes, never what
+    /// label it gets. `None` = no watchdog.
+    pub watchdog_stall: Option<std::time::Duration>,
     /// Optional replacement attack runner (fault injection in tests);
     /// `None` = the real [`attack::attack_locked`].
     pub attack_hook: Option<AttackHook>,
@@ -60,6 +69,7 @@ impl fmt::Debug for DatasetConfig {
             .field("measure", &self.measure)
             .field("retry", &self.retry)
             .field("keep_going", &self.keep_going)
+            .field("watchdog_stall", &self.watchdog_stall)
             .field("attack_hook", &self.attack_hook.as_ref().map(|_| "<hook>"))
             .field("cancel", &self.cancel)
             .finish()
@@ -80,6 +90,7 @@ impl DatasetConfig {
             measure: RuntimeMeasure::SolverWork,
             retry: RetryPolicy::default(),
             keep_going: true,
+            watchdog_stall: None,
             attack_hook: None,
             cancel: None,
         }
@@ -108,6 +119,7 @@ impl DatasetConfig {
             measure: RuntimeMeasure::SolverWork,
             retry: RetryPolicy::default(),
             keep_going: true,
+            watchdog_stall: None,
             attack_hook: None,
             cancel: None,
         }
@@ -272,6 +284,40 @@ pub fn generate_one(
                 work: result.solver_stats.work(),
             },
         }),
+        AttackOutcome::MemoryExceeded => Err(DatasetError::Quarantined {
+            instance: index,
+            circuit: config.profile.clone(),
+            failure: crate::supervise::InstanceFailure {
+                kind: crate::supervise::FailureKind::MemoryExceeded,
+                attempts: 1,
+                message: format!(
+                    "logical-byte budget {:?} exceeded (peak {} bytes)",
+                    config.attack.mem_budget, result.peak_logical_bytes
+                ),
+                iterations: result.iterations,
+                work: result.solver_stats.work(),
+            },
+        }),
+        // A completion perturbed by memory pressure never labels (its work
+        // measure depends on the budget); see `supervise_attack` for the
+        // full argument.
+        _ if config.attack.mem_budget.is_some() && result.solver_stats.mem_pressure_events > 0 => {
+            Err(DatasetError::Quarantined {
+                instance: index,
+                circuit: config.profile.clone(),
+                failure: crate::supervise::InstanceFailure {
+                    kind: crate::supervise::FailureKind::MemoryExceeded,
+                    attempts: 1,
+                    message: format!(
+                        "completed under memory pressure (budget {:?}, peak {} bytes); \
+                         label withheld",
+                        config.attack.mem_budget, result.peak_logical_bytes
+                    ),
+                    iterations: result.iterations,
+                    work: result.solver_stats.work(),
+                },
+            })
+        }
         _ => Ok(label_instance(config, &locked, &result)),
     }
 }

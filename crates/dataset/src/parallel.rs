@@ -184,6 +184,16 @@ pub fn generate_parallel_with(
     // Quarantine records are only trusted across runs with the same
     // deadlines and retry policy (see `checkpoint::supervision_key`).
     let supervision = supervision_key(config);
+    // One watchdog for the whole sweep (when configured): each worker arms
+    // a per-instance heartbeat; a heartbeat that stops advancing for the
+    // stall window cancels a per-instance *child* token, so the trip stops
+    // exactly one attack, never the sweep.
+    let watchdog = config.watchdog_stall.map(|stall| {
+        budget::Watchdog::new(budget::WatchdogConfig {
+            stall_after: stall,
+            poll: (stall / 8).clamp(Duration::from_millis(5), Duration::from_millis(100)),
+        })
+    });
 
     // A quarantine is fatal exactly when the operator opted out of
     // keep-going; everything routes through here so the policy lives in
@@ -301,8 +311,28 @@ pub fn generate_parallel_with(
                         return Ok(None);
                     }
                 }
-                match supervise_attack(config, &locked, index, &cfg.attack) {
+                // Arm the watchdog for this instance (when configured). The
+                // solver and DIP loop beat the heartbeat from inside their
+                // hot loops; a hung oracle or livelocked hook stops the
+                // beats, the watchdog cancels the per-instance child token,
+                // and the attack unwinds as Cancelled — which the tripped
+                // heartbeat below reclassifies as a Stalled quarantine.
+                let mut attack_cfg = cfg.attack.clone();
+                let heartbeat = watchdog.as_ref().map(|dog| {
+                    let stall_cancel = cancel.child();
+                    attack_cfg = attack_cfg.clone().with_cancel(stall_cancel.clone());
+                    let hb = dog.watch(&format!("worker{wid}/instance{index}"), move |_label| {
+                        stall_cancel.cancel();
+                    });
+                    attack_cfg.heartbeat = Some(hb.clone());
+                    hb
+                });
+                match supervise_attack(config, &locked, index, &attack_cfg) {
                     Supervised::Done(result) => {
+                        obs::emit(obs::EventKind::MemHighwater {
+                            scope: "attack",
+                            bytes: result.peak_logical_bytes,
+                        });
                         let instance = label_instance(config, &locked, &result);
                         if let (Some(log), Some(key)) = (&log, key) {
                             log.lock().unwrap().record(key, index, &instance)?;
@@ -313,9 +343,40 @@ pub fn generate_parallel_with(
                         quarantine(index, failure, false, true)?;
                         Ok(None)
                     }
-                    // Shutdown, not a verdict: another worker's error (or an
-                    // external cancel) is the cause; report nothing here.
-                    Supervised::Cancelled => Ok(None),
+                    Supervised::Cancelled => {
+                        // A tripped heartbeat means the cancellation was the
+                        // watchdog's, aimed at this instance alone: the
+                        // attack hung somewhere its deadline polling cannot
+                        // see. Quarantine as Stalled (persisted under the
+                        // supervision fingerprint, like timeouts). A
+                        // sweep-level cancel takes precedence — that is a
+                        // shutdown, not a verdict on the instance.
+                        if let Some(hb) = &heartbeat {
+                            if hb.tripped() && !cancel.is_cancelled() {
+                                let stall = config
+                                    .watchdog_stall
+                                    .expect("heartbeat exists only with a stall window");
+                                quarantine(
+                                    index,
+                                    InstanceFailure {
+                                        kind: crate::supervise::FailureKind::Stalled,
+                                        attempts: 1,
+                                        message: format!(
+                                            "watchdog: no heartbeat progress for {stall:?}; \
+                                             attack cancelled"
+                                        ),
+                                        iterations: 0,
+                                        work: 0,
+                                    },
+                                    false,
+                                    true,
+                                )?;
+                            }
+                        }
+                        // Otherwise: another worker's error or an external
+                        // cancel — shutdown, nothing to report here.
+                        Ok(None)
+                    }
                 }
             })();
             match outcome {
@@ -531,6 +592,129 @@ mod tests {
             Err(DatasetError::Quarantined { instance: 2, .. }) => {}
             other => panic!("expected fatal quarantine of instance 2, got {other:?}"),
         }
+    }
+
+    /// A logical-byte budget that splits `config`'s sweep: some instances
+    /// fit, some exceed. Calibrated from the unbudgeted per-instance peaks
+    /// so the test tracks solver evolution instead of hardcoding bytes.
+    fn splitting_budget(config: &DatasetConfig) -> u64 {
+        let circuit = sweep_circuit(config).unwrap();
+        let mut peaks: Vec<u64> = (0..config.num_instances)
+            .map(|i| {
+                let locked = lock_instance(config, &circuit, i).unwrap();
+                attack::attack_locked(&locked, &config.attack)
+                    .unwrap()
+                    .peak_logical_bytes
+            })
+            .collect();
+        peaks.sort_unstable();
+        let (min, max) = (peaks[0], peaks[peaks.len() - 1]);
+        assert!(
+            min < max,
+            "calibration needs peak variance to split the sweep (all peaks = {min})"
+        );
+        (min + max) / 2
+    }
+
+    #[test]
+    fn mem_budget_quarantine_set_is_identical_for_every_worker_count() {
+        let mut config = small_config();
+        config.attack.mem_budget = Some(splitting_budget(&config));
+        let (serial, serial_report) = generate_parallel_with(&config, 1, None).unwrap();
+        let quarantined: Vec<(usize, crate::supervise::FailureKind)> = serial_report
+            .failures
+            .iter()
+            .map(|f| (f.index, f.failure.kind))
+            .collect();
+        assert!(
+            !quarantined.is_empty() && !serial.instances.is_empty(),
+            "calibrated budget must split the sweep \
+             ({} quarantined, {} labeled)",
+            quarantined.len(),
+            serial.instances.len()
+        );
+        assert!(quarantined
+            .iter()
+            .all(|(_, k)| *k == crate::supervise::FailureKind::MemoryExceeded));
+        for jobs in [2, 4] {
+            let (parallel, report) = generate_parallel_with(&config, jobs, None).unwrap();
+            let par_quarantined: Vec<(usize, crate::supervise::FailureKind)> = report
+                .failures
+                .iter()
+                .map(|f| (f.index, f.failure.kind))
+                .collect();
+            assert_eq!(quarantined, par_quarantined, "jobs={jobs}");
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn raised_budget_resume_reattacks_only_quarantined_instances() {
+        let mut tight = small_config();
+        tight.attack.mem_budget = Some(splitting_budget(&tight));
+        let dir = std::env::temp_dir().join("icnet_parallel_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mem_resume_unit.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let mut log = CheckpointLog::open(&path).unwrap();
+        let (_, report) = generate_parallel_with(&tight, 2, Some(&mut log)).unwrap();
+        let quarantined = report.quarantined();
+        let labeled = report.attacked();
+        assert!(
+            quarantined > 0 && labeled > 0,
+            "budget must split the sweep"
+        );
+        drop(log);
+
+        // Raising the budget changes the supervision fingerprint, so the
+        // quarantine verdicts are stale; completed labels keep their
+        // instance keys and are reused as-is.
+        let mut roomy = tight.clone();
+        roomy.attack.mem_budget = None;
+        let mut log = CheckpointLog::open(&path).unwrap();
+        let (data, report) = generate_parallel_with(&roomy, 2, Some(&mut log)).unwrap();
+        assert_eq!(report.reused(), labeled, "completed labels survive");
+        assert_eq!(
+            report.attacked(),
+            quarantined,
+            "exactly the quarantined instances are re-attacked"
+        );
+        assert_eq!(report.quarantined(), 0);
+
+        // The healed dataset is byte-identical to a never-budgeted run:
+        // labels that completed under the budget were never perturbed by it
+        // (perturbed completions quarantine instead of labeling).
+        let baseline = generate(&small_config()).unwrap();
+        assert_eq!(data, baseline);
+    }
+
+    #[test]
+    fn watchdog_quarantines_a_non_polling_hang_as_stalled() {
+        let mut config = small_config();
+        config.watchdog_stall = Some(Duration::from_millis(120));
+        config.attack_hook = Some(Arc::new(|index, locked, cfg| {
+            if index == 2 {
+                // A non-polling hang: never beats the heartbeat, ignores
+                // deadlines. Only the cancel token — tripped by the
+                // watchdog — gets us out.
+                while !cfg.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            attack::attack_locked(locked, cfg)
+        }));
+        let (data, report) = generate_parallel_with(&config, 2, None).unwrap();
+        assert_eq!(data.instances.len(), 5, "only the hung instance is lost");
+        assert_eq!(report.quarantined(), 1);
+        let f = &report.failures[0];
+        assert_eq!(f.index, 2);
+        assert_eq!(f.failure.kind, crate::supervise::FailureKind::Stalled);
+        assert!(
+            f.failure.message.contains("watchdog"),
+            "{}",
+            f.failure.message
+        );
     }
 
     #[test]

@@ -24,7 +24,13 @@
 //!
 //! Deterministic budget exhaustion ([`attack::AttackOutcome::BudgetExceeded`])
 //! is *not* a failure — it yields a reproducible censored label, exactly as
-//! before. Only wall-clock timeouts, panics, and attack errors quarantine.
+//! before. Only wall-clock timeouts, panics, attack errors, memory-budget
+//! exhaustion, and watchdog-detected stalls quarantine. Memory exhaustion
+//! ([`attack::AttackOutcome::MemoryExceeded`]) is deterministic for a given
+//! budget and therefore never retried within a run; like the wall-clock
+//! deadlines, the budget rides in the checkpoint's supervision fingerprint,
+//! so a resume under a raised budget re-attacks exactly the quarantined
+//! instances while completed labels survive.
 
 use crate::generate::DatasetConfig;
 use attack::{
@@ -100,6 +106,14 @@ pub enum FailureKind {
     /// The worker servicing the instance died mid-attack (injected fault or
     /// external kill); the instance got no verdict of its own.
     Death,
+    /// The attack exceeded its logical-byte memory budget even after staged
+    /// degradation. Deterministic for a given budget, so never retried; a
+    /// resume under a raised `--mem-budget` re-attacks the instance (the
+    /// budget rides in the supervision fingerprint, not the instance key).
+    MemoryExceeded,
+    /// The watchdog saw the worker's heartbeat stop advancing: the attack
+    /// hung somewhere deadline polling cannot reach (e.g. a stuck oracle).
+    Stalled,
 }
 
 impl FailureKind {
@@ -110,6 +124,8 @@ impl FailureKind {
             FailureKind::Panic => "panic",
             FailureKind::Error => "error",
             FailureKind::Death => "death",
+            FailureKind::MemoryExceeded => "memory",
+            FailureKind::Stalled => "stalled",
         }
     }
 
@@ -120,6 +136,8 @@ impl FailureKind {
             "panic" => Some(FailureKind::Panic),
             "error" => Some(FailureKind::Error),
             "death" => Some(FailureKind::Death),
+            "memory" => Some(FailureKind::MemoryExceeded),
+            "stalled" => Some(FailureKind::Stalled),
             _ => None,
         }
     }
@@ -224,9 +242,61 @@ pub fn supervise_attack(
         let failure = match run {
             Ok(Ok(result)) => match result.outcome {
                 AttackOutcome::KeyRecovered(_) | AttackOutcome::BudgetExceeded => {
-                    return Supervised::Done(result)
+                    // A completion whose search was perturbed by memory
+                    // pressure (aggressive learnt-DB shedding fired at least
+                    // once) carries a budget-dependent work measure: the
+                    // degraded search explored a different clause database
+                    // than an unbudgeted run would have. Labeling it would
+                    // make the label a function of `--mem-budget`, breaking
+                    // the contract that completed labels survive a budget
+                    // raise. Quarantine instead — deterministic for the
+                    // budget, so no retry — and let a roomier resume produce
+                    // the true (unperturbed) label.
+                    if attack_cfg.mem_budget.is_some()
+                        && result.solver_stats.mem_pressure_events > 0
+                    {
+                        return Supervised::Failed(InstanceFailure {
+                            kind: FailureKind::MemoryExceeded,
+                            attempts: attempt + 1,
+                            message: format!(
+                                "completed under memory pressure ({} degradation round{}, \
+                                 budget {:?}, peak {} bytes); label withheld",
+                                result.solver_stats.mem_pressure_events,
+                                if result.solver_stats.mem_pressure_events == 1 {
+                                    ""
+                                } else {
+                                    "s"
+                                },
+                                attack_cfg.mem_budget,
+                                result.peak_logical_bytes,
+                            ),
+                            iterations: result.iterations,
+                            work: result.solver_stats.work(),
+                        });
+                    }
+                    return Supervised::Done(result);
                 }
                 AttackOutcome::Cancelled => return Supervised::Cancelled,
+                AttackOutcome::MemoryExceeded => {
+                    // Deterministic for the configured budget: the solver
+                    // degraded as far as it could and still did not fit, and
+                    // retrying under the same budget replays the same search.
+                    // Quarantine immediately; only a raised budget (a new
+                    // supervision fingerprint) re-attacks the instance.
+                    return Supervised::Failed(InstanceFailure {
+                        kind: FailureKind::MemoryExceeded,
+                        attempts: attempt + 1,
+                        message: format!(
+                            "logical-byte budget {:?} exceeded after {} degradation round{} (peak {} bytes)",
+                            attack_cfg.mem_budget,
+                            result.solver_stats.mem_pressure_events,
+                            if result.solver_stats.mem_pressure_events == 1 { "" } else { "s" },
+                            result.peak_logical_bytes,
+                        ),
+                        iterations: result.iterations,
+                        work: result.solver_stats.work(),
+                    });
+                }
                 AttackOutcome::TimedOut(which) => InstanceFailure {
                     kind: FailureKind::Timeout,
                     attempts: attempt + 1,
@@ -437,6 +507,8 @@ mod tests {
             FailureKind::Panic,
             FailureKind::Error,
             FailureKind::Death,
+            FailureKind::MemoryExceeded,
+            FailureKind::Stalled,
         ] {
             assert_eq!(FailureKind::from_tag(kind.tag()), Some(kind));
         }

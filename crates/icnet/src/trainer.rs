@@ -125,6 +125,11 @@ pub struct TrainControl {
     pub cancel: Option<CancelToken>,
     /// End-of-epoch checkpointing; `None` = no persistence.
     pub checkpoint: Option<TrainCheckpointSpec>,
+    /// Watchdog heartbeat, beaten once per mini-batch. A training run whose
+    /// heartbeat stops advancing has hung below the epoch-boundary cancel
+    /// polling (a stuck gradient worker, a pathological batch); the owning
+    /// `budget::Watchdog` can then trip [`TrainControl::cancel`].
+    pub heartbeat: Option<budget::Heartbeat>,
 }
 
 /// What happened during training.
@@ -152,6 +157,13 @@ pub struct TrainReport {
     /// best-effort: a failed save costs durability of that epoch, never the
     /// training run itself.
     pub checkpoint_error: Option<String>,
+    /// Peak logical bytes live on any one batch's autodiff tape (node
+    /// values + gradients + pooled buffers), sampled at the end of each
+    /// backward pass. Logical bytes are bytes requested, not allocator
+    /// overhead, so the value is deterministic for a given run (see the
+    /// `budget` crate). Zero when no batch ran (e.g. resuming a converged
+    /// checkpoint).
+    pub peak_tape_bytes: u64,
 }
 
 /// Squared-error loss and per-parameter gradients for one training instance
@@ -164,7 +176,7 @@ fn instance_gradient(
     x: &Matrix,
     y: f64,
     pool: &mut BufferPool,
-) -> (f64, Vec<Option<Matrix>>) {
+) -> (f64, Vec<Option<Matrix>>, u64) {
     let mut tape = Tape::with_pool(std::mem::take(pool));
     let ids = model.insert_params(&mut tape);
     let pred = model.forward(&mut tape, &ids, op, x);
@@ -174,8 +186,11 @@ fn instance_gradient(
     tape.backward(sq);
     let loss = tape.value(sq).get(0, 0);
     let grads = ids.iter().map(|&id| tape.try_grad(id).cloned()).collect();
+    // Liveness peaks here: every node value and every materialized gradient
+    // coexist right after the backward pass.
+    let tape_bytes = tape.logical_bytes();
     *pool = tape.into_pool();
-    (loss, grads)
+    (loss, grads, tape_bytes)
 }
 
 /// The gradient weight each instance carries in an optimizer step: the
@@ -205,8 +220,8 @@ fn batch_gradients(
     scale: f64,
     jobs: usize,
     pool: &mut BufferPool,
-) -> (f64, Vec<Matrix>) {
-    type InstanceResult = Option<(f64, Vec<Option<Matrix>>)>;
+) -> (f64, Vec<Matrix>, u64) {
+    type InstanceResult = Option<(f64, Vec<Option<Matrix>>, u64)>;
     let jobs = jobs.clamp(1, batch.len());
     let mut results: Vec<InstanceResult> = if jobs <= 1 {
         batch
@@ -239,21 +254,23 @@ fn batch_gradients(
     };
 
     let mut loss_sum = 0.0;
+    let mut peak_tape_bytes = 0u64;
     let mut grads: Vec<Matrix> = model
         .params()
         .iter()
         .map(|p| Matrix::zeros(p.rows(), p.cols()))
         .collect();
     for slot in &mut results {
-        let (loss, gs) = slot.take().expect("every batch slot filled");
+        let (loss, gs, tape_bytes) = slot.take().expect("every batch slot filled");
         loss_sum += loss;
+        peak_tape_bytes = peak_tape_bytes.max(tape_bytes);
         for (acc, g) in grads.iter_mut().zip(gs) {
             if let Some(g) = g {
                 acc.axpy(scale, &g);
             }
         }
     }
-    (loss_sum, grads)
+    (loss_sum, grads, peak_tape_bytes)
 }
 
 /// Summed batch loss and scaled per-parameter gradients for one mini-batch
@@ -271,7 +288,7 @@ fn batched_gradients(
     scale: f64,
     jobs: usize,
     pool: &mut BufferPool,
-) -> (f64, Vec<Matrix>) {
+) -> (f64, Vec<Matrix>, u64) {
     let refs: Vec<&Matrix> = batch.iter().map(|&i| &xs[i]).collect();
     let x = layout.stack_features_pooled(&refs, pool);
     let targets = Matrix::from_vec(batch.len(), 1, batch.iter().map(|&i| ys[i]).collect());
@@ -299,8 +316,9 @@ fn batched_gradients(
                 .unwrap_or_else(|| Matrix::zeros(p.rows(), p.cols()))
         })
         .collect();
+    let tape_bytes = tape.logical_bytes();
     *pool = tape.into_pool();
-    (loss_sum, grads)
+    (loss_sum, grads, tape_bytes)
 }
 
 /// Trains `model` on instances `(xs[i], ys[i])` sharing the graph operator
@@ -378,6 +396,7 @@ pub fn train_with(
     let mut stall = 0usize;
     let mut start_epoch = 0usize;
     let mut checkpoint_error: Option<String> = None;
+    let mut peak_tape_bytes = 0u64;
     let fingerprint = checkpoint::fingerprint(config, xs.len(), model.params());
 
     if let Some(spec) = control.checkpoint.as_ref().filter(|s| s.resume) {
@@ -416,6 +435,7 @@ pub fn train_with(
                         diverged: false,
                         interrupted: false,
                         checkpoint_error: None,
+                        peak_tape_bytes: 0,
                     };
                 }
             }
@@ -454,6 +474,7 @@ pub fn train_with(
                 diverged: false,
                 interrupted: true,
                 checkpoint_error,
+                peak_tape_bytes,
             };
         }
         // NaN poisoning fires on the first batch of the epoch, upstream of
@@ -473,7 +494,10 @@ pub fn train_with(
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size.max(1)) {
-            let (mut batch_loss, grads) = match config.engine {
+            if let Some(hb) = &control.heartbeat {
+                hb.beat();
+            }
+            let (mut batch_loss, grads, tape_bytes) = match config.engine {
                 GradEngine::Batched => {
                     let layout = match layouts.iter().position(|(len, _)| *len == batch.len()) {
                         Some(pos) => &layouts[pos].1,
@@ -488,6 +512,7 @@ pub fn train_with(
                     batch_gradients(model, op, xs, ys, batch, scale, config.jobs, pool)
                 }
             };
+            peak_tape_bytes = peak_tape_bytes.max(tape_bytes);
             if poison.take().is_some() {
                 batch_loss = f64::NAN;
             }
@@ -504,6 +529,7 @@ pub fn train_with(
                     diverged: true,
                     interrupted: false,
                     checkpoint_error,
+                    peak_tape_bytes,
                 };
             }
             epoch_loss += batch_loss;
@@ -577,6 +603,7 @@ pub fn train_with(
                 diverged: false,
                 interrupted: false,
                 checkpoint_error,
+                peak_tape_bytes,
             };
         }
     }
@@ -588,6 +615,7 @@ pub fn train_with(
         diverged: false,
         interrupted: false,
         checkpoint_error,
+        peak_tape_bytes,
     }
 }
 
@@ -779,6 +807,39 @@ mod tests {
     }
 
     #[test]
+    fn training_reports_peak_tape_bytes_and_beats_its_heartbeat() {
+        let (op, xs, ys) = toy_dataset();
+        let mut model = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 8, 6, 11);
+        let cfg = TrainConfig {
+            max_epochs: 3,
+            ..TrainConfig::default()
+        };
+        let dog = budget::Watchdog::new(budget::WatchdogConfig {
+            stall_after: std::time::Duration::from_secs(60),
+            poll: std::time::Duration::from_millis(50),
+        });
+        let hb = dog.watch("trainer-test", |_| {});
+        let control = TrainControl {
+            heartbeat: Some(hb.clone()),
+            ..TrainControl::default()
+        };
+        let report = train_with(&mut model, &op, &xs, &ys, &cfg, &control);
+        assert!(
+            report.peak_tape_bytes > 0,
+            "a run with batches must record a tape high-water mark"
+        );
+        assert!(
+            hb.ticks() > 0,
+            "the trainer must beat its heartbeat once per mini-batch"
+        );
+        assert!(!hb.tripped());
+        // Deterministic: a second identical run reads the same peak.
+        let mut model2 = GraphModel::new(ModelKind::ICNet, Aggregation::Nn, 7, 8, 6, 11);
+        let report2 = train(&mut model2, &op, &xs, &ys, &cfg);
+        assert_eq!(report.peak_tape_bytes, report2.peak_tape_bytes);
+    }
+
+    #[test]
     fn partial_final_batch_is_weighted_by_nominal_batch_size() {
         // 2-instance-overlap construction: the dataset's last instance
         // duplicates its first, so whichever chunk each copy lands in, their
@@ -797,11 +858,12 @@ mod tests {
 
         // The raw (unweighted) gradient of the duplicated instance.
         let mut pool = BufferPool::new();
-        let (_, raw) = batch_gradients(&model, &op, &xs, &ys, &[n - 1], 1.0, 1, &mut pool);
+        let (_, raw, _) = batch_gradients(&model, &op, &xs, &ys, &[n - 1], 1.0, 1, &mut pool);
 
         // The leftover chunk under batch_size = n - 1.
         let scale = batch_scale(n - 1, n);
-        let (_, leftover) = batch_gradients(&model, &op, &xs, &ys, &[n - 1], scale, 1, &mut pool);
+        let (_, leftover, _) =
+            batch_gradients(&model, &op, &xs, &ys, &[n - 1], scale, 1, &mut pool);
         let expected: Vec<Matrix> = raw
             .iter()
             .map(|g| {
@@ -816,7 +878,7 @@ mod tests {
         );
         // And the batched engine agrees bit for bit.
         let layout = BatchedGraph::replicate(&op, 1);
-        let (_, batched) =
+        let (_, batched, _) =
             batched_gradients(&model, &layout, &xs, &ys, &[n - 1], scale, 1, &mut pool);
         assert_eq!(batched, leftover, "engines disagree on the leftover chunk");
 
@@ -825,7 +887,7 @@ mod tests {
         // at that weight, so the pair's joint weight is exactly 2/n.
         let full_scale = batch_scale(n, n);
         assert_eq!(full_scale, 1.0 / n as f64);
-        let (_, full) = batch_gradients(
+        let (_, full, _) = batch_gradients(
             &model,
             &op,
             &xs,
@@ -841,7 +903,7 @@ mod tests {
             .map(|p| Matrix::zeros(p.rows(), p.cols()))
             .collect();
         for i in 0..n {
-            let (_, g) = batch_gradients(&model, &op, &xs, &ys, &[i], 1.0, 1, &mut pool);
+            let (_, g, _) = batch_gradients(&model, &op, &xs, &ys, &[i], 1.0, 1, &mut pool);
             for (acc, g) in summed.iter_mut().zip(&g) {
                 acc.axpy(full_scale, g);
             }

@@ -93,6 +93,16 @@ pub enum EventKind {
     },
     /// A named coarse stage (RAII timer) finished.
     StageFinished { stage: String, wall_ns: u64 },
+    /// Peak logical bytes observed for one metered scope (an attack's
+    /// solver, a training run's tape buffers, a serve request's inference).
+    /// Logical bytes are bytes *requested*, not allocator overhead, so the
+    /// value is deterministic and machine-independent (see `budget`).
+    MemHighwater {
+        /// What was metered: `"attack"`, `"train"`, `"serve"`, ...
+        scope: &'static str,
+        /// Peak logical bytes over the scope's lifetime.
+        bytes: u64,
+    },
     /// One request handled (or shed) by the prediction service.
     ServeRequest {
         /// Connection sequence number assigned at accept time.
@@ -128,6 +138,7 @@ impl EventKind {
             EventKind::TrainCheckpointSaved { .. } => "train.checkpoint",
             EventKind::FaultInjected { .. } => "fault.injected",
             EventKind::StageFinished { .. } => "stage",
+            EventKind::MemHighwater { .. } => "mem.highwater",
             EventKind::ServeRequest { .. } => "serve.request",
         }
     }
@@ -361,6 +372,12 @@ impl Event {
                 push_str(&mut out, "stage", stage);
                 out.push(',');
                 push_u64(&mut out, "wall_ns", *wall_ns);
+            }
+            EventKind::MemHighwater { scope, bytes } => {
+                out.push(',');
+                push_str(&mut out, "scope", scope);
+                out.push(',');
+                push_u64(&mut out, "bytes", *bytes);
             }
             EventKind::ServeRequest {
                 seq,

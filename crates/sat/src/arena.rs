@@ -189,6 +189,14 @@ impl ClauseArena {
         self.headers
     }
 
+    /// Logical bytes the arena occupies: words appended so far (headers,
+    /// literals, and not-yet-collected tombstones), independent of `Vec`
+    /// capacity growth policy — see `budget::MemoryMeter` for why logical
+    /// rather than physical bytes.
+    pub(crate) fn logical_bytes(&self) -> u64 {
+        self.data.len() as u64 * 4
+    }
+
     /// Compacts the arena: live clauses move to the front of a fresh
     /// buffer, preserving allocation order, with `capacity` reset to `size`.
     /// Returns a [`GcMap`] translating pre-collection refs; the caller must

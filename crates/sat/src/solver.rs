@@ -38,6 +38,19 @@ impl SolveResult {
     }
 }
 
+/// Which resource cap produced the most recent [`SolveResult::Unknown`]
+/// (see [`Solver::out_of_budget`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutOfBudget {
+    /// The conflict budget ([`Solver::set_conflict_budget`]) ran out.
+    Conflicts,
+    /// The wall-clock deadline ([`Solver::set_deadline`]) passed.
+    Deadline,
+    /// The logical-byte memory budget ([`Solver::set_memory_budget`])
+    /// stayed exhausted even after staged learnt-DB reduction.
+    Memory,
+}
+
 /// Tri-state assignment encoding: truth values are per-*variable*, and a
 /// literal's value is the variable's byte XOR the literal's sign bit, so
 /// `value()` is branch-free. Any byte `>= 2` reads as "unassigned"
@@ -73,10 +86,21 @@ const SNAPSHOT_CONFLICT_INTERVAL: u64 = 4096;
 /// Default arena-compaction trigger: collect once this fraction of the
 /// arena is tombstones or shrunk tails (see [`Solver::set_gc_fraction`]).
 const DEFAULT_GC_FRACTION: f64 = 0.25;
+/// Logical bytes accounted per variable: assignment byte, decision level,
+/// reason slot, activity, saved phase, and seen mark. The watch-list `Vec`
+/// headers are deliberately ignored — they are capacity, not content.
+const VAR_BYTES: u64 = 26;
+/// Logical bytes accounted per clause header for its two watchers (a
+/// `Watcher` is a `ClauseRef` + blocker `Lit`, 8 bytes each).
+const WATCHER_BYTES_PER_CLAUSE: u64 = 16;
+/// Memory-pressure floor for the learnt-clause cap: degradation never
+/// squeezes `max_learnts` below this, so search keeps *some* learning even
+/// in the last stage before an [`OutOfBudget::Memory`] verdict.
+const MIN_MAX_LEARNTS: usize = 64;
 
 /// An incremental CDCL SAT solver. See the [crate docs](crate) for the
 /// feature list and an example.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Solver {
     pub(crate) arena: ClauseArena,
     pub(crate) watches: Vec<Vec<Watcher>>,
@@ -96,6 +120,18 @@ pub struct Solver {
     pub(crate) stats: SolverStats,
     conflict_budget: Option<u64>,
     deadline: Option<Instant>,
+    /// Logical-byte cap enforced by `check_memory` (see
+    /// [`Solver::set_memory_budget`]).
+    mem_budget: Option<u64>,
+    /// Shared logical-byte meter this solver accounts its arena, watcher,
+    /// and per-variable storage to.
+    meter: budget::MemoryMeter,
+    /// Bytes currently accounted to `meter`, so re-accounting is a delta.
+    accounted_bytes: u64,
+    /// Why the most recent solve returned [`SolveResult::Unknown`].
+    out_of_budget: Option<OutOfBudget>,
+    /// Optional watchdog pulse, beaten at every deadline-poll site.
+    heartbeat: Option<budget::Heartbeat>,
     max_learnts: usize,
     pub(crate) num_learnt_live: usize,
     gc_fraction: f64,
@@ -144,6 +180,11 @@ impl Solver {
             stats: SolverStats::default(),
             conflict_budget: None,
             deadline: None,
+            mem_budget: None,
+            meter: budget::MemoryMeter::new(),
+            accounted_bytes: 0,
+            out_of_budget: None,
+            heartbeat: None,
             max_learnts: 4000,
             num_learnt_live: 0,
             gc_fraction: DEFAULT_GC_FRACTION,
@@ -169,6 +210,7 @@ impl Solver {
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.grow_to(self.assign.len());
+        self.account_memory();
         v
     }
 
@@ -218,6 +260,107 @@ impl Solver {
     /// the budget-exhausted verdict — and the solver remains usable.
     pub fn set_deadline(&mut self, deadline: Option<Instant>) {
         self.deadline = deadline;
+    }
+
+    /// Caps the *logical* bytes (see [`budget::MemoryMeter`]) the solver's
+    /// clause arena, watchers, and per-variable storage may occupy; `None`
+    /// removes the cap. Enforcement is staged: when the meter crosses the
+    /// budget at a conflict boundary, the solver first applies aggressive
+    /// learnt-DB reduction pressure (halving the learnt cap down to a
+    /// floor, reducing, and force-compacting the arena); only if the
+    /// formula still does not fit does the call return
+    /// [`SolveResult::Unknown`] with [`OutOfBudget::Memory`] as its
+    /// [`Solver::out_of_budget`] cause. Logical bytes are a pure function
+    /// of the search trajectory, so the verdict is deterministic and
+    /// machine-independent — label-safe, unlike an RSS cap.
+    pub fn set_memory_budget(&mut self, bytes: Option<u64>) {
+        self.mem_budget = bytes;
+    }
+
+    /// Registers an external [`budget::MemoryMeter`] to account this
+    /// solver's storage to (for callers that pool one meter across the
+    /// solver and the structures feeding it). The solver's current
+    /// footprint moves from the old meter to the new one.
+    pub fn set_meter(&mut self, meter: budget::MemoryMeter) {
+        self.meter.free(self.accounted_bytes);
+        self.meter = meter;
+        self.meter.alloc(self.accounted_bytes);
+    }
+
+    /// The meter this solver accounts to (peak usage via
+    /// [`budget::MemoryMeter::high_water`]).
+    pub fn meter(&self) -> &budget::MemoryMeter {
+        &self.meter
+    }
+
+    /// Registers a watchdog pulse, beaten at every deadline-poll site
+    /// (both the conflict and the propagation axis), so a stall monitor
+    /// can tell a hard-but-progressing solve from a wedged one.
+    pub fn set_heartbeat(&mut self, heartbeat: Option<budget::Heartbeat>) {
+        self.heartbeat = heartbeat;
+    }
+
+    /// Which resource cap caused the most recent [`SolveResult::Unknown`]
+    /// (`None` when the last solve was decided, or was cut short by
+    /// something other than a budget, e.g. an injected fault).
+    pub fn out_of_budget(&self) -> Option<OutOfBudget> {
+        self.out_of_budget
+    }
+
+    /// Re-derives the solver's logical footprint and pushes the delta to
+    /// the meter. Called from every site that grows or compacts the big
+    /// allocations; O(1).
+    fn account_memory(&mut self) {
+        let bytes = self.arena.logical_bytes()
+            + self.arena.num_headers() as u64 * WATCHER_BYTES_PER_CLAUSE
+            + self.assign.len() as u64 * VAR_BYTES;
+        self.meter.resize(self.accounted_bytes, bytes);
+        self.accounted_bytes = bytes;
+    }
+
+    /// Memory-budget enforcement at a conflict boundary. Returns `false`
+    /// when the solve must give up with [`OutOfBudget::Memory`]; `true`
+    /// when within budget, possibly after shedding learnt clauses. The
+    /// `budget.exceed` fault site forces the over-budget path so chaos
+    /// tests can exercise degradation without a real memory spike.
+    fn check_memory(&mut self) -> bool {
+        let Some(cap) = self.mem_budget else {
+            return true;
+        };
+        if let Some(fault) = faults::inject("budget.exceed") {
+            match fault.action {
+                // A forced trip: behave as if even full degradation could
+                // not fit the formula under the budget.
+                faults::Action::Unknown => {
+                    self.stats.mem_pressure_events += 1;
+                    return false;
+                }
+                faults::Action::Panic => panic!(
+                    "injected fault: budget.exceed panic (occurrence {})",
+                    fault.occurrence
+                ),
+                _ => fault.unsupported("budget.exceed"),
+            }
+        }
+        if self.meter.current() <= cap {
+            return true;
+        }
+        // Stage 1: shed learnt clauses. Halve the cap (respecting the
+        // floor), reduce, and force a compaction regardless of the wasted
+        // fraction — tombstones do not give bytes back until collected.
+        self.max_learnts = (self.num_learnt_live / 2).max(MIN_MAX_LEARNTS);
+        self.reduce_db();
+        // reduce_db grows max_learnts by 10% for the next cycle; under
+        // memory pressure that relief is cancelled so pressure stays on.
+        self.max_learnts = self.max_learnts.saturating_sub(self.max_learnts / 11);
+        let fraction = self.gc_fraction;
+        self.gc_fraction = 0.0;
+        self.maybe_gc();
+        self.gc_fraction = fraction;
+        self.stats.mem_pressure_events += 1;
+        // Stage 2: if the *problem* clauses alone still exceed the budget,
+        // no amount of learnt shedding will fit — give up deterministically.
+        self.meter.current() <= cap
     }
 
     /// Tunes when the clause arena is compacted: collection runs once the
@@ -317,6 +460,7 @@ impl Solver {
             self.num_learnt_live += 1;
             self.stats.learnt_clauses += 1;
         }
+        self.account_memory();
         cref
     }
 
@@ -627,6 +771,7 @@ impl Solver {
                 *slot = map.remap(c);
             }
         }
+        self.account_memory();
     }
 
     /// Rebuilds every watch list from the live clauses, in arena order.
@@ -727,6 +872,7 @@ impl Solver {
     /// them, and the solver state remains reusable afterwards (clauses can be
     /// added and `solve*` called again).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.out_of_budget = None;
         if let Some(fault) = faults::inject("sat.solve") {
             match fault.action {
                 faults::Action::Panic => panic!(
@@ -804,7 +950,17 @@ impl Solver {
             return SolveResult::Unsat;
         }
         if self.past_deadline() {
+            self.out_of_budget = Some(OutOfBudget::Deadline);
             return SolveResult::Unknown;
+        }
+        if !self.check_memory() {
+            // The formula alone does not fit the budget: no search step can
+            // shrink it, so give up before spending any work.
+            self.out_of_budget = Some(OutOfBudget::Memory);
+            return SolveResult::Unknown;
+        }
+        if let Some(hb) = &self.heartbeat {
+            hb.beat();
         }
         self.cancel_until(0);
         // Seed the order heap with every unassigned variable.
@@ -830,8 +986,12 @@ impl Solver {
             if self.stats.propagations >= next_deadline_poll {
                 next_deadline_poll = self.stats.propagations + DEADLINE_CHECK_PROPS;
                 deadline_polls += 1;
+                if let Some(hb) = &self.heartbeat {
+                    hb.beat();
+                }
                 if self.past_deadline() {
                     self.cancel_until(0);
+                    self.out_of_budget = Some(OutOfBudget::Deadline);
                     return SolveResult::Unknown;
                 }
                 if deadline_polls.is_multiple_of(SNAPSHOT_POLL_INTERVAL) && obs::enabled() {
@@ -872,13 +1032,23 @@ impl Solver {
                 if let Some(budget) = self.conflict_budget {
                     if self.stats.conflicts - budget_start >= budget {
                         self.cancel_until(0);
+                        self.out_of_budget = Some(OutOfBudget::Conflicts);
                         return SolveResult::Unknown;
                     }
                 }
-                if (self.stats.conflicts - budget_start).is_multiple_of(DEADLINE_CHECK_INTERVAL)
-                    && self.past_deadline()
-                {
+                if (self.stats.conflicts - budget_start).is_multiple_of(DEADLINE_CHECK_INTERVAL) {
+                    if let Some(hb) = &self.heartbeat {
+                        hb.beat();
+                    }
+                    if self.past_deadline() {
+                        self.cancel_until(0);
+                        self.out_of_budget = Some(OutOfBudget::Deadline);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if !self.check_memory() {
                     self.cancel_until(0);
+                    self.out_of_budget = Some(OutOfBudget::Memory);
                     return SolveResult::Unknown;
                 }
                 if (self.stats.conflicts - budget_start).is_multiple_of(SNAPSHOT_CONFLICT_INTERVAL)
@@ -951,6 +1121,59 @@ impl Solver {
     #[cfg(test)]
     pub(crate) fn set_max_learnts(&mut self, n: usize) {
         self.max_learnts = n;
+    }
+}
+
+impl Drop for Solver {
+    fn drop(&mut self) {
+        // Give the accounted footprint back so a meter shared across
+        // consecutive solvers (one attack = many queries) stays balanced.
+        self.meter.free(self.accounted_bytes);
+    }
+}
+
+impl Clone for Solver {
+    fn clone(&self) -> Self {
+        let cloned = Solver {
+            arena: self.arena.clone(),
+            watches: self.watches.clone(),
+            assign: self.assign.clone(),
+            level: self.level.clone(),
+            reason: self.reason.clone(),
+            trail: self.trail.clone(),
+            trail_lim: self.trail_lim.clone(),
+            qhead: self.qhead,
+            activity: self.activity.clone(),
+            var_inc: self.var_inc,
+            cla_inc: self.cla_inc,
+            order: self.order.clone(),
+            saved_phase: self.saved_phase.clone(),
+            seen: self.seen.clone(),
+            ok: self.ok,
+            stats: self.stats,
+            conflict_budget: self.conflict_budget,
+            deadline: self.deadline,
+            mem_budget: self.mem_budget,
+            meter: self.meter.clone(),
+            accounted_bytes: self.accounted_bytes,
+            out_of_budget: self.out_of_budget,
+            heartbeat: self.heartbeat.clone(),
+            max_learnts: self.max_learnts,
+            num_learnt_live: self.num_learnt_live,
+            gc_fraction: self.gc_fraction,
+            probe_budget: self.probe_budget,
+            probe_cursor: self.probe_cursor,
+            learnt_buf: self.learnt_buf.clone(),
+            analyze_clear: self.analyze_clear.clone(),
+            lbd_buf: self.lbd_buf.clone(),
+            #[cfg(debug_assertions)]
+            original: self.original.clone(),
+        };
+        // The clone shares the meter handle; its footprint is a second copy
+        // of every buffer, which must be accounted (and is freed again by
+        // the clone's own Drop).
+        cloned.meter.alloc(cloned.accounted_bytes);
+        cloned
     }
 }
 
@@ -1447,6 +1670,94 @@ mod tests {
         s.add_clause([lit(1), lit(2)]);
         s.debug_corrupt_first_clause();
         let _ = s.solve();
+    }
+
+    #[test]
+    fn meter_tracks_logical_bytes_and_balances_on_drop() {
+        let meter = budget::MemoryMeter::new();
+        {
+            let mut s = solver_with_vars(4);
+            s.set_meter(meter.clone());
+            assert!(meter.current() > 0, "variables are accounted");
+            let before = meter.current();
+            s.add_clause([lit(1), lit(2), lit(3)]);
+            assert!(meter.current() > before, "clauses are accounted");
+        }
+        assert_eq!(meter.current(), 0, "drop returns the footprint");
+        assert!(meter.high_water() > 0);
+    }
+
+    #[test]
+    fn unknown_causes_are_reported() {
+        let mut s = pigeonhole(7, 6);
+        s.set_conflict_budget(Some(10));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.out_of_budget(), Some(OutOfBudget::Conflicts));
+        s.set_conflict_budget(None);
+        s.set_deadline(Some(std::time::Instant::now()));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.out_of_budget(), Some(OutOfBudget::Deadline));
+        s.set_deadline(None);
+        assert!(s.solve().is_unsat());
+        assert_eq!(s.out_of_budget(), None, "a decided solve clears the cause");
+    }
+
+    #[test]
+    fn tight_memory_budget_degrades_then_gives_up() {
+        // A budget below the problem clauses themselves: no amount of
+        // learnt shedding can fit the formula, so the solve must give up
+        // with the Memory cause rather than thrash.
+        let mut s = pigeonhole(8, 7);
+        let floor = s.meter().current();
+        s.set_memory_budget(Some(floor / 2));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert_eq!(s.out_of_budget(), Some(OutOfBudget::Memory));
+        // Raising the budget lets the same solver finish.
+        s.set_memory_budget(None);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn memory_budget_verdict_is_deterministic() {
+        let run = || {
+            let mut s = pigeonhole(8, 7);
+            let cap = s.meter().current() + 4096;
+            s.set_memory_budget(Some(cap));
+            let verdict = s.solve();
+            (verdict, *s.stats())
+        };
+        let (v1, s1) = run();
+        let (v2, s2) = run();
+        assert_eq!(v1, v2);
+        assert_eq!(s1, s2, "logical-byte trips reproduce exactly");
+        assert!(s1.mem_pressure_events > 0, "degradation actually ran");
+    }
+
+    #[test]
+    fn generous_memory_budget_does_not_change_verdicts() {
+        let mut capped = pigeonhole(6, 5);
+        capped.set_memory_budget(Some(1 << 30));
+        assert!(capped.solve().is_unsat());
+        let mut free = pigeonhole(6, 5);
+        assert!(free.solve().is_unsat());
+        assert_eq!(
+            capped.stats(),
+            free.stats(),
+            "an unhit budget must not perturb the search"
+        );
+    }
+
+    #[test]
+    fn heartbeat_beats_during_search() {
+        let dog = budget::Watchdog::new(budget::WatchdogConfig {
+            stall_after: std::time::Duration::from_secs(3600),
+            poll: std::time::Duration::from_millis(50),
+        });
+        let hb = dog.watch("solver", |_| {});
+        let mut s = pigeonhole(7, 6);
+        s.set_heartbeat(Some(hb.clone()));
+        assert!(s.solve().is_unsat());
+        assert!(!hb.tripped());
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct LoadgenConfig {
     pub clients: usize,
     /// Per-connection socket timeout.
     pub timeout: Duration,
+    /// Socket timeout for readiness probes ([`wait_ready`]): how long one
+    /// ping may take before the probe loop retries. `None` derives it from
+    /// [`LoadgenConfig::timeout`] — see [`LoadgenConfig::probe_timeout`].
+    pub probe_timeout: Option<Duration>,
 }
 
 impl Default for LoadgenConfig {
@@ -65,7 +69,24 @@ impl Default for LoadgenConfig {
             requests: 200,
             clients: 8,
             timeout: Duration::from_secs(5),
+            probe_timeout: None,
         }
+    }
+}
+
+impl LoadgenConfig {
+    /// The readiness-probe socket timeout: the explicit setting when given,
+    /// otherwise one-tenth of the request timeout, clamped to
+    /// [50 ms, timeout]. Probes should give up well before a real request
+    /// would — a server that cannot answer a ping in a fraction of the
+    /// request budget is not ready — but still scale with slow deployments
+    /// instead of a hardcoded 500 ms.
+    pub fn probe_timeout(&self) -> Duration {
+        self.probe_timeout.unwrap_or_else(|| {
+            (self.timeout / 10)
+                .max(Duration::from_millis(50))
+                .min(self.timeout)
+        })
     }
 }
 
@@ -104,20 +125,23 @@ struct LevelTally {
     latencies_ns: Vec<u64>,
 }
 
-/// Polls the server with pings until it answers or `timeout` elapses.
+/// Polls the server with pings until it answers or `timeout` elapses. Each
+/// probe's socket timeout comes from [`LoadgenConfig::probe_timeout`].
 ///
 /// # Errors
 ///
 /// Returns the last connect/ping error once the timeout expires.
-pub fn wait_ready(addr: &str, timeout: Duration) -> std::io::Result<()> {
+pub fn wait_ready(config: &LoadgenConfig, timeout: Duration) -> std::io::Result<()> {
+    let addr = config.addr.as_str();
+    let probe = config.probe_timeout();
     let start = Instant::now();
     let mut last: std::io::Error =
         std::io::Error::new(std::io::ErrorKind::TimedOut, "server never answered a ping");
     while start.elapsed() < timeout {
         match TcpStream::connect(addr) {
             Ok(mut stream) => {
-                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-                let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+                let _ = stream.set_read_timeout(Some(probe));
+                let _ = stream.set_write_timeout(Some(probe));
                 match protocol::ping(&mut stream) {
                     Ok(()) => return Ok(()),
                     Err(e) => last = e,
@@ -227,11 +251,39 @@ pub fn run_levels(config: &LoadgenConfig, workload: &Workload) -> Vec<LevelRepor
         .collect()
 }
 
+/// Logical bytes of one request's inference inputs (propagation operator +
+/// feature matrix) for the given model architecture — the same number the
+/// server records per request in [`ServeStats::peak_request_bytes`]
+/// (`crate::ServeStats`). A pure function of the workload, so the client
+/// can stamp it into `BENCH_serve.json` without a stats side channel.
+/// `None` when the netlist does not parse or the mask names a missing gate.
+pub fn workload_request_bytes(
+    workload: &Workload,
+    kind: icnet::ModelKind,
+    features: icnet::FeatureSet,
+) -> Option<u64> {
+    let circuit = netlist::Circuit::from_bench(workload.model.clone(), &workload.bench).ok()?;
+    let selected: Option<Vec<_>> = workload.mask.iter().map(|n| circuit.find(n)).collect();
+    let graph = icnet::CircuitGraph::from_circuit(&circuit);
+    let op = kind.operator(&graph);
+    let x = icnet::encode_features(&circuit, &selected?, features);
+    Some(op.logical_bytes() + x.logical_bytes())
+}
+
 /// Renders a sweep as the `BENCH_serve.json` artifact (hand-rolled JSON,
-/// matching the other `BENCH_*.json` files).
-pub fn reports_to_json(workload_model: &str, reports: &[LevelReport]) -> String {
+/// matching the other `BENCH_*.json` files). `peak_request_bytes` is the
+/// per-request logical-byte figure (see [`workload_request_bytes`]); `0`
+/// means unknown and is still recorded for schema stability.
+pub fn reports_to_json(
+    workload_model: &str,
+    reports: &[LevelReport],
+    peak_request_bytes: u64,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"model\": \"{workload_model}\",\n"));
+    out.push_str(&format!(
+        "  \"peak_request_bytes\": {peak_request_bytes},\n"
+    ));
     out.push_str("  \"levels\": [\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
@@ -288,8 +340,9 @@ mod tests {
                 wall_s: 0.1,
             },
         ];
-        let json = reports_to_json("demo", &reports);
+        let json = reports_to_json("demo", &reports, 4096);
         assert!(json.contains("\"model\": \"demo\""));
+        assert!(json.contains("\"peak_request_bytes\": 4096"));
         assert!(json.contains("\"overloaded\": 55"));
         assert!(json.ends_with("}\n"));
         // Exactly one separator between the two level objects.
@@ -329,5 +382,27 @@ mod tests {
     #[test]
     fn nearest_rank_of_nothing_is_none() {
         assert_eq!(nearest_rank(&[], 0.5), None);
+    }
+
+    #[test]
+    fn probe_timeout_derives_from_the_request_timeout() {
+        let mut config = LoadgenConfig {
+            timeout: Duration::from_secs(5),
+            probe_timeout: None,
+            ..Default::default()
+        };
+        assert_eq!(config.probe_timeout(), Duration::from_millis(500));
+
+        // Clamped below: a tiny request timeout still probes for ≥ 50 ms.
+        config.timeout = Duration::from_millis(100);
+        assert_eq!(config.probe_timeout(), Duration::from_millis(50));
+
+        // Never beyond the request timeout itself.
+        config.timeout = Duration::from_millis(30);
+        assert_eq!(config.probe_timeout(), Duration::from_millis(30));
+
+        // An explicit setting wins outright.
+        config.probe_timeout = Some(Duration::from_millis(123));
+        assert_eq!(config.probe_timeout(), Duration::from_millis(123));
     }
 }

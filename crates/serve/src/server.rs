@@ -62,6 +62,26 @@ pub struct ServeConfig {
     /// Socket read/write timeout — bounds how long a slow or vanished
     /// client can hold a worker.
     pub io_timeout: Duration,
+    /// How long a kept-alive connection may sit silent between requests
+    /// before the server closes it (no byte of a next frame has arrived).
+    pub idle_timeout: Duration,
+    /// Whole-request wall cap: once the first byte of a frame arrives, the
+    /// complete frame must be read within this window. The per-call
+    /// `io_timeout` alone cannot stop a slow-loris client — every trickled
+    /// byte restarts it — so this deadline is what actually frees the
+    /// worker.
+    pub request_timeout: Duration,
+    /// Most requests one connection may carry before the server closes it
+    /// (`0` = unlimited). Each worker serves one connection at a time, so
+    /// this caps how long a single chatty connection can monopolize a
+    /// worker while others wait in the admission queue.
+    pub max_requests_per_conn: usize,
+    /// Process RSS watermark in bytes: at or above it, new connections are
+    /// shed `Overloaded` *before* the OS OOM killer makes the decision.
+    /// Physical RSS is machine-dependent, which is exactly right here —
+    /// shedding protects this process on this machine and never feeds a
+    /// label (see the `budget` crate for the logical/physical split).
+    pub mem_watermark: Option<u64>,
     /// How long the inference micro-batcher holds the first queued request
     /// while it waits for company (never past any held request's deadline).
     /// `0` runs every request alone through the same path.
@@ -82,6 +102,10 @@ impl Default for ServeConfig {
             default_deadline: Duration::from_secs(5),
             max_deadline: Duration::from_secs(60),
             io_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 1024,
+            mem_watermark: None,
             batch_window: Duration::from_millis(1),
             max_batch: 16,
             cancel: CancelToken::default(),
@@ -98,6 +122,7 @@ struct Counters {
     errors: AtomicU64,
     worker_deaths: AtomicU64,
     respawns: AtomicU64,
+    peak_request_bytes: AtomicU64,
 }
 
 /// Snapshot of the server's lifetime counters.
@@ -120,6 +145,11 @@ pub struct ServeStats {
     pub infer_batches: u64,
     /// Requests answered through a micro-batch of size ≥ 2.
     pub batched_requests: u64,
+    /// Peak logical bytes any one request's inference inputs reached
+    /// (propagation operator + feature matrix). Logical bytes are bytes
+    /// requested, not allocator overhead — deterministic for a given
+    /// request stream (see the `budget` crate).
+    pub peak_request_bytes: u64,
 }
 
 struct Shared {
@@ -144,6 +174,7 @@ impl Shared {
             respawns: self.counters.respawns.load(Ordering::Relaxed),
             infer_batches: self.batch_stats.batches.load(Ordering::Relaxed),
             batched_requests: self.batch_stats.batched_jobs.load(Ordering::Relaxed),
+            peak_request_bytes: self.counters.peak_request_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -316,6 +347,15 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, sender: SyncSender<Jo
         if depth >= shared.config.queue_depth {
             shed(&shared, stream, seq, depth, ErrorCode::Overloaded);
             continue;
+        }
+        // Memory watermark: shed while the process can still say so. RSS is
+        // re-read per connection — cheap (one /proc read) next to accepting
+        // a socket, and admission is exactly when memory pressure must gate.
+        if let Some(mark) = shared.config.mem_watermark {
+            if budget::process_rss_bytes().is_some_and(|rss| rss >= mark) {
+                shed(&shared, stream, seq, depth, ErrorCode::Overloaded);
+                continue;
+            }
         }
         let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
         let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
@@ -490,13 +530,50 @@ fn serve_connection(shared: &Shared, job: Job) {
     // fail fast instead of burning a worker on a stale answer.
     let mut request_start = admitted_at;
     let mut first = true;
+    let mut served: usize = 0;
     loop {
-        let (frame_type, payload) = match read_frame(&mut stream, shared.config.max_payload) {
+        let cap = shared.config.max_requests_per_conn;
+        if cap != 0 && served >= cap {
+            // One connection may not monopolize a worker forever while the
+            // admission queue backs up; the client reconnects and re-enters
+            // admission like everyone else.
+            let _ = send_reply(
+                &mut stream,
+                &Reply::Error {
+                    code: ErrorCode::Overloaded,
+                    message: format!("connection reached its {cap}-request cap; reconnect"),
+                },
+            );
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            emit_request_event(
+                seq,
+                shared.queue_len.load(Ordering::Relaxed),
+                0,
+                0,
+                0,
+                "conn_cap",
+            );
+            break;
+        }
+        let mut reader = PacedReader::new(&stream, &shared.config);
+        let read_result = read_frame(&mut reader, shared.config.max_payload);
+        let mid_frame = reader.mid_frame();
+        let (frame_type, payload) = match read_result {
             Ok(frame) => frame,
             Err(e) => {
                 let (outcome, reply): (&'static str, Option<Reply>) = match e {
                     FrameReadError::Eof => break, // clean end of connection
                     FrameReadError::Disconnect => ("disconnect", None),
+                    FrameReadError::TimedOut if mid_frame => (
+                        "slow_loris",
+                        Some(Reply::Error {
+                            code: ErrorCode::BadFrame,
+                            message: format!(
+                                "frame did not complete within the whole-request timeout ({:?})",
+                                shared.config.request_timeout
+                            ),
+                        }),
+                    ),
                     FrameReadError::TimedOut => (
                         "slow_client",
                         Some(Reply::Error {
@@ -560,6 +637,7 @@ fn serve_connection(shared: &Shared, job: Job) {
             0
         };
         first = false;
+        served += 1;
 
         match frame_type {
             FrameType::Ping => {
@@ -681,6 +759,68 @@ fn send_reply(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
     write_frame(stream, ft, &payload)
 }
 
+/// A socket reader that enforces two timescales the per-call `io_timeout`
+/// cannot: an **idle** window while waiting for the first byte of the next
+/// frame, and a **whole-request** deadline once that byte arrives. A
+/// slow-loris client trickling one byte per `io_timeout` restarts a plain
+/// socket timeout forever; here every trickled byte still counts against
+/// one fixed deadline, so the worker frees in bounded time no matter how
+/// the bytes are paced.
+struct PacedReader<'a> {
+    stream: &'a TcpStream,
+    io: Duration,
+    idle: Duration,
+    request_timeout: Duration,
+    /// Set when the first byte of the current frame arrives.
+    deadline: Option<Instant>,
+}
+
+impl<'a> PacedReader<'a> {
+    fn new(stream: &'a TcpStream, config: &ServeConfig) -> Self {
+        PacedReader {
+            stream,
+            io: config.io_timeout,
+            idle: config.idle_timeout,
+            request_timeout: config.request_timeout,
+            deadline: None,
+        }
+    }
+
+    /// Whether the frame had started arriving when the read gave up — the
+    /// difference between an idle keep-alive (benign) and a slow-loris
+    /// frame that never completed (hostile or broken).
+    fn mid_frame(&self) -> bool {
+        self.deadline.is_some()
+    }
+}
+
+impl std::io::Read for PacedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let timeout = match self.deadline {
+            None => self.idle,
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "whole-request timeout expired mid-frame",
+                    ));
+                }
+                remaining.min(self.io)
+            }
+        };
+        // `set_read_timeout(Some(0))` is an invalid argument; clamp up.
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let mut conn: &TcpStream = self.stream;
+        let n = std::io::Read::read(&mut conn, buf)?;
+        if n > 0 && self.deadline.is_none() {
+            self.deadline = Some(Instant::now() + self.request_timeout);
+        }
+        Ok(n)
+    }
+}
+
 /// Deadline polled at every pipeline stage boundary — the same idiom as the
 /// SAT solver's wall-clock deadline (poll cheap, stop at the next seam).
 struct Deadline(Instant);
@@ -780,6 +920,20 @@ fn handle_predict(shared: &Shared, payload: &[u8], request_start: Instant) -> Re
     let graph = CircuitGraph::from_circuit(&circuit);
     let op = Arc::new(entry.model.kind.operator(&graph));
     let x = encode_features(&circuit, &selected, entry.features);
+    // Logical bytes of this request's inference inputs — the dominant
+    // per-request allocations. Deterministic for a given request stream, so
+    // the peak lands in BENCH_serve.json as a comparable number.
+    let request_bytes = op.logical_bytes() + x.logical_bytes();
+    shared
+        .counters
+        .peak_request_bytes
+        .fetch_max(request_bytes, Ordering::Relaxed);
+    if obs::enabled() {
+        obs::emit(obs::EventKind::MemHighwater {
+            scope: "serve.request",
+            bytes: request_bytes,
+        });
+    }
     if deadline.expired() {
         return expired();
     }

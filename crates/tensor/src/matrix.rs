@@ -200,6 +200,14 @@ impl Matrix {
         (self.rows, self.cols)
     }
 
+    /// Logical bytes held by the element buffer: `rows * cols * 8`. Bytes
+    /// *requested*, never allocator capacity or overhead, so the value is a
+    /// pure function of the matrix shape — machine-independent by
+    /// construction (see the `budget` crate).
+    pub fn logical_bytes(&self) -> u64 {
+        self.data.len() as u64 * std::mem::size_of::<f64>() as u64
+    }
+
     /// Element at `(r, c)`.
     ///
     /// # Panics

@@ -50,6 +50,16 @@ impl BufferPool {
         self.free.is_empty()
     }
 
+    /// Logical bytes held in the free list, each buffer counted at its last
+    /// requested length (not its capacity) — deterministic across machines
+    /// and allocators (see the `budget` crate).
+    pub fn logical_bytes(&self) -> u64 {
+        self.free
+            .iter()
+            .map(|b| b.len() as u64 * std::mem::size_of::<f64>() as u64)
+            .sum()
+    }
+
     /// Takes a buffer of exactly `len` elements, reusing the smallest held
     /// buffer whose capacity suffices (best fit). The contents are
     /// unspecified — every element the caller exposes must be written
@@ -143,6 +153,17 @@ mod tests {
         let m = pool.alloc(64, 64);
         assert_eq!(m.shape(), (64, 64));
         assert_eq!(pool.len(), 1, "the 32x32 buffer stays pooled");
+    }
+
+    #[test]
+    fn logical_bytes_track_held_buffers() {
+        let mut pool = BufferPool::new();
+        assert_eq!(pool.logical_bytes(), 0);
+        pool.absorb(Matrix::zeros(64, 32));
+        assert_eq!(pool.logical_bytes(), 64 * 32 * 8);
+        let taken = pool.alloc(64, 32);
+        assert_eq!(pool.logical_bytes(), 0);
+        assert_eq!(taken.logical_bytes(), 64 * 32 * 8);
     }
 
     #[test]

@@ -113,6 +113,16 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// Logical bytes across the three CSR arrays (row pointers, column
+    /// indices, values) — bytes requested, not allocator capacity, so the
+    /// value is a pure function of the sparsity pattern (see the `budget`
+    /// crate).
+    pub fn logical_bytes(&self) -> u64 {
+        (self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f64>()) as u64
+    }
+
     /// Iterates over `(row, col, value)` of stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |r| {

@@ -254,6 +254,20 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Logical bytes live on the tape: every node value, every materialized
+    /// gradient, and the recycled buffers waiting in the pool. Bytes
+    /// requested rather than allocator capacity, so the reading is a pure
+    /// function of the computation graph — training can be held to a memory
+    /// budget with machine-independent verdicts (see the `budget` crate).
+    pub fn logical_bytes(&self) -> u64 {
+        let nodes: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.value.logical_bytes() + n.grad.as_ref().map_or(0, Matrix::logical_bytes))
+            .sum();
+        nodes + self.pool.logical_bytes()
+    }
+
     fn push(&mut self, value: Matrix, op: Op) -> VarId {
         self.nodes.push(Node {
             value,
@@ -985,6 +999,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn logical_bytes_grow_with_nodes_and_gradients() {
+        let mut tape = Tape::new();
+        assert_eq!(tape.logical_bytes(), 0);
+        let a = tape.leaf(Matrix::zeros(8, 4));
+        assert_eq!(tape.logical_bytes(), 8 * 4 * 8);
+        let s = tape.sum_all(a);
+        let before_backward = tape.logical_bytes();
+        assert_eq!(before_backward, (8 * 4 + 1) * 8);
+        tape.backward(s);
+        assert!(
+            tape.logical_bytes() > before_backward,
+            "materialized gradients count toward the footprint"
+        );
+        // Deterministic: the same graph reads the same bytes.
+        let mut again = Tape::new();
+        let a2 = again.leaf(Matrix::zeros(8, 4));
+        let s2 = again.sum_all(a2);
+        again.backward(s2);
+        assert_eq!(tape.logical_bytes(), again.logical_bytes());
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         AttackOutcome::BudgetExceeded => println!("attack hit its budget"),
         AttackOutcome::TimedOut(which) => println!("attack hit its {}", which.describe()),
         AttackOutcome::Cancelled => println!("attack was cancelled"),
+        AttackOutcome::MemoryExceeded => println!("attack hit its memory budget"),
     }
 
     // 3. Generate a small labeled dataset (obfuscate -> attack -> record

@@ -368,6 +368,7 @@ fn torn_training_checkpoint_keeps_the_last_good_epoch() {
             path: format!("{dir}/train.ckpt"),
             resume: true,
         }),
+        heartbeat: None,
     };
     // Saves succeed through epoch 3; every later one tears mid-write.
     let _cleanup = Disarm;

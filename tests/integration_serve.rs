@@ -453,6 +453,7 @@ fn saturating_load_sheds_instead_of_collapsing() {
         requests: 60,
         clients: 6,
         timeout: Duration::from_secs(5),
+        probe_timeout: None,
     };
     let reports = serve::run_levels(&config, &workload);
 
@@ -479,4 +480,217 @@ fn saturating_load_sheds_instead_of_collapsing() {
     );
 
     server.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_frame_is_cut_off_by_the_whole_request_timeout() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 1,
+        // Each trickled byte lands well inside io_timeout, so only the
+        // whole-request deadline can end this.
+        io_timeout: Duration::from_secs(2),
+        idle_timeout: Duration::from_secs(2),
+        request_timeout: Duration::from_millis(400),
+        ..ServeConfig::default()
+    });
+
+    let mut loris = connect(&server);
+    let started = Instant::now();
+    // Trickle a valid frame header one byte at a time, forever (from the
+    // server's perspective): each byte restarts a plain socket timeout.
+    let header = {
+        let mut h = MAGIC.to_vec();
+        h.push(0x01); // a plausible frame type byte
+        h.extend_from_slice(&8u32.to_le_bytes());
+        h
+    };
+    let mut cut_off = false;
+    for byte in header.iter().cycle().take(64) {
+        if loris.write_all(std::slice::from_ref(byte)).is_err() {
+            cut_off = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        // The server replies BadFrame and closes once the whole-request
+        // deadline passes; detect it without blocking forever.
+        loris
+            .set_read_timeout(Some(Duration::from_millis(1)))
+            .unwrap();
+        let mut probe = [0u8; 1];
+        match std::io::Read::read(&mut loris, &mut probe) {
+            Ok(_) => {
+                cut_off = true;
+                break;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                cut_off = true;
+                break;
+            }
+        }
+    }
+    assert!(cut_off, "the trickled frame must be cut off");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "cut-off must come from the 400 ms request timeout, not io_timeout ({:?})",
+        started.elapsed()
+    );
+    drop(loris);
+
+    // The single worker is free again: a well-behaved client is served.
+    let mut stream = connect(&server);
+    expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn client_that_stops_reading_mid_reply_cannot_wedge_the_worker() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 1,
+        io_timeout: Duration::from_millis(300),
+        // Unlimited requests per connection: the write timeout, not the
+        // request cap, must be what frees the worker here.
+        max_requests_per_conn: 0,
+        ..ServeConfig::default()
+    });
+
+    // Pipeline pings without ever reading a pong. Once the client's receive
+    // buffer and the server's send buffer fill, the worker's reply write
+    // blocks; the write timeout must free it rather than wedge it forever.
+    let mut greedy = connect(&server);
+    greedy
+        .set_write_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut wrote_any = false;
+    for _ in 0..1_000_000 {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, FrameType::Ping, &[]).unwrap();
+        match greedy.write_all(&frame) {
+            Ok(()) => wrote_any = true,
+            // Buffers are full: the server is now blocked writing pongs.
+            Err(_) => break,
+        }
+    }
+    assert!(wrote_any, "the pipeline never started");
+
+    // Within a bounded wait the write timeout trips, the connection is
+    // dropped, and the lone worker serves a fresh client.
+    let recovered = Instant::now();
+    let mut stream = connect(&server);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+    assert!(
+        recovered.elapsed() < Duration::from_secs(8),
+        "worker must free within the write timeout, not hang ({:?})",
+        recovered.elapsed()
+    );
+    drop(greedy);
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_after_the_idle_timeout() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 1,
+        idle_timeout: Duration::from_millis(150),
+        io_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    });
+
+    let mut idle = connect(&server);
+    let started = Instant::now();
+    let reply = protocol::read_reply(&mut idle).expect("typed reply before close");
+    let message = expect_error(reply, ErrorCode::BadFrame);
+    assert!(message.contains("no frame"), "{message}");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "reaped by idle_timeout, not io_timeout ({:?})",
+        started.elapsed()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn connection_request_cap_closes_with_a_typed_error() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig {
+        workers: 1,
+        max_requests_per_conn: 3,
+        ..ServeConfig::default()
+    });
+
+    let mut stream = connect(&server);
+    for _ in 0..3 {
+        expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+    }
+    // The 4th request on this connection is refused with a typed error
+    // telling the client to reconnect, and the connection closes.
+    write_frame(&mut stream, FrameType::Predict, &valid_request(0).encode()).unwrap();
+    let reply = protocol::read_reply(&mut stream).expect("cap reply arrives");
+    let message = expect_error(reply, ErrorCode::Overloaded);
+    assert!(message.contains("reconnect"), "{message}");
+
+    // A fresh connection re-enters admission and is served normally.
+    let mut fresh = connect(&server);
+    expect_prediction(protocol::call(&mut fresh, &valid_request(0)).unwrap());
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 4);
+}
+
+#[test]
+fn memory_watermark_sheds_overloaded_before_the_oom_killer_would() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // A 1-byte watermark is always exceeded: every connection must shed
+    // with a typed Overloaded instead of being admitted.
+    let server = start_server(ServeConfig {
+        workers: 2,
+        mem_watermark: Some(1),
+        ..ServeConfig::default()
+    });
+
+    let mut stream = connect(&server);
+    write_frame(&mut stream, FrameType::Predict, &valid_request(0).encode()).unwrap();
+    let reply = protocol::read_reply(&mut stream).expect("shed reply arrives");
+    expect_error(reply, ErrorCode::Overloaded);
+
+    let stats = server.shutdown();
+    assert!(stats.shed >= 1, "watermark shed {} connections", stats.shed);
+    assert_eq!(stats.completed, 0, "nothing admitted past the watermark");
+}
+
+#[test]
+fn server_meters_the_same_request_bytes_the_client_can_compute() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = start_server(ServeConfig::default());
+
+    let mut stream = connect(&server);
+    expect_prediction(protocol::call(&mut stream, &valid_request(0)).unwrap());
+    drop(stream);
+
+    // demo_registry registers a Gcn/All-features model; logical bytes are a
+    // pure function of the workload, so client and server must agree.
+    let workload = Workload {
+        model: "demo".to_owned(),
+        bench: netlist::c17().to_bench(),
+        mask: vec!["n10".to_owned()],
+        deadline_ms: 0,
+    };
+    let expected = serve::loadgen::workload_request_bytes(
+        &workload,
+        icnet::ModelKind::Gcn,
+        icnet::FeatureSet::All,
+    )
+    .expect("workload parses");
+    assert!(expected > 0);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.peak_request_bytes, expected);
 }

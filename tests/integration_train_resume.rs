@@ -85,6 +85,7 @@ fn checkpointing_a_clean_run_changes_nothing() {
             path: path.clone(),
             resume: true,
         }),
+        heartbeat: None,
     };
     let mut saved = fresh_model();
     let saved_report = train_with(&mut saved, &op, &xs, &ys, &cfg, &control);
@@ -118,6 +119,7 @@ fn interrupted_then_resumed_runs_are_bit_identical() {
                 path: path.clone(),
                 resume: true,
             }),
+            heartbeat: None,
         };
 
         // Crash leg: the injected interrupt lands at the epoch-k boundary.
@@ -155,6 +157,7 @@ fn pre_tripped_token_stops_before_the_first_epoch() {
     let control = TrainControl {
         cancel: Some(token),
         checkpoint: None,
+        heartbeat: None,
     };
     let mut model = fresh_model();
     let initial = param_bits(&model);
@@ -190,6 +193,7 @@ fn pre_tripped_token_on_resume_stops_at_epoch_n() {
         &TrainControl {
             cancel: None,
             checkpoint: checkpoint.clone(),
+            heartbeat: None,
         },
     );
     faults::disarm();
@@ -209,6 +213,7 @@ fn pre_tripped_token_on_resume_stops_at_epoch_n() {
         &TrainControl {
             cancel: Some(token),
             checkpoint,
+            heartbeat: None,
         },
     );
     assert!(report.interrupted);
@@ -242,6 +247,7 @@ fn converged_checkpoint_resumes_to_the_same_report() {
             path: path.clone(),
             resume: true,
         }),
+        heartbeat: None,
     };
     let mut model = fresh_model();
     let first = train_with(&mut model, &op, &xs, &ys, &cfg, &control);
@@ -271,6 +277,7 @@ fn mismatched_hyperparameters_refuse_to_resume() {
             path: path.clone(),
             resume: true,
         }),
+        heartbeat: None,
     };
     let mut model = fresh_model();
     train_with(&mut model, &op, &xs, &ys, &config(3), &control);
